@@ -1,0 +1,873 @@
+//! The closed-loop coherence-protocol engine.
+//!
+//! Drives the Fig. 6 chip with dependent memory transactions:
+//!
+//! * **GPU loads** — CU → L2 bank (quadrant-private, interleaved); on a
+//!   miss, L2 → directory → (memory latency) → L2 → CU.
+//! * **GPU stores** — write-through, write-no-allocate (§4.1): CU → L2,
+//!   which acks the CU immediately and forwards the data to a directory.
+//! * **Instruction fetches** — CU → shared L1I; misses go to a directory.
+//! * **CPU loads** — CPU → LLC; on a miss, LLC → directory, which may first
+//!   probe another cache (MOESI sharing) before responding.
+//! * **Kernel-launch invalidations** — at each phase entry a directory
+//!   broadcasts invalidations to the quadrant's CUs, which ack.
+//!
+//! Program progress is dependency-limited: each CU/CPU has a bounded
+//! outstanding-operation window, so round-trip latency — and therefore
+//! arbitration quality — directly determines execution time (§4.2).
+
+use std::collections::{BTreeMap, HashMap};
+
+use noc_sim::{InjectionRequest, NetSnapshot, NodeId, Packet, SplitMix64, TrafficSource};
+
+use crate::kinds::{flits, ApuNodeKind, Vnet};
+use crate::topology::{ApuTopology, NUM_QUADRANTS};
+use crate::workload::{PhaseFlow, PhaseSpec, WorkloadSpec};
+
+/// Engine-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Directory/DRAM access latency in cycles.
+    pub mem_latency: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { mem_latency: 60 }
+    }
+}
+
+/// Kind of an in-flight transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnKind {
+    GpuLoad,
+    GpuStore,
+    WriteThrough,
+    IFetch,
+    CpuLoad,
+    Invalidate,
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    kind: TxnKind,
+    /// The core the final response returns to (CU or CPU), or the
+    /// directory that issued an invalidation.
+    issuer: NodeId,
+    quadrant: usize,
+    /// For probing CPU loads: the LLC awaiting the directory's response.
+    probe_waiter: Option<NodeId>,
+    /// Deterministic per-operation random value fixing the transaction's
+    /// fate (hit/miss, sharing, bank/directory choices). Derived from the
+    /// issuing core and its operation index — *not* from a shared RNG — so
+    /// every arbitration policy executes the identical protocol work and
+    /// execution-time comparisons are paired (the property APU-SynFull's
+    /// fixed instruction mix provides in the paper, §4.2).
+    fate: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CoreState {
+    outstanding: usize,
+    issued: u64,
+    completed: u64,
+    /// Monotonic operation counter (never reset at phase boundaries);
+    /// indexes the deterministic fate streams.
+    op_counter: u64,
+}
+
+#[derive(Debug)]
+struct ProgramState {
+    spec: WorkloadSpec,
+    phase_idx: usize,
+    visits_done: usize,
+    cus: Vec<CoreState>,
+    cpu: CoreState,
+    invals_outstanding: usize,
+    total_completed: u64,
+    timeline: Vec<PhaseVisit>,
+    done: bool,
+    finish_cycle: Option<u64>,
+}
+
+impl ProgramState {
+    fn phase(&self) -> &PhaseSpec {
+        &self.spec.phases[self.phase_idx]
+    }
+
+    fn phase_finished(&self) -> bool {
+        self.invals_outstanding == 0
+            && self.cpu.completed >= self.phase().cpu_ops
+            && self
+                .cus
+                .iter()
+                .all(|c| c.completed >= self.phase().ops_per_cu)
+    }
+}
+
+/// One phase execution in a program's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseVisit {
+    /// Index into the workload's phase list.
+    pub phase: usize,
+    /// Cycle the phase became active.
+    pub start: u64,
+    /// Cycle the phase completed (`None` while still running).
+    pub end: Option<u64>,
+}
+
+/// Per-quadrant completion record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramStatus {
+    /// Whether the program copy has finished every phase.
+    pub done: bool,
+    /// Completion cycle if finished.
+    pub finish_cycle: Option<u64>,
+    /// Memory operations completed so far (CU + CPU).
+    pub ops_completed: u64,
+}
+
+/// The closed-loop traffic engine implementing [`TrafficSource`].
+#[derive(Debug)]
+pub struct ApuEngine {
+    apu: ApuTopology,
+    cfg: EngineConfig,
+    programs: Vec<ProgramState>,
+    txns: HashMap<u64, Txn>,
+    next_tag: u64,
+    delayed: BTreeMap<u64, Vec<InjectionRequest>>,
+    outbox: Vec<InjectionRequest>,
+    seed: u64,
+    total_ops_completed: u64,
+}
+
+impl ApuEngine {
+    /// Creates an engine running one program copy per quadrant.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly [`NUM_QUADRANTS`] specs are supplied, or if any
+    /// spec fails validation.
+    pub fn new(apu: ApuTopology, specs: Vec<WorkloadSpec>, cfg: EngineConfig, seed: u64) -> Self {
+        assert_eq!(specs.len(), NUM_QUADRANTS, "one workload per quadrant");
+        for s in &specs {
+            s.validate();
+        }
+        let programs = specs
+            .into_iter()
+            .enumerate()
+            .map(|(q, spec)| ProgramState {
+                cus: vec![CoreState::default(); apu.cus(q).len()],
+                cpu: CoreState::default(),
+                spec,
+                phase_idx: 0,
+                visits_done: 0,
+                invals_outstanding: 0,
+                total_completed: 0,
+                timeline: vec![PhaseVisit {
+                    phase: 0,
+                    start: 0,
+                    end: None,
+                }],
+                done: false,
+                finish_cycle: None,
+            })
+            .collect();
+        let mut engine = ApuEngine {
+            apu,
+            cfg,
+            programs,
+            txns: HashMap::new(),
+            next_tag: 1,
+            delayed: BTreeMap::new(),
+            outbox: Vec::new(),
+            seed,
+            total_ops_completed: 0,
+        };
+        // Kernel-launch invalidations for the first phase of each program.
+        for q in 0..NUM_QUADRANTS {
+            if engine.programs[q].spec.kernel_invalidate {
+                engine.send_invalidations(q);
+            }
+        }
+        engine
+    }
+
+    /// The chip topology the engine drives.
+    pub fn apu(&self) -> &ApuTopology {
+        &self.apu
+    }
+
+    /// Status of each quadrant's program copy.
+    pub fn statuses(&self) -> Vec<ProgramStatus> {
+        self.programs
+            .iter()
+            .map(|p| ProgramStatus {
+                done: p.done,
+                finish_cycle: p.finish_cycle,
+                ops_completed: p.total_completed,
+            })
+            .collect()
+    }
+
+    /// Completion cycles of the four program copies, where finished.
+    pub fn execution_times(&self) -> Vec<Option<u64>> {
+        self.programs.iter().map(|p| p.finish_cycle).collect()
+    }
+
+    /// Mean completion cycle across quadrants ("average program execution
+    /// time", §4.2). Unfinished copies count as `fallback`.
+    pub fn avg_execution_time(&self, fallback: u64) -> f64 {
+        let sum: u64 = self
+            .programs
+            .iter()
+            .map(|p| p.finish_cycle.unwrap_or(fallback))
+            .sum();
+        sum as f64 / self.programs.len() as f64
+    }
+
+    /// Slowest copy's completion cycle ("tail program execution time").
+    pub fn tail_execution_time(&self, fallback: u64) -> u64 {
+        self.programs
+            .iter()
+            .map(|p| p.finish_cycle.unwrap_or(fallback))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total memory operations completed across the chip.
+    pub fn total_ops_completed(&self) -> u64 {
+        self.total_ops_completed
+    }
+
+    /// The phase timeline of a quadrant's program: every phase execution
+    /// with its start/end cycles, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quadrant >= NUM_QUADRANTS`.
+    pub fn phase_timeline(&self, quadrant: usize) -> &[PhaseVisit] {
+        &self.programs[quadrant].timeline
+    }
+
+    /// A fresh deterministic stream keyed by `(domain, a, b)` and the
+    /// engine seed.
+    fn stream(&self, domain: u64, a: u64, b: u64) -> SplitMix64 {
+        let mut mixer = SplitMix64::new(
+            self.seed
+                ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ a.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ b.wrapping_mul(0x1656_67B1_9E37_79F9),
+        );
+        // Burn one output so nearby keys decorrelate.
+        let _ = mixer.next_u64();
+        mixer
+    }
+
+    fn alloc_txn(&mut self, txn: Txn) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.txns.insert(tag, txn);
+        tag
+    }
+
+    fn push_msg(&mut self, src: NodeId, dst: NodeId, vnet: Vnet, len: u32, tag: u64) {
+        self.outbox.push(InjectionRequest {
+            src,
+            dst,
+            vnet: vnet.index(),
+            msg_type: vnet.msg_type(),
+            dst_type: self.apu.kind(dst).dest_type(),
+            len_flits: len,
+            tag,
+        });
+    }
+
+    fn push_delayed(&mut self, at: u64, src: NodeId, dst: NodeId, vnet: Vnet, len: u32, tag: u64) {
+        let dst_type = self.apu.kind(dst).dest_type();
+        self.delayed.entry(at).or_default().push(InjectionRequest {
+            src,
+            dst,
+            vnet: vnet.index(),
+            msg_type: vnet.msg_type(),
+            dst_type,
+            len_flits: len,
+            tag,
+        });
+    }
+
+    fn pick(rng: &mut SplitMix64, nodes: &[NodeId]) -> NodeId {
+        nodes[rng.next_bounded(nodes.len() as u64) as usize]
+    }
+
+    /// Broadcasts kernel-launch invalidations to the quadrant's CUs.
+    fn send_invalidations(&mut self, quadrant: usize) {
+        let visit = self.programs[quadrant].visits_done as u64;
+        let mut rng = self.stream(3, quadrant as u64, visit);
+        let dir = Self::pick(&mut rng, self.apu.dirs());
+        let cus = self.apu.cus(quadrant).to_vec();
+        for cu in cus {
+            let fate = rng.next_u64();
+            let tag = self.alloc_txn(Txn {
+                kind: TxnKind::Invalidate,
+                issuer: dir,
+                quadrant,
+                probe_waiter: None,
+                fate,
+            });
+            self.push_msg(dir, cu, Vnet::Coherence, flits::CONTROL, tag);
+            self.programs[quadrant].invals_outstanding += 1;
+        }
+    }
+
+    /// Issues one CU memory operation. The operation's kind, target bank,
+    /// and downstream fate are all functions of `(cu, op index)` — never of
+    /// global event order — so they are identical under every policy.
+    fn issue_cu_op(&mut self, quadrant: usize, cu_idx: usize) {
+        let cu = self.apu.cus(quadrant)[cu_idx];
+        let op_idx = self.programs[quadrant].cus[cu_idx].op_counter;
+        let phase = self.programs[quadrant].phase().clone();
+        let mut rng = self.stream(1, cu.index() as u64, op_idx);
+        let fate = rng.next_u64();
+        let draw = rng.next_f64();
+        if draw < phase.ifetch_frac {
+            let l1i = {
+                let banks = self.apu.l1is(quadrant).to_vec();
+                Self::pick(&mut rng, &banks)
+            };
+            let tag = self.alloc_txn(Txn {
+                kind: TxnKind::IFetch,
+                issuer: cu,
+                quadrant,
+                probe_waiter: None,
+                fate,
+            });
+            self.push_msg(cu, l1i, Vnet::GpuReq, flits::CONTROL, tag);
+        } else {
+            let l2 = {
+                let banks = self.apu.l2_banks(quadrant).to_vec();
+                Self::pick(&mut rng, &banks)
+            };
+            let is_store = draw < phase.ifetch_frac + phase.store_frac;
+            let (kind, len) = if is_store {
+                (TxnKind::GpuStore, flits::DATA)
+            } else {
+                (TxnKind::GpuLoad, flits::CONTROL)
+            };
+            let tag = self.alloc_txn(Txn {
+                kind,
+                issuer: cu,
+                quadrant,
+                probe_waiter: None,
+                fate,
+            });
+            self.push_msg(cu, l2, Vnet::GpuReq, len, tag);
+        }
+        let st = &mut self.programs[quadrant].cus[cu_idx];
+        st.issued += 1;
+        st.outstanding += 1;
+        st.op_counter += 1;
+    }
+
+    /// Issues one CPU memory operation.
+    fn issue_cpu_op(&mut self, quadrant: usize) {
+        let cpu = self.apu.cpu(quadrant);
+        let llc = self.apu.llc(quadrant);
+        let op_idx = self.programs[quadrant].cpu.op_counter;
+        let mut rng = self.stream(2, cpu.index() as u64, op_idx);
+        let fate = rng.next_u64();
+        let tag = self.alloc_txn(Txn {
+            kind: TxnKind::CpuLoad,
+            issuer: cpu,
+            quadrant,
+            probe_waiter: None,
+            fate,
+        });
+        self.push_msg(cpu, llc, Vnet::CpuReq, flits::CONTROL, tag);
+        let st = &mut self.programs[quadrant].cpu;
+        st.issued += 1;
+        st.outstanding += 1;
+        st.op_counter += 1;
+    }
+
+    /// Marks an operation complete at its issuing core.
+    fn complete_op(&mut self, quadrant: usize, issuer: NodeId) {
+        self.total_ops_completed += 1;
+        let p = &mut self.programs[quadrant];
+        p.total_completed += 1;
+        if self.apu.kind(issuer) == ApuNodeKind::CpuCore {
+            p.cpu.outstanding -= 1;
+            p.cpu.completed += 1;
+        } else {
+            let idx = self
+                .apu
+                .cus(quadrant)
+                .iter()
+                .position(|&c| c == issuer)
+                .expect("issuer CU belongs to its quadrant");
+            p.cus[idx].outstanding -= 1;
+            p.cus[idx].completed += 1;
+        }
+    }
+
+    /// Advances a program's phase machine when the current phase is done.
+    fn maybe_advance_phase(&mut self, quadrant: usize, cycle: u64) {
+        loop {
+            let p = &self.programs[quadrant];
+            if p.done || !p.phase_finished() {
+                return;
+            }
+            let total_visits = p.spec.total_phase_visits();
+            let next = match &p.spec.flow {
+                PhaseFlow::Sequence => {
+                    if p.phase_idx + 1 < p.spec.phases.len() {
+                        Some(p.phase_idx + 1)
+                    } else {
+                        None
+                    }
+                }
+                PhaseFlow::Markov { transition, .. } => {
+                    if p.visits_done + 1 < total_visits {
+                        let row = transition[p.phase_idx].clone();
+                        let (q, visit) = (quadrant as u64, p.visits_done as u64);
+                        let mut draw = self.stream(4, q, visit).next_f64();
+                        let mut chosen = row.len() - 1;
+                        for (j, &pr) in row.iter().enumerate() {
+                            if draw < pr {
+                                chosen = j;
+                                break;
+                            }
+                            draw -= pr;
+                        }
+                        Some(chosen)
+                    } else {
+                        None
+                    }
+                }
+            };
+            let p = &mut self.programs[quadrant];
+            p.visits_done += 1;
+            if let Some(open) = p.timeline.last_mut() {
+                open.end = Some(cycle);
+            }
+            match next {
+                None => {
+                    p.done = true;
+                    p.finish_cycle = Some(cycle);
+                    return;
+                }
+                Some(idx) => {
+                    p.phase_idx = idx;
+                    p.timeline.push(PhaseVisit {
+                        phase: idx,
+                        start: cycle,
+                        end: None,
+                    });
+                    for c in &mut p.cus {
+                        c.issued = 0;
+                        c.completed = 0;
+                    }
+                    p.cpu.issued = 0;
+                    p.cpu.completed = 0;
+                    let inval = p.spec.kernel_invalidate;
+                    if inval {
+                        self.send_invalidations(quadrant);
+                    }
+                    // Loop again: a zero-op phase may complete immediately.
+                }
+            }
+        }
+    }
+}
+
+impl TrafficSource for ApuEngine {
+    fn pull(&mut self, cycle: u64, _net: &NetSnapshot) -> Vec<InjectionRequest> {
+        // Release delayed (memory-latency) messages.
+        let due: Vec<u64> = self.delayed.range(..=cycle).map(|(&k, _)| k).collect();
+        for k in due {
+            let mut msgs = self.delayed.remove(&k).unwrap_or_default();
+            self.outbox.append(&mut msgs);
+        }
+
+        // Issue new operations.
+        for q in 0..NUM_QUADRANTS {
+            if self.programs[q].done {
+                continue;
+            }
+            let phase = self.programs[q].phase().clone();
+            for cu_idx in 0..self.programs[q].cus.len() {
+                let st = &self.programs[q].cus[cu_idx];
+                let cu = self.apu.cus(q)[cu_idx];
+                if st.issued < phase.ops_per_cu
+                    && st.outstanding < phase.window
+                    && self.stream(5, cu.index() as u64, cycle).chance(phase.issue_prob)
+                {
+                    self.issue_cu_op(q, cu_idx);
+                }
+            }
+            let cpu_state = &self.programs[q].cpu;
+            let cpu_node = self.apu.cpu(q);
+            if cpu_state.issued < phase.cpu_ops
+                && cpu_state.outstanding < phase.window
+                && self
+                    .stream(5, cpu_node.index() as u64, cycle)
+                    .chance(phase.cpu_issue_prob)
+            {
+                self.issue_cpu_op(q);
+            }
+            self.maybe_advance_phase(q, cycle);
+        }
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn on_delivered(&mut self, pkt: &Packet, cycle: u64) {
+        let Some(txn) = self.txns.get(&pkt.tag).cloned() else {
+            return; // untracked message (should not happen)
+        };
+        let here = pkt.dst;
+        let vnet = Vnet::ALL[pkt.vnet];
+        match (vnet, txn.kind) {
+            // ---- requests arriving at caches ----
+            (Vnet::GpuReq, TxnKind::GpuLoad) => {
+                let mut rng = self.stream(6, txn.fate, 0);
+                let hit = rng.chance(self.programs[txn.quadrant].phase().l2_hit_rate);
+                if hit {
+                    self.push_msg(here, txn.issuer, Vnet::DataResp, flits::DATA, pkt.tag);
+                } else {
+                    let dir = Self::pick(&mut rng, self.apu.dirs());
+                    self.push_msg(here, dir, Vnet::MemReq, flits::CONTROL, pkt.tag);
+                }
+            }
+            (Vnet::GpuReq, TxnKind::GpuStore) => {
+                // Write-through: ack the CU, forward data to memory.
+                self.push_msg(here, txn.issuer, Vnet::DataResp, flits::CONTROL, pkt.tag);
+                let mut rng = self.stream(6, txn.fate, 1);
+                let dir = Self::pick(&mut rng, self.apu.dirs());
+                let fate = rng.next_u64();
+                let wt = self.alloc_txn(Txn {
+                    kind: TxnKind::WriteThrough,
+                    issuer: here,
+                    quadrant: txn.quadrant,
+                    probe_waiter: None,
+                    fate,
+                });
+                self.push_msg(here, dir, Vnet::MemReq, flits::DATA, wt);
+            }
+            (Vnet::GpuReq, TxnKind::IFetch) => {
+                let mut rng = self.stream(6, txn.fate, 2);
+                let hit = rng.chance(self.programs[txn.quadrant].phase().l1i_hit_rate);
+                if hit {
+                    self.push_msg(here, txn.issuer, Vnet::DataResp, flits::DATA, pkt.tag);
+                } else {
+                    let dir = Self::pick(&mut rng, self.apu.dirs());
+                    self.push_msg(here, dir, Vnet::MemReq, flits::CONTROL, pkt.tag);
+                }
+            }
+            (Vnet::CpuReq, TxnKind::CpuLoad) => {
+                let mut rng = self.stream(6, txn.fate, 3);
+                let hit = rng.chance(self.programs[txn.quadrant].phase().llc_hit_rate);
+                if hit {
+                    self.push_msg(here, txn.issuer, Vnet::DataResp, flits::DATA, pkt.tag);
+                } else {
+                    let dir = Self::pick(&mut rng, self.apu.dirs());
+                    self.push_msg(here, dir, Vnet::MemReq, flits::CONTROL, pkt.tag);
+                }
+            }
+            // ---- requests arriving at directories ----
+            (Vnet::MemReq, TxnKind::WriteThrough) => {
+                // Data reached memory; transaction dissolves.
+                self.txns.remove(&pkt.tag);
+            }
+            (Vnet::MemReq, TxnKind::GpuLoad | TxnKind::IFetch) => {
+                self.push_delayed(
+                    cycle + self.cfg.mem_latency,
+                    here,
+                    pkt.src,
+                    Vnet::MemResp,
+                    flits::DATA,
+                    pkt.tag,
+                );
+            }
+            (Vnet::MemReq, TxnKind::CpuLoad) => {
+                let mut rng = self.stream(6, txn.fate, 4);
+                let sharing = rng.chance(self.programs[txn.quadrant].phase().sharing_prob);
+                if sharing {
+                    // Probe a deterministic GPU L2 (an owner cache) first.
+                    let owner = {
+                        let banks = self.apu.l2_banks(txn.quadrant).to_vec();
+                        Self::pick(&mut rng, &banks)
+                    };
+                    if let Some(t) = self.txns.get_mut(&pkt.tag) {
+                        t.probe_waiter = Some(pkt.src);
+                    }
+                    self.push_msg(here, owner, Vnet::Coherence, flits::CONTROL, pkt.tag);
+                } else {
+                    self.push_delayed(
+                        cycle + self.cfg.mem_latency,
+                        here,
+                        pkt.src,
+                        Vnet::MemResp,
+                        flits::DATA,
+                        pkt.tag,
+                    );
+                }
+            }
+            // ---- coherence ----
+            (Vnet::Coherence, TxnKind::Invalidate) => {
+                // CU acks the kernel-launch invalidation.
+                self.push_msg(here, txn.issuer, Vnet::ProbeResp, flits::CONTROL, pkt.tag);
+            }
+            (Vnet::Coherence, TxnKind::CpuLoad) => {
+                // Probed cache responds with (possibly dirty) data.
+                self.push_msg(here, pkt.src, Vnet::ProbeResp, flits::DATA, pkt.tag);
+            }
+            (Vnet::ProbeResp, TxnKind::Invalidate) => {
+                self.programs[txn.quadrant].invals_outstanding -= 1;
+                self.txns.remove(&pkt.tag);
+            }
+            (Vnet::ProbeResp, TxnKind::CpuLoad) => {
+                let waiter = txn.probe_waiter.expect("probe ack without waiter");
+                self.push_msg(here, waiter, Vnet::MemResp, flits::DATA, pkt.tag);
+            }
+            // ---- memory responses back through the cache ----
+            (Vnet::MemResp, TxnKind::GpuLoad | TxnKind::IFetch | TxnKind::CpuLoad) => {
+                self.push_msg(here, txn.issuer, Vnet::DataResp, flits::DATA, pkt.tag);
+            }
+            // ---- final responses at the issuing core ----
+            (Vnet::DataResp, TxnKind::GpuLoad | TxnKind::GpuStore | TxnKind::IFetch | TxnKind::CpuLoad) => {
+                self.txns.remove(&pkt.tag);
+                self.complete_op(txn.quadrant, txn.issuer);
+            }
+            (v, k) => {
+                unreachable!("protocol violation: {v:?} delivered for {k:?} transaction")
+            }
+        }
+    }
+
+    fn is_done(&self, _cycle: u64) -> bool {
+        self.programs.iter().all(|p| p.done) && self.txns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::PhaseSpec;
+    use noc_sim::arbiters::FifoArbiter;
+    use noc_sim::{SimConfig, Simulator};
+
+    fn tiny_spec(ops: u64) -> WorkloadSpec {
+        let mut phase = PhaseSpec::balanced();
+        phase.ops_per_cu = ops;
+        phase.cpu_ops = ops;
+        phase.issue_prob = 0.4;
+        phase.cpu_issue_prob = 0.4;
+        WorkloadSpec::single_phase("tiny", phase)
+    }
+
+    fn make_sim(ops: u64, seed: u64) -> Simulator<ApuEngine> {
+        let apu = ApuTopology::build();
+        let topo = apu.clone_topology();
+        let engine = ApuEngine::new(
+            apu,
+            vec![tiny_spec(ops); 4],
+            EngineConfig::default(),
+            seed,
+        );
+        Simulator::new(
+            topo,
+            SimConfig::apu(8, 8),
+            Box::new(FifoArbiter::new()),
+            engine,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tiny_programs_run_to_completion() {
+        let mut sim = make_sim(3, 1);
+        let done = sim.run_until_done(200_000);
+        assert!(done, "programs did not finish");
+        let st = sim.traffic().statuses();
+        assert!(st.iter().all(|s| s.done));
+        for s in &st {
+            // 16 CUs × 3 ops + 3 CPU ops = 51 per quadrant.
+            assert_eq!(s.ops_completed, 51);
+            assert!(s.finish_cycle.is_some());
+        }
+    }
+
+    #[test]
+    fn all_seven_vnets_carry_traffic() {
+        let mut sim = make_sim(20, 3);
+        sim.run_until_done(400_000);
+        let per_vnet = &sim.stats().delivered_per_vnet;
+        for (i, &count) in per_vnet.iter().enumerate() {
+            assert!(count > 0, "vnet {i} carried no traffic: {per_vnet:?}");
+        }
+    }
+
+    #[test]
+    fn execution_times_are_recorded_per_quadrant() {
+        let mut sim = make_sim(3, 7);
+        assert!(sim.run_until_done(200_000));
+        let times = sim.traffic().execution_times();
+        assert_eq!(times.len(), 4);
+        assert!(times.iter().all(|t| t.is_some()));
+        let avg = sim.traffic().avg_execution_time(0);
+        let tail = sim.traffic().tail_execution_time(0);
+        assert!(avg > 0.0);
+        assert!(tail as f64 >= avg);
+    }
+
+    #[test]
+    fn multi_phase_sequence_advances() {
+        let apu = ApuTopology::build();
+        let topo = apu.clone_topology();
+        let mut phase = PhaseSpec::balanced();
+        phase.ops_per_cu = 2;
+        phase.cpu_ops = 0;
+        phase.issue_prob = 0.5;
+        let spec = WorkloadSpec {
+            name: "two-phase".into(),
+            phases: vec![phase.clone(), phase],
+            flow: PhaseFlow::Sequence,
+            kernel_invalidate: true,
+        };
+        let engine = ApuEngine::new(apu, vec![spec; 4], EngineConfig::default(), 9);
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig::apu(8, 8),
+            Box::new(FifoArbiter::new()),
+            engine,
+        )
+        .unwrap();
+        assert!(sim.run_until_done(400_000));
+        for s in sim.traffic().statuses() {
+            assert!(s.done);
+            // Two phases × 16 CUs × 2 ops.
+            assert_eq!(s.ops_completed, 64);
+        }
+    }
+
+    #[test]
+    fn markov_flow_terminates_after_total_visits() {
+        let apu = ApuTopology::build();
+        let topo = apu.clone_topology();
+        let mut phase = PhaseSpec::balanced();
+        phase.ops_per_cu = 1;
+        phase.cpu_ops = 0;
+        phase.issue_prob = 0.5;
+        let spec = WorkloadSpec {
+            name: "markov".into(),
+            phases: vec![phase.clone(), phase],
+            flow: PhaseFlow::Markov {
+                transition: vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+                total_visits: 3,
+            },
+            kernel_invalidate: false,
+        };
+        let engine = ApuEngine::new(apu, vec![spec; 4], EngineConfig::default(), 11);
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig::apu(8, 8),
+            Box::new(FifoArbiter::new()),
+            engine,
+        )
+        .unwrap();
+        assert!(sim.run_until_done(400_000));
+        for s in sim.traffic().statuses() {
+            // 3 phase visits × 16 ops.
+            assert_eq!(s.ops_completed, 48);
+        }
+    }
+
+    #[test]
+    fn memory_latency_slows_execution() {
+        let run = |lat: u64| {
+            let apu = ApuTopology::build();
+            let topo = apu.clone_topology();
+            let mut phase = PhaseSpec::balanced();
+            phase.ops_per_cu = 10;
+            phase.cpu_ops = 0;
+            phase.l2_hit_rate = 0.0; // every load goes to memory
+            let spec = WorkloadSpec::single_phase("mem", phase);
+            let engine = ApuEngine::new(apu, vec![spec; 4], EngineConfig { mem_latency: lat }, 5);
+            let mut sim = Simulator::new(
+                topo,
+                SimConfig::apu(8, 8),
+                Box::new(FifoArbiter::new()),
+                engine,
+            )
+            .unwrap();
+            assert!(sim.run_until_done(500_000));
+            sim.traffic().tail_execution_time(0)
+        };
+        assert!(run(200) > run(10), "longer memory latency must slow programs");
+    }
+
+    #[test]
+    fn phase_timeline_records_every_visit() {
+        let apu = ApuTopology::build();
+        let topo = apu.clone_topology();
+        let mut phase = PhaseSpec::balanced();
+        phase.ops_per_cu = 2;
+        phase.cpu_ops = 0;
+        phase.issue_prob = 0.5;
+        let spec = WorkloadSpec {
+            name: "timeline".into(),
+            phases: vec![phase.clone(), phase],
+            flow: PhaseFlow::Sequence,
+            kernel_invalidate: false,
+        };
+        let engine = ApuEngine::new(apu, vec![spec; 4], EngineConfig::default(), 3);
+        let mut sim = Simulator::new(
+            topo,
+            SimConfig::apu(8, 8),
+            Box::new(FifoArbiter::new()),
+            engine,
+        )
+        .unwrap();
+        assert!(sim.run_until_done(400_000));
+        for q in 0..4 {
+            let tl = sim.traffic().phase_timeline(q);
+            assert_eq!(tl.len(), 2, "quadrant {q} timeline: {tl:?}");
+            assert_eq!(tl[0].phase, 0);
+            assert_eq!(tl[1].phase, 1);
+            let end0 = tl[0].end.expect("phase 0 closed");
+            assert_eq!(tl[1].start, end0);
+            let end1 = tl[1].end.expect("phase 1 closed");
+            assert_eq!(Some(end1), sim.traffic().execution_times()[q]);
+            assert!(tl[0].start < end0 && tl[1].start < end1);
+        }
+    }
+
+    #[test]
+    fn protocol_work_is_policy_invariant() {
+        // Same specs + seed must generate exactly the same protocol work
+        // under different arbitration policies; only timing may differ.
+        let run = |arb: Box<dyn noc_sim::Arbiter>| {
+            let apu = ApuTopology::build();
+            let topo = apu.clone_topology();
+            let engine =
+                ApuEngine::new(apu, vec![tiny_spec(10); 4], EngineConfig::default(), 5);
+            let mut sim = Simulator::new(topo, SimConfig::apu(8, 8), arb, engine).unwrap();
+            assert!(sim.run_until_done(400_000));
+            sim.stats().created
+        };
+        let fifo = run(Box::new(FifoArbiter::new()));
+        let rr = run(Box::new(noc_sim::arbiters::RoundRobinArbiter::new()));
+        assert_eq!(fifo, rr, "policies must execute identical workloads");
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload per quadrant")]
+    fn wrong_spec_count_rejected() {
+        ApuEngine::new(
+            ApuTopology::build(),
+            vec![tiny_spec(1); 3],
+            EngineConfig::default(),
+            0,
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Node kinds and virtual-network assignments of the APU system.
+
+use noc_sim::{DestType, MsgType};
+
+/// The component attached to a router local port (paper Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApuNodeKind {
+    /// GPU compute unit with its private L1 data cache.
+    Cu,
+    /// GPU L1 instruction cache (shared by four CUs).
+    GpuL1i,
+    /// GPU L2 cache bank (quadrant-private, address-interleaved).
+    GpuL2,
+    /// Coherence directory + memory controller.
+    Dir,
+    /// CPU core with private L1/L2.
+    CpuCore,
+    /// CPU last-level cache.
+    CpuLlc,
+}
+
+impl ApuNodeKind {
+    /// The destination class advertised in packet headers.
+    pub fn dest_type(self) -> DestType {
+        match self {
+            ApuNodeKind::Cu | ApuNodeKind::CpuCore => DestType::Core,
+            ApuNodeKind::GpuL1i | ApuNodeKind::GpuL2 | ApuNodeKind::CpuLlc => DestType::Cache,
+            ApuNodeKind::Dir => DestType::Memory,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ApuNodeKind::Cu => "CU",
+            ApuNodeKind::GpuL1i => "L1I",
+            ApuNodeKind::GpuL2 => "GPU-L2",
+            ApuNodeKind::Dir => "Dir",
+            ApuNodeKind::CpuCore => "CPU",
+            ApuNodeKind::CpuLlc => "LLC",
+        }
+    }
+}
+
+/// The seven virtual networks (message classes) of the coherence protocol
+/// (paper §4.1: "This system requires seven network classes for coherence").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vnet {
+    /// GPU requests: CU → L2 / L1I.
+    GpuReq,
+    /// CPU requests: CPU → LLC.
+    CpuReq,
+    /// Cache-to-directory memory requests: L2/LLC → Dir.
+    MemReq,
+    /// Cache-to-requester data responses (5 flits).
+    DataResp,
+    /// Coherence actions: probes and kernel-launch invalidations.
+    Coherence,
+    /// Probe / invalidation responses.
+    ProbeResp,
+    /// Directory-to-cache memory responses (5 flits).
+    MemResp,
+}
+
+impl Vnet {
+    /// All vnets in index order.
+    pub const ALL: [Vnet; 7] = [
+        Vnet::GpuReq,
+        Vnet::CpuReq,
+        Vnet::MemReq,
+        Vnet::DataResp,
+        Vnet::Coherence,
+        Vnet::ProbeResp,
+        Vnet::MemResp,
+    ];
+
+    /// Virtual-network index used by the simulator.
+    pub fn index(self) -> usize {
+        match self {
+            Vnet::GpuReq => 0,
+            Vnet::CpuReq => 1,
+            Vnet::MemReq => 2,
+            Vnet::DataResp => 3,
+            Vnet::Coherence => 4,
+            Vnet::ProbeResp => 5,
+            Vnet::MemResp => 6,
+        }
+    }
+
+    /// The coarse message type carried by packets on this vnet.
+    pub fn msg_type(self) -> MsgType {
+        match self {
+            Vnet::GpuReq | Vnet::CpuReq | Vnet::MemReq => MsgType::Request,
+            Vnet::DataResp | Vnet::MemResp => MsgType::Response,
+            Vnet::Coherence | Vnet::ProbeResp => MsgType::Coherence,
+        }
+    }
+}
+
+/// Flit sizes (paper §4.1: requests and coherence 1 flit, data 5 flits —
+/// 1 header + 4 data).
+pub mod flits {
+    /// Control messages (requests, probes, acks).
+    pub const CONTROL: u32 = 1;
+    /// Data-bearing messages (responses, write-through data).
+    pub const DATA: u32 = 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_distinct_vnets() {
+        let mut idx: Vec<usize> = Vnet::ALL.iter().map(|v| v.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn vnet_message_types_partition_classes() {
+        assert_eq!(Vnet::GpuReq.msg_type(), MsgType::Request);
+        assert_eq!(Vnet::DataResp.msg_type(), MsgType::Response);
+        assert_eq!(Vnet::Coherence.msg_type(), MsgType::Coherence);
+        assert_eq!(Vnet::ProbeResp.msg_type(), MsgType::Coherence);
+    }
+
+    #[test]
+    fn dest_types_follow_component_roles() {
+        assert_eq!(ApuNodeKind::Cu.dest_type(), DestType::Core);
+        assert_eq!(ApuNodeKind::GpuL2.dest_type(), DestType::Cache);
+        assert_eq!(ApuNodeKind::Dir.dest_type(), DestType::Memory);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let kinds = [
+            ApuNodeKind::Cu,
+            ApuNodeKind::GpuL1i,
+            ApuNodeKind::GpuL2,
+            ApuNodeKind::Dir,
+            ApuNodeKind::CpuCore,
+            ApuNodeKind::CpuLlc,
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+}

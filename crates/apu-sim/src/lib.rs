@@ -1,0 +1,31 @@
+//! # apu-sim — the heterogeneous CPU+GPU chip model
+//!
+//! The §4 evaluation platform of *"Experiences with ML-Driven Design: A NoC
+//! Case Study"* (HPCA 2020), rebuilt on the `noc-sim` substrate:
+//!
+//! * [`ApuTopology`] — the Fig. 6b chip: an 8×8 mesh carrying 64 compute
+//!   units, 16 directories, 16 L1I caches, GPU L2 banks, and a CPU core +
+//!   LLC per quadrant, with uniform 6-port routers.
+//! * [`Vnet`] — the seven coherence message classes (§4.1).
+//! * [`ApuEngine`] — a closed-loop protocol engine generating dependent
+//!   request/response/coherence traffic with bounded per-core windows, so
+//!   that arbitration quality shows up as program execution time (§4.2).
+//! * [`WorkloadSpec`] — SynFull-substitute statistical program models
+//!   (phase machines with Markov flow).
+//! * [`run_apu`] — the four-copies-in-four-quadrants experiment harness
+//!   behind Figs. 9–11.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod kinds;
+mod run;
+mod topology;
+mod workload;
+
+pub use engine::{ApuEngine, EngineConfig, PhaseVisit, ProgramStatus};
+pub use kinds::{flits, ApuNodeKind, Vnet};
+pub use run::{make_apu_sim, run_apu, ApuRunResult};
+pub use topology::{quadrant_of, ApuTopology, APU_MESH, NUM_QUADRANTS};
+pub use workload::{PhaseFlow, PhaseSpec, WorkloadSpec};

@@ -1,0 +1,261 @@
+//! The Fig. 6b chip topology.
+//!
+//! An 8×8 mesh whose routers each carry two local ports. Slot 0 ("core")
+//! always hosts a GPU compute unit (64 CUs). Slot 1 ("memory") hosts, per
+//! tile:
+//!
+//! * the 16 coherence directories along the left and right edges (x = 0, 7),
+//! * the 16 GPU L1 instruction caches in the 4×4 center block,
+//! * one CPU core and one CPU LLC per quadrant (8 tiles total), and
+//! * GPU L2 banks on the remaining 24 tiles (6 per quadrant,
+//!   quadrant-private and address-interleaved).
+//!
+//! Every router therefore has exactly 6 input ports — core, memory, north,
+//! south, west, east — matching the paper's "largest router" and its
+//! 6 × 7 × 12 = 504-entry agent state vector (§4.4, §4.6).
+//!
+//! **Substitution note** (documented in DESIGN.md): the paper augments the
+//! mesh with two extra CPU nodes per quadrant; we host CPU and LLC in the
+//! memory slot of two interior tiles per quadrant instead, trading 8 GPU L2
+//! banks for a uniform 6-port fabric. Traffic classes, route lengths, and
+//! contention structure are preserved.
+
+use noc_sim::{Coord, NodeId, RouterId, Topology};
+
+use crate::kinds::ApuNodeKind;
+
+/// Mesh width/height of the APU fabric.
+pub const APU_MESH: u16 = 8;
+/// Number of quadrants (one workload copy runs in each, §4.2).
+pub const NUM_QUADRANTS: usize = 4;
+
+/// The built APU topology: the mesh plus kind/quadrant indices.
+#[derive(Debug, Clone)]
+pub struct ApuTopology {
+    topo: Topology,
+    kinds: Vec<ApuNodeKind>,
+    /// CU nodes per quadrant (16 each).
+    cus: Vec<Vec<NodeId>>,
+    /// GPU L2 banks per quadrant (6 each).
+    l2s: Vec<Vec<NodeId>>,
+    /// L1I caches per quadrant (4 each).
+    l1is: Vec<Vec<NodeId>>,
+    /// All 16 directories.
+    dirs: Vec<NodeId>,
+    /// CPU core per quadrant.
+    cpus: Vec<NodeId>,
+    /// CPU LLC per quadrant.
+    llcs: Vec<NodeId>,
+}
+
+/// Kind of the slot-1 component at a coordinate.
+fn slot1_kind(c: Coord) -> ApuNodeKind {
+    let (x, y) = (c.x, c.y);
+    if x == 0 || x == APU_MESH - 1 {
+        ApuNodeKind::Dir
+    } else if (2..=5).contains(&x) && (2..=5).contains(&y) {
+        ApuNodeKind::GpuL1i
+    } else if (x == 1 || x == 6) && (y == 1 || y == 6) {
+        ApuNodeKind::CpuCore
+    } else if (x == 1 || x == 6) && (y == 2 || y == 5) {
+        ApuNodeKind::CpuLlc
+    } else {
+        ApuNodeKind::GpuL2
+    }
+}
+
+/// Quadrant (0–3) of a coordinate: `(x < 4, y < 4)` → NW=0, NE=1, SW=2,
+/// SE=3.
+pub fn quadrant_of(c: Coord) -> usize {
+    let qx = usize::from(c.x >= APU_MESH / 2);
+    let qy = usize::from(c.y >= APU_MESH / 2);
+    qy * 2 + qx
+}
+
+impl ApuTopology {
+    /// Builds the Fig. 6b topology.
+    pub fn build() -> Self {
+        let mut topo = Topology::mesh(APU_MESH, APU_MESH, 2).expect("static mesh dims");
+        let mut kinds = Vec::new();
+        let mut cus = vec![Vec::new(); NUM_QUADRANTS];
+        let mut l2s = vec![Vec::new(); NUM_QUADRANTS];
+        let mut l1is = vec![Vec::new(); NUM_QUADRANTS];
+        let mut dirs = Vec::new();
+        let mut cpus = vec![None; NUM_QUADRANTS];
+        let mut llcs = vec![None; NUM_QUADRANTS];
+
+        for r in 0..topo.num_routers() {
+            let router = RouterId(r);
+            let c = topo.coord(router);
+            let q = quadrant_of(c);
+            // Slot 0: a CU on every tile.
+            let cu = topo
+                .attach_node(router, 0, ApuNodeKind::Cu.dest_type())
+                .expect("slot 0 free");
+            kinds.push(ApuNodeKind::Cu);
+            cus[q].push(cu);
+            // Slot 1: the tile's second component.
+            let kind = slot1_kind(c);
+            let node = topo
+                .attach_node(router, 1, kind.dest_type())
+                .expect("slot 1 free");
+            kinds.push(kind);
+            match kind {
+                ApuNodeKind::Dir => dirs.push(node),
+                ApuNodeKind::GpuL2 => l2s[q].push(node),
+                ApuNodeKind::GpuL1i => l1is[q].push(node),
+                ApuNodeKind::CpuCore => cpus[q] = Some(node),
+                ApuNodeKind::CpuLlc => llcs[q] = Some(node),
+                ApuNodeKind::Cu => unreachable!("slot 1 never hosts a CU"),
+            }
+        }
+
+        ApuTopology {
+            topo,
+            kinds,
+            cus,
+            l2s,
+            l1is,
+            dirs,
+            cpus: cpus.into_iter().map(|c| c.expect("one CPU per quadrant")).collect(),
+            llcs: llcs.into_iter().map(|c| c.expect("one LLC per quadrant")).collect(),
+        }
+    }
+
+    /// The underlying mesh topology (consumed by the simulator).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Clones the underlying mesh for handing to a [`noc_sim::Simulator`].
+    pub fn clone_topology(&self) -> Topology {
+        self.topo.clone()
+    }
+
+    /// Kind of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn kind(&self, node: NodeId) -> ApuNodeKind {
+        self.kinds[node.index()]
+    }
+
+    /// Quadrant a node belongs to.
+    pub fn quadrant(&self, node: NodeId) -> usize {
+        let router = self.topo.node(node).router;
+        quadrant_of(self.topo.coord(router))
+    }
+
+    /// CU nodes of a quadrant (16).
+    pub fn cus(&self, quadrant: usize) -> &[NodeId] {
+        &self.cus[quadrant]
+    }
+
+    /// GPU L2 banks of a quadrant (6, quadrant-private).
+    pub fn l2_banks(&self, quadrant: usize) -> &[NodeId] {
+        &self.l2s[quadrant]
+    }
+
+    /// L1I caches of a quadrant (4).
+    pub fn l1is(&self, quadrant: usize) -> &[NodeId] {
+        &self.l1is[quadrant]
+    }
+
+    /// All coherence directories (16, shared by all quadrants).
+    pub fn dirs(&self) -> &[NodeId] {
+        &self.dirs
+    }
+
+    /// The CPU core of a quadrant.
+    pub fn cpu(&self, quadrant: usize) -> NodeId {
+        self.cpus[quadrant]
+    }
+
+    /// The CPU LLC of a quadrant.
+    pub fn llc(&self, quadrant: usize) -> NodeId {
+        self.llcs[quadrant]
+    }
+}
+
+impl Default for ApuTopology {
+    fn default() -> Self {
+        ApuTopology::build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_counts_match_fig6() {
+        let apu = ApuTopology::build();
+        let count = |k: ApuNodeKind| apu.kinds.iter().filter(|&&x| x == k).count();
+        assert_eq!(count(ApuNodeKind::Cu), 64);
+        assert_eq!(count(ApuNodeKind::Dir), 16);
+        assert_eq!(count(ApuNodeKind::GpuL1i), 16);
+        assert_eq!(count(ApuNodeKind::GpuL2), 24);
+        assert_eq!(count(ApuNodeKind::CpuCore), 4);
+        assert_eq!(count(ApuNodeKind::CpuLlc), 4);
+        assert_eq!(apu.topology().num_nodes(), 128);
+    }
+
+    #[test]
+    fn every_router_has_six_ports() {
+        let apu = ApuTopology::build();
+        assert_eq!(apu.topology().ports_per_router(), 6);
+    }
+
+    #[test]
+    fn quadrants_partition_components_evenly() {
+        let apu = ApuTopology::build();
+        for q in 0..NUM_QUADRANTS {
+            assert_eq!(apu.cus(q).len(), 16, "quadrant {q} CUs");
+            assert_eq!(apu.l2_banks(q).len(), 6, "quadrant {q} L2s");
+            assert_eq!(apu.l1is(q).len(), 4, "quadrant {q} L1Is");
+            // Every CU of the quadrant really lies inside it.
+            for &cu in apu.cus(q) {
+                assert_eq!(apu.quadrant(cu), q);
+            }
+            for &l2 in apu.l2_banks(q) {
+                assert_eq!(apu.quadrant(l2), q);
+            }
+        }
+        assert_eq!(apu.dirs().len(), 16);
+    }
+
+    #[test]
+    fn directories_sit_on_the_edge_columns() {
+        let apu = ApuTopology::build();
+        for &d in apu.dirs() {
+            let router = apu.topology().node(d).router;
+            let c = apu.topology().coord(router);
+            assert!(c.x == 0 || c.x == 7, "dir at {c}");
+        }
+    }
+
+    #[test]
+    fn l1is_fill_the_center_block() {
+        let apu = ApuTopology::build();
+        for q in 0..4 {
+            for &n in apu.l1is(q) {
+                let c = apu.topology().coord(apu.topology().node(n).router);
+                assert!((2..=5).contains(&c.x) && (2..=5).contains(&c.y), "L1I at {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_mapping_is_consistent() {
+        assert_eq!(quadrant_of(Coord::new(0, 0)), 0);
+        assert_eq!(quadrant_of(Coord::new(7, 0)), 1);
+        assert_eq!(quadrant_of(Coord::new(0, 7)), 2);
+        assert_eq!(quadrant_of(Coord::new(7, 7)), 3);
+        let apu = ApuTopology::build();
+        for q in 0..4 {
+            assert_eq!(apu.quadrant(apu.cpu(q)), q);
+            assert_eq!(apu.quadrant(apu.llc(q)), q);
+        }
+    }
+}

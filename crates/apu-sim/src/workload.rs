@@ -1,0 +1,253 @@
+//! Workload model types — the SynFull-substitute statistical programs.
+//!
+//! APU-SynFull (paper §4.2) replays Markov-model-based statistical traffic
+//! that preserves program phases, injection rates, source/destination
+//! distributions and memory-instruction dependencies. Our substitute keeps
+//! exactly those properties: a program is a phase machine (linear sequence
+//! or Markov chain); each phase issues a budget of dependent memory
+//! operations per CU under a bounded outstanding window (the MSHR/MLP
+//! limit), with per-phase intensities, read/write mixes and hit rates.
+//! Execution time emerges from dependency-limited progress, which is the
+//! property arbitration quality affects.
+
+/// Parameters of one program phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Memory operations each CU must complete in this phase.
+    pub ops_per_cu: u64,
+    /// Per-cycle probability that an eligible CU issues a new operation.
+    pub issue_prob: f64,
+    /// Maximum outstanding operations per CU (memory-level parallelism).
+    pub window: usize,
+    /// Fraction of CU operations that are write-through stores.
+    pub store_frac: f64,
+    /// Fraction of CU operations that are instruction fetches (to L1I).
+    pub ifetch_frac: f64,
+    /// GPU L2 hit rate.
+    pub l2_hit_rate: f64,
+    /// L1I hit rate.
+    pub l1i_hit_rate: f64,
+    /// Memory operations the quadrant's CPU core must complete.
+    pub cpu_ops: u64,
+    /// Per-cycle CPU issue probability.
+    pub cpu_issue_prob: f64,
+    /// CPU LLC hit rate.
+    pub llc_hit_rate: f64,
+    /// Probability that an LLC miss requires a coherence probe before the
+    /// directory responds (MOESI sharing).
+    pub sharing_prob: f64,
+}
+
+impl PhaseSpec {
+    /// A balanced default phase, useful as a starting point for builders.
+    pub fn balanced() -> Self {
+        PhaseSpec {
+            ops_per_cu: 40,
+            issue_prob: 0.2,
+            window: 8,
+            store_frac: 0.3,
+            ifetch_frac: 0.1,
+            l2_hit_rate: 0.6,
+            l1i_hit_rate: 0.95,
+            cpu_ops: 40,
+            cpu_issue_prob: 0.2,
+            llc_hit_rate: 0.5,
+            sharing_prob: 0.2,
+        }
+    }
+
+    /// Validates probability/ratio fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters — workload specs are static data,
+    /// so violations are programming errors.
+    pub fn validate(&self) {
+        for (name, v) in [
+            ("issue_prob", self.issue_prob),
+            ("store_frac", self.store_frac),
+            ("ifetch_frac", self.ifetch_frac),
+            ("l2_hit_rate", self.l2_hit_rate),
+            ("l1i_hit_rate", self.l1i_hit_rate),
+            ("cpu_issue_prob", self.cpu_issue_prob),
+            ("llc_hit_rate", self.llc_hit_rate),
+            ("sharing_prob", self.sharing_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} = {v} outside [0,1]");
+        }
+        assert!(
+            self.store_frac + self.ifetch_frac <= 1.0,
+            "store_frac + ifetch_frac must not exceed 1"
+        );
+        assert!(self.window > 0, "window must be positive");
+    }
+}
+
+/// How a program moves between phases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseFlow {
+    /// Run each phase once, in order.
+    Sequence,
+    /// A Markov chain over phases: after finishing phase `i`, move to
+    /// phase `j` with probability `transition[i][j]`; the program ends
+    /// after `total_visits` phase executions (SynFull-style).
+    Markov {
+        /// Row-stochastic transition matrix, one row per phase.
+        transition: Vec<Vec<f64>>,
+        /// Total phase executions before the program completes.
+        total_visits: usize,
+    },
+}
+
+/// A complete statistical program ("model file" in APU-SynFull terms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name.
+    pub name: String,
+    /// The phases.
+    pub phases: Vec<PhaseSpec>,
+    /// Phase sequencing.
+    pub flow: PhaseFlow,
+    /// Broadcast invalidations to the quadrant's CUs at each phase entry
+    /// (models write-through GPU caches invalidated at kernel launch, §4.1).
+    pub kernel_invalidate: bool,
+}
+
+impl WorkloadSpec {
+    /// Builds a single-phase sequential workload.
+    pub fn single_phase(name: impl Into<String>, phase: PhaseSpec) -> Self {
+        WorkloadSpec {
+            name: name.into(),
+            phases: vec![phase],
+            flow: PhaseFlow::Sequence,
+            kernel_invalidate: true,
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty phases, malformed transition matrices, or invalid
+    /// phase parameters.
+    pub fn validate(&self) {
+        assert!(!self.phases.is_empty(), "workload needs at least one phase");
+        for p in &self.phases {
+            p.validate();
+        }
+        if let PhaseFlow::Markov {
+            transition,
+            total_visits,
+        } = &self.flow
+        {
+            assert!(*total_visits > 0, "total_visits must be positive");
+            assert_eq!(
+                transition.len(),
+                self.phases.len(),
+                "one transition row per phase"
+            );
+            for (i, row) in transition.iter().enumerate() {
+                assert_eq!(row.len(), self.phases.len(), "square transition matrix");
+                let sum: f64 = row.iter().sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "transition row {i} sums to {sum}, not 1"
+                );
+                assert!(row.iter().all(|&p| p >= 0.0), "negative probability in row {i}");
+            }
+        }
+    }
+
+    /// Total phase executions this program will perform.
+    pub fn total_phase_visits(&self) -> usize {
+        match &self.flow {
+            PhaseFlow::Sequence => self.phases.len(),
+            PhaseFlow::Markov { total_visits, .. } => *total_visits,
+        }
+    }
+
+    /// Approximate flit-injection intensity (flits/cycle/node) of the
+    /// workload's busiest phase — used to classify workloads into the
+    /// paper's Fig. 11 high-injection (> 0.05) and low-injection groups.
+    pub fn peak_injection_estimate(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| {
+                // One request flit out, ~data flits back, spread over the
+                // round trip; a coarse estimate of offered load per CU.
+                let avg_flits = 1.0 + 4.0 * (1.0 - p.store_frac);
+                p.issue_prob * avg_flits / 6.0
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_phase_is_valid() {
+        PhaseSpec::balanced().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn bad_probability_rejected() {
+        let mut p = PhaseSpec::balanced();
+        p.l2_hit_rate = 1.5;
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed 1")]
+    fn overlapping_fractions_rejected() {
+        let mut p = PhaseSpec::balanced();
+        p.store_frac = 0.7;
+        p.ifetch_frac = 0.5;
+        p.validate();
+    }
+
+    #[test]
+    fn markov_flow_validation() {
+        let spec = WorkloadSpec {
+            name: "m".into(),
+            phases: vec![PhaseSpec::balanced(), PhaseSpec::balanced()],
+            flow: PhaseFlow::Markov {
+                transition: vec![vec![0.5, 0.5], vec![0.2, 0.8]],
+                total_visits: 5,
+            },
+            kernel_invalidate: false,
+        };
+        spec.validate();
+        assert_eq!(spec.total_phase_visits(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn non_stochastic_row_rejected() {
+        let spec = WorkloadSpec {
+            name: "m".into(),
+            phases: vec![PhaseSpec::balanced()],
+            flow: PhaseFlow::Markov {
+                transition: vec![vec![0.5]],
+                total_visits: 3,
+            },
+            kernel_invalidate: false,
+        };
+        spec.validate();
+    }
+
+    #[test]
+    fn peak_injection_scales_with_issue_prob() {
+        let mut hot = PhaseSpec::balanced();
+        hot.issue_prob = 0.6;
+        let hi = WorkloadSpec::single_phase("hi", hot);
+        let lo = WorkloadSpec::single_phase("lo", {
+            let mut p = PhaseSpec::balanced();
+            p.issue_prob = 0.02;
+            p
+        });
+        assert!(hi.peak_injection_estimate() > lo.peak_injection_estimate());
+    }
+}

@@ -1,0 +1,540 @@
+//! # apu-workloads — SynFull-substitute benchmark models
+//!
+//! The paper drives its APU with APU-SynFull statistical models of nine
+//! traffic-intensive GPU applications (Table 1). The original model files
+//! are derived from proprietary gem5 traces we cannot obtain, so this crate
+//! provides statistical programs with per-benchmark parameters chosen to
+//! span the same qualitative space the paper describes:
+//!
+//! | Benchmark | Suite | Character | Injection class |
+//! |---|---|---|---|
+//! | `dct` | AMD SDK | streaming, cache-friendly | high |
+//! | `histogram` | AMD SDK | store/atomic heavy, serialized | low |
+//! | `matrixmul` | AMD SDK | high reuse, bursty | high |
+//! | `reduction` | AMD SDK | tree phases of shrinking size | low |
+//! | `spmv` | OpenDwarfs | irregular, memory-bound | high |
+//! | `bfs` | Rodinia | level-synchronous, irregular (Markov phases) | high |
+//! | `hotspot` | Rodinia | stencil, good locality | low |
+//! | `comd` | ECP proxy | neighbor exchange, compute + memory | high |
+//! | `minife` | ECP proxy | FEM solve, moderate memory-bound | low |
+//!
+//! Every model is a [`WorkloadSpec`] (phase machine) for the `apu-sim`
+//! engine. The high/low-injection split drives the paper's Fig. 11
+//! mixed-workload study.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use apu_sim::{PhaseFlow, PhaseSpec, WorkloadSpec, NUM_QUADRANTS};
+use noc_sim::SplitMix64;
+
+mod model_file;
+
+pub use model_file::{from_model_file, to_model_file, ParseModelFileError};
+
+/// Injection-intensity class used by the Fig. 11 mixed-workload study
+/// (threshold 0.05 flits/cycle/node in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionClass {
+    /// Offered load above the paper's 0.05 flit/cycle/node threshold.
+    High,
+    /// Offered load below the threshold.
+    Low,
+}
+
+/// The nine benchmarks of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// AMD SDK discrete cosine transform.
+    Dct,
+    /// AMD SDK histogram.
+    Histogram,
+    /// AMD SDK dense matrix multiply.
+    Matrixmul,
+    /// AMD SDK parallel reduction.
+    Reduction,
+    /// OpenDwarfs sparse matrix-vector multiply.
+    Spmv,
+    /// Rodinia breadth-first search.
+    Bfs,
+    /// Rodinia HotSpot thermal stencil.
+    Hotspot,
+    /// ECP proxy molecular dynamics (CoMD).
+    Comd,
+    /// ECP proxy finite-element mini-app (miniFE).
+    MiniFe,
+}
+
+impl Benchmark {
+    /// All nine benchmarks in Table 1 order.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::Dct,
+        Benchmark::Histogram,
+        Benchmark::Matrixmul,
+        Benchmark::Reduction,
+        Benchmark::Spmv,
+        Benchmark::Bfs,
+        Benchmark::Hotspot,
+        Benchmark::Comd,
+        Benchmark::MiniFe,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Dct => "dct",
+            Benchmark::Histogram => "histogram",
+            Benchmark::Matrixmul => "matrixmul",
+            Benchmark::Reduction => "reduction",
+            Benchmark::Spmv => "spmv",
+            Benchmark::Bfs => "bfs",
+            Benchmark::Hotspot => "hotspot",
+            Benchmark::Comd => "comd",
+            Benchmark::MiniFe => "minife",
+        }
+    }
+
+    /// Injection class for the Fig. 11 grouping.
+    pub fn injection_class(self) -> InjectionClass {
+        match self {
+            Benchmark::Dct
+            | Benchmark::Matrixmul
+            | Benchmark::Spmv
+            | Benchmark::Bfs
+            | Benchmark::Comd => InjectionClass::High,
+            Benchmark::Histogram
+            | Benchmark::Reduction
+            | Benchmark::Hotspot
+            | Benchmark::MiniFe => InjectionClass::Low,
+        }
+    }
+
+    /// The benchmarks in a given class.
+    pub fn in_class(class: InjectionClass) -> Vec<Benchmark> {
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.injection_class() == class)
+            .collect()
+    }
+
+    /// The full-size statistical model.
+    pub fn spec(self) -> WorkloadSpec {
+        self.spec_scaled(1.0)
+    }
+
+    /// The model with operation counts scaled by `scale` (0 < scale ≤ 1 for
+    /// faster CI runs; counts are floored at one op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn spec_scaled(self, scale: f64) -> WorkloadSpec {
+        assert!(scale > 0.0, "scale must be positive");
+        let ops = |n: u64| ((n as f64 * scale).round() as u64).max(1);
+        // Base phase tuned per benchmark; all derive from `balanced()` so a
+        // change to the default propagates everywhere.
+        let base = PhaseSpec::balanced;
+        match self {
+            Benchmark::Dct => WorkloadSpec {
+                name: "dct".into(),
+                phases: vec![PhaseSpec {
+                    ops_per_cu: ops(120),
+                    issue_prob: 0.45,
+                    window: 12,
+                    store_frac: 0.25,
+                    ifetch_frac: 0.05,
+                    l2_hit_rate: 0.75,
+                    cpu_ops: ops(30),
+                    cpu_issue_prob: 0.10,
+                    llc_hit_rate: 0.7,
+                    sharing_prob: 0.10,
+                    ..base()
+                }],
+                flow: PhaseFlow::Sequence,
+                kernel_invalidate: true,
+            },
+            Benchmark::Histogram => WorkloadSpec {
+                name: "histogram".into(),
+                phases: vec![PhaseSpec {
+                    ops_per_cu: ops(60),
+                    issue_prob: 0.06,
+                    window: 4,
+                    store_frac: 0.55,
+                    ifetch_frac: 0.05,
+                    l2_hit_rate: 0.5,
+                    cpu_ops: ops(20),
+                    cpu_issue_prob: 0.05,
+                    llc_hit_rate: 0.6,
+                    sharing_prob: 0.15,
+                    ..base()
+                }],
+                flow: PhaseFlow::Sequence,
+                kernel_invalidate: true,
+            },
+            Benchmark::Matrixmul => WorkloadSpec {
+                name: "matrixmul".into(),
+                phases: vec![
+                    PhaseSpec {
+                        ops_per_cu: ops(80),
+                        issue_prob: 0.50,
+                        window: 16,
+                        store_frac: 0.10,
+                        ifetch_frac: 0.05,
+                        l2_hit_rate: 0.85,
+                        cpu_ops: ops(20),
+                        cpu_issue_prob: 0.08,
+                        llc_hit_rate: 0.8,
+                        sharing_prob: 0.05,
+                        ..base()
+                    },
+                    PhaseSpec {
+                        // Write-back phase: result tiles stream out.
+                        ops_per_cu: ops(40),
+                        issue_prob: 0.40,
+                        window: 12,
+                        store_frac: 0.70,
+                        ifetch_frac: 0.02,
+                        l2_hit_rate: 0.6,
+                        cpu_ops: ops(10),
+                        cpu_issue_prob: 0.05,
+                        llc_hit_rate: 0.8,
+                        sharing_prob: 0.05,
+                        ..base()
+                    },
+                ],
+                flow: PhaseFlow::Sequence,
+                kernel_invalidate: true,
+            },
+            Benchmark::Reduction => WorkloadSpec {
+                name: "reduction".into(),
+                // Tree reduction: each phase half the work of the previous.
+                phases: (0..4)
+                    .map(|level| PhaseSpec {
+                        ops_per_cu: ops(48 >> level),
+                        issue_prob: 0.08,
+                        window: 6,
+                        store_frac: 0.4,
+                        ifetch_frac: 0.05,
+                        l2_hit_rate: 0.6,
+                        cpu_ops: ops(8),
+                        cpu_issue_prob: 0.04,
+                        llc_hit_rate: 0.6,
+                        sharing_prob: 0.1,
+                        ..base()
+                    })
+                    .collect(),
+                flow: PhaseFlow::Sequence,
+                kernel_invalidate: true,
+            },
+            Benchmark::Spmv => WorkloadSpec {
+                name: "spmv".into(),
+                phases: vec![PhaseSpec {
+                    ops_per_cu: ops(100),
+                    issue_prob: 0.40,
+                    window: 16,
+                    store_frac: 0.15,
+                    ifetch_frac: 0.08,
+                    l2_hit_rate: 0.30, // sparse: poor locality
+                    cpu_ops: ops(30),
+                    cpu_issue_prob: 0.10,
+                    llc_hit_rate: 0.4,
+                    sharing_prob: 0.20,
+                    ..base()
+                }],
+                flow: PhaseFlow::Sequence,
+                kernel_invalidate: true,
+            },
+            Benchmark::Bfs => WorkloadSpec {
+                name: "bfs".into(),
+                // Level-synchronous frontier expansion/contraction as a
+                // Markov chain over small/large frontier phases.
+                phases: vec![
+                    PhaseSpec {
+                        // Small frontier.
+                        ops_per_cu: ops(20),
+                        issue_prob: 0.25,
+                        window: 8,
+                        store_frac: 0.20,
+                        ifetch_frac: 0.10,
+                        l2_hit_rate: 0.35,
+                        cpu_ops: ops(10),
+                        cpu_issue_prob: 0.08,
+                        llc_hit_rate: 0.5,
+                        sharing_prob: 0.25,
+                        ..base()
+                    },
+                    PhaseSpec {
+                        // Large frontier.
+                        ops_per_cu: ops(60),
+                        issue_prob: 0.50,
+                        window: 16,
+                        store_frac: 0.25,
+                        ifetch_frac: 0.10,
+                        l2_hit_rate: 0.30,
+                        cpu_ops: ops(15),
+                        cpu_issue_prob: 0.10,
+                        llc_hit_rate: 0.5,
+                        sharing_prob: 0.25,
+                        ..base()
+                    },
+                ],
+                flow: PhaseFlow::Markov {
+                    transition: vec![vec![0.3, 0.7], vec![0.5, 0.5]],
+                    total_visits: 4,
+                },
+                kernel_invalidate: true,
+            },
+            Benchmark::Hotspot => WorkloadSpec {
+                name: "hotspot".into(),
+                phases: vec![
+                    PhaseSpec {
+                        ops_per_cu: ops(50),
+                        issue_prob: 0.07,
+                        window: 6,
+                        store_frac: 0.3,
+                        ifetch_frac: 0.05,
+                        l2_hit_rate: 0.8, // stencil reuse
+                        cpu_ops: ops(15),
+                        cpu_issue_prob: 0.05,
+                        llc_hit_rate: 0.7,
+                        sharing_prob: 0.08,
+                        ..base()
+                    };
+                    2 // two stencil sweeps
+                ],
+                flow: PhaseFlow::Sequence,
+                kernel_invalidate: true,
+            },
+            Benchmark::Comd => WorkloadSpec {
+                name: "comd".into(),
+                phases: vec![
+                    PhaseSpec {
+                        // Force computation: neighbor-list gathers.
+                        ops_per_cu: ops(90),
+                        issue_prob: 0.38,
+                        window: 12,
+                        store_frac: 0.20,
+                        ifetch_frac: 0.08,
+                        l2_hit_rate: 0.55,
+                        cpu_ops: ops(40),
+                        cpu_issue_prob: 0.15,
+                        llc_hit_rate: 0.6,
+                        sharing_prob: 0.30, // halo exchange sharing
+                        ..base()
+                    },
+                    PhaseSpec {
+                        // Position update: streaming writes.
+                        ops_per_cu: ops(30),
+                        issue_prob: 0.30,
+                        window: 8,
+                        store_frac: 0.60,
+                        ifetch_frac: 0.05,
+                        l2_hit_rate: 0.7,
+                        cpu_ops: ops(10),
+                        cpu_issue_prob: 0.08,
+                        llc_hit_rate: 0.6,
+                        sharing_prob: 0.15,
+                        ..base()
+                    },
+                ],
+                flow: PhaseFlow::Sequence,
+                kernel_invalidate: true,
+            },
+            Benchmark::MiniFe => WorkloadSpec {
+                name: "minife".into(),
+                phases: vec![
+                    PhaseSpec {
+                        // Assembly.
+                        ops_per_cu: ops(40),
+                        issue_prob: 0.06,
+                        window: 6,
+                        store_frac: 0.45,
+                        ifetch_frac: 0.06,
+                        l2_hit_rate: 0.55,
+                        cpu_ops: ops(30),
+                        cpu_issue_prob: 0.08,
+                        llc_hit_rate: 0.55,
+                        sharing_prob: 0.20,
+                        ..base()
+                    },
+                    PhaseSpec {
+                        // CG solve: repeated sparse ops.
+                        ops_per_cu: ops(60),
+                        issue_prob: 0.08,
+                        window: 8,
+                        store_frac: 0.20,
+                        ifetch_frac: 0.06,
+                        l2_hit_rate: 0.45,
+                        cpu_ops: ops(30),
+                        cpu_issue_prob: 0.08,
+                        llc_hit_rate: 0.5,
+                        sharing_prob: 0.20,
+                        ..base()
+                    },
+                ],
+                flow: PhaseFlow::Sequence,
+                kernel_invalidate: true,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a Fig. 11 mixed scenario: `n_low` low-injection and
+/// `4 − n_low` high-injection benchmarks, drawn deterministically from the
+/// classes (preferring distinct apps), scaled by `scale`.
+///
+/// # Panics
+///
+/// Panics if `n_low > 4`.
+pub fn mixed_scenario(n_low: usize, seed: u64, scale: f64) -> Vec<WorkloadSpec> {
+    assert!(n_low <= NUM_QUADRANTS, "at most four low-injection slots");
+    let mut rng = SplitMix64::new(seed);
+    let mut used: Vec<Benchmark> = Vec::new();
+    let pick = |class: InjectionClass, used: &mut Vec<Benchmark>, rng: &mut SplitMix64| {
+        let pool = Benchmark::in_class(class);
+        let fresh: Vec<Benchmark> = pool
+            .iter()
+            .copied()
+            .filter(|b| !used.contains(b))
+            .collect();
+        let from = if fresh.is_empty() { &pool } else { &fresh };
+        let b = from[rng.next_bounded(from.len() as u64) as usize];
+        used.push(b);
+        b
+    };
+    let mut specs = Vec::with_capacity(NUM_QUADRANTS);
+    for _ in 0..n_low {
+        specs.push(pick(InjectionClass::Low, &mut used, &mut rng).spec_scaled(scale));
+    }
+    for _ in n_low..NUM_QUADRANTS {
+        specs.push(pick(InjectionClass::High, &mut used, &mut rng).spec_scaled(scale));
+    }
+    specs
+}
+
+/// The label the paper uses for a mix ("2L2H" = two low + two high).
+pub fn mix_label(n_low: usize) -> String {
+    format!("{}L{}H", n_low, NUM_QUADRANTS - n_low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_validate() {
+        for b in Benchmark::ALL {
+            b.spec().validate();
+            b.spec_scaled(0.1).validate();
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lowercase() {
+        let mut names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert!(names.iter().all(|n| n.chars().all(|c| c.is_ascii_lowercase())));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn injection_classes_split_five_four() {
+        assert_eq!(Benchmark::in_class(InjectionClass::High).len(), 5);
+        assert_eq!(Benchmark::in_class(InjectionClass::Low).len(), 4);
+    }
+
+    #[test]
+    fn class_estimate_orders_high_above_low() {
+        // Every high-injection benchmark's estimated peak offered load
+        // exceeds every low-injection benchmark's.
+        let peak = |b: Benchmark| b.spec().peak_injection_estimate();
+        let min_high = Benchmark::in_class(InjectionClass::High)
+            .into_iter()
+            .map(peak)
+            .fold(f64::INFINITY, f64::min);
+        let max_low = Benchmark::in_class(InjectionClass::Low)
+            .into_iter()
+            .map(peak)
+            .fold(0.0, f64::max);
+        assert!(
+            min_high > max_low,
+            "classes overlap: min(high)={min_high:.3} max(low)={max_low:.3}"
+        );
+    }
+
+    #[test]
+    fn high_class_exceeds_paper_threshold() {
+        for b in Benchmark::in_class(InjectionClass::High) {
+            assert!(
+                b.spec().peak_injection_estimate() > 0.05,
+                "{b} estimate below 0.05"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_op_counts_but_not_structure() {
+        let full = Benchmark::Dct.spec();
+        let small = Benchmark::Dct.spec_scaled(0.1);
+        assert_eq!(full.phases.len(), small.phases.len());
+        assert!(small.phases[0].ops_per_cu < full.phases[0].ops_per_cu);
+        assert!(small.phases[0].ops_per_cu >= 1);
+        assert_eq!(full.phases[0].issue_prob, small.phases[0].issue_prob);
+    }
+
+    #[test]
+    fn mixed_scenarios_have_requested_composition() {
+        for n_low in 0..=4 {
+            let specs = mixed_scenario(n_low, 42, 0.2);
+            assert_eq!(specs.len(), 4);
+            let low_count = specs
+                .iter()
+                .filter(|s| {
+                    Benchmark::ALL
+                        .iter()
+                        .find(|b| b.name() == s.name)
+                        .map(|b| b.injection_class() == InjectionClass::Low)
+                        .unwrap()
+                })
+                .count();
+            assert_eq!(low_count, n_low, "{}", mix_label(n_low));
+        }
+    }
+
+    #[test]
+    fn mixed_scenarios_prefer_distinct_benchmarks() {
+        let specs = mixed_scenario(2, 7, 0.2);
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4, "expected four distinct benchmarks");
+    }
+
+    #[test]
+    fn mix_labels_match_paper_notation() {
+        assert_eq!(mix_label(0), "0L4H");
+        assert_eq!(mix_label(2), "2L2H");
+        assert_eq!(mix_label(4), "4L0H");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most four")]
+    fn oversized_mix_rejected() {
+        mixed_scenario(5, 0, 1.0);
+    }
+
+    #[test]
+    fn markov_bfs_has_valid_transitions() {
+        let spec = Benchmark::Bfs.spec();
+        assert!(matches!(spec.flow, PhaseFlow::Markov { .. }));
+        spec.validate();
+    }
+}

@@ -1,0 +1,308 @@
+//! Textual "model files" for workload specs.
+//!
+//! APU-SynFull distributes workloads as model files generated from traces
+//! (paper §4.2: "we use APU-SynFull to analyze the trace and generate a
+//! model file for each benchmark"). This module gives the reproduction the
+//! same currency: a human-editable text format for [`WorkloadSpec`], so
+//! users can define custom workloads without recompiling.
+//!
+//! ```text
+//! workload myapp
+//! kernel_invalidate true
+//! flow markov 6
+//! phase ops_per_cu=40 issue_prob=0.2 window=8 store_frac=0.3 \
+//!       ifetch_frac=0.1 l2_hit_rate=0.6 l1i_hit_rate=0.95 \
+//!       cpu_ops=40 cpu_issue_prob=0.2 llc_hit_rate=0.5 sharing_prob=0.2
+//! phase ops_per_cu=10 ...
+//! transition 0.5 0.5
+//! transition 0.3 0.7
+//! ```
+//!
+//! (`\` line continuations are not supported — each `phase` is one line;
+//! they are shown above only to fit the page.)
+
+use std::fmt::Write as _;
+
+use apu_sim::{PhaseFlow, PhaseSpec, WorkloadSpec};
+
+/// Error raised while parsing a model file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelFileError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseModelFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model file error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseModelFileError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseModelFileError {
+    ParseModelFileError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a workload spec to the model-file format.
+pub fn to_model_file(spec: &WorkloadSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "workload {}", spec.name);
+    let _ = writeln!(out, "kernel_invalidate {}", spec.kernel_invalidate);
+    match &spec.flow {
+        PhaseFlow::Sequence => {
+            let _ = writeln!(out, "flow sequence");
+        }
+        PhaseFlow::Markov { total_visits, .. } => {
+            let _ = writeln!(out, "flow markov {total_visits}");
+        }
+    }
+    for p in &spec.phases {
+        let _ = writeln!(
+            out,
+            "phase ops_per_cu={} issue_prob={} window={} store_frac={} ifetch_frac={} \
+             l2_hit_rate={} l1i_hit_rate={} cpu_ops={} cpu_issue_prob={} llc_hit_rate={} \
+             sharing_prob={}",
+            p.ops_per_cu,
+            p.issue_prob,
+            p.window,
+            p.store_frac,
+            p.ifetch_frac,
+            p.l2_hit_rate,
+            p.l1i_hit_rate,
+            p.cpu_ops,
+            p.cpu_issue_prob,
+            p.llc_hit_rate,
+            p.sharing_prob
+        );
+    }
+    if let PhaseFlow::Markov { transition, .. } = &spec.flow {
+        for row in transition {
+            out.push_str("transition");
+            for v in row {
+                let _ = write!(out, " {v}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn parse_phase(line: &str, n: usize) -> Result<PhaseSpec, ParseModelFileError> {
+    let mut p = PhaseSpec::balanced();
+    for field in line.split_whitespace() {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| err(n, format!("expected key=value, found '{field}'")))?;
+        let fval = || -> Result<f64, ParseModelFileError> {
+            value
+                .parse()
+                .map_err(|_| err(n, format!("bad number '{value}' for {key}")))
+        };
+        let ival = || -> Result<u64, ParseModelFileError> {
+            value
+                .parse()
+                .map_err(|_| err(n, format!("bad integer '{value}' for {key}")))
+        };
+        match key {
+            "ops_per_cu" => p.ops_per_cu = ival()?,
+            "issue_prob" => p.issue_prob = fval()?,
+            "window" => p.window = ival()? as usize,
+            "store_frac" => p.store_frac = fval()?,
+            "ifetch_frac" => p.ifetch_frac = fval()?,
+            "l2_hit_rate" => p.l2_hit_rate = fval()?,
+            "l1i_hit_rate" => p.l1i_hit_rate = fval()?,
+            "cpu_ops" => p.cpu_ops = ival()?,
+            "cpu_issue_prob" => p.cpu_issue_prob = fval()?,
+            "llc_hit_rate" => p.llc_hit_rate = fval()?,
+            "sharing_prob" => p.sharing_prob = fval()?,
+            other => return Err(err(n, format!("unknown phase field '{other}'"))),
+        }
+    }
+    Ok(p)
+}
+
+/// Parses a model file into a validated workload spec.
+///
+/// # Errors
+///
+/// Returns a [`ParseModelFileError`] for syntax problems; parameter-range
+/// violations surface through `WorkloadSpec::validate` panics being turned
+/// into errors here.
+pub fn from_model_file(text: &str) -> Result<WorkloadSpec, ParseModelFileError> {
+    let mut name: Option<String> = None;
+    let mut kernel_invalidate = true;
+    let mut flow_kind: Option<(bool, usize)> = None; // (is_markov, total_visits)
+    let mut phases: Vec<PhaseSpec> = Vec::new();
+    let mut transitions: Vec<Vec<f64>> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let n = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        match keyword {
+            "workload" => {
+                if rest.trim().is_empty() {
+                    return Err(err(n, "workload needs a name"));
+                }
+                name = Some(rest.trim().to_string());
+            }
+            "kernel_invalidate" => {
+                kernel_invalidate = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(n, "kernel_invalidate expects true/false"))?;
+            }
+            "flow" => {
+                let mut parts = rest.split_whitespace();
+                match parts.next() {
+                    Some("sequence") => flow_kind = Some((false, 0)),
+                    Some("markov") => {
+                        let visits: usize = parts
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| err(n, "flow markov needs a visit count"))?;
+                        flow_kind = Some((true, visits));
+                    }
+                    _ => return Err(err(n, "flow must be 'sequence' or 'markov <visits>'")),
+                }
+            }
+            "phase" => phases.push(parse_phase(rest, n)?),
+            "transition" => {
+                let row: Result<Vec<f64>, _> = rest
+                    .split_whitespace()
+                    .map(|t| t.parse::<f64>().map_err(|_| err(n, format!("bad probability '{t}'"))))
+                    .collect();
+                transitions.push(row?);
+            }
+            other => return Err(err(n, format!("unknown keyword '{other}'"))),
+        }
+    }
+
+    let name = name.ok_or_else(|| err(0, "missing 'workload <name>' line"))?;
+    if phases.is_empty() {
+        return Err(err(0, "model file defines no phases"));
+    }
+    let flow = match flow_kind.unwrap_or((false, 0)) {
+        (false, _) => {
+            if !transitions.is_empty() {
+                return Err(err(0, "transition rows given for a sequence flow"));
+            }
+            PhaseFlow::Sequence
+        }
+        (true, visits) => PhaseFlow::Markov {
+            transition: transitions,
+            total_visits: visits,
+        },
+    };
+    let spec = WorkloadSpec {
+        name,
+        phases,
+        flow,
+        kernel_invalidate,
+    };
+    // Convert validation panics into parse errors.
+    match std::panic::catch_unwind(|| spec.validate()) {
+        Ok(()) => Ok(spec),
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "invalid workload parameters".into());
+            Err(err(0, msg))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn every_builtin_benchmark_roundtrips() {
+        for b in Benchmark::ALL {
+            let spec = b.spec();
+            let text = to_model_file(&spec);
+            let back = from_model_file(&text).unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert_eq!(spec, back, "{b} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn minimal_hand_written_file_parses() {
+        let text = "\
+# a comment
+workload demo
+flow sequence
+phase ops_per_cu=5 issue_prob=0.1
+";
+        let spec = from_model_file(text).unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.phases.len(), 1);
+        assert_eq!(spec.phases[0].ops_per_cu, 5);
+        // Unspecified fields take the balanced defaults.
+        assert_eq!(spec.phases[0].window, PhaseSpec::balanced().window);
+    }
+
+    #[test]
+    fn markov_file_parses_with_transitions() {
+        let text = "\
+workload m
+flow markov 4
+phase ops_per_cu=2
+phase ops_per_cu=3
+transition 0.5 0.5
+transition 1.0 0.0
+";
+        let spec = from_model_file(text).unwrap();
+        match spec.flow {
+            PhaseFlow::Markov { transition, total_visits } => {
+                assert_eq!(total_visits, 4);
+                assert_eq!(transition.len(), 2);
+            }
+            _ => panic!("expected markov flow"),
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_is_an_error() {
+        let e = from_model_file("workload x\nbanana 7\nphase ops_per_cu=1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("banana"));
+    }
+
+    #[test]
+    fn unknown_phase_field_is_an_error() {
+        let e = from_model_file("workload x\nphase turbo=9\n").unwrap_err();
+        assert!(e.message.contains("turbo"));
+    }
+
+    #[test]
+    fn invalid_parameters_are_reported_not_panicked() {
+        let e = from_model_file("workload x\nphase issue_prob=1.5\n").unwrap_err();
+        assert!(e.message.contains("issue_prob"), "{e}");
+    }
+
+    #[test]
+    fn sequence_with_transitions_is_rejected() {
+        let text = "workload x\nflow sequence\nphase ops_per_cu=1\ntransition 1.0\n";
+        let e = from_model_file(text).unwrap_err();
+        assert!(e.message.contains("sequence"));
+    }
+
+    #[test]
+    fn missing_name_is_rejected() {
+        let e = from_model_file("phase ops_per_cu=1\n").unwrap_err();
+        assert!(e.message.contains("workload"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Microbenchmark: per-decision cost of each arbitration policy on a
+//! realistic contended candidate set (the software analogue of Table 3's
+//! latency column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_arbiters::{make_arbiter, PolicyKind};
+use noc_sim::{Candidate, DestType, Features, MsgType, NetSnapshot, NodeId, OutputCtx, RouterId};
+
+fn candidates(n: usize) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| Candidate {
+            in_port: i % 6,
+            vnet: i % 7,
+            slot: (i % 6) * 7 + (i % 7),
+            features: Features {
+                payload_size: if i % 3 == 0 { 5 } else { 1 },
+                local_age: (i as u64 * 7) % 40,
+                distance: (i as u32 % 14) + 1,
+                hop_count: i as u32 % 14,
+                in_flight_from_src: i as u32 % 20,
+                inter_arrival: (i as u64 * 3) % 30,
+                msg_type: MsgType::ALL[i % 3],
+                dst_type: DestType::ALL[i % 3],
+            },
+            packet_id: i as u64,
+            create_cycle: (i as u64 * 13) % 500,
+            arrival_cycle: 500 + i as u64,
+            src: NodeId(i % 64),
+            dst: NodeId((i + 7) % 64),
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let cands = candidates(8);
+    let net = NetSnapshot::default();
+    let mut group = c.benchmark_group("arbiter_decision");
+    for kind in [
+        PolicyKind::RoundRobin,
+        PolicyKind::Fifo,
+        PolicyKind::ProbDist,
+        PolicyKind::GlobalAge,
+        PolicyKind::RlApu,
+        PolicyKind::Algorithm2,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut arb = make_arbiter(kind, 42);
+            let mut cycle = 0u64;
+            b.iter(|| {
+                cycle += 1;
+                let ctx = OutputCtx {
+                    router: RouterId(5),
+                    out_port: 2,
+                    cycle,
+                    num_ports: 6,
+                    num_vnets: 7,
+                    candidates: &cands,
+                    net: &net,
+                };
+                arb.select(&ctx)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

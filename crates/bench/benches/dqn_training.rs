@@ -1,0 +1,68 @@
+//! Microbenchmark: DQN agent decision and training-tick cost (504-input
+//! APU-scale network), plus raw MLP forward/backward.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nn_mlp::Mlp;
+use noc_sim::{
+    Candidate, DestType, FeatureBounds, Features, MsgType, NetSnapshot, NodeId, OutputCtx,
+    RouterId,
+};
+use rl_arb::{AgentConfig, DqnAgent, FeatureSet, StateEncoder};
+
+fn apu_candidates() -> Vec<Candidate> {
+    (0..6)
+        .map(|i| Candidate {
+            in_port: i % 6,
+            vnet: i % 7,
+            slot: (i % 6) * 7 + (i % 7),
+            features: Features {
+                payload_size: 1 + (i as u32 % 5),
+                local_age: (i as u64 * 5) % 30,
+                distance: 4,
+                hop_count: i as u32 % 8,
+                in_flight_from_src: 3,
+                inter_arrival: 6,
+                msg_type: MsgType::ALL[i % 3],
+                dst_type: DestType::ALL[i % 3],
+            },
+            packet_id: i as u64,
+            create_cycle: i as u64,
+            arrival_cycle: 10 + i as u64,
+            src: NodeId(0),
+            dst: NodeId(1),
+        })
+        .collect()
+}
+
+fn bench_agent(c: &mut Criterion) {
+    let encoder = StateEncoder::new(6, 7, FeatureSet::full(), FeatureBounds::for_mesh(8, 8));
+    let mut agent = DqnAgent::new(encoder, AgentConfig::paper_apu(1));
+    let cands = apu_candidates();
+    let net = NetSnapshot::default();
+    let mut cycle = 0u64;
+
+    c.bench_function("dqn_decide_504", |b| {
+        b.iter(|| {
+            cycle += 1;
+            let ctx = OutputCtx {
+                router: RouterId(cycle as usize % 64),
+                out_port: (cycle % 6) as usize,
+                cycle,
+                num_ports: 6,
+                num_vnets: 7,
+                candidates: &cands,
+                net: &net,
+            };
+            agent.decide(&ctx)
+        })
+    });
+
+    c.bench_function("dqn_train_tick_batch2", |b| b.iter(|| agent.train_tick()));
+
+    let mlp = Mlp::paper_agent(504, 42, 42, 0);
+    let input = vec![0.25_f64; 504];
+    c.bench_function("mlp_forward_504x42x42", |b| b.iter(|| mlp.forward(&input)));
+}
+
+criterion_group!(benches, bench_agent);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Microbenchmark: simulator cycles per second on a loaded 8×8 mesh.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_arbiters::{make_arbiter, PolicyKind};
+use noc_sim::{Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_pipeline");
+    group.sample_size(20);
+    for kind in [PolicyKind::RoundRobin, PolicyKind::GlobalAge, PolicyKind::RlApu] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let topo = Topology::uniform_mesh(8, 8).unwrap();
+            let cfg = SimConfig::synthetic(8, 8);
+            let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.20, cfg.num_vnets, 1);
+            let mut sim = Simulator::new(topo, cfg, make_arbiter(kind, 1), traffic).unwrap();
+            sim.run(2_000); // warm the network
+            b.iter(|| sim.step());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

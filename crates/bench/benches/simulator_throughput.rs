@@ -1,0 +1,29 @@
+//! Macrobenchmark: full APU protocol simulation throughput (cycles/sec
+//! with the closed-loop coherence engine active).
+
+use apu_sim::{make_apu_sim, EngineConfig, PhaseSpec, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_arbiters::{make_arbiter, PolicyKind};
+
+fn bench_apu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apu_simulation");
+    group.sample_size(10);
+    group.bench_function("apu_step_rl_inspired", |b| {
+        let mut phase = PhaseSpec::balanced();
+        phase.ops_per_cu = u64::MAX / 2; // endless supply: bench steady state
+        phase.issue_prob = 0.4;
+        let spec = WorkloadSpec::single_phase("bench", phase);
+        let mut sim = make_apu_sim(
+            vec![spec; 4],
+            make_arbiter(PolicyKind::RlApu, 1),
+            EngineConfig::default(),
+            1,
+        );
+        sim.run(1_000); // reach steady state
+        b.iter(|| sim.step());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apu);
+criterion_main!(benches);

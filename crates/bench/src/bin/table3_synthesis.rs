@@ -1,0 +1,37 @@
+//! Table 3: synthesis results (latency / area / power) for the INT8 agent
+//! inference engine, a round-robin arbiter, and the proposed arbiter in a
+//! 6-port router, from the analytical 32 nm gate model.
+//!
+//! Expected shape (paper): NN orders of magnitude costlier and missing
+//! 1 GHz timing; proposed arbiter a few× round-robin and meeting timing.
+
+use bench::render_table;
+use hw_cost::{rl_inspired_latency_split, table3, TechNode};
+
+fn main() {
+    let tech = TechNode::nm32();
+    let rows = table3(&tech);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.design.clone(),
+                format!("{:.2}", r.report.latency_ns),
+                format!("{:.4}", r.report.area_mm2),
+                format!("{:.2}", r.report.power_mw),
+                if r.report.meets_timing { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("== Table 3: synthesis results (analytical 32nm model) ==\n");
+    println!(
+        "{}",
+        render_table(
+            &["design", "latency (ns)", "area (mm^2)", "power (mW)", "meets 1GHz"],
+            &table_rows
+        )
+    );
+    let (p, m) = rl_inspired_latency_split(42, &tech);
+    println!("proposed arbiter latency split: {p:.2} ns priority + {m:.2} ns select-max");
+    println!("(paper: 8.17/1.2344/63.67 NN; 0.89/0.0012/0.07 RR; 1.10/0.0044/0.27 proposed)");
+}

@@ -1,0 +1,437 @@
+//! # bench — experiment harnesses behind every figure and table
+//!
+//! Each binary in `src/bin/` regenerates one figure or table of the paper
+//! (see `DESIGN.md` for the index); this library holds the shared
+//! machinery: latency/execution-time measurement loops, agent training
+//! helpers for the "NN" policy, and plain-text table/series rendering.
+//!
+//! All binaries accept `--quick` (shrink workloads for smoke runs) and
+//! `--seed <n>`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use apu_sim::{run_apu, ApuRunResult, EngineConfig, WorkloadSpec};
+use noc_sim::{Arbiter, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
+use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter, SharedAgent, StateEncoder};
+
+/// Command-line options shared by all figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Shrink workloads/epochs for a fast smoke run.
+    pub quick: bool,
+    /// Base seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl CliArgs {
+    /// Parses `--quick` and `--seed <n>` from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown arguments.
+    pub fn parse() -> Self {
+        let mut args = CliArgs {
+            quick: false,
+            seed: 42,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    args.seed = v.parse().expect("--seed needs an integer");
+                }
+                other => panic!("unknown argument '{other}' (expected --quick or --seed <n>)"),
+            }
+        }
+        args
+    }
+
+    /// Workload scale factor for APU runs.
+    pub fn apu_scale(&self) -> f64 {
+        if self.quick {
+            0.08
+        } else {
+            0.5
+        }
+    }
+}
+
+/// Measures the steady-state average message latency of a policy on a
+/// synthetic-traffic mesh: `warmup` cycles discarded, `measure` cycles
+/// counted.
+#[allow(clippy::too_many_arguments)] // experiment parameters, not an API
+pub fn synthetic_latency(
+    width: u16,
+    height: u16,
+    pattern: Pattern,
+    rate: f64,
+    arbiter: Box<dyn Arbiter>,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> f64 {
+    let topo = Topology::uniform_mesh(width, height).expect("valid mesh");
+    let cfg = SimConfig::synthetic(width, height);
+    let traffic = SyntheticTraffic::new(&topo, pattern, rate, cfg.num_vnets, seed);
+    let mut sim = Simulator::new(topo, cfg, arbiter, traffic).expect("valid sim");
+    sim.run(warmup);
+    sim.reset_stats();
+    sim.run(measure);
+    sim.stats().avg_latency()
+}
+
+/// Trains a DQN agent on a synthetic mesh and freezes it into the "NN"
+/// policy (used by Fig. 5).
+pub fn train_synthetic_nn(
+    width: u16,
+    height: u16,
+    rate: f64,
+    epochs: usize,
+    cycles_per_epoch: u64,
+    seed: u64,
+) -> NnPolicyArbiter {
+    let mut spec = rl_arb::TrainSpec::tuned_synthetic(width, rate, seed);
+    spec.height = height;
+    spec.epochs = epochs;
+    spec.cycles_per_epoch = cycles_per_epoch;
+    rl_arb::train_synthetic(&spec).agent.freeze()
+}
+
+/// Trains a DQN agent on the APU system by running the given workload
+/// repeatedly ("we execute the same set of model files repeatedly until the
+/// training converges", §4.2), and returns the trained agent (freeze it for
+/// the "NN" policy, or inspect its weights for the Fig. 7 heatmap).
+pub fn train_apu_agent(
+    specs: Vec<WorkloadSpec>,
+    repeats: usize,
+    max_cycles_per_run: u64,
+    seed: u64,
+) -> DqnAgent {
+    let cfg = SimConfig::apu(apu_sim::APU_MESH, apu_sim::APU_MESH);
+    let encoder = StateEncoder::new(6, cfg.num_vnets, FeatureSet::full(), cfg.feature_bounds);
+    let shared: SharedAgent = DqnAgent::new(encoder, AgentConfig::tuned_apu(seed)).into_shared();
+    for rep in 0..repeats {
+        let mut sim = apu_sim::make_apu_sim(
+            specs.clone(),
+            Box::new(shared.training_arbiter()),
+            EngineConfig::default(),
+            seed.wrapping_add(rep as u64),
+        );
+        sim.run_until_done(max_cycles_per_run);
+    }
+    shared.into_inner()
+}
+
+/// Runs one APU experiment (four workload copies) under a policy.
+pub fn apu_run(
+    specs: Vec<WorkloadSpec>,
+    arbiter: Box<dyn Arbiter>,
+    seed: u64,
+    max_cycles: u64,
+) -> ApuRunResult {
+    run_apu(specs, arbiter, EngineConfig::default(), seed, max_cycles)
+}
+
+/// Renders a plain-text table: header row, then rows of cells.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>w$}", w = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders aligned numeric series (e.g. training curves): one row per
+/// label, one column per series; missing samples render as `-`.
+pub fn render_series(title: &str, labels: &[String], series: &[(String, Vec<f64>)]) -> String {
+    let mut headers = vec![title.to_string()];
+    headers.extend(series.iter().map(|(name, _)| name.clone()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, label)| {
+            let mut row = vec![label.clone()];
+            for (_, values) in series {
+                row.push(
+                    values
+                        .get(i)
+                        .map(|v| format!("{v:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            row
+        })
+        .collect();
+    render_table(&header_refs, &rows)
+}
+
+/// The Fig. 9/10/11 policy line-up, in the paper's presentation order.
+/// `nn` supplies the frozen trained network when the sweep includes the
+/// "NN" column.
+pub fn apu_policy_lineup(
+    seed: u64,
+    nn: Option<NnPolicyArbiter>,
+) -> Vec<(String, Box<dyn Arbiter>)> {
+    use noc_arbiters::{make_arbiter, PolicyKind};
+    let mut v: Vec<(String, Box<dyn Arbiter>)> = vec![
+        ("Round-robin".into(), make_arbiter(PolicyKind::RoundRobin, seed)),
+        ("iSLIP".into(), make_arbiter(PolicyKind::Islip, seed)),
+        ("FIFO".into(), make_arbiter(PolicyKind::Fifo, seed)),
+        ("ProbDist".into(), make_arbiter(PolicyKind::ProbDist, seed)),
+        ("RL-inspired".into(), make_arbiter(PolicyKind::RlApu, seed)),
+    ];
+    if let Some(nn) = nn {
+        v.push(("NN".into(), Box::new(nn)));
+    }
+    v.push(("Global-age".into(), make_arbiter(PolicyKind::GlobalAge, seed)));
+    v
+}
+
+/// Runs one benchmark's four-copies experiment under every policy in the
+/// line-up and returns `(policy name, result)` pairs.
+pub fn apu_sweep_one(
+    specs: &[WorkloadSpec],
+    seed: u64,
+    max_cycles: u64,
+    nn: Option<&NnPolicyArbiter>,
+) -> Vec<(String, ApuRunResult)> {
+    apu_policy_lineup(seed, nn.cloned())
+        .into_iter()
+        .map(|(name, arb)| {
+            let r = apu_run(specs.to_vec(), arb, seed, max_cycles);
+            (name, r)
+        })
+        .collect()
+}
+
+/// Multi-seed sweep: every policy runs the experiment once per seed;
+/// returns `(policy name, mean avg-exec, mean tail-exec)` rows. Seed
+/// averaging tames the run-to-run variance of the statistical workloads.
+pub fn apu_sweep_seeds(
+    specs: &[WorkloadSpec],
+    seeds: &[u64],
+    max_cycles: u64,
+    nn: Option<&NnPolicyArbiter>,
+) -> Vec<(String, f64, f64)> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut names: Vec<String> = Vec::new();
+    let mut avg_sums: Vec<f64> = Vec::new();
+    let mut tail_sums: Vec<f64> = Vec::new();
+    for &seed in seeds {
+        for (i, (name, r)) in apu_sweep_one(specs, seed, max_cycles, nn).into_iter().enumerate() {
+            if names.len() <= i {
+                names.push(name);
+                avg_sums.push(0.0);
+                tail_sums.push(0.0);
+            }
+            avg_sums[i] += r.avg_exec;
+            tail_sums[i] += r.tail_exec as f64;
+        }
+    }
+    let n = seeds.len() as f64;
+    names
+        .into_iter()
+        .zip(avg_sums.into_iter().zip(tail_sums))
+        .map(|(name, (a, t))| (name, a / n, t / n))
+        .collect()
+}
+
+/// The seed list used by the figure binaries.
+pub fn sweep_seeds(base: u64, quick: bool) -> Vec<u64> {
+    if quick {
+        vec![base, base + 1]
+    } else {
+        vec![base, base + 1, base + 2, base + 3]
+    }
+}
+
+/// Formats a normalized row: each value divided by the reference (last)
+/// policy's value.
+pub fn normalized_row(label: &str, values: &[f64]) -> Vec<String> {
+    let reference = *values.last().expect("non-empty row");
+    let mut row = vec![label.to_string()];
+    for v in values {
+        row.push(format!("{:.3}", v / reference));
+    }
+    row
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Like [`synthetic_latency`] but returns the full statistics of the
+/// measurement window.
+#[allow(clippy::too_many_arguments)] // experiment parameters, not an API
+pub fn synthetic_run(
+    width: u16,
+    height: u16,
+    pattern: Pattern,
+    rate: f64,
+    arbiter: Box<dyn Arbiter>,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> noc_sim::SimStats {
+    let topo = Topology::uniform_mesh(width, height).expect("valid mesh");
+    let cfg = SimConfig::synthetic(width, height);
+    let traffic = SyntheticTraffic::new(&topo, pattern, rate, cfg.num_vnets, seed);
+    let mut sim = Simulator::new(topo, cfg, arbiter, traffic).expect("valid sim");
+    sim.run(warmup);
+    sim.reset_stats();
+    sim.run(measure);
+    sim.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["longer".into(), "2.50".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("longer"));
+    }
+
+    #[test]
+    fn render_series_handles_ragged_data() {
+        let out = render_series(
+            "epoch",
+            &["1".into(), "2".into()],
+            &[("a".into(), vec![1.0]), ("b".into(), vec![2.0, 3.0])],
+        );
+        assert!(out.contains('-'), "missing placeholder for ragged series");
+    }
+
+    #[test]
+    fn synthetic_latency_smoke() {
+        let l = synthetic_latency(
+            4,
+            4,
+            Pattern::UniformRandom,
+            0.05,
+            Box::new(noc_sim::arbiters::FifoArbiter::new()),
+            200,
+            500,
+            1,
+        );
+        assert!(l > 0.0);
+    }
+}
+
+/// Variant of [`synthetic_run`] with an explicit routing function.
+#[allow(clippy::too_many_arguments)] // experiment parameters, not an API
+pub fn synthetic_run_routed(
+    width: u16,
+    height: u16,
+    pattern: Pattern,
+    rate: f64,
+    routing: noc_sim::RoutingKind,
+    arbiter: Box<dyn Arbiter>,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> noc_sim::SimStats {
+    let topo = Topology::uniform_mesh(width, height).expect("valid mesh");
+    let mut cfg = SimConfig::synthetic(width, height);
+    cfg.routing = routing;
+    let traffic = SyntheticTraffic::new(&topo, pattern, rate, cfg.num_vnets, seed);
+    let mut sim = Simulator::new(topo, cfg, arbiter, traffic).expect("valid sim");
+    sim.run(warmup);
+    sim.reset_stats();
+    sim.run(measure);
+    sim.stats().clone()
+}
+
+/// Writes a CSV file next to the printed table: header row plus data rows.
+/// Cells are quoted only when needed. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv(
+    path: impl AsRef<std::path::Path>,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = path.as_ref().to_path_buf();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let quote = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::write_csv;
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let dir = std::env::temp_dir().join("mlnoc_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b,comma"],
+            &[vec!["1".into(), "say \"hi\"".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,\"b,comma\"\n1,\"say \"\"hi\"\"\"\n");
+        std::fs::remove_file(path).ok();
+    }
+}

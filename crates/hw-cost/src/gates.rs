@@ -1,0 +1,506 @@
+//! A gate-level combinational netlist builder — the paper's Fig. 8 circuit,
+//! actually constructed from gates.
+//!
+//! §4.8 argues the RL-inspired arbiter "can be implemented in a simple
+//! circuit": the starvation clause is an AND of the two local-age MSBs, the
+//! subtraction `15 − HC` is a conditional bit inversion (XOR), the shifts
+//! are wiring, and the final selection is a comparator (select-max) tree.
+//! This module makes that argument executable: it builds the P-block and
+//! select-max tree as a DAG of 2-input gates, *simulates* the netlist, and
+//! the test suite proves bit-exact equivalence with the software policy
+//! over the entire input space. Gate count and logic depth feed the
+//! Table 3 cost model measured, not estimated.
+
+use std::collections::HashMap;
+
+/// A signal in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wire(usize);
+
+/// A gate operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Input,
+    Const(bool),
+    Not(Wire),
+    And(Wire, Wire),
+    Or(Wire, Wire),
+    Xor(Wire, Wire),
+    /// `sel ? a : b`.
+    Mux(Wire, Wire, Wire),
+}
+
+/// A combinational netlist under construction.
+///
+/// ```
+/// use hw_cost::Netlist;
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let b = n.input();
+/// let sum = n.xor(a, b);
+/// let carry = n.and(a, b);
+/// let out = n.simulate(&[(a, true), (b, true)]);
+/// assert!(!out[&sum] && out[&carry]); // half adder
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    ops: Vec<Op>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist { ops: Vec::new() }
+    }
+
+    fn push(&mut self, op: Op) -> Wire {
+        self.ops.push(op);
+        Wire(self.ops.len() - 1)
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self) -> Wire {
+        self.push(Op::Input)
+    }
+
+    /// Declares a bus of `n` primary inputs, LSB first.
+    pub fn input_bus(&mut self, n: usize) -> Vec<Wire> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// A constant signal.
+    pub fn constant(&mut self, v: bool) -> Wire {
+        self.push(Op::Const(v))
+    }
+
+    /// NOT gate.
+    pub fn not(&mut self, a: Wire) -> Wire {
+        self.push(Op::Not(a))
+    }
+
+    /// AND gate.
+    pub fn and(&mut self, a: Wire, b: Wire) -> Wire {
+        self.push(Op::And(a, b))
+    }
+
+    /// OR gate.
+    pub fn or(&mut self, a: Wire, b: Wire) -> Wire {
+        self.push(Op::Or(a, b))
+    }
+
+    /// XOR gate.
+    pub fn xor(&mut self, a: Wire, b: Wire) -> Wire {
+        self.push(Op::Xor(a, b))
+    }
+
+    /// 2:1 multiplexer `sel ? a : b`.
+    pub fn mux(&mut self, sel: Wire, a: Wire, b: Wire) -> Wire {
+        self.push(Op::Mux(sel, a, b))
+    }
+
+    /// Bus-wide 2:1 mux; the buses must have equal width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn mux_bus(&mut self, sel: Wire, a: &[Wire], b: &[Wire]) -> Vec<Wire> {
+        assert_eq!(a.len(), b.len(), "mux bus width mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
+    }
+
+    /// Tree-structured "greater-than" comparator for two equal-width buses
+    /// (LSB first): logarithmic depth, as a timing-driven synthesis tool
+    /// would build it. Returns a single wire: `a > b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or empty buses.
+    pub fn greater_than(&mut self, a: &[Wire], b: &[Wire]) -> Wire {
+        assert_eq!(a.len(), b.len(), "comparator width mismatch");
+        assert!(!a.is_empty(), "comparator needs at least one bit");
+        self.gt_eq_tree(a, b).0
+    }
+
+    /// Recursive helper returning `(a > b, a == b)` over a bit range.
+    fn gt_eq_tree(&mut self, a: &[Wire], b: &[Wire]) -> (Wire, Wire) {
+        if a.len() == 1 {
+            let nb = self.not(b[0]);
+            let gt = self.and(a[0], nb);
+            let x = self.xor(a[0], b[0]);
+            let eq = self.not(x);
+            return (gt, eq);
+        }
+        let mid = a.len() / 2;
+        // LSB-first buses: the high half carries more significance.
+        let (gt_lo, eq_lo) = self.gt_eq_tree(&a[..mid], &b[..mid]);
+        let (gt_hi, eq_hi) = self.gt_eq_tree(&a[mid..], &b[mid..]);
+        let lo_wins = self.and(eq_hi, gt_lo);
+        let gt = self.or(gt_hi, lo_wins);
+        let eq = self.and(eq_hi, eq_lo);
+        (gt, eq)
+    }
+
+    /// Unsigned adder for two equal-width buses (LSB first); returns a bus
+    /// one bit wider (carry out as MSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add(&mut self, a: &[Wire], b: &[Wire]) -> Vec<Wire> {
+        assert_eq!(a.len(), b.len(), "adder width mismatch");
+        let mut carry = self.constant(false);
+        let mut out = Vec::with_capacity(a.len() + 1);
+        for (&ai, &bi) in a.iter().zip(b) {
+            let s1 = self.xor(ai, bi);
+            let sum = self.xor(s1, carry);
+            let c1 = self.and(ai, bi);
+            let c2 = self.and(s1, carry);
+            carry = self.or(c1, c2);
+            out.push(sum);
+        }
+        out.push(carry);
+        out
+    }
+
+    /// Number of logic gates (inputs and constants excluded; a mux counts
+    /// as 3 gate-equivalents).
+    pub fn gate_count(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Input | Op::Const(_) => 0,
+                Op::Not(_) => 1,
+                Op::And(..) | Op::Or(..) | Op::Xor(..) => 1,
+                Op::Mux(..) => 3,
+            })
+            .sum()
+    }
+
+    /// Longest input-to-output path in gate levels (a mux counts as 2
+    /// levels).
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            d[i] = match *op {
+                Op::Input | Op::Const(_) => 0,
+                Op::Not(a) => d[a.0] + 1,
+                Op::And(a, b) | Op::Or(a, b) | Op::Xor(a, b) => d[a.0].max(d[b.0]) + 1,
+                Op::Mux(s, a, b) => d[s.0].max(d[a.0]).max(d[b.0]) + 2,
+            };
+        }
+        d.into_iter().max().unwrap_or(0)
+    }
+
+    /// Evaluates the netlist for the given primary-input assignment.
+    /// Unassigned inputs default to `false`. Returns the value of every
+    /// wire.
+    pub fn simulate(&self, inputs: &[(Wire, bool)]) -> HashMap<Wire, bool> {
+        let assigned: HashMap<usize, bool> = inputs.iter().map(|(w, v)| (w.0, *v)).collect();
+        let mut vals = vec![false; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            vals[i] = match *op {
+                Op::Input => assigned.get(&i).copied().unwrap_or(false),
+                Op::Const(v) => v,
+                Op::Not(a) => !vals[a.0],
+                Op::And(a, b) => vals[a.0] && vals[b.0],
+                Op::Or(a, b) => vals[a.0] || vals[b.0],
+                Op::Xor(a, b) => vals[a.0] != vals[b.0],
+                Op::Mux(s, a, b) => {
+                    if vals[s.0] {
+                        vals[a.0]
+                    } else {
+                        vals[b.0]
+                    }
+                }
+            };
+        }
+        (0..self.ops.len()).map(|i| (Wire(i), vals[i])).collect()
+    }
+
+    /// Reads a bus value (LSB first) out of a simulation result.
+    pub fn read_bus(values: &HashMap<Wire, bool>, bus: &[Wire]) -> u32 {
+        bus.iter()
+            .enumerate()
+            .map(|(i, w)| (values[w] as u32) << i)
+            .sum()
+    }
+}
+
+/// The inputs of one P-block instance.
+#[derive(Debug, Clone)]
+pub struct PBlockPorts {
+    /// 5-bit local-age counter (LSB first).
+    pub la: Vec<Wire>,
+    /// 4-bit hop counter (LSB first).
+    pub hc: Vec<Wire>,
+    /// High when the message is coherence or response class.
+    pub boosted: Wire,
+    /// High when the buffer sits on a West/East input port.
+    pub east_west: Wire,
+    /// The 6-bit priority output (LSB first).
+    pub priority: Vec<Wire>,
+}
+
+/// Builds one Fig. 8 P-block computing the paper's Algorithm 2 priority.
+///
+/// Structure (matching §4.8's description):
+/// * starvation detect: AND of the two LA MSBs *with a low-bit OR* —
+///   `LA > 24 = LA[4] & LA[3] & (LA[2] | LA[1] | LA[0])`;
+/// * conditional hop inversion: XOR of each HC bit with `east_west`;
+/// * message-class shift: a bus mux between `HC` and `HC << 1`;
+/// * final output: mux between `LA` and the hop-derived priority.
+pub fn build_algorithm2_pblock(n: &mut Netlist) -> PBlockPorts {
+    let la = n.input_bus(5);
+    let hc = n.input_bus(4);
+    let boosted = n.input();
+    let east_west = n.input();
+
+    // LA > 24 (11000b): both MSBs set and any low bit set.
+    let msbs = n.and(la[4], la[3]);
+    let low01 = n.or(la[0], la[1]);
+    let low = n.or(low01, la[2]);
+    let starving = n.and(msbs, low);
+
+    // Conditional inversion: hc ^ east_west per bit (15 − HC when E/W).
+    let inv: Vec<Wire> = hc.iter().map(|&b| n.xor(b, east_west)).collect();
+
+    // Optional << 1 for boosted classes, into a 6-bit bus.
+    let zero = n.constant(false);
+    let mut plain = inv.clone();
+    plain.push(zero); // 5 bits
+    plain.push(zero); // 6 bits
+    let mut shifted = vec![zero];
+    shifted.extend(inv.iter().copied());
+    shifted.push(zero); // 6 bits
+    let hop_pri = n.mux_bus(boosted, &shifted, &plain);
+
+    // Starvation override: priority = LA (zero-extended to 6 bits).
+    let mut la6 = la.clone();
+    la6.push(zero);
+    let priority = n.mux_bus(starving, &la6, &hop_pri);
+
+    PBlockPorts {
+        la,
+        hc,
+        boosted,
+        east_west,
+        priority,
+    }
+}
+
+/// Builds a select-max comparator tree over `priorities` (equal-width
+/// buses). Returns `(winner_priority_bus, winner_index_bits)` where the
+/// index has `ceil(log2(n))` bits, LSB first. Ties prefer the lower index,
+/// like a left-leaning hardware tree.
+///
+/// # Panics
+///
+/// Panics if `priorities` is empty.
+pub fn build_select_max(n: &mut Netlist, priorities: &[Vec<Wire>]) -> (Vec<Wire>, Vec<Wire>) {
+    assert!(!priorities.is_empty(), "select-max needs at least one input");
+    let index_bits = usize::BITS as usize - (priorities.len() - 1).leading_zeros() as usize;
+    let index_bits = index_bits.max(1);
+
+    // Each node: (priority bus, index bus).
+    let mut nodes: Vec<(Vec<Wire>, Vec<Wire>)> = priorities
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let idx: Vec<Wire> = (0..index_bits)
+                .map(|b| n.constant((i >> b) & 1 == 1))
+                .collect();
+            (p.clone(), idx)
+        })
+        .collect();
+
+    while nodes.len() > 1 {
+        let mut next = Vec::with_capacity(nodes.len().div_ceil(2));
+        let mut it = nodes.into_iter();
+        while let Some(left) = it.next() {
+            match it.next() {
+                Some(right) => {
+                    // right wins only when strictly greater.
+                    let gt = n.greater_than(&right.0, &left.0);
+                    let pri = n.mux_bus(gt, &right.0, &left.0);
+                    let idx = n.mux_bus(gt, &right.1, &left.1);
+                    next.push((pri, idx));
+                }
+                None => next.push(left),
+            }
+        }
+        nodes = next;
+    }
+    let (pri, idx) = nodes.pop().unwrap();
+    (pri, idx)
+}
+
+/// Measured structural costs of the full Fig. 8 arbiter (42 P-blocks +
+/// select-max tree) — used to cross-check the analytical Table 3 model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasuredArbiter {
+    /// Total 2-input-gate equivalents.
+    pub gates: usize,
+    /// P-block logic depth in gate levels.
+    pub pblock_depth: usize,
+    /// Select-max tree depth in gate levels.
+    pub tree_depth: usize,
+}
+
+/// Builds the complete 42-requester Fig. 8 arbiter and reports its
+/// measured structure.
+pub fn measure_fig8_arbiter(requesters: usize) -> MeasuredArbiter {
+    let mut pblock_net = Netlist::new();
+    build_algorithm2_pblock(&mut pblock_net);
+    let pblock_gates = pblock_net.gate_count();
+    let pblock_depth = pblock_net.depth();
+
+    let mut tree_net = Netlist::new();
+    let pris: Vec<Vec<Wire>> = (0..requesters).map(|_| tree_net.input_bus(6)).collect();
+    build_select_max(&mut tree_net, &pris);
+    MeasuredArbiter {
+        gates: pblock_gates * requesters + tree_net.gate_count(),
+        pblock_depth,
+        tree_depth: tree_net.depth(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_is_correct_exhaustively() {
+        let mut n = Netlist::new();
+        let a = n.input_bus(4);
+        let b = n.input_bus(4);
+        let sum = n.add(&a, &b);
+        for x in 0u32..16 {
+            for y in 0u32..16 {
+                let mut assigns = Vec::new();
+                for i in 0..4 {
+                    assigns.push((a[i], (x >> i) & 1 == 1));
+                    assigns.push((b[i], (y >> i) & 1 == 1));
+                }
+                let out = n.simulate(&assigns);
+                assert_eq!(Netlist::read_bus(&out, &sum), x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_is_correct_exhaustively() {
+        let mut n = Netlist::new();
+        let a = n.input_bus(5);
+        let b = n.input_bus(5);
+        let gt = n.greater_than(&a, &b);
+        for x in 0u32..32 {
+            for y in 0u32..32 {
+                let mut assigns = Vec::new();
+                for i in 0..5 {
+                    assigns.push((a[i], (x >> i) & 1 == 1));
+                    assigns.push((b[i], (y >> i) & 1 == 1));
+                }
+                let out = n.simulate(&assigns);
+                assert_eq!(out[&gt], x > y, "{x} > {y}");
+            }
+        }
+    }
+
+    /// Software reference of Algorithm 2's priority (mirrors
+    /// `noc_arbiters::Algorithm2Paper`, re-stated here to keep the crates
+    /// decoupled).
+    fn algorithm2_reference(la: u32, hc: u32, boosted: bool, east_west: bool) -> u32 {
+        if la > 24 {
+            return la;
+        }
+        let base = if east_west { 0b1111 - hc } else { hc };
+        if boosted {
+            base << 1
+        } else {
+            base
+        }
+    }
+
+    #[test]
+    fn pblock_matches_algorithm2_over_entire_input_space() {
+        let mut n = Netlist::new();
+        let p = build_algorithm2_pblock(&mut n);
+        for la in 0u32..32 {
+            for hc in 0u32..16 {
+                for flags in 0u32..4 {
+                    let boosted = flags & 1 == 1;
+                    let east_west = flags & 2 == 2;
+                    let mut assigns = Vec::new();
+                    for i in 0..5 {
+                        assigns.push((p.la[i], (la >> i) & 1 == 1));
+                    }
+                    for i in 0..4 {
+                        assigns.push((p.hc[i], (hc >> i) & 1 == 1));
+                    }
+                    assigns.push((p.boosted, boosted));
+                    assigns.push((p.east_west, east_west));
+                    let out = n.simulate(&assigns);
+                    let got = Netlist::read_bus(&out, &p.priority);
+                    let want = algorithm2_reference(la, hc, boosted, east_west);
+                    assert_eq!(got, want, "la={la} hc={hc} b={boosted} ew={east_west}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_max_picks_the_maximum_with_lowest_index_ties() {
+        let mut n = Netlist::new();
+        let pris: Vec<Vec<Wire>> = (0..5).map(|_| n.input_bus(6)).collect();
+        let (win_pri, win_idx) = build_select_max(&mut n, &pris);
+        let cases: Vec<Vec<u32>> = vec![
+            vec![3, 9, 2, 9, 1],
+            vec![0, 0, 0, 0, 0],
+            vec![63, 62, 61, 60, 59],
+            vec![1, 2, 3, 4, 63],
+            vec![5, 5, 5, 5, 5],
+        ];
+        for vals in cases {
+            let mut assigns = Vec::new();
+            #[allow(clippy::needless_range_loop)]
+            for (k, v) in vals.iter().enumerate() {
+                for i in 0..6 {
+                    assigns.push((pris[k][i], (v >> i) & 1 == 1));
+                }
+            }
+            let out = n.simulate(&assigns);
+            let max = *vals.iter().max().unwrap();
+            let first = vals.iter().position(|&v| v == max).unwrap() as u32;
+            assert_eq!(Netlist::read_bus(&out, &win_pri), max, "{vals:?}");
+            assert_eq!(Netlist::read_bus(&out, &win_idx), first, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn measured_structure_is_single_cycle_plausible() {
+        let m = measure_fig8_arbiter(42);
+        // The P-block is tiny and shallow (paper: 0.18 ns); the tree's
+        // depth grows with log2(42)·comparator depth (paper: 0.92 ns).
+        assert!(m.pblock_depth <= 6, "p-block depth {}", m.pblock_depth);
+        // ⌈log2 42⌉ = 6 tree levels × (log-depth comparator + mux) — the
+        // structural depth a synthesis tool would then compress further
+        // with wide gates and transistor sizing toward the paper's 0.92 ns.
+        assert!(m.tree_depth <= 60, "tree depth {}", m.tree_depth);
+        assert!(m.gates > 1_000 && m.gates < 20_000, "gates {}", m.gates);
+    }
+
+    #[test]
+    fn depth_and_gate_count_track_construction() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        assert_eq!(n.gate_count(), 0);
+        let x = n.and(a, b);
+        let _y = n.or(x, a);
+        assert_eq!(n.gate_count(), 2);
+        assert_eq!(n.depth(), 2);
+    }
+}

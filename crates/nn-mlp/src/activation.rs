@@ -1,0 +1,92 @@
+//! Activation functions.
+
+/// Activation function applied element-wise after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// `f(x) = 1 / (1 + e^{-x})` — used by the paper's hidden layer.
+    Sigmoid,
+    /// `f(x) = max(0, x)` — used by the paper's output layer.
+    Relu,
+    /// `f(x) = tanh(x)`.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    ///
+    /// ```
+    /// use nn_mlp::Activation;
+    /// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+    /// assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    /// assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of the *output*
+    /// value `y = f(x)` (all four functions admit this form, which avoids
+    /// storing pre-activations).
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_saturates() {
+        assert!(Activation::Sigmoid.apply(40.0) > 0.999_999);
+        assert!(Activation::Sigmoid.apply(-40.0) < 1e-6);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in [
+            Activation::Identity,
+            Activation::Sigmoid,
+            Activation::Relu,
+            Activation::Tanh,
+        ] {
+            for &x in &[-1.5_f64, -0.3, 0.4, 2.0] {
+                if act == Activation::Relu && x.abs() < eps {
+                    continue; // kink
+                }
+                let y = act.apply(x);
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-7.5), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! A dense (fully connected) layer.
+
+use rand::Rng;
+
+use crate::activation::Activation;
+
+/// A dense layer: `y = act(W x + b)` with `W` stored row-major
+/// (`outputs × inputs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major weights, `weights[o * inputs + i]`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    activation: Activation,
+}
+
+impl DenseLayer {
+    /// Creates a layer with Xavier/Glorot-uniform initial weights drawn
+    /// from the supplied RNG and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `outputs` is zero.
+    pub fn xavier<R: Rng>(inputs: usize, outputs: usize, activation: Activation, rng: &mut R) -> Self {
+        assert!(inputs > 0 && outputs > 0, "layer dimensions must be positive");
+        let limit = (6.0 / (inputs + outputs) as f64).sqrt();
+        let weights = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        DenseLayer {
+            inputs,
+            outputs,
+            weights,
+            biases: vec![0.0; outputs],
+            activation,
+        }
+    }
+
+    /// Creates a layer from explicit parameters (used by tests and model
+    /// loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter shapes are inconsistent.
+    pub fn from_parts(
+        inputs: usize,
+        outputs: usize,
+        weights: Vec<f64>,
+        biases: Vec<f64>,
+        activation: Activation,
+    ) -> Self {
+        assert_eq!(weights.len(), inputs * outputs, "weight shape mismatch");
+        assert_eq!(biases.len(), outputs, "bias shape mismatch");
+        DenseLayer {
+            inputs,
+            outputs,
+            weights,
+            biases,
+            activation,
+        }
+    }
+
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Row-major weights (`outputs × inputs`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Biases.
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+
+    /// The weight connecting input `i` to output `o`.
+    pub fn weight(&self, o: usize, i: usize) -> f64 {
+        self.weights[o * self.inputs + i]
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.inputs()`.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.inputs, "input width mismatch");
+        let mut out = Vec::with_capacity(self.outputs);
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.biases[o];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            out.push(self.activation.apply(acc));
+        }
+        out
+    }
+
+    /// Backward pass for one sample.
+    ///
+    /// `output` must be the value returned by [`DenseLayer::forward`] for
+    /// `input`, and `grad_output` the loss gradient w.r.t. that output.
+    /// Applies an SGD update scaled by `lr` (with per-element gradient
+    /// clipping at `clip`) and returns the gradient w.r.t. the input.
+    pub fn backward(
+        &mut self,
+        input: &[f64],
+        output: &[f64],
+        grad_output: &[f64],
+        lr: f64,
+        clip: f64,
+    ) -> Vec<f64> {
+        assert_eq!(input.len(), self.inputs);
+        assert_eq!(output.len(), self.outputs);
+        assert_eq!(grad_output.len(), self.outputs);
+        let mut grad_input = vec![0.0; self.inputs];
+        for o in 0..self.outputs {
+            let delta = grad_output[o] * self.activation.derivative_from_output(output[o]);
+            if delta == 0.0 {
+                continue;
+            }
+            let row = &mut self.weights[o * self.inputs..(o + 1) * self.inputs];
+            for i in 0..self.inputs {
+                grad_input[i] += delta * row[i];
+                let g = (delta * input[i]).clamp(-clip, clip);
+                row[i] -= lr * g;
+            }
+            self.biases[o] -= lr * delta.clamp(-clip, clip);
+        }
+        grad_input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let layer = DenseLayer::from_parts(
+            2,
+            2,
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![0.5, -0.5],
+            Activation::Identity,
+        );
+        let y = layer.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn xavier_weights_lie_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = DenseLayer::xavier(10, 5, Activation::Relu, &mut rng);
+        let limit = (6.0_f64 / 15.0).sqrt();
+        assert!(layer.weights().iter().all(|w| w.abs() <= limit));
+        assert!(layer.biases().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn backward_reduces_loss_on_simple_regression() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut layer = DenseLayer::xavier(1, 1, Activation::Identity, &mut rng);
+        // Learn y = 3x.
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..200 {
+            let x = [0.5];
+            let y = layer.forward(&x);
+            let err = y[0] - 1.5;
+            layer.backward(&x, &y, &[2.0 * err], 0.1, 10.0);
+            let loss = err * err;
+            assert!(loss <= last_loss + 1e-9, "loss must not increase");
+            last_loss = loss;
+        }
+        assert!(last_loss < 1e-6);
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_updates() {
+        let mut layer =
+            DenseLayer::from_parts(1, 1, vec![0.0], vec![0.0], Activation::Identity);
+        let x = [1000.0];
+        let y = layer.forward(&x);
+        layer.backward(&x, &y, &[1000.0], 1.0, 1.0);
+        // Without clipping the weight would move by 1e6; with clip=1 it
+        // moves by exactly lr*clip = 1.
+        assert!((layer.weight(0, 0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let layer = DenseLayer::from_parts(2, 1, vec![1.0, 1.0], vec![0.0], Activation::Identity);
+        layer.forward(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight shape mismatch")]
+    fn bad_weight_shape_panics() {
+        DenseLayer::from_parts(2, 2, vec![1.0], vec![0.0, 0.0], Activation::Identity);
+    }
+}

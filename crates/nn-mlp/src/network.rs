@@ -1,0 +1,259 @@
+//! Multi-layer perceptrons and SGD training.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::activation::Activation;
+use crate::layer::DenseLayer;
+
+/// A feed-forward multi-layer perceptron.
+///
+/// The paper's agent is a 1-hidden-layer MLP (sigmoid hidden, ReLU output);
+/// [`Mlp::paper_agent`] builds exactly that shape.
+///
+/// ```
+/// use nn_mlp::{Mlp, Activation};
+/// let net = Mlp::new(&[4, 8, 2], &[Activation::Sigmoid, Activation::Relu], 42);
+/// let q = net.forward(&[0.1, 0.2, 0.3, 0.4]);
+/// assert_eq!(q.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes (`sizes[0]` is the input
+    /// width) and one activation per layer transition, Xavier-initialized
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or
+    /// `activations.len() != sizes.len() - 1`.
+    pub fn new(sizes: &[usize], activations: &[Activation], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert_eq!(
+            activations.len(),
+            sizes.len() - 1,
+            "one activation per layer transition"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .zip(activations)
+            .map(|(w, &a)| DenseLayer::xavier(w[0], w[1], a, &mut rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// The network shape used throughout the paper: one sigmoid hidden
+    /// layer and a ReLU output layer (§3.2 and §4.6).
+    pub fn paper_agent(inputs: usize, hidden: usize, outputs: usize, seed: u64) -> Self {
+        Mlp::new(
+            &[inputs, hidden, outputs],
+            &[Activation::Sigmoid, Activation::Relu],
+            seed,
+        )
+    }
+
+    /// Builds an MLP from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layer widths do not chain or `layers` is empty.
+    pub fn from_layers(layers: Vec<DenseLayer>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].outputs(),
+                pair[1].inputs(),
+                "layer widths must chain"
+            );
+        }
+        Mlp { layers }
+    }
+
+    /// The layers, input-side first.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Input width.
+    pub fn input_size(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Output width.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().unwrap().outputs()
+    }
+
+    /// Total trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.inputs() * l.outputs() + l.outputs())
+            .sum()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Forward pass keeping every layer's output (needed for backprop).
+    fn forward_trace(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().unwrap());
+            acts.push(next);
+        }
+        acts
+    }
+
+    /// One SGD step on squared error against `target`, returning the
+    /// pre-update mean squared error. Gradients are clipped per element at
+    /// `clip` (the paper found large unnormalized values destabilize
+    /// training, §6.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len() != self.output_size()`.
+    pub fn train_mse(&mut self, input: &[f64], target: &[f64], lr: f64, clip: f64) -> f64 {
+        assert_eq!(target.len(), self.output_size(), "target width mismatch");
+        let acts = self.forward_trace(input);
+        let out = acts.last().unwrap();
+        let n = out.len() as f64;
+        let mut grad: Vec<f64> = out
+            .iter()
+            .zip(target)
+            .map(|(y, t)| 2.0 * (y - t) / n)
+            .collect();
+        let mse: f64 = out
+            .iter()
+            .zip(target)
+            .map(|(y, t)| (y - t) * (y - t))
+            .sum::<f64>()
+            / n;
+        for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
+            grad = layer.backward(&acts[idx], &acts[idx + 1], &grad, lr, clip);
+        }
+        mse
+    }
+
+    /// One SGD step on the *sum* of squared errors (no division by output
+    /// width). For sparse targets — e.g. Q-learning, where only one output
+    /// differs from the current prediction — this keeps the gradient
+    /// magnitude independent of the action-space size, which matters for
+    /// convergence speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len() != self.output_size()`.
+    pub fn train_sse(&mut self, input: &[f64], target: &[f64], lr: f64, clip: f64) -> f64 {
+        assert_eq!(target.len(), self.output_size(), "target width mismatch");
+        let acts = self.forward_trace(input);
+        let out = acts.last().unwrap();
+        let mut grad: Vec<f64> = out.iter().zip(target).map(|(y, t)| 2.0 * (y - t)).collect();
+        let sse: f64 = out
+            .iter()
+            .zip(target)
+            .map(|(y, t)| (y - t) * (y - t))
+            .sum::<f64>();
+        for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
+            grad = layer.backward(&acts[idx], &acts[idx + 1], &grad, lr, clip);
+        }
+        sse
+    }
+
+    /// Squared-error loss on a single sample without updating weights.
+    pub fn mse(&self, input: &[f64], target: &[f64]) -> f64 {
+        let out = self.forward(input);
+        out.iter()
+            .zip(target)
+            .map(|(y, t)| (y - t) * (y - t))
+            .sum::<f64>()
+            / out.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_agent_shapes_match_the_paper() {
+        // §4.6: 504 inputs, hidden and output layers of 42 neurons.
+        let net = Mlp::paper_agent(504, 42, 42, 0);
+        assert_eq!(net.input_size(), 504);
+        assert_eq!(net.output_size(), 42);
+        assert_eq!(net.layers().len(), 2);
+        assert_eq!(net.layers()[0].activation(), Activation::Sigmoid);
+        assert_eq!(net.layers()[1].activation(), Activation::Relu);
+        assert_eq!(net.num_parameters(), 504 * 42 + 42 + 42 * 42 + 42);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Mlp::paper_agent(10, 5, 3, 77);
+        let b = Mlp::paper_agent(10, 5, 3, 77);
+        assert_eq!(a, b);
+        let c = Mlp::paper_agent(10, 5, 3, 78);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut net = Mlp::new(&[2, 8, 1], &[Activation::Tanh, Activation::Identity], 1);
+        let data = [
+            ([0.0, 0.0], [0.0]),
+            ([0.0, 1.0], [1.0]),
+            ([1.0, 0.0], [1.0]),
+            ([1.0, 1.0], [0.0]),
+        ];
+        for _ in 0..4000 {
+            for (x, t) in &data {
+                net.train_mse(x, t, 0.1, 10.0);
+            }
+        }
+        for (x, t) in &data {
+            let y = net.forward(x)[0];
+            assert!((y - t[0]).abs() < 0.2, "xor({x:?}) = {y}");
+        }
+    }
+
+    #[test]
+    fn train_mse_returns_decreasing_loss() {
+        let mut net = Mlp::new(&[3, 6, 2], &[Activation::Sigmoid, Activation::Identity], 5);
+        let x = [0.2, -0.4, 0.9];
+        let t = [0.3, -0.1];
+        let first = net.train_mse(&x, &t, 0.05, 10.0);
+        let mut last = first;
+        for _ in 0..500 {
+            last = net.train_mse(&x, &t, 0.05, 10.0);
+        }
+        assert!(last < first * 0.01, "loss {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "layer widths must chain")]
+    fn mismatched_layers_rejected() {
+        use crate::layer::DenseLayer;
+        let l1 = DenseLayer::from_parts(2, 3, vec![0.0; 6], vec![0.0; 3], Activation::Identity);
+        let l2 = DenseLayer::from_parts(4, 1, vec![0.0; 4], vec![0.0], Activation::Identity);
+        Mlp::from_layers(vec![l1, l2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target width mismatch")]
+    fn wrong_target_width_panics() {
+        let mut net = Mlp::paper_agent(4, 3, 2, 0);
+        net.train_mse(&[0.0; 4], &[0.0; 3], 0.1, 1.0);
+    }
+}

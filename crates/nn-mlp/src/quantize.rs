@@ -1,0 +1,160 @@
+//! INT8 post-training quantization.
+//!
+//! The paper's Table 3 synthesizes the inference network "quantizing to
+//! INT8". This module provides the corresponding software model: symmetric
+//! per-layer weight quantization with i32 accumulators, so the hardware-cost
+//! crate can count 8-bit MACs and tests can bound the quantization error.
+
+use crate::activation::Activation;
+use crate::network::Mlp;
+
+/// One quantized dense layer: `int8` weights with a per-layer scale,
+/// biases kept in `f64` (hardware would fold them into the accumulator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedLayer {
+    inputs: usize,
+    outputs: usize,
+    weights_q: Vec<i8>,
+    scale: f64,
+    biases: Vec<f64>,
+    activation: Activation,
+}
+
+impl QuantizedLayer {
+    /// Input width.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output width.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Per-layer dequantization scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The quantized weights, row-major.
+    pub fn weights_q(&self) -> &[i8] {
+        &self.weights_q
+    }
+
+    /// Multiply-accumulate count of one inference through this layer.
+    pub fn macs(&self) -> usize {
+        self.inputs * self.outputs
+    }
+}
+
+/// An INT8-quantized MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedLayer>,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a trained float network with symmetric per-layer scaling.
+    pub fn from_mlp(net: &Mlp) -> Self {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|l| {
+                let max = l
+                    .weights()
+                    .iter()
+                    .fold(0.0_f64, |m, w| m.max(w.abs()))
+                    .max(1e-12);
+                let scale = max / 127.0;
+                let weights_q = l
+                    .weights()
+                    .iter()
+                    .map(|w| (w / scale).round().clamp(-127.0, 127.0) as i8)
+                    .collect();
+                QuantizedLayer {
+                    inputs: l.inputs(),
+                    outputs: l.outputs(),
+                    weights_q,
+                    scale,
+                    biases: l.biases().to_vec(),
+                    activation: l.activation(),
+                }
+            })
+            .collect();
+        QuantizedMlp { layers }
+    }
+
+    /// The quantized layers.
+    pub fn layers(&self) -> &[QuantizedLayer] {
+        &self.layers
+    }
+
+    /// Total multiply-accumulate operations per inference.
+    pub fn total_macs(&self) -> usize {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Inference. Inputs are quantized to INT8 against their own maximum
+    /// (inputs in this system are pre-normalized to `[0, 1]`), products
+    /// accumulate in `i32`, and activations run on the dequantized value —
+    /// the standard fixed-point datapath of an INT8 inference engine.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            assert_eq!(x.len(), layer.inputs, "input width mismatch");
+            let in_max = x.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-12);
+            let in_scale = in_max / 127.0;
+            let xq: Vec<i8> = x
+                .iter()
+                .map(|v| (v / in_scale).round().clamp(-127.0, 127.0) as i8)
+                .collect();
+            let mut out = Vec::with_capacity(layer.outputs);
+            for o in 0..layer.outputs {
+                let row = &layer.weights_q[o * layer.inputs..(o + 1) * layer.inputs];
+                let acc: i32 = row
+                    .iter()
+                    .zip(&xq)
+                    .map(|(&w, &v)| w as i32 * v as i32)
+                    .sum();
+                let deq = acc as f64 * layer.scale * in_scale + layer.biases[o];
+                out.push(layer.activation.apply(deq));
+            }
+            x = out;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantized_outputs_track_float_outputs() {
+        let net = Mlp::paper_agent(60, 15, 15, 11);
+        let q = QuantizedMlp::from_mlp(&net);
+        let input: Vec<f64> = (0..60).map(|i| i as f64 / 60.0).collect();
+        let yf = net.forward(&input);
+        let yq = q.forward(&input);
+        for (a, b) in yf.iter().zip(&yq) {
+            assert!((a - b).abs() < 0.05, "float {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn mac_count_matches_architecture() {
+        let net = Mlp::paper_agent(504, 42, 42, 0);
+        let q = QuantizedMlp::from_mlp(&net);
+        assert_eq!(q.total_macs(), 504 * 42 + 42 * 42);
+    }
+
+    #[test]
+    fn weights_fit_in_int8() {
+        let net = Mlp::paper_agent(20, 10, 5, 3);
+        let q = QuantizedMlp::from_mlp(&net);
+        for layer in q.layers() {
+            assert!(layer.weights_q().iter().all(|&w| w >= -127));
+            assert!(layer.scale() > 0.0);
+        }
+    }
+}

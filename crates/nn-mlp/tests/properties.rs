@@ -1,0 +1,107 @@
+//! Property-based tests: backprop correctness and quantization bounds.
+
+use nn_mlp::{Activation, DenseLayer, Mlp, QuantizedMlp};
+use proptest::prelude::*;
+
+proptest! {
+    /// Analytic gradients match central finite differences on random
+    /// single layers (the core correctness property of the whole crate).
+    #[test]
+    fn layer_gradient_matches_finite_difference(
+        seed in any::<u64>(),
+        inputs in 1usize..6,
+        outputs in 1usize..5,
+        xs in proptest::collection::vec(-1.0f64..1.0, 1..6),
+    ) {
+        prop_assume!(xs.len() >= inputs);
+        let x = &xs[..inputs];
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            let make = || {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                DenseLayer::xavier(inputs, outputs, act, &mut rng)
+            };
+            // Loss: sum of outputs. dL/dy = 1 per output.
+            let grad_out = vec![1.0; outputs];
+            let layer0 = make();
+            let y0 = layer0.forward(x);
+            // Analytic input gradient from backward (lr=0 so no update).
+            let mut layer = make();
+            let grad_in = layer.backward(x, &y0, &grad_out, 0.0, 1e18);
+            // Finite differences.
+            let eps = 1e-6;
+            for i in 0..inputs {
+                let mut xp = x.to_vec();
+                xp[i] += eps;
+                let mut xm = x.to_vec();
+                xm[i] -= eps;
+                let lp: f64 = layer0.forward(&xp).iter().sum();
+                let lm: f64 = layer0.forward(&xm).iter().sum();
+                let numeric = (lp - lm) / (2.0 * eps);
+                prop_assert!(
+                    (numeric - grad_in[i]).abs() < 1e-4,
+                    "{act:?} input {i}: numeric {numeric} vs analytic {}",
+                    grad_in[i]
+                );
+            }
+        }
+    }
+
+    /// Forward passes are deterministic and finite for bounded inputs.
+    #[test]
+    fn forward_is_finite_and_deterministic(
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(-1.0f64..1.0, 8),
+    ) {
+        let net = Mlp::paper_agent(8, 6, 4, seed);
+        let a = net.forward(&xs);
+        let b = net.forward(&xs);
+        prop_assert_eq!(a.clone(), b);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    /// INT8 quantization error stays small relative to the activation
+    /// scale for normalized inputs.
+    #[test]
+    fn quantization_error_is_bounded(
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(0.0f64..1.0, 12),
+    ) {
+        let net = Mlp::paper_agent(12, 8, 5, seed);
+        let q = QuantizedMlp::from_mlp(&net);
+        let yf = net.forward(&xs);
+        let yq = q.forward(&xs);
+        for (a, b) in yf.iter().zip(&yq) {
+            prop_assert!((a - b).abs() < 0.1, "float {a} vs int8 {b}");
+        }
+    }
+
+    /// SGD on a fixed sample strictly reduces (or maintains) squared error.
+    #[test]
+    fn training_reduces_loss(seed in any::<u64>()) {
+        let mut net = Mlp::new(&[4, 6, 2], &[Activation::Sigmoid, Activation::Identity], seed);
+        let x = [0.3, -0.2, 0.8, 0.1];
+        let t = [0.4, -0.6];
+        let before = net.mse(&x, &t);
+        for _ in 0..50 {
+            net.train_mse(&x, &t, 0.05, 10.0);
+        }
+        let after = net.mse(&x, &t);
+        prop_assert!(after <= before + 1e-12, "loss rose from {before} to {after}");
+    }
+
+    /// train_sse and train_mse agree on the gradient direction (they
+    /// differ only by a positive scale).
+    #[test]
+    fn sse_and_mse_agree_in_direction(seed in any::<u64>()) {
+        let x = [0.5, -0.5, 0.25];
+        let t = [1.0, -1.0];
+        let mut a = Mlp::new(&[3, 4, 2], &[Activation::Tanh, Activation::Identity], seed);
+        let mut b = a.clone();
+        let before_a = a.mse(&x, &t);
+        a.train_mse(&x, &t, 0.01, 1e18);
+        b.train_sse(&x, &t, 0.01, 1e18);
+        prop_assert!(a.mse(&x, &t) <= before_a + 1e-12);
+        prop_assert!(b.mse(&x, &t) <= before_a + 1e-12);
+    }
+}

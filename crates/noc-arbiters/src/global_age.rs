@@ -1,0 +1,79 @@
+//! The global-age oracle arbiter.
+
+use noc_sim::{Arbiter, OutputCtx};
+
+/// Global-age arbitration: always grant the message that has been in the
+/// network the longest (earliest creation cycle).
+///
+/// "Global-age arbitration is considered one of the best policies … but its
+/// hardware cost is largely impractical for use in on-chip routers"
+/// (paper §2.1, citing Abts & Weisser). It is nevertheless the reward
+/// oracle of the paper's RL formulation and the normalization baseline of
+/// Figs. 5 and 9–11, so it must exist in the simulator even though no one
+/// would build it.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAgeArbiter {
+    _priv: (),
+}
+
+impl GlobalAgeArbiter {
+    /// Creates the oracle arbiter.
+    pub fn new() -> Self {
+        GlobalAgeArbiter { _priv: () }
+    }
+}
+
+impl Arbiter for GlobalAgeArbiter {
+    fn name(&self) -> String {
+        "Global-age".into()
+    }
+
+    fn select(&mut self, ctx: &OutputCtx<'_>) -> Option<usize> {
+        Some(ctx.oldest_global_index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::{Candidate, DestType, Features, MsgType, NetSnapshot, NodeId, RouterId};
+
+    fn cand(create: u64, id: u64) -> Candidate {
+        Candidate {
+            in_port: 0,
+            vnet: 0,
+            slot: 0,
+            features: Features {
+                payload_size: 1,
+                local_age: 0,
+                distance: 1,
+                hop_count: 0,
+                in_flight_from_src: 0,
+                inter_arrival: 0,
+                msg_type: MsgType::Request,
+                dst_type: DestType::Core,
+            },
+            packet_id: id,
+            create_cycle: create,
+            arrival_cycle: create,
+            src: NodeId(0),
+            dst: NodeId(1),
+        }
+    }
+
+    #[test]
+    fn picks_globally_oldest() {
+        let net = NetSnapshot::default();
+        let cands = vec![cand(50, 0), cand(5, 1), cand(30, 2)];
+        let ctx = OutputCtx {
+            router: RouterId(0),
+            out_port: 0,
+            cycle: 100,
+            num_ports: 5,
+            num_vnets: 1,
+            candidates: &cands,
+            net: &net,
+        };
+        assert_eq!(GlobalAgeArbiter::new().select(&ctx), Some(1));
+    }
+}

@@ -1,0 +1,81 @@
+//! Helpers for recovering port directions from flat port indices.
+//!
+//! Arbitration contexts carry only port *indices*; policies that treat mesh
+//! directions asymmetrically (the paper's Algorithm 2 inverts hop-count
+//! priority on West/East ports) recover the direction from the shared
+//! layout: `num_ports - 4` local ports followed by N, S, W, E.
+
+use noc_sim::PortDir;
+
+/// Direction of input-port index `port` in a router with `num_ports` ports.
+///
+/// # Panics
+///
+/// Panics if `num_ports < 5` (a mesh router needs at least one local port
+/// plus four directions) or `port >= num_ports`.
+///
+/// ```
+/// use noc_arbiters::port_dir_of;
+/// use noc_sim::PortDir;
+/// assert_eq!(port_dir_of(0, 6), PortDir::Local(0));
+/// assert_eq!(port_dir_of(5, 6), PortDir::East);
+/// ```
+pub fn port_dir_of(port: usize, num_ports: usize) -> PortDir {
+    assert!(num_ports >= 5, "mesh routers have at least 5 ports");
+    assert!(port < num_ports, "port index out of range");
+    let locals = num_ports - 4;
+    if port < locals {
+        PortDir::Local(port as u8)
+    } else {
+        match port - locals {
+            0 => PortDir::North,
+            1 => PortDir::South,
+            2 => PortDir::West,
+            _ => PortDir::East,
+        }
+    }
+}
+
+/// True when the input port is the West or East mesh port — the ports the
+/// paper's Algorithm 2 gives *inverted* hop-count priority.
+pub fn is_east_west(port: usize, num_ports: usize) -> bool {
+    matches!(port_dir_of(port, num_ports), PortDir::West | PortDir::East)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_port_layout_matches_paper() {
+        // Core, Mem, N, S, W, E — the APU router of §4.6.
+        assert_eq!(port_dir_of(0, 6), PortDir::Local(0));
+        assert_eq!(port_dir_of(1, 6), PortDir::Local(1));
+        assert_eq!(port_dir_of(2, 6), PortDir::North);
+        assert_eq!(port_dir_of(3, 6), PortDir::South);
+        assert_eq!(port_dir_of(4, 6), PortDir::West);
+        assert_eq!(port_dir_of(5, 6), PortDir::East);
+    }
+
+    #[test]
+    fn east_west_classification() {
+        assert!(!is_east_west(0, 5));
+        assert!(!is_east_west(2, 5));
+        assert!(is_east_west(3, 5));
+        assert!(is_east_west(4, 5));
+        assert!(is_east_west(4, 6));
+        assert!(is_east_west(5, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5 ports")]
+    fn tiny_router_rejected() {
+        port_dir_of(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_index_rejected() {
+        port_dir_of(6, 6);
+    }
+}

@@ -1,0 +1,181 @@
+//! Name-keyed construction of policies, used by the figure binaries.
+
+use std::fmt;
+use std::str::FromStr;
+
+use noc_sim::Arbiter;
+
+use crate::global_age::GlobalAgeArbiter;
+use crate::islip::IslipArbiter;
+use crate::probdist::ProbDistArbiter;
+use crate::random::RandomArbiter;
+use crate::extra::{PingPongArbiter, SlackAwarePolicy, WavefrontArbiter};
+use crate::rl_inspired::{Algorithm2Paper, ApuAblation, LocalAgePolicy, RlInspiredApu, RlInspiredSynthetic};
+use noc_sim::arbiters::{FifoArbiter, RoundRobinArbiter};
+
+/// Every policy constructible by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Rotating-pointer baseline.
+    RoundRobin,
+    /// Oldest-local-arrival baseline.
+    Fifo,
+    /// Iterative round-robin matching.
+    Islip,
+    /// Probabilistic distance-based lottery.
+    ProbDist,
+    /// Oldest-global-age oracle.
+    GlobalAge,
+    /// Uniform-random control.
+    Random,
+    /// Saturating local-age priority.
+    LocalAge,
+    /// §3.2 distilled policy, 4×4 variant.
+    RlSynth4x4,
+    /// §3.2 distilled policy, 8×8 variant.
+    RlSynth8x8,
+    /// The distilled APU policy of this reproduction (figures' "RL-inspired").
+    RlApu,
+    /// The paper's Algorithm 2, verbatim.
+    Algorithm2,
+    /// Algorithm 2 without the port condition.
+    RlApuNoPort,
+    /// Algorithm 2 without the message-type condition.
+    RlApuNoMsgType,
+    /// Wavefront maximal matching (related work).
+    Wavefront,
+    /// Hierarchical ping-pong arbitration (related work).
+    PingPong,
+    /// Slack-aware priority (related work, Aergia-inspired).
+    SlackAware,
+}
+
+impl PolicyKind {
+    /// All variants, in reporting order.
+    pub const ALL: [PolicyKind; 16] = [
+        PolicyKind::RoundRobin,
+        PolicyKind::Islip,
+        PolicyKind::Wavefront,
+        PolicyKind::PingPong,
+        PolicyKind::Fifo,
+        PolicyKind::ProbDist,
+        PolicyKind::SlackAware,
+        PolicyKind::Random,
+        PolicyKind::LocalAge,
+        PolicyKind::RlSynth4x4,
+        PolicyKind::RlSynth8x8,
+        PolicyKind::RlApu,
+        PolicyKind::Algorithm2,
+        PolicyKind::RlApuNoPort,
+        PolicyKind::RlApuNoMsgType,
+        PolicyKind::GlobalAge,
+    ];
+
+    /// Canonical name used on the command line and in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "round-robin",
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Islip => "islip",
+            PolicyKind::ProbDist => "probdist",
+            PolicyKind::GlobalAge => "global-age",
+            PolicyKind::Random => "random",
+            PolicyKind::LocalAge => "local-age",
+            PolicyKind::RlSynth4x4 => "rl-synth-4x4",
+            PolicyKind::RlSynth8x8 => "rl-synth-8x8",
+            PolicyKind::RlApu => "rl-apu",
+            PolicyKind::Algorithm2 => "algorithm2-paper",
+            PolicyKind::RlApuNoPort => "rl-apu-no-port",
+            PolicyKind::RlApuNoMsgType => "rl-apu-no-msgtype",
+            PolicyKind::Wavefront => "wavefront",
+            PolicyKind::PingPong => "ping-pong",
+            PolicyKind::SlackAware => "slack-aware",
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown policy '{}'", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for PolicyKind {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicyKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.as_str() == s)
+            .ok_or_else(|| ParsePolicyError(s.to_string()))
+    }
+}
+
+/// Instantiates a policy. `seed` feeds the stochastic policies (ProbDist,
+/// Random); deterministic policies ignore it.
+///
+/// ```
+/// use noc_arbiters::{make_arbiter, PolicyKind};
+/// let arb = make_arbiter(PolicyKind::GlobalAge, 0);
+/// assert_eq!(arb.name(), "Global-age");
+/// ```
+pub fn make_arbiter(kind: PolicyKind, seed: u64) -> Box<dyn Arbiter> {
+    match kind {
+        PolicyKind::RoundRobin => Box::new(RoundRobinArbiter::new()),
+        PolicyKind::Fifo => Box::new(FifoArbiter::new()),
+        PolicyKind::Islip => Box::new(IslipArbiter::new()),
+        PolicyKind::ProbDist => Box::new(ProbDistArbiter::new(seed)),
+        PolicyKind::GlobalAge => Box::new(GlobalAgeArbiter::new()),
+        PolicyKind::Random => Box::new(RandomArbiter::new(seed)),
+        PolicyKind::LocalAge => Box::new(LocalAgePolicy::arbiter()),
+        PolicyKind::RlSynth4x4 => Box::new(RlInspiredSynthetic::mesh4x4().arbiter()),
+        PolicyKind::RlSynth8x8 => Box::new(RlInspiredSynthetic::mesh8x8().arbiter()),
+        PolicyKind::RlApu => Box::new(RlInspiredApu::arbiter()),
+        PolicyKind::Algorithm2 => Box::new(Algorithm2Paper::arbiter()),
+        PolicyKind::RlApuNoPort => Box::new(ApuAblation::without_port().arbiter()),
+        PolicyKind::RlApuNoMsgType => Box::new(ApuAblation::without_msg_type().arbiter()),
+        PolicyKind::Wavefront => Box::new(WavefrontArbiter::new()),
+        PolicyKind::PingPong => Box::new(PingPongArbiter::new()),
+        PolicyKind::SlackAware => Box::new(SlackAwarePolicy::arbiter()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_constructs_and_names_itself() {
+        for kind in PolicyKind::ALL {
+            let arb = make_arbiter(kind, 42);
+            assert!(!arb.name().is_empty(), "{kind} produced empty name");
+        }
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for kind in PolicyKind::ALL {
+            let parsed: PolicyKind = kind.as_str().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let err = "not-a-policy".parse::<PolicyKind>().unwrap_err();
+        assert!(err.to_string().contains("not-a-policy"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Input virtual-channel buffers with credit (free-space) accounting.
+
+use std::collections::VecDeque;
+
+use crate::packet::{BufferedPacket, Packet};
+
+/// One input virtual-channel buffer.
+///
+/// Capacity is tracked in flits. Under virtual cut-through switching a packet
+/// may only be forwarded when the downstream buffer has room for *all* of its
+/// flits, so upstream routers `reserve` space at grant time (the moment the
+/// credit is consumed) and convert the reservation into occupancy when the
+/// packet physically arrives.
+#[derive(Debug, Clone)]
+pub struct VcBuffer {
+    queue: VecDeque<BufferedPacket>,
+    capacity_flits: u32,
+    used_flits: u32,
+    reserved_flits: u32,
+    last_arrival: Option<u64>,
+}
+
+impl VcBuffer {
+    /// Creates an empty buffer holding up to `capacity_flits` flits.
+    pub fn new(capacity_flits: u32) -> Self {
+        VcBuffer {
+            queue: VecDeque::new(),
+            capacity_flits,
+            used_flits: 0,
+            reserved_flits: 0,
+            last_arrival: None,
+        }
+    }
+
+    /// Capacity in flits.
+    pub fn capacity_flits(&self) -> u32 {
+        self.capacity_flits
+    }
+
+    /// Flits currently stored.
+    pub fn used_flits(&self) -> u32 {
+        self.used_flits
+    }
+
+    /// Flits promised to in-flight packets that have not yet arrived.
+    pub fn reserved_flits(&self) -> u32 {
+        self.reserved_flits
+    }
+
+    /// Free (unreserved, unoccupied) flits — the credit count the upstream
+    /// router sees.
+    pub fn free_flits(&self) -> u32 {
+        self.capacity_flits - self.used_flits - self.reserved_flits
+    }
+
+    /// Whether a packet of `len` flits may be granted toward this buffer now.
+    pub fn can_reserve(&self, len: u32) -> bool {
+        self.free_flits() >= len
+    }
+
+    /// Consumes credit for an in-flight packet of `len` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer does not have `len` free flits; callers must
+    /// check [`VcBuffer::can_reserve`] first.
+    pub fn reserve(&mut self, len: u32) {
+        assert!(self.can_reserve(len), "reserve() without available credit");
+        self.reserved_flits += len;
+    }
+
+    /// Stores an arriving packet, converting its reservation into occupancy,
+    /// and stamps its inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no matching reservation exists.
+    pub fn push_arrival(&mut self, packet: Packet, cycle: u64) {
+        let len = packet.len_flits;
+        assert!(
+            self.reserved_flits >= len,
+            "arrival without a matching reservation"
+        );
+        self.reserved_flits -= len;
+        self.used_flits += len;
+        let inter_arrival = match self.last_arrival {
+            Some(prev) => cycle.saturating_sub(prev),
+            None => cycle,
+        };
+        self.last_arrival = Some(cycle);
+        self.queue.push_back(BufferedPacket {
+            packet,
+            arrival_cycle: cycle,
+            inter_arrival,
+        });
+    }
+
+    /// Stores an injected packet directly (source queue → buffer), which
+    /// both reserves and occupies in one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is not enough free space.
+    pub fn push_injection(&mut self, packet: Packet, cycle: u64) {
+        let len = packet.len_flits;
+        self.reserve(len);
+        self.push_arrival(packet, cycle);
+    }
+
+    /// The packet at the head of the buffer, if any. Only head packets
+    /// compete for arbitration (FIFO order within a VC).
+    pub fn head(&self) -> Option<&BufferedPacket> {
+        self.queue.front()
+    }
+
+    /// Removes and returns the head packet, releasing its flits.
+    pub fn pop(&mut self) -> Option<BufferedPacket> {
+        let bp = self.queue.pop_front()?;
+        self.used_flits -= bp.packet.len_flits;
+        Some(bp)
+    }
+
+    /// Number of buffered packets.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no packets are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates over buffered packets, head first.
+    pub fn iter(&self) -> impl Iterator<Item = &BufferedPacket> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(len: u32) -> Packet {
+        let mut p = Packet::test_packet();
+        p.len_flits = len;
+        p
+    }
+
+    #[test]
+    fn credit_accounting_roundtrip() {
+        let mut b = VcBuffer::new(8);
+        assert_eq!(b.free_flits(), 8);
+        b.reserve(5);
+        assert_eq!(b.free_flits(), 3);
+        assert!(!b.can_reserve(4));
+        b.push_arrival(pkt(5), 10);
+        assert_eq!(b.used_flits(), 5);
+        assert_eq!(b.reserved_flits(), 0);
+        assert_eq!(b.free_flits(), 3);
+        let out = b.pop().unwrap();
+        assert_eq!(out.packet.len_flits, 5);
+        assert_eq!(b.free_flits(), 8);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn inter_arrival_gap_is_tracked() {
+        let mut b = VcBuffer::new(16);
+        b.push_injection(pkt(1), 5);
+        b.push_injection(pkt(1), 12);
+        let mut it = b.iter();
+        assert_eq!(it.next().unwrap().inter_arrival, 5); // first arrival: gap = cycle
+        assert_eq!(it.next().unwrap().inter_arrival, 7);
+    }
+
+    #[test]
+    fn fifo_order_within_vc() {
+        let mut b = VcBuffer::new(8);
+        let mut p1 = pkt(1);
+        p1.id = 1;
+        let mut p2 = pkt(1);
+        p2.id = 2;
+        b.push_injection(p1, 0);
+        b.push_injection(p2, 1);
+        assert_eq!(b.pop().unwrap().packet.id, 1);
+        assert_eq!(b.pop().unwrap().packet.id, 2);
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserve() without available credit")]
+    fn over_reservation_panics() {
+        let mut b = VcBuffer::new(4);
+        b.reserve(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching reservation")]
+    fn arrival_without_reservation_panics() {
+        let mut b = VcBuffer::new(4);
+        b.push_arrival(pkt(1), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulator configuration.
+
+use crate::error::ConfigError;
+
+/// Normalization caps used when encoding features into `[0, 1]` for a
+/// neural agent (paper §6.2). Raw features are clamped at the cap and then
+/// divided by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureBounds {
+    /// Cap for the payload-size feature, in flits.
+    pub max_payload: u32,
+    /// Cap for the local-age feature, in cycles.
+    pub max_local_age: u64,
+    /// Cap for the distance feature, in hops.
+    pub max_distance: u32,
+    /// Cap for the hop-count feature, in hops.
+    pub max_hop_count: u32,
+    /// Cap for the in-flight-messages feature.
+    pub max_in_flight: u32,
+    /// Cap for the inter-arrival-time feature, in cycles.
+    pub max_inter_arrival: u64,
+}
+
+impl FeatureBounds {
+    /// Reasonable defaults for a `width`×`height` mesh: distances and hop
+    /// counts bounded by the mesh diameter, ages capped at 64 cycles.
+    pub fn for_mesh(width: u16, height: u16) -> Self {
+        let diameter = (width as u32 - 1) + (height as u32 - 1);
+        FeatureBounds {
+            max_payload: 8,
+            max_local_age: 64,
+            max_distance: diameter.max(1),
+            max_hop_count: diameter.max(1),
+            max_in_flight: 64,
+            max_inter_arrival: 64,
+        }
+    }
+
+    /// Normalizes a raw value against a cap into `[0, 1]`.
+    pub fn norm_u64(value: u64, cap: u64) -> f64 {
+        if cap == 0 {
+            return 0.0;
+        }
+        (value.min(cap) as f64) / (cap as f64)
+    }
+}
+
+impl Default for FeatureBounds {
+    fn default() -> Self {
+        FeatureBounds::for_mesh(8, 8)
+    }
+}
+
+/// The routing function used by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingKind {
+    /// Deterministic dimension-order routing (the paper's configuration).
+    #[default]
+    XY,
+    /// Minimal west-first adaptive routing: packets steer around
+    /// congestion using downstream credit occupancy, within the
+    /// deadlock-free west-first turn model.
+    WestFirstAdaptive,
+}
+
+/// Static configuration of a [`crate::Simulator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Virtual networks (message classes); each input port has one VC
+    /// buffer per vnet. The paper uses 3 for the synthetic study and 7 for
+    /// the APU system.
+    pub num_vnets: usize,
+    /// Capacity of each VC buffer, in flits.
+    pub vc_capacity_flits: u32,
+    /// Link traversal latency in cycles (head flit, on top of
+    /// serialization).
+    pub link_latency: u64,
+    /// Router pipeline latency in cycles applied to every hop.
+    pub router_latency: u64,
+    /// Largest packet the configuration may inject, in flits.
+    pub max_packet_flits: u32,
+    /// Period, in cycles, between refreshes of the accumulated-latency
+    /// statistic used by the `acc_latency` reward (paper §6.3).
+    pub reward_period: u64,
+    /// Feature normalization caps handed to learning arbiters.
+    pub feature_bounds: FeatureBounds,
+    /// Local age, in cycles, beyond which a buffered packet is counted as
+    /// starving in [`crate::SimStats`].
+    pub starvation_threshold: u64,
+    /// Routing function.
+    pub routing: RoutingKind,
+}
+
+impl SimConfig {
+    /// Configuration used by the paper's synthetic-traffic study (§3.2):
+    /// 3 VCs per port, single-cycle links, 2-cycle routers.
+    pub fn synthetic(width: u16, height: u16) -> Self {
+        SimConfig {
+            num_vnets: 3,
+            vc_capacity_flits: 8,
+            link_latency: 1,
+            router_latency: 2,
+            max_packet_flits: 5,
+            reward_period: 10,
+            feature_bounds: FeatureBounds::for_mesh(width, height),
+            starvation_threshold: 20_000,
+            routing: RoutingKind::XY,
+        }
+    }
+
+    /// Configuration used by the paper's APU study (§4.1): 7 virtual
+    /// networks for the coherence protocol.
+    pub fn apu(width: u16, height: u16) -> Self {
+        SimConfig {
+            num_vnets: 7,
+            vc_capacity_flits: 10,
+            link_latency: 1,
+            router_latency: 2,
+            max_packet_flits: 5,
+            reward_period: 10,
+            feature_bounds: FeatureBounds::for_mesh(width, height),
+            starvation_threshold: 20_000,
+            routing: RoutingKind::XY,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_vnets == 0 {
+            return Err(ConfigError::NoVnets);
+        }
+        if self.vc_capacity_flits < self.max_packet_flits {
+            return Err(ConfigError::BufferTooSmall {
+                capacity_flits: self.vc_capacity_flits,
+                max_packet_flits: self.max_packet_flits,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::synthetic(4, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        SimConfig::synthetic(4, 4).validate().unwrap();
+        SimConfig::synthetic(8, 8).validate().unwrap();
+        SimConfig::apu(8, 8).validate().unwrap();
+    }
+
+    #[test]
+    fn undersized_buffer_rejected() {
+        let c = SimConfig {
+            vc_capacity_flits: 3,
+            max_packet_flits: 5,
+            ..SimConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(ConfigError::BufferTooSmall { .. })));
+    }
+
+    #[test]
+    fn zero_vnets_rejected() {
+        let c = SimConfig {
+            num_vnets: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::NoVnets));
+    }
+
+    #[test]
+    fn normalization_clamps_to_unit_interval() {
+        assert_eq!(FeatureBounds::norm_u64(200, 64), 1.0);
+        assert_eq!(FeatureBounds::norm_u64(32, 64), 0.5);
+        assert_eq!(FeatureBounds::norm_u64(5, 0), 0.0);
+    }
+
+    #[test]
+    fn mesh_bounds_scale_with_diameter() {
+        let small = FeatureBounds::for_mesh(4, 4);
+        let large = FeatureBounds::for_mesh(8, 8);
+        assert_eq!(small.max_distance, 6);
+        assert_eq!(large.max_distance, 14);
+    }
+}

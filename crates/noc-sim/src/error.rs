@@ -1,0 +1,97 @@
+//! Error type for configuration and construction failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while validating a simulator or topology configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Mesh dimensions must be at least 1×1.
+    EmptyMesh,
+    /// A configuration required at least one virtual network.
+    NoVnets,
+    /// A configuration required at least one local port per router.
+    NoLocalPorts,
+    /// A node referenced a router outside the mesh.
+    RouterOutOfRange {
+        /// The offending router index.
+        router: usize,
+        /// Number of routers in the mesh.
+        num_routers: usize,
+    },
+    /// A node referenced a local slot ≥ the number of local ports.
+    SlotOutOfRange {
+        /// The offending slot.
+        slot: u8,
+        /// Local ports per router.
+        num_locals: usize,
+    },
+    /// Two nodes were placed on the same (router, slot) attachment point.
+    DuplicateAttachment {
+        /// Router of the collision.
+        router: usize,
+        /// Slot of the collision.
+        slot: u8,
+    },
+    /// Buffer capacity too small to ever hold the configured maximum packet.
+    BufferTooSmall {
+        /// Configured VC capacity in flits.
+        capacity_flits: u32,
+        /// Largest packet the configuration may inject.
+        max_packet_flits: u32,
+    },
+    /// An injection request referenced an unknown node or vnet.
+    InvalidInjection(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyMesh => write!(f, "mesh dimensions must be at least 1x1"),
+            ConfigError::NoVnets => write!(f, "at least one virtual network is required"),
+            ConfigError::NoLocalPorts => write!(f, "at least one local port per router is required"),
+            ConfigError::RouterOutOfRange { router, num_routers } => write!(
+                f,
+                "router index {router} out of range for mesh with {num_routers} routers"
+            ),
+            ConfigError::SlotOutOfRange { slot, num_locals } => {
+                write!(f, "local slot {slot} out of range for {num_locals} local ports")
+            }
+            ConfigError::DuplicateAttachment { router, slot } => {
+                write!(f, "two nodes attached to router {router} slot {slot}")
+            }
+            ConfigError::BufferTooSmall {
+                capacity_flits,
+                max_packet_flits,
+            } => write!(
+                f,
+                "vc capacity of {capacity_flits} flits cannot hold a {max_packet_flits}-flit packet"
+            ),
+            ConfigError::InvalidInjection(msg) => write!(f, "invalid injection request: {msg}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants = [
+            ConfigError::EmptyMesh,
+            ConfigError::NoVnets,
+            ConfigError::NoLocalPorts,
+            ConfigError::RouterOutOfRange { router: 9, num_routers: 4 },
+            ConfigError::SlotOutOfRange { slot: 3, num_locals: 2 },
+            ConfigError::DuplicateAttachment { router: 1, slot: 0 },
+            ConfigError::BufferTooSmall { capacity_flits: 2, max_packet_flits: 5 },
+            ConfigError::InvalidInjection("bad".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # noc-sim — a cycle-level network-on-chip simulator
+//!
+//! This crate is the simulation substrate for the reproduction of
+//! *"Experiences with ML-Driven Design: A NoC Case Study"* (HPCA 2020).
+//! It models input-buffered virtual-channel routers on 2-D meshes with
+//! deterministic X-Y routing, credit-based virtual cut-through flow control,
+//! and — crucially for the paper — a pluggable per-output-port arbitration
+//! interface that exposes exactly the message features the paper's
+//! reinforcement-learning agent observes (Table 2: payload size, local age,
+//! distance, hop count, in-flight messages, inter-arrival time, message
+//! type, destination type).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use noc_sim::{Simulator, SimConfig, Topology, SyntheticTraffic, Pattern};
+//! use noc_sim::arbiters::RoundRobinArbiter;
+//!
+//! # fn main() -> Result<(), noc_sim::ConfigError> {
+//! let topo = Topology::uniform_mesh(4, 4)?;
+//! let cfg = SimConfig::synthetic(4, 4);
+//! let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.05, cfg.num_vnets, 42);
+//! let mut sim = Simulator::new(topo, cfg, Box::new(RoundRobinArbiter::new()), traffic)?;
+//! sim.run(10_000);
+//! println!("avg latency = {:.1} cycles", sim.stats().avg_latency());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`Topology`] / [`route_xy`] — mesh construction and dimension-order routing.
+//! * [`Simulator`] — the cycle-driven engine (paper Algorithm 1 decision shell).
+//! * [`Arbiter`] — the policy interface; reference baselines in [`arbiters`].
+//! * [`TrafficSource`] — open-loop synthetic patterns ([`SyntheticTraffic`])
+//!   and the hook closed-loop workload engines implement.
+//! * [`SimStats`] — latency/throughput/fairness/starvation accounting.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arbitration;
+mod buffer;
+mod config;
+mod error;
+mod histogram;
+mod packet;
+mod report;
+mod rng;
+mod routing;
+mod sim;
+mod stats;
+mod topology;
+mod trace;
+mod traffic;
+mod types;
+
+pub mod arbiters;
+
+pub use arbitration::{Arbiter, Candidate, Features, Grant, NetSnapshot, OutputCtx, RouterCtx};
+pub use buffer::VcBuffer;
+pub use config::{FeatureBounds, RoutingKind, SimConfig};
+pub use error::ConfigError;
+pub use histogram::LatencyHistogram;
+pub use packet::{BufferedPacket, InjectionRequest, Packet};
+pub use report::format_report;
+pub use rng::SplitMix64;
+pub use routing::{route_west_first, route_xy, route_xy_port, xy_path, RouteStep};
+pub use sim::Simulator;
+pub use stats::SimStats;
+pub use topology::{Node, Topology};
+pub use trace::{PacketTrace, TraceEvent, TraceKind};
+pub use traffic::{Pattern, SyntheticTraffic, TraceTraffic, TrafficSource};
+pub use types::{Coord, DestType, MsgType, NodeId, PortDir, RouterId};

@@ -1,0 +1,113 @@
+//! Human-readable statistics reports.
+
+use crate::stats::SimStats;
+
+/// Renders a multi-line summary of a run's statistics, suitable for
+/// examples and quick terminal inspection.
+///
+/// ```
+/// use noc_sim::{SimStats, format_report};
+/// let mut s = SimStats::new(3, 16);
+/// s.cycles = 1000;
+/// s.created = 100;
+/// s.injected = 100;
+/// s.delivered = 90;
+/// s.total_latency = 2700;
+/// s.latencies = vec![30; 90];
+/// let text = format_report(&s, 48);
+/// assert!(text.contains("avg latency"));
+/// ```
+pub fn format_report(stats: &SimStats, num_mesh_links: usize) -> String {
+    let mut out = String::new();
+    let line = |out: &mut String, label: &str, value: String| {
+        out.push_str(&format!("{label:<26}{value}\n"));
+    };
+    line(&mut out, "cycles", stats.cycles.to_string());
+    line(
+        &mut out,
+        "messages (created/del.)",
+        format!("{} / {}", stats.created, stats.delivered),
+    );
+    line(
+        &mut out,
+        "avg latency",
+        format!("{:.1} cycles ({:.1} in-network)", stats.avg_latency(), stats.avg_network_latency()),
+    );
+    line(
+        &mut out,
+        "latency p50/p99/max",
+        format!(
+            "{} / {} / {}",
+            stats.latency_percentile(50.0),
+            stats.latency_percentile(99.0),
+            stats.max_latency()
+        ),
+    );
+    line(&mut out, "avg hops", format!("{:.2}", stats.avg_hops()));
+    line(
+        &mut out,
+        "throughput",
+        format!("{:.4} msgs/node/cycle", stats.throughput()),
+    );
+    line(
+        &mut out,
+        "link utilization",
+        format!("{:.1}%", 100.0 * stats.avg_link_utilization(num_mesh_links)),
+    );
+    line(
+        &mut out,
+        "fairness (Jain)",
+        format!("{:.3}", stats.jain_fairness()),
+    );
+    line(
+        &mut out,
+        "arbiter queries/grants",
+        format!("{} / {}", stats.arbiter_queries, stats.grants),
+    );
+    if stats.starved_grants > 0 || stats.starving_now > 0 {
+        line(
+            &mut out,
+            "starvation",
+            format!(
+                "{} starved grants, {} starving now, max local age {}",
+                stats.starved_grants, stats.starving_now, stats.max_local_age
+            ),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_every_headline_number() {
+        let mut s = SimStats::new(1, 4);
+        s.cycles = 500;
+        s.created = 40;
+        s.delivered = 40;
+        s.total_latency = 1200;
+        s.total_network_latency = 800;
+        s.total_hops = 120;
+        s.latencies = vec![30; 40];
+        s.arbiter_queries = 7;
+        s.grants = 100;
+        let text = format_report(&s, 24);
+        for needle in ["500", "40 / 40", "30.0", "3.00", "7 / 100"] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+        // No starvation line when nothing starved.
+        assert!(!text.contains("starvation"));
+    }
+
+    #[test]
+    fn starvation_line_appears_when_relevant() {
+        let mut s = SimStats::new(1, 4);
+        s.starved_grants = 3;
+        s.max_local_age = 9001;
+        let text = format_report(&s, 24);
+        assert!(text.contains("starvation"));
+        assert!(text.contains("9001"));
+    }
+}

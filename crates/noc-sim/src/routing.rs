@@ -1,0 +1,246 @@
+//! Deterministic dimension-order (X-Y) routing.
+//!
+//! X-Y routing first corrects the column (West/East), then the row
+//! (North/South), then ejects through the destination's local port. It is
+//! minimal and deadlock-free on a mesh, and is the routing function assumed
+//! by the paper's RL-inspired arbiter (§4.7 attributes the East/West vs
+//! North/South hop-count asymmetry to "the underlying X-Y routing").
+
+use crate::topology::Topology;
+use crate::types::{PortDir, RouterId};
+
+/// Routing decision produced by [`route_xy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteStep {
+    /// Forward out of the given mesh direction.
+    Forward(PortDir),
+    /// Eject to the local port with the given slot.
+    Eject(u8),
+}
+
+/// Computes the output direction a packet at `here` must take to reach
+/// `(dst_router, dst_slot)` under X-Y routing.
+///
+/// ```
+/// use noc_sim::{Topology, RouterId, route_xy, RouteStep, PortDir};
+/// let t = Topology::uniform_mesh(4, 4).unwrap();
+/// // router 0 = (0,0), router 5 = (1,1): go East first.
+/// assert_eq!(route_xy(&t, RouterId(0), RouterId(5), 0), RouteStep::Forward(PortDir::East));
+/// // at destination: eject.
+/// assert_eq!(route_xy(&t, RouterId(5), RouterId(5), 0), RouteStep::Eject(0));
+/// ```
+pub fn route_xy(topo: &Topology, here: RouterId, dst_router: RouterId, dst_slot: u8) -> RouteStep {
+    let c = topo.coord(here);
+    let d = topo.coord(dst_router);
+    if c.x < d.x {
+        RouteStep::Forward(PortDir::East)
+    } else if c.x > d.x {
+        RouteStep::Forward(PortDir::West)
+    } else if c.y < d.y {
+        RouteStep::Forward(PortDir::South)
+    } else if c.y > d.y {
+        RouteStep::Forward(PortDir::North)
+    } else {
+        RouteStep::Eject(dst_slot)
+    }
+}
+
+/// Returns the output *port index* (within the shared port layout) for the
+/// same decision as [`route_xy`].
+pub fn route_xy_port(topo: &Topology, here: RouterId, dst_router: RouterId, dst_slot: u8) -> usize {
+    match route_xy(topo, here, dst_router, dst_slot) {
+        RouteStep::Forward(dir) => topo.port_index(dir),
+        RouteStep::Eject(slot) => topo.port_index(PortDir::Local(slot)),
+    }
+}
+
+/// Walks the full X-Y path between two routers, returning every router
+/// visited including both endpoints. Useful for tests and analysis.
+pub fn xy_path(topo: &Topology, src: RouterId, dst: RouterId) -> Vec<RouterId> {
+    let mut path = vec![src];
+    let mut here = src;
+    while here != dst {
+        match route_xy(topo, here, dst, 0) {
+            RouteStep::Forward(dir) => {
+                here = topo
+                    .neighbor(here, dir)
+                    .expect("x-y routing stepped off the mesh");
+                path.push(here);
+            }
+            RouteStep::Eject(_) => unreachable!("eject before reaching destination"),
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Coord;
+
+    #[test]
+    fn path_length_is_manhattan_distance() {
+        let t = Topology::uniform_mesh(8, 8).unwrap();
+        for (a, b) in [(0usize, 63usize), (7, 56), (10, 10), (3, 32)] {
+            let p = xy_path(&t, RouterId(a), RouterId(b));
+            let dist = t.coord(RouterId(a)).manhattan(t.coord(RouterId(b)));
+            assert_eq!(p.len() as u32, dist + 1);
+        }
+    }
+
+    #[test]
+    fn x_is_corrected_before_y() {
+        let t = Topology::uniform_mesh(4, 4).unwrap();
+        let src = t.router_at(Coord::new(0, 0));
+        let dst = t.router_at(Coord::new(2, 3));
+        let path = xy_path(&t, src, dst);
+        // First two hops go east, then three go south.
+        let coords: Vec<_> = path.iter().map(|&r| t.coord(r)).collect();
+        assert_eq!(coords[0], Coord::new(0, 0));
+        assert_eq!(coords[1], Coord::new(1, 0));
+        assert_eq!(coords[2], Coord::new(2, 0));
+        assert_eq!(coords[3], Coord::new(2, 1));
+        assert_eq!(coords.last().copied(), Some(Coord::new(2, 3)));
+    }
+
+    #[test]
+    fn eject_uses_requested_slot() {
+        let t = Topology::mesh(2, 2, 2).unwrap();
+        assert_eq!(route_xy(&t, RouterId(3), RouterId(3), 1), RouteStep::Eject(1));
+        assert_eq!(
+            route_xy_port(&t, RouterId(3), RouterId(3), 1),
+            t.port_index(PortDir::Local(1))
+        );
+    }
+}
+
+/// Deadlock-free *west-first* adaptive routing (turn model).
+///
+/// If the destination lies to the west, the packet must finish all its
+/// westward hops first (the only allowed turns into West are at the
+/// source); otherwise any minimal direction among {East, North, South} may
+/// be chosen, and this function picks the one the caller's congestion
+/// estimate likes best (lower is better). Forbidding the four turns into
+/// West breaks all cycles, so the scheme is deadlock-free on a mesh while
+/// letting packets steer around congestion.
+pub fn route_west_first<F>(
+    topo: &Topology,
+    here: RouterId,
+    dst_router: RouterId,
+    dst_slot: u8,
+    congestion: F,
+) -> RouteStep
+where
+    F: Fn(PortDir) -> u32,
+{
+    let c = topo.coord(here);
+    let d = topo.coord(dst_router);
+    if c == d {
+        return RouteStep::Eject(dst_slot);
+    }
+    if d.x < c.x {
+        // Westward traffic is non-adaptive: go west first.
+        return RouteStep::Forward(PortDir::West);
+    }
+    // Minimal productive directions (never West here).
+    let mut options: Vec<PortDir> = Vec::with_capacity(3);
+    if d.x > c.x {
+        options.push(PortDir::East);
+    }
+    if d.y < c.y {
+        options.push(PortDir::North);
+    }
+    if d.y > c.y {
+        options.push(PortDir::South);
+    }
+    let best = options
+        .into_iter()
+        .min_by_key(|&dir| (congestion(dir), topo.port_index(dir)))
+        .expect("not at destination, so at least one productive direction");
+    RouteStep::Forward(best)
+}
+
+#[cfg(test)]
+mod west_first_tests {
+    use super::*;
+    use crate::types::Coord;
+
+    fn uncongested(_: PortDir) -> u32 {
+        0
+    }
+
+    #[test]
+    fn westward_destinations_route_west_first() {
+        let t = Topology::uniform_mesh(6, 6).unwrap();
+        let here = t.router_at(Coord::new(4, 2));
+        let dst = t.router_at(Coord::new(1, 5));
+        assert_eq!(
+            route_west_first(&t, here, dst, 0, uncongested),
+            RouteStep::Forward(PortDir::West)
+        );
+    }
+
+    #[test]
+    fn adaptive_choice_follows_congestion() {
+        let t = Topology::uniform_mesh(6, 6).unwrap();
+        let here = t.router_at(Coord::new(1, 1));
+        let dst = t.router_at(Coord::new(4, 4)); // east and south both minimal
+        let prefer_south =
+            |dir: PortDir| if dir == PortDir::South { 0 } else { 9 };
+        let prefer_east = |dir: PortDir| if dir == PortDir::East { 0 } else { 9 };
+        assert_eq!(
+            route_west_first(&t, here, dst, 0, prefer_south),
+            RouteStep::Forward(PortDir::South)
+        );
+        assert_eq!(
+            route_west_first(&t, here, dst, 0, prefer_east),
+            RouteStep::Forward(PortDir::East)
+        );
+    }
+
+    #[test]
+    fn always_minimal_and_terminates() {
+        let t = Topology::uniform_mesh(8, 8).unwrap();
+        for (a, b) in [(0usize, 63usize), (63, 0), (7, 56), (20, 20), (5, 40)] {
+            let (src, dst) = (RouterId(a), RouterId(b));
+            let mut here = src;
+            let mut hops = 0;
+            loop {
+                match route_west_first(&t, here, dst, 0, |_| 1) {
+                    RouteStep::Eject(_) => break,
+                    RouteStep::Forward(dir) => {
+                        here = t.neighbor(here, dir).expect("stays on mesh");
+                        hops += 1;
+                        assert!(hops <= 64, "routing loop");
+                    }
+                }
+            }
+            assert_eq!(hops, t.coord(src).manhattan(t.coord(dst)));
+        }
+    }
+
+    #[test]
+    fn no_turn_into_west_after_leaving_source_column() {
+        // Once a west-first route makes a non-West move, it never moves
+        // West again (the turn-model invariant).
+        let t = Topology::uniform_mesh(8, 8).unwrap();
+        for (a, b) in [(3usize, 32usize), (60, 5), (10, 17), (56, 7)] {
+            let (src, dst) = (RouterId(a), RouterId(b));
+            let mut here = src;
+            let mut seen_non_west = false;
+            loop {
+                match route_west_first(&t, here, dst, 0, |_| 0) {
+                    RouteStep::Eject(_) => break,
+                    RouteStep::Forward(dir) => {
+                        if dir == PortDir::West {
+                            assert!(!seen_non_west, "illegal turn into West");
+                        } else {
+                            seen_non_west = true;
+                        }
+                        here = t.neighbor(here, dir).unwrap();
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,935 @@
+//! The cycle-driven simulation engine.
+//!
+//! Each cycle the engine: delivers in-flight packets that reach their next
+//! router or destination, pulls new messages from the traffic source into
+//! per-node injection queues, drains injection queues into local input VCs,
+//! then arbitrates every router's free output ports (paper Algorithm 1) and
+//! launches the winners toward their next hop under credit-based
+//! virtual-cut-through flow control.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::arbitration::{Arbiter, Candidate, Features, Grant, NetSnapshot, OutputCtx, RouterCtx};
+use crate::buffer::VcBuffer;
+use crate::config::SimConfig;
+use crate::error::ConfigError;
+use crate::packet::{InjectionRequest, Packet};
+use crate::config::RoutingKind;
+use crate::routing::{route_west_first, route_xy_port, RouteStep};
+use crate::stats::SimStats;
+use crate::topology::Topology;
+use crate::trace::{PacketTrace, TraceEvent, TraceKind};
+use crate::traffic::TrafficSource;
+use crate::types::{PortDir, RouterId};
+
+/// Per-router microarchitectural state.
+#[derive(Debug, Clone)]
+struct RouterState {
+    /// `inputs[port][vnet]` — one VC buffer per (port, virtual network).
+    inputs: Vec<Vec<VcBuffer>>,
+    /// First cycle at which each output port is free again.
+    out_free_at: Vec<u64>,
+}
+
+/// A packet in flight between routers (or toward a destination node).
+#[derive(Debug, Clone)]
+enum Arrival {
+    /// Head into a downstream router's input VC.
+    Router {
+        router: RouterId,
+        in_port: usize,
+        vnet: usize,
+        packet: Packet,
+    },
+    /// Ejection: consume at the destination node.
+    Node { packet: Packet },
+}
+
+/// The cycle-accurate NoC simulator.
+///
+/// Generic over the traffic source type `T` so closed-loop workload engines
+/// remain directly accessible (e.g. to read per-program execution times);
+/// the arbitration policy is a boxed trait object so policies can be swapped
+/// uniformly.
+///
+/// ```
+/// use noc_sim::{Simulator, SimConfig, Topology, SyntheticTraffic, Pattern};
+/// use noc_sim::arbiters::FifoArbiter;
+///
+/// let topo = Topology::uniform_mesh(4, 4).unwrap();
+/// let cfg = SimConfig::synthetic(4, 4);
+/// let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.05, cfg.num_vnets, 1);
+/// let mut sim = Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic)?;
+/// sim.run(1_000);
+/// assert!(sim.stats().delivered > 0);
+/// # Ok::<(), noc_sim::ConfigError>(())
+/// ```
+pub struct Simulator<T: TrafficSource> {
+    cfg: SimConfig,
+    topo: Topology,
+    arbiter: Box<dyn Arbiter>,
+    traffic: T,
+    routers: Vec<RouterState>,
+    /// `inj_queues[node][vnet]` — unbounded source queues.
+    inj_queues: Vec<Vec<VecDeque<Packet>>>,
+    /// Packets in flight on links, keyed by arrival cycle.
+    arrivals: BTreeMap<u64, Vec<Arrival>>,
+    cycle: u64,
+    next_packet_id: u64,
+    stats: SimStats,
+    net: NetSnapshot,
+    /// Outstanding (injected, undelivered) packets per source router.
+    in_flight_per_router: Vec<u32>,
+    /// Mesh-link transmissions ending at a given cycle.
+    tx_ends: BTreeMap<u64, u32>,
+    /// Mesh-link transmissions currently active.
+    active_mesh_tx: u32,
+    /// Σ create_cycle over in-flight packets (for the acc-latency reward).
+    inflight_create_sum: u128,
+    inflight_count: u64,
+    /// Latency sum / count of packets delivered in the current reward period.
+    period_lat_sum: u64,
+    period_delivered: u64,
+    /// Optional log of every grant (disabled by default; used by tests).
+    grant_log: Option<Vec<Grant>>,
+    /// Optional per-packet event trace.
+    trace: Option<PacketTrace>,
+}
+
+impl<T: TrafficSource> Simulator<T> {
+    /// Builds a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is inconsistent.
+    pub fn new(
+        topo: Topology,
+        cfg: SimConfig,
+        arbiter: Box<dyn Arbiter>,
+        traffic: T,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let ports = topo.ports_per_router();
+        let routers = (0..topo.num_routers())
+            .map(|_| RouterState {
+                inputs: (0..ports)
+                    .map(|_| {
+                        (0..cfg.num_vnets)
+                            .map(|_| VcBuffer::new(cfg.vc_capacity_flits))
+                            .collect()
+                    })
+                    .collect(),
+                out_free_at: vec![0; ports],
+            })
+            .collect();
+        let inj_queues = (0..topo.num_nodes())
+            .map(|_| (0..cfg.num_vnets).map(|_| VecDeque::new()).collect())
+            .collect();
+        let stats = SimStats::new(cfg.num_vnets, topo.num_nodes());
+        let in_flight = vec![0; topo.num_routers()];
+        Ok(Simulator {
+            cfg,
+            topo,
+            arbiter,
+            traffic,
+            routers,
+            inj_queues,
+            arrivals: BTreeMap::new(),
+            cycle: 0,
+            next_packet_id: 0,
+            stats,
+            net: NetSnapshot::default(),
+            in_flight_per_router: in_flight,
+            tx_ends: BTreeMap::new(),
+            active_mesh_tx: 0,
+            inflight_create_sum: 0,
+            inflight_count: 0,
+            period_lat_sum: 0,
+            period_delivered: 0,
+            grant_log: None,
+            trace: None,
+        })
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The traffic source (e.g. to read workload completion times).
+    pub fn traffic(&self) -> &T {
+        &self.traffic
+    }
+
+    /// Mutable access to the traffic source.
+    pub fn traffic_mut(&mut self) -> &mut T {
+        &mut self.traffic
+    }
+
+    /// The installed arbitration policy.
+    pub fn arbiter(&self) -> &dyn Arbiter {
+        self.arbiter.as_ref()
+    }
+
+    /// Mutable access to the installed policy (e.g. to extract a trained
+    /// agent's weights).
+    pub fn arbiter_mut(&mut self) -> &mut dyn Arbiter {
+        self.arbiter.as_mut()
+    }
+
+    /// Consumes the simulator and returns the policy (e.g. a trained agent).
+    pub fn into_arbiter(self) -> Box<dyn Arbiter> {
+        self.arbiter
+    }
+
+    /// The most recent network-global snapshot.
+    pub fn net_snapshot(&self) -> &NetSnapshot {
+        &self.net
+    }
+
+    /// Clears statistics (e.g. after a warm-up phase). Does not disturb
+    /// in-flight packets or buffers.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::new(self.cfg.num_vnets, self.topo.num_nodes());
+    }
+
+    /// Starts recording every grant; used by tests and analysis tools.
+    pub fn enable_grant_log(&mut self) {
+        self.grant_log = Some(Vec::new());
+    }
+
+    /// Grants recorded since [`Simulator::enable_grant_log`], if enabled.
+    pub fn grant_log(&self) -> Option<&[Grant]> {
+        self.grant_log.as_deref()
+    }
+
+    /// Starts per-packet event tracing with an event budget (see
+    /// [`PacketTrace`]).
+    pub fn enable_packet_trace(&mut self, capacity: usize) {
+        self.trace = Some(PacketTrace::new(capacity));
+    }
+
+    /// The packet trace, if tracing was enabled.
+    pub fn packet_trace(&self) -> Option<&PacketTrace> {
+        self.trace.as_ref()
+    }
+
+    fn trace_event(&mut self, cycle: u64, packet_id: u64, kind: TraceKind) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent {
+                cycle,
+                packet_id,
+                kind,
+            });
+        }
+    }
+
+    /// Number of packets currently inside the network (injected, not yet
+    /// delivered).
+    pub fn in_flight(&self) -> u64 {
+        self.inflight_count
+    }
+
+    /// Packets waiting in source injection queues.
+    pub fn queued_at_sources(&self) -> usize {
+        self.inj_queues
+            .iter()
+            .flat_map(|qs| qs.iter())
+            .map(|q| q.len())
+            .sum()
+    }
+
+    /// Counts buffered packets whose local age exceeds the configured
+    /// starvation threshold, and records the result in the statistics.
+    pub fn starving_packets(&mut self) -> u64 {
+        let mut n = 0;
+        for r in &self.routers {
+            for port in &r.inputs {
+                for vc in port {
+                    for bp in vc.iter() {
+                        if bp.local_age(self.cycle) > self.cfg.starvation_threshold {
+                            n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.starving_now = n;
+        n
+    }
+
+    /// Runs `cycles` simulation cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until the traffic source reports completion and the network has
+    /// fully drained, or `max_cycles` elapse. Returns `true` if the workload
+    /// completed.
+    pub fn run_until_done(&mut self, max_cycles: u64) -> bool {
+        while self.cycle < max_cycles {
+            if self.traffic.is_done(self.cycle)
+                && self.inflight_count == 0
+                && self.queued_at_sources() == 0
+            {
+                return true;
+            }
+            self.step();
+        }
+        self.traffic.is_done(self.cycle) && self.inflight_count == 0 && self.queued_at_sources() == 0
+    }
+
+    /// Advances the simulation by one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traffic source produces an invalid injection request
+    /// (unknown node, vnet out of range, or over-length packet).
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+
+        // Phase 0: expire finished link transmissions.
+        let expired: Vec<u64> = self.tx_ends.range(..=cycle).map(|(&k, _)| k).collect();
+        for k in expired {
+            let n = self.tx_ends.remove(&k).unwrap_or(0);
+            self.active_mesh_tx -= n;
+        }
+
+        // Phase 1: land packets that arrive this cycle.
+        if let Some(list) = self.arrivals.remove(&cycle) {
+            for a in list {
+                match a {
+                    Arrival::Router {
+                        router,
+                        in_port,
+                        vnet,
+                        packet,
+                    } => {
+                        self.routers[router.index()].inputs[in_port][vnet]
+                            .push_arrival(packet, cycle);
+                    }
+                    Arrival::Node { packet } => self.deliver(packet, cycle),
+                }
+            }
+        }
+
+        // Phase 2: create new traffic.
+        let reqs = self.traffic.pull(cycle, &self.net);
+        for req in reqs {
+            let pkt = self.make_packet(req, cycle);
+            self.stats.created += 1;
+            self.trace_event(cycle, pkt.id, TraceKind::Created);
+            self.inj_queues[pkt.src.index()][pkt.vnet].push_back(pkt);
+        }
+
+        // Phase 3: drain injection queues into local input VCs (one packet
+        // per node per vnet per cycle).
+        for node_idx in 0..self.topo.num_nodes() {
+            let node = self.topo.node(crate::types::NodeId(node_idx));
+            let (node_id, node_router, node_slot) = (node.id, node.router, node.slot);
+            let r = node_router.index();
+            let port = self.topo.port_index(PortDir::Local(node_slot));
+            for vnet in 0..self.cfg.num_vnets {
+                let Some(front) = self.inj_queues[node_id.index()][vnet].front() else {
+                    continue;
+                };
+                let len = front.len_flits;
+                let buf = &mut self.routers[r].inputs[port][vnet];
+                if !buf.can_reserve(len) {
+                    continue;
+                }
+                let mut pkt = self.inj_queues[node_id.index()][vnet].pop_front().unwrap();
+                pkt.inject_cycle = cycle;
+                self.stats.injected += 1;
+                self.in_flight_per_router[pkt.src_router.index()] += 1;
+                self.inflight_create_sum += pkt.create_cycle as u128;
+                self.inflight_count += 1;
+                let pkt_id = pkt.id;
+                buf.push_injection(pkt, cycle);
+                self.trace_event(cycle, pkt_id, TraceKind::Injected { router: node_router });
+            }
+        }
+
+        // Phase 4: refresh the periodic accumulated-latency statistic.
+        if self.cfg.reward_period > 0 && cycle.is_multiple_of(self.cfg.reward_period) {
+            let inflight_age_sum =
+                (self.inflight_count as u128 * cycle as u128).saturating_sub(self.inflight_create_sum);
+            let total = self.period_delivered + self.inflight_count;
+            self.net.avg_accumulated_latency = if total == 0 {
+                0.0
+            } else {
+                (self.period_lat_sum as f64 + inflight_age_sum as f64) / total as f64
+            };
+            self.period_lat_sum = 0;
+            self.period_delivered = 0;
+        }
+        self.net.cycle = cycle;
+        self.net.in_flight_packets = self.inflight_count as usize;
+
+        // Phase 5: arbitrate each router.
+        for r in 0..self.routers.len() {
+            self.arbitrate_router(RouterId(r), cycle);
+        }
+
+        // Phase 6: close out the cycle.
+        self.stats.link_busy_cycles += self.active_mesh_tx as u64;
+        self.net.link_utilization_prev =
+            self.active_mesh_tx as f64 / self.topo.num_mesh_links().max(1) as f64;
+        self.arbiter.end_cycle(&self.net);
+        self.stats.cycles += 1;
+        self.cycle += 1;
+    }
+
+    fn make_packet(&mut self, req: InjectionRequest, cycle: u64) -> Packet {
+        assert!(
+            req.src.index() < self.topo.num_nodes() && req.dst.index() < self.topo.num_nodes(),
+            "injection references unknown node ({} or {})",
+            req.src,
+            req.dst
+        );
+        assert!(
+            req.vnet < self.cfg.num_vnets,
+            "injection vnet {} out of range ({} vnets)",
+            req.vnet,
+            self.cfg.num_vnets
+        );
+        assert!(
+            req.len_flits >= 1 && req.len_flits <= self.cfg.max_packet_flits,
+            "injection length {} flits outside [1, {}]",
+            req.len_flits,
+            self.cfg.max_packet_flits
+        );
+        let src_node = self.topo.node(req.src);
+        let dst_node = self.topo.node(req.dst);
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        Packet {
+            id,
+            src: req.src,
+            dst: req.dst,
+            vnet: req.vnet,
+            msg_type: req.msg_type,
+            dst_type: req.dst_type,
+            len_flits: req.len_flits,
+            create_cycle: cycle,
+            inject_cycle: cycle,
+            src_router: src_node.router,
+            dst_router: dst_node.router,
+            dst_slot: dst_node.slot,
+            hop_count: 0,
+            distance: self
+                .topo
+                .coord(src_node.router)
+                .manhattan(self.topo.coord(dst_node.router)),
+            tag: req.tag,
+        }
+    }
+
+    fn deliver(&mut self, packet: Packet, cycle: u64) {
+        let latency = cycle - packet.create_cycle;
+        self.stats.delivered += 1;
+        self.stats.total_latency += latency;
+        self.stats.total_network_latency += cycle - packet.inject_cycle;
+        self.stats.total_hops += packet.hop_count as u64;
+        self.stats.latencies.push(latency);
+        self.stats.delivered_per_vnet[packet.vnet] += 1;
+        self.stats.delivered_per_node[packet.src.index()] += 1;
+        self.in_flight_per_router[packet.src_router.index()] -= 1;
+        self.inflight_create_sum -= packet.create_cycle as u128;
+        self.inflight_count -= 1;
+        self.period_lat_sum += latency;
+        self.period_delivered += 1;
+        self.traffic.on_delivered(&packet, cycle);
+    }
+
+    /// Routes a head packet to its output port under the configured
+    /// routing function.
+    fn route_port(&self, router: RouterId, dst_router: RouterId, dst_slot: u8, vnet: usize) -> usize {
+        match self.cfg.routing {
+            RoutingKind::XY => route_xy_port(&self.topo, router, dst_router, dst_slot),
+            RoutingKind::WestFirstAdaptive => {
+                // Congestion estimate: occupied + reserved flits in the
+                // downstream input VC of this vnet (more = worse).
+                let congestion = |dir: crate::types::PortDir| -> u32 {
+                    match self.topo.neighbor(router, dir) {
+                        Some(next) => {
+                            let in_port = self.topo.port_index(dir.opposite().expect("mesh dir"));
+                            let b = &self.routers[next.index()].inputs[in_port][vnet];
+                            b.capacity_flits() - b.free_flits()
+                        }
+                        None => u32::MAX, // edge: never pick a missing link
+                    }
+                };
+                match route_west_first(&self.topo, router, dst_router, dst_slot, congestion) {
+                    RouteStep::Forward(dir) => self.topo.port_index(dir),
+                    RouteStep::Eject(slot) => {
+                        self.topo.port_index(crate::types::PortDir::Local(slot))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the candidate describing the head packet of `(in_port, vnet)`.
+    fn candidate_for(&self, router: RouterId, in_port: usize, vnet: usize, cycle: u64) -> Option<(Candidate, usize)> {
+        let buf = &self.routers[router.index()].inputs[in_port][vnet];
+        let bp = buf.head()?;
+        let out_port = self.route_port(router, bp.packet.dst_router, bp.packet.dst_slot, vnet);
+        let local_age = bp.local_age(cycle);
+        let cand = Candidate {
+            in_port,
+            vnet,
+            slot: in_port * self.cfg.num_vnets + vnet,
+            features: Features {
+                payload_size: bp.packet.len_flits,
+                local_age,
+                distance: bp.packet.distance,
+                hop_count: bp.packet.hop_count,
+                in_flight_from_src: self.in_flight_per_router[bp.packet.src_router.index()],
+                inter_arrival: bp.inter_arrival,
+                msg_type: bp.packet.msg_type,
+                dst_type: bp.packet.dst_type,
+            },
+            packet_id: bp.packet.id,
+            create_cycle: bp.packet.create_cycle,
+            arrival_cycle: bp.arrival_cycle,
+            src: bp.packet.src,
+            dst: bp.packet.dst,
+        };
+        Some((cand, out_port))
+    }
+
+    /// True when a packet of `len` flits can be launched from `router`
+    /// through `out_port` (downstream credit available).
+    fn downstream_ready(&self, router: RouterId, out_port: usize, vnet: usize, len: u32) -> bool {
+        let dir = self.topo.port_dir(out_port);
+        if dir.is_local() {
+            return true; // ejection: nodes always sink
+        }
+        let Some(next) = self.topo.neighbor(router, dir) else {
+            return false; // disconnected edge port; packets never route here
+        };
+        let in_port = self.topo.port_index(dir.opposite().expect("mesh dir"));
+        self.routers[next.index()].inputs[in_port][vnet].can_reserve(len)
+    }
+
+    fn arbitrate_router(&mut self, router: RouterId, cycle: u64) {
+        let ports = self.topo.ports_per_router();
+        // Build the request matrix for all free outputs.
+        let mut outputs: Vec<(usize, Vec<Candidate>)> = Vec::new();
+        for out_port in 0..ports {
+            if self.routers[router.index()].out_free_at[out_port] > cycle {
+                continue;
+            }
+            let mut cands = Vec::new();
+            for in_port in 0..ports {
+                for vnet in 0..self.cfg.num_vnets {
+                    if let Some((cand, head_out)) = self.candidate_for(router, in_port, vnet, cycle)
+                    {
+                        if head_out == out_port
+                            && self.downstream_ready(router, out_port, vnet, cand.features.payload_size)
+                        {
+                            self.stats.max_local_age =
+                                self.stats.max_local_age.max(cand.features.local_age);
+                            cands.push(cand);
+                        }
+                    }
+                }
+            }
+            if !cands.is_empty() {
+                outputs.push((out_port, cands));
+            }
+        }
+        if outputs.is_empty() {
+            return;
+        }
+
+        self.arbiter.plan_router(&RouterCtx {
+            router,
+            cycle,
+            num_ports: ports,
+            num_vnets: self.cfg.num_vnets,
+            outputs: &outputs,
+            net: &self.net,
+        });
+
+        let mut granted_inputs: u64 = 0;
+        for (out_port, cands) in &outputs {
+            let avail: Vec<Candidate> = cands
+                .iter()
+                .filter(|c| granted_inputs & (1 << c.in_port) == 0)
+                .cloned()
+                .collect();
+            if avail.is_empty() {
+                continue;
+            }
+            let choice = if avail.len() == 1 {
+                // Single requester: grant directly without querying the
+                // policy (paper §4.5).
+                Some(0)
+            } else {
+                self.stats.arbiter_queries += 1;
+                let ctx = OutputCtx {
+                    router,
+                    out_port: *out_port,
+                    cycle,
+                    num_ports: ports,
+                    num_vnets: self.cfg.num_vnets,
+                    candidates: &avail,
+                    net: &self.net,
+                };
+                self.arbiter.select(&ctx).filter(|&i| i < avail.len())
+            };
+            let Some(i) = choice else { continue };
+            let winner = avail[i].clone();
+            granted_inputs |= 1 << winner.in_port;
+            self.apply_grant(router, *out_port, &winner, cycle);
+        }
+    }
+
+    fn apply_grant(&mut self, router: RouterId, out_port: usize, winner: &Candidate, cycle: u64) {
+        let bp = self.routers[router.index()].inputs[winner.in_port][winner.vnet]
+            .pop()
+            .expect("granted buffer must be non-empty");
+        debug_assert_eq!(bp.packet.id, winner.packet_id, "head changed under grant");
+        let mut pkt = bp.packet;
+        let len = pkt.len_flits;
+        self.stats.grants += 1;
+        if winner.features.local_age > self.cfg.starvation_threshold {
+            self.stats.starved_grants += 1;
+        }
+        self.routers[router.index()].out_free_at[out_port] = cycle + len as u64;
+        if let Some(log) = &mut self.grant_log {
+            log.push(Grant {
+                router,
+                out_port,
+                in_port: winner.in_port,
+                vnet: winner.vnet,
+                packet_id: pkt.id,
+            });
+        }
+
+        let dir = self.topo.port_dir(out_port);
+        if dir.is_local() {
+            // Ejection.
+            self.trace_event(cycle, pkt.id, TraceKind::Delivered { router });
+            let at = cycle + (len as u64 - 1) + self.cfg.link_latency;
+            self.arrivals
+                .entry(at.max(cycle + 1))
+                .or_default()
+                .push(Arrival::Node { packet: pkt });
+        } else {
+            self.trace_event(cycle, pkt.id, TraceKind::Forwarded { router, out_port });
+            let next = self
+                .topo
+                .neighbor(router, dir)
+                .expect("granted mesh port must be connected");
+            let in_port = self.topo.port_index(dir.opposite().expect("mesh dir"));
+            self.routers[next.index()].inputs[in_port][pkt.vnet].reserve(len);
+            pkt.hop_count += 1;
+            self.stats.flits_on_links += len as u64;
+            self.active_mesh_tx += 1;
+            *self.tx_ends.entry(cycle + len as u64).or_insert(0) += 1;
+            let at = cycle + (len as u64 - 1) + self.cfg.link_latency + self.cfg.router_latency;
+            let vnet = pkt.vnet;
+            self.arrivals
+                .entry(at.max(cycle + 1))
+                .or_default()
+                .push(Arrival::Router {
+                    router: next,
+                    in_port,
+                    vnet,
+                    packet: pkt,
+                });
+        }
+    }
+}
+
+impl<T: TrafficSource> std::fmt::Debug for Simulator<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycle", &self.cycle)
+            .field("routers", &self.routers.len())
+            .field("arbiter", &self.arbiter.name())
+            .field("in_flight", &self.inflight_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiters::FifoArbiter;
+    use crate::packet::InjectionRequest;
+    use crate::traffic::{Pattern, SyntheticTraffic, TraceTraffic};
+    use crate::types::{DestType, MsgType, NodeId};
+
+    fn single_packet_sim(src: usize, dst: usize, len: u32) -> Simulator<TraceTraffic> {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let req = InjectionRequest {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            vnet: 0,
+            msg_type: MsgType::Request,
+            dst_type: DestType::Core,
+            len_flits: len,
+            tag: 7,
+        };
+        let traffic = TraceTraffic::new(vec![(0, req)]);
+        Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap()
+    }
+
+    #[test]
+    fn single_packet_is_delivered_with_expected_hops() {
+        let mut sim = single_packet_sim(0, 15, 1);
+        assert!(sim.run_until_done(1_000));
+        let s = sim.stats();
+        assert_eq!(s.created, 1);
+        assert_eq!(s.injected, 1);
+        assert_eq!(s.delivered, 1);
+        // (0,0) → (3,3): 6 hops between routers.
+        assert_eq!(s.total_hops, 6);
+        assert_eq!(s.delivered_per_node[0], 1);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_pipeline_model() {
+        // One hop: src router (0,0) → dst router (1,0), 1-flit packet.
+        let mut sim = single_packet_sim(0, 1, 1);
+        assert!(sim.run_until_done(100));
+        // Injected at cycle 0; forwarded at 0 → arrives next router at
+        // 0+0+1+2=3; ejected at 3 → delivered at 3+0+1=4.
+        assert_eq!(sim.stats().latencies, vec![4]);
+    }
+
+    #[test]
+    fn multi_flit_packet_occupies_output_longer() {
+        let mut sim = single_packet_sim(0, 1, 5);
+        assert!(sim.run_until_done(100));
+        // Serialization adds len-1 = 4 cycles per hop: 4 + 4·2 = 12.
+        assert_eq!(sim.stats().latencies, vec![12]);
+        assert_eq!(sim.stats().flits_on_links, 5);
+    }
+
+    #[test]
+    fn self_router_delivery_works() {
+        // Node 0 and node 0's router: route to a node on the same router is
+        // impossible with one node per router, so use 2-local mesh.
+        let mut topo = Topology::mesh(2, 2, 2).unwrap();
+        let a = topo.attach_node(RouterId(0), 0, DestType::Core).unwrap();
+        let b = topo.attach_node(RouterId(0), 1, DestType::Cache).unwrap();
+        let cfg = SimConfig::synthetic(2, 2);
+        let req = InjectionRequest {
+            src: a,
+            dst: b,
+            vnet: 0,
+            msg_type: MsgType::Request,
+            dst_type: DestType::Cache,
+            len_flits: 1,
+            tag: 0,
+        };
+        let traffic = TraceTraffic::new(vec![(0, req)]);
+        let mut sim = Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        assert!(sim.run_until_done(100));
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().total_hops, 0);
+    }
+
+    #[test]
+    fn conservation_packets_created_eq_delivered_plus_inflight() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.08, 3, 11);
+        let mut sim =
+            Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        sim.run(2_000);
+        let s = sim.stats();
+        assert!(s.delivered > 0);
+        assert_eq!(
+            s.created,
+            s.delivered + sim.in_flight() + sim.queued_at_sources() as u64
+        );
+    }
+
+    #[test]
+    fn grant_log_records_forwarding() {
+        let mut sim = single_packet_sim(0, 3, 1);
+        sim.enable_grant_log();
+        assert!(sim.run_until_done(100));
+        let log = sim.grant_log().unwrap();
+        // 3 router-to-router forwards + 1 ejection = 4 grants for (0,0)→(3,0).
+        assert_eq!(log.len(), 4);
+        assert!(log.iter().all(|g| g.packet_id == 0));
+    }
+
+    #[test]
+    fn single_candidate_grants_bypass_the_policy() {
+        let mut sim = single_packet_sim(0, 15, 1);
+        assert!(sim.run_until_done(1_000));
+        // Only one packet in the network: the policy must never be queried.
+        assert_eq!(sim.stats().arbiter_queries, 0);
+        assert!(sim.stats().grants > 0);
+    }
+
+    #[test]
+    fn reset_stats_preserves_network_state() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.1, 3, 3);
+        let mut sim =
+            Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        sim.run(500);
+        sim.reset_stats();
+        assert_eq!(sim.stats().delivered, 0);
+        sim.run(500);
+        assert!(sim.stats().delivered > 0, "simulation continues after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "vnet")]
+    fn invalid_vnet_injection_panics() {
+        let topo = Topology::uniform_mesh(2, 2).unwrap();
+        let cfg = SimConfig::synthetic(2, 2);
+        let req = InjectionRequest {
+            src: NodeId(0),
+            dst: NodeId(1),
+            vnet: 99,
+            msg_type: MsgType::Request,
+            dst_type: DestType::Core,
+            len_flits: 1,
+            tag: 0,
+        };
+        let traffic = TraceTraffic::new(vec![(0, req)]);
+        let mut sim = Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        sim.step();
+    }
+
+    #[test]
+    fn packet_trace_records_full_journey() {
+        let mut sim = single_packet_sim(0, 3, 1);
+        sim.enable_packet_trace(100);
+        assert!(sim.run_until_done(100));
+        let trace = sim.packet_trace().unwrap();
+        let events = trace.packet_events(0);
+        // Created, injected, 3 forwards (0,0)->(3,0), delivered.
+        assert_eq!(events.len(), 6);
+        assert!(matches!(events[0].kind, crate::trace::TraceKind::Created));
+        assert!(matches!(events[1].kind, crate::trace::TraceKind::Injected { .. }));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            crate::trace::TraceKind::Delivered { .. }
+        ));
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    /// An adversarial arbiter that returns out-of-range indices.
+    #[derive(Debug)]
+    struct BogusArbiter;
+    impl crate::arbitration::Arbiter for BogusArbiter {
+        fn name(&self) -> String {
+            "bogus".into()
+        }
+        fn select(&mut self, ctx: &crate::arbitration::OutputCtx<'_>) -> Option<usize> {
+            Some(ctx.candidates.len() + 10)
+        }
+    }
+
+    /// An arbiter that always abstains.
+    #[derive(Debug)]
+    struct IdleArbiter;
+    impl crate::arbitration::Arbiter for IdleArbiter {
+        fn name(&self) -> String {
+            "idle".into()
+        }
+        fn select(&mut self, _ctx: &crate::arbitration::OutputCtx<'_>) -> Option<usize> {
+            None
+        }
+    }
+
+    #[test]
+    fn out_of_range_selections_are_ignored_not_fatal() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.3, 3, 5);
+        let mut sim = Simulator::new(topo, cfg, Box::new(BogusArbiter), traffic).unwrap();
+        sim.run(2_000);
+        // Uncontended (single-candidate) grants bypass the broken policy,
+        // so traffic still moves; contended outputs stay idle, but nothing
+        // panics and conservation holds.
+        let s = sim.stats();
+        assert!(s.delivered > 0);
+        assert_eq!(
+            s.created,
+            s.delivered + sim.in_flight() + sim.queued_at_sources() as u64
+        );
+    }
+
+    #[test]
+    fn abstaining_arbiter_only_slows_contended_outputs() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.10, 3, 5);
+        let mut sim = Simulator::new(topo, cfg, Box::new(IdleArbiter), traffic).unwrap();
+        sim.run(4_000);
+        assert!(sim.stats().delivered > 0, "fast-path grants keep packets moving");
+    }
+
+    #[test]
+    fn one_grant_per_input_port_per_cycle() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.5, 3, 17);
+        let mut sim =
+            Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        sim.enable_grant_log();
+        sim.run(300);
+        let log = sim.grant_log().unwrap();
+        // Group grants by (cycle-batch) is not directly recorded, so check
+        // via packet ids: a packet can be forwarded at most once per cycle,
+        // and within one router no input port may appear twice in the same
+        // cycle. Reconstruct cycles by replay: grants are appended in
+        // simulation order, and each (router, in_port) pair may repeat only
+        // after other grants — verify no immediate duplicate within the
+        // same router's per-cycle group using packet ids' uniqueness.
+        use std::collections::HashSet;
+        let mut seen_pairs: HashSet<(usize, usize, u64)> = HashSet::new();
+        for g in log {
+            // A (router, in_port) can only be granted once per packet per
+            // hop: the same packet id never repeats for the same router.
+            assert!(
+                seen_pairs.insert((g.router.index(), g.in_port, g.packet_id)),
+                "duplicate grant {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_load_keeps_credits_consistent() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let traffic = SyntheticTraffic::new(&topo, Pattern::Tornado, 0.6, 3, 21)
+            .with_data_packets(0.5, 5);
+        let mut sim =
+            Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        sim.run(3_000); // exercises buffer-full paths; panics would fire on bugs
+        assert!(sim.stats().delivered > 100);
+    }
+}

@@ -1,0 +1,198 @@
+//! Simulation statistics: latency, throughput, link utilization, fairness
+//! and starvation accounting.
+
+/// Running statistics collected by the simulator.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Cycles simulated so far.
+    pub cycles: u64,
+    /// Messages created by traffic sources.
+    pub created: u64,
+    /// Messages that entered the network (left their injection queue).
+    pub injected: u64,
+    /// Messages delivered to their destination node.
+    pub delivered: u64,
+    /// Sum over delivered messages of (delivery cycle − creation cycle).
+    pub total_latency: u64,
+    /// Sum over delivered messages of (delivery cycle − injection cycle),
+    /// i.e. pure network latency excluding source queuing.
+    pub total_network_latency: u64,
+    /// Sum of hop counts of delivered messages.
+    pub total_hops: u64,
+    /// Total flits transported over mesh links (excludes ejection).
+    pub flits_on_links: u64,
+    /// Busy link-cycles accumulated over mesh links.
+    pub link_busy_cycles: u64,
+    /// Per-message latencies (creation → delivery) of every delivered
+    /// message, in delivery order. Used for percentile/tail reporting.
+    pub latencies: Vec<u64>,
+    /// Highest local age ever observed on a buffered packet.
+    pub max_local_age: u64,
+    /// Number of distinct grant decisions where the winner had been waiting
+    /// longer than the starvation threshold.
+    pub starved_grants: u64,
+    /// Packets currently buffered somewhere in the network whose local age
+    /// exceeds the starvation threshold (sampled; see
+    /// [`crate::Simulator::starving_packets`]).
+    pub starving_now: u64,
+    /// Arbitration queries answered by the installed policy (contended
+    /// outputs only; single-candidate grants bypass the policy).
+    pub arbiter_queries: u64,
+    /// Grants performed (including single-candidate fast-path grants).
+    pub grants: u64,
+    /// Per-vnet delivered-message counters.
+    pub delivered_per_vnet: Vec<u64>,
+    /// Per-source-node delivered-message counters (index = node id).
+    pub delivered_per_node: Vec<u64>,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics sized for the given configuration.
+    pub fn new(num_vnets: usize, num_nodes: usize) -> Self {
+        SimStats {
+            delivered_per_vnet: vec![0; num_vnets],
+            delivered_per_node: vec![0; num_nodes],
+            ..SimStats::default()
+        }
+    }
+
+    /// Mean end-to-end latency (creation → delivery) of delivered messages.
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean network latency (injection → delivery) of delivered messages.
+    pub fn avg_network_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_network_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean hop count of delivered messages.
+    pub fn avg_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Delivered messages per node per cycle.
+    pub fn throughput(&self) -> f64 {
+        let nodes = self.delivered_per_node.len().max(1) as f64;
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.cycles as f64 / nodes
+        }
+    }
+
+    /// Average fraction of mesh links busy per cycle, given the mesh's link
+    /// count.
+    pub fn avg_link_utilization(&self, num_links: usize) -> f64 {
+        if self.cycles == 0 || num_links == 0 {
+            0.0
+        } else {
+            self.link_busy_cycles as f64 / (self.cycles as f64 * num_links as f64)
+        }
+    }
+
+    /// Latency at percentile `p` (0–100) over delivered messages, or 0 when
+    /// nothing was delivered. Uses the nearest-rank method on a sorted copy.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Maximum delivered-message latency.
+    pub fn max_latency(&self) -> u64 {
+        self.latencies.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Jain's fairness index over per-node delivered counts: 1.0 means every
+    /// node received equal service, `1/n` means one node got everything.
+    pub fn jain_fairness(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .delivered_per_node
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
+        let n = xs.len() as f64;
+        let sum: f64 = xs.iter().sum();
+        let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+        if sumsq == 0.0 {
+            1.0
+        } else {
+            (sum * sum) / (n * sumsq)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_zeroes() {
+        let s = SimStats::new(3, 16);
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.latency_percentile(99.0), 0);
+        assert_eq!(s.max_latency(), 0);
+        assert_eq!(s.jain_fairness(), 1.0);
+    }
+
+    #[test]
+    fn averages_divide_by_delivered() {
+        let mut s = SimStats::new(1, 4);
+        s.delivered = 4;
+        s.total_latency = 40;
+        s.total_network_latency = 20;
+        s.total_hops = 8;
+        s.cycles = 10;
+        assert_eq!(s.avg_latency(), 10.0);
+        assert_eq!(s.avg_network_latency(), 5.0);
+        assert_eq!(s.avg_hops(), 2.0);
+        assert_eq!(s.throughput(), 0.1);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut s = SimStats::new(1, 1);
+        s.latencies = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(s.latency_percentile(50.0), 50);
+        assert_eq!(s.latency_percentile(90.0), 90);
+        assert_eq!(s.latency_percentile(100.0), 100);
+        assert_eq!(s.latency_percentile(1.0), 10);
+        assert_eq!(s.max_latency(), 100);
+    }
+
+    #[test]
+    fn jain_fairness_detects_imbalance() {
+        let mut s = SimStats::new(1, 4);
+        s.delivered_per_node = vec![10, 10, 10, 10];
+        assert!((s.jain_fairness() - 1.0).abs() < 1e-12);
+        s.delivered_per_node = vec![40, 0, 0, 0];
+        assert!((s.jain_fairness() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_utilization_normalizes_by_links_and_cycles() {
+        let mut s = SimStats::new(1, 4);
+        s.cycles = 100;
+        s.link_busy_cycles = 240;
+        assert!((s.avg_link_utilization(48) - 0.05).abs() < 1e-12);
+        assert_eq!(s.avg_link_utilization(0), 0.0);
+    }
+}

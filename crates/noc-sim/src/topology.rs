@@ -1,0 +1,358 @@
+//! Mesh topology: router grid, node attachment points, and port wiring.
+
+use crate::error::ConfigError;
+use crate::types::{Coord, DestType, NodeId, PortDir, RouterId};
+
+/// A node (endpoint) attached to a router's local port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The node's identifier (its index in [`Topology::nodes`]).
+    pub id: NodeId,
+    /// Router the node hangs off.
+    pub router: RouterId,
+    /// Which local port of that router connects to the node.
+    pub slot: u8,
+    /// Destination class advertised in packets addressed to this node.
+    pub dest_type: DestType,
+}
+
+/// A 2-D mesh of routers with a fixed number of local (injection/ejection)
+/// ports per router and a set of nodes attached to those ports.
+///
+/// All routers share the same port layout — `num_locals` local ports followed
+/// by North, South, West, East — so agents can use one fixed-width state
+/// encoding across the whole fabric (paper §4.4). Edge routers simply have
+/// disconnected mesh ports.
+///
+/// ```
+/// use noc_sim::Topology;
+/// let topo = Topology::uniform_mesh(4, 4).unwrap();
+/// assert_eq!(topo.num_routers(), 16);
+/// assert_eq!(topo.num_nodes(), 16);
+/// assert_eq!(topo.ports_per_router(), 5); // 1 local + N,S,W,E
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    width: u16,
+    height: u16,
+    num_locals: usize,
+    nodes: Vec<Node>,
+    /// `attachment[router][slot]` = node attached there, if any.
+    attachment: Vec<Vec<Option<NodeId>>>,
+}
+
+impl Topology {
+    /// Creates an empty mesh with `num_locals` local ports per router and no
+    /// nodes attached yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptyMesh`] for zero-sized meshes and
+    /// [`ConfigError::NoLocalPorts`] when `num_locals == 0`.
+    pub fn mesh(width: u16, height: u16, num_locals: usize) -> Result<Self, ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::EmptyMesh);
+        }
+        if num_locals == 0 {
+            return Err(ConfigError::NoLocalPorts);
+        }
+        let n = width as usize * height as usize;
+        Ok(Topology {
+            width,
+            height,
+            num_locals,
+            nodes: Vec::new(),
+            attachment: vec![vec![None; num_locals]; n],
+        })
+    }
+
+    /// Creates a `width`×`height` mesh with exactly one node per router
+    /// (slot 0, [`DestType::Core`]) — the configuration of the paper's
+    /// synthetic-traffic study (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptyMesh`] for zero-sized meshes.
+    pub fn uniform_mesh(width: u16, height: u16) -> Result<Self, ConfigError> {
+        let mut topo = Topology::mesh(width, height, 1)?;
+        for r in 0..topo.num_routers() {
+            topo.attach_node(RouterId(r), 0, DestType::Core)?;
+        }
+        Ok(topo)
+    }
+
+    /// Attaches a new node to `(router, slot)` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the router or slot is out of range, or the attachment point
+    /// is already occupied.
+    pub fn attach_node(
+        &mut self,
+        router: RouterId,
+        slot: u8,
+        dest_type: DestType,
+    ) -> Result<NodeId, ConfigError> {
+        if router.index() >= self.num_routers() {
+            return Err(ConfigError::RouterOutOfRange {
+                router: router.index(),
+                num_routers: self.num_routers(),
+            });
+        }
+        if (slot as usize) >= self.num_locals {
+            return Err(ConfigError::SlotOutOfRange {
+                slot,
+                num_locals: self.num_locals,
+            });
+        }
+        if self.attachment[router.index()][slot as usize].is_some() {
+            return Err(ConfigError::DuplicateAttachment {
+                router: router.index(),
+                slot,
+            });
+        }
+        let id = NodeId(self.nodes.len());
+        self.attachment[router.index()][slot as usize] = Some(id);
+        self.nodes.push(Node {
+            id,
+            router,
+            slot,
+            dest_type,
+        });
+        Ok(id)
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of routers in the mesh.
+    pub fn num_routers(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Number of attached nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Local ports per router.
+    pub fn num_locals(&self) -> usize {
+        self.num_locals
+    }
+
+    /// Total ports per router (locals + 4 mesh directions).
+    pub fn ports_per_router(&self) -> usize {
+        self.num_locals + 4
+    }
+
+    /// All attached nodes, in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The node attached at `(router, slot)`, if any.
+    pub fn node_at(&self, router: RouterId, slot: u8) -> Option<NodeId> {
+        self.attachment
+            .get(router.index())
+            .and_then(|slots| slots.get(slot as usize))
+            .copied()
+            .flatten()
+    }
+
+    /// Coordinate of a router.
+    pub fn coord(&self, router: RouterId) -> Coord {
+        let w = self.width as usize;
+        Coord::new((router.index() % w) as u16, (router.index() / w) as u16)
+    }
+
+    /// Router at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the mesh.
+    pub fn router_at(&self, c: Coord) -> RouterId {
+        assert!(c.x < self.width && c.y < self.height, "coordinate outside mesh");
+        RouterId(c.y as usize * self.width as usize + c.x as usize)
+    }
+
+    /// The port layout shared by every router.
+    pub fn port_order(&self) -> Vec<PortDir> {
+        PortDir::port_order(self.num_locals)
+    }
+
+    /// Port index of a direction within the shared layout.
+    pub fn port_index(&self, dir: PortDir) -> usize {
+        match dir {
+            PortDir::Local(k) => {
+                assert!((k as usize) < self.num_locals, "local slot out of range");
+                k as usize
+            }
+            PortDir::North => self.num_locals,
+            PortDir::South => self.num_locals + 1,
+            PortDir::West => self.num_locals + 2,
+            PortDir::East => self.num_locals + 3,
+        }
+    }
+
+    /// Direction of a port index within the shared layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn port_dir(&self, port: usize) -> PortDir {
+        if port < self.num_locals {
+            PortDir::Local(port as u8)
+        } else {
+            match port - self.num_locals {
+                0 => PortDir::North,
+                1 => PortDir::South,
+                2 => PortDir::West,
+                3 => PortDir::East,
+                _ => panic!("port index {port} out of range"),
+            }
+        }
+    }
+
+    /// Neighbor router through a mesh-direction port, or `None` at an edge
+    /// (or for local ports).
+    pub fn neighbor(&self, router: RouterId, dir: PortDir) -> Option<RouterId> {
+        let c = self.coord(router);
+        let nc = match dir {
+            PortDir::North if c.y > 0 => Coord::new(c.x, c.y - 1),
+            PortDir::South if c.y + 1 < self.height => Coord::new(c.x, c.y + 1),
+            PortDir::West if c.x > 0 => Coord::new(c.x - 1, c.y),
+            PortDir::East if c.x + 1 < self.width => Coord::new(c.x + 1, c.y),
+            _ => return None,
+        };
+        Some(self.router_at(nc))
+    }
+
+    /// Number of unidirectional router-to-router links in the mesh
+    /// (excluding injection/ejection links) — the denominator of the
+    /// link-utilization reward (paper §6.3).
+    pub fn num_mesh_links(&self) -> usize {
+        let w = self.width as usize;
+        let h = self.height as usize;
+        2 * ((w - 1) * h + (h - 1) * w)
+    }
+
+    /// Manhattan distance in hops between the routers of two nodes.
+    pub fn node_distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ra = self.node(a).router;
+        let rb = self.node(b).router;
+        self.coord(ra).manhattan(self.coord(rb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mesh_attaches_one_node_per_router() {
+        let t = Topology::uniform_mesh(3, 2).unwrap();
+        assert_eq!(t.num_nodes(), 6);
+        for r in 0..6 {
+            let n = t.node_at(RouterId(r), 0).unwrap();
+            assert_eq!(t.node(n).router, RouterId(r));
+        }
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let t = Topology::uniform_mesh(5, 3).unwrap();
+        for r in 0..t.num_routers() {
+            let c = t.coord(RouterId(r));
+            assert_eq!(t.router_at(c), RouterId(r));
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_edges() {
+        let t = Topology::uniform_mesh(4, 4).unwrap();
+        let corner = t.router_at(Coord::new(0, 0));
+        assert_eq!(t.neighbor(corner, PortDir::North), None);
+        assert_eq!(t.neighbor(corner, PortDir::West), None);
+        assert_eq!(t.neighbor(corner, PortDir::East), Some(t.router_at(Coord::new(1, 0))));
+        assert_eq!(t.neighbor(corner, PortDir::South), Some(t.router_at(Coord::new(0, 1))));
+        assert_eq!(t.neighbor(corner, PortDir::Local(0)), None);
+    }
+
+    #[test]
+    fn neighbor_links_are_mutual() {
+        let t = Topology::uniform_mesh(4, 4).unwrap();
+        for r in 0..t.num_routers() {
+            for d in [PortDir::North, PortDir::South, PortDir::West, PortDir::East] {
+                if let Some(n) = t.neighbor(RouterId(r), d) {
+                    assert_eq!(t.neighbor(n, d.opposite().unwrap()), Some(RouterId(r)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn port_index_roundtrip() {
+        let t = Topology::mesh(2, 2, 2).unwrap();
+        for p in 0..t.ports_per_router() {
+            assert_eq!(t.port_index(t.port_dir(p)), p);
+        }
+    }
+
+    #[test]
+    fn duplicate_attachment_rejected() {
+        let mut t = Topology::mesh(2, 2, 1).unwrap();
+        t.attach_node(RouterId(0), 0, DestType::Core).unwrap();
+        let err = t.attach_node(RouterId(0), 0, DestType::Cache).unwrap_err();
+        assert_eq!(err, ConfigError::DuplicateAttachment { router: 0, slot: 0 });
+    }
+
+    #[test]
+    fn out_of_range_attachments_rejected() {
+        let mut t = Topology::mesh(2, 2, 1).unwrap();
+        assert!(matches!(
+            t.attach_node(RouterId(99), 0, DestType::Core),
+            Err(ConfigError::RouterOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.attach_node(RouterId(0), 4, DestType::Core),
+            Err(ConfigError::SlotOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn mesh_link_count_matches_enumeration() {
+        let t = Topology::uniform_mesh(4, 4).unwrap();
+        let mut count = 0;
+        for r in 0..t.num_routers() {
+            for d in [PortDir::North, PortDir::South, PortDir::West, PortDir::East] {
+                if t.neighbor(RouterId(r), d).is_some() {
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, t.num_mesh_links());
+    }
+
+    #[test]
+    fn zero_sized_meshes_rejected() {
+        assert_eq!(Topology::mesh(0, 4, 1).unwrap_err(), ConfigError::EmptyMesh);
+        assert_eq!(Topology::mesh(4, 0, 1).unwrap_err(), ConfigError::EmptyMesh);
+        assert_eq!(Topology::mesh(4, 4, 0).unwrap_err(), ConfigError::NoLocalPorts);
+    }
+}

@@ -1,0 +1,399 @@
+//! Feature selection and state-vector encoding (paper §4.3–§4.4, §6.2).
+//!
+//! A router state vector is the concatenation, over every input buffer
+//! `(port, vnet)` in a fixed layout, of the selected message features of the
+//! buffer's head message — zeros for buffers that are empty or not competing
+//! for the output being arbitrated. Scalar features are normalized to
+//! `[0, 1]`; categorical features (message type, destination type) are
+//! one-hot encoded so the network can learn their importance independently
+//! (§6.2).
+
+use noc_sim::{Candidate, FeatureBounds, OutputCtx};
+
+/// The individual message features of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// Message size in flits.
+    PayloadSize,
+    /// Cycles waiting at the current router.
+    LocalAge,
+    /// Source-to-destination hops.
+    Distance,
+    /// Hops traversed so far.
+    HopCount,
+    /// Outstanding messages from the source router.
+    InFlight,
+    /// Gap between the two most recent arrivals at the buffer.
+    InterArrival,
+    /// Request / response / coherence (one-hot, 3 wide).
+    MsgType,
+    /// Core / cache / memory destination (one-hot, 3 wide).
+    DestType,
+}
+
+impl Feature {
+    /// All features in canonical (Table 2) order.
+    pub const ALL: [Feature; 8] = [
+        Feature::PayloadSize,
+        Feature::LocalAge,
+        Feature::Distance,
+        Feature::HopCount,
+        Feature::InFlight,
+        Feature::InterArrival,
+        Feature::MsgType,
+        Feature::DestType,
+    ];
+
+    /// Number of state-vector entries this feature occupies.
+    pub fn width(self) -> usize {
+        match self {
+            Feature::MsgType | Feature::DestType => 3,
+            _ => 1,
+        }
+    }
+
+    /// Short display label used in heatmaps and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Feature::PayloadSize => "payload size",
+            Feature::LocalAge => "local age",
+            Feature::Distance => "distance",
+            Feature::HopCount => "hop count",
+            Feature::InFlight => "# in-flight msg",
+            Feature::InterArrival => "inter-arrival",
+            Feature::MsgType => "message type",
+            Feature::DestType => "destination type",
+        }
+    }
+}
+
+/// An ordered set of enabled features.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureSet {
+    enabled: Vec<Feature>,
+}
+
+impl FeatureSet {
+    /// The full Table 2 set: 12 entries per buffer (6 scalars + two one-hot
+    /// triples), as used in the APU study (§4.3).
+    pub fn full() -> Self {
+        FeatureSet {
+            enabled: Feature::ALL.to_vec(),
+        }
+    }
+
+    /// The synthetic-study set (§3.2): payload size, local age, distance,
+    /// hop count — 4 entries per buffer.
+    pub fn synthetic() -> Self {
+        FeatureSet {
+            enabled: vec![
+                Feature::PayloadSize,
+                Feature::LocalAge,
+                Feature::Distance,
+                Feature::HopCount,
+            ],
+        }
+    }
+
+    /// A set with exactly one feature (hill-climbing, Fig. 13).
+    pub fn only(feature: Feature) -> Self {
+        FeatureSet {
+            enabled: vec![feature],
+        }
+    }
+
+    /// Builds a set from an explicit feature list, keeping order and
+    /// dropping duplicates.
+    pub fn from_features(features: &[Feature]) -> Self {
+        let mut enabled = Vec::new();
+        for &f in features {
+            if !enabled.contains(&f) {
+                enabled.push(f);
+            }
+        }
+        FeatureSet { enabled }
+    }
+
+    /// Returns a new set with `feature` appended (no-op if present).
+    pub fn with(&self, feature: Feature) -> Self {
+        let mut enabled = self.enabled.clone();
+        if !enabled.contains(&feature) {
+            enabled.push(feature);
+        }
+        FeatureSet { enabled }
+    }
+
+    /// The enabled features, in encoding order.
+    pub fn features(&self) -> &[Feature] {
+        &self.enabled
+    }
+
+    /// Entries per buffer.
+    pub fn width_per_buffer(&self) -> usize {
+        self.enabled.iter().map(|f| f.width()).sum()
+    }
+
+    /// True if the feature is enabled.
+    pub fn contains(&self, feature: Feature) -> bool {
+        self.enabled.contains(&feature)
+    }
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        FeatureSet::full()
+    }
+}
+
+/// Encodes router states into fixed-width vectors for the agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateEncoder {
+    num_ports: usize,
+    num_vnets: usize,
+    features: FeatureSet,
+    bounds: FeatureBounds,
+}
+
+impl StateEncoder {
+    /// Creates an encoder for routers with `num_ports × num_vnets` buffers.
+    pub fn new(
+        num_ports: usize,
+        num_vnets: usize,
+        features: FeatureSet,
+        bounds: FeatureBounds,
+    ) -> Self {
+        StateEncoder {
+            num_ports,
+            num_vnets,
+            features,
+            bounds,
+        }
+    }
+
+    /// Buffers per router (= the agent's action-space size).
+    pub fn num_slots(&self) -> usize {
+        self.num_ports * self.num_vnets
+    }
+
+    /// State-vector width (= the agent network's input width).
+    ///
+    /// For the paper's APU router this is 6 ports × 7 VCs × 12 features
+    /// = 504 (§4.6); for the synthetic 4×4 router, 5 × 3 × 4 = 60 (§3.2).
+    pub fn state_width(&self) -> usize {
+        self.num_slots() * self.features.width_per_buffer()
+    }
+
+    /// The enabled feature set.
+    pub fn features(&self) -> &FeatureSet {
+        &self.features
+    }
+
+    /// Virtual networks per port.
+    pub fn num_vnets(&self) -> usize {
+        self.num_vnets
+    }
+
+    /// Ports per router.
+    pub fn num_ports(&self) -> usize {
+        self.num_ports
+    }
+
+    /// Encodes one candidate's features into `out[offset..]`.
+    fn encode_candidate(&self, c: &Candidate, out: &mut [f64], mut offset: usize) {
+        let b = &self.bounds;
+        for &f in self.features.features() {
+            match f {
+                Feature::PayloadSize => {
+                    out[offset] =
+                        FeatureBounds::norm_u64(c.features.payload_size as u64, b.max_payload as u64);
+                }
+                Feature::LocalAge => {
+                    // Square-root companding: waiting times cluster at the
+                    // low end of the cap, and a linear map would compress
+                    // exactly the region the policy must discriminate
+                    // (§6.2's normalization lesson, adapted).
+                    out[offset] =
+                        FeatureBounds::norm_u64(c.features.local_age, b.max_local_age).sqrt();
+                }
+                Feature::Distance => {
+                    out[offset] =
+                        FeatureBounds::norm_u64(c.features.distance as u64, b.max_distance as u64);
+                }
+                Feature::HopCount => {
+                    out[offset] =
+                        FeatureBounds::norm_u64(c.features.hop_count as u64, b.max_hop_count as u64);
+                }
+                Feature::InFlight => {
+                    out[offset] = FeatureBounds::norm_u64(
+                        c.features.in_flight_from_src as u64,
+                        b.max_in_flight as u64,
+                    );
+                }
+                Feature::InterArrival => {
+                    out[offset] = FeatureBounds::norm_u64(
+                        c.features.inter_arrival,
+                        b.max_inter_arrival,
+                    )
+                    .sqrt();
+                }
+                Feature::MsgType => {
+                    out[offset + c.features.msg_type.one_hot_index()] = 1.0;
+                }
+                Feature::DestType => {
+                    out[offset + c.features.dst_type.one_hot_index()] = 1.0;
+                }
+            }
+            offset += f.width();
+        }
+    }
+
+    /// Encodes the state vector for one output-port arbitration: the
+    /// features of every competing buffer at its `(port, vnet)` position,
+    /// zeros elsewhere (paper §3.1.1: "a list of features from all messages
+    /// that compete for the same output port").
+    pub fn encode(&self, ctx: &OutputCtx<'_>) -> Vec<f64> {
+        let mut state = vec![0.0; self.state_width()];
+        let w = self.features.width_per_buffer();
+        for c in ctx.candidates {
+            debug_assert!(c.slot < self.num_slots(), "candidate slot out of range");
+            self.encode_candidate(c, &mut state, c.slot * w);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::{DestType, Features, MsgType, NetSnapshot, NodeId, RouterId};
+
+    fn cand(slot: usize, vnets: usize) -> Candidate {
+        Candidate {
+            in_port: slot / vnets,
+            vnet: slot % vnets,
+            slot,
+            features: Features {
+                payload_size: 4,
+                local_age: 32,
+                distance: 7,
+                hop_count: 3,
+                in_flight_from_src: 16,
+                inter_arrival: 8,
+                msg_type: MsgType::Response,
+                dst_type: DestType::Memory,
+            },
+            packet_id: 1,
+            create_cycle: 0,
+            arrival_cycle: 0,
+            src: NodeId(0),
+            dst: NodeId(1),
+        }
+    }
+
+    fn bounds() -> FeatureBounds {
+        FeatureBounds {
+            max_payload: 8,
+            max_local_age: 64,
+            max_distance: 14,
+            max_hop_count: 14,
+            max_in_flight: 64,
+            max_inter_arrival: 64,
+        }
+    }
+
+    #[test]
+    fn paper_widths_are_reproduced() {
+        // §4.6: 6 × 7 × 12 = 504.
+        let apu = StateEncoder::new(6, 7, FeatureSet::full(), bounds());
+        assert_eq!(apu.state_width(), 504);
+        assert_eq!(apu.num_slots(), 42);
+        // §3.2: 5 × 3 × 4 = 60.
+        let synth = StateEncoder::new(5, 3, FeatureSet::synthetic(), bounds());
+        assert_eq!(synth.state_width(), 60);
+        assert_eq!(synth.num_slots(), 15);
+    }
+
+    #[test]
+    fn encoding_places_features_at_slot_offset() {
+        let enc = StateEncoder::new(5, 3, FeatureSet::synthetic(), bounds());
+        let net = NetSnapshot::default();
+        let cands = vec![cand(4, 3)];
+        let ctx = OutputCtx {
+            router: RouterId(0),
+            out_port: 0,
+            cycle: 0,
+            num_ports: 5,
+            num_vnets: 3,
+            candidates: &cands,
+            net: &net,
+        };
+        let s = enc.encode(&ctx);
+        assert_eq!(s.len(), 60);
+        let base = 4 * 4; // slot 4 × 4 features
+        assert!((s[base] - 0.5).abs() < 1e-12, "payload 4/8");
+        // Local age is sqrt-companded: sqrt(32/64).
+        assert!((s[base + 1] - (0.5_f64).sqrt()).abs() < 1e-12, "local age sqrt(32/64)");
+        assert!((s[base + 2] - 0.5).abs() < 1e-12, "distance 7/14");
+        assert!((s[base + 3] - 3.0 / 14.0).abs() < 1e-12, "hops 3/14");
+        // All other entries zero.
+        let nonzero = s.iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nonzero, 4);
+    }
+
+    #[test]
+    fn one_hot_features_set_exactly_one_bit() {
+        let enc = StateEncoder::new(6, 7, FeatureSet::full(), bounds());
+        let net = NetSnapshot::default();
+        let cands = vec![cand(0, 7)];
+        let ctx = OutputCtx {
+            router: RouterId(0),
+            out_port: 0,
+            cycle: 0,
+            num_ports: 6,
+            num_vnets: 7,
+            candidates: &cands,
+            net: &net,
+        };
+        let s = enc.encode(&ctx);
+        // Layout per buffer: 6 scalars, then msg-type one-hot, then dest-type.
+        let msg = &s[6..9];
+        let dst = &s[9..12];
+        assert_eq!(msg, &[0.0, 1.0, 0.0]); // Response
+        assert_eq!(dst, &[0.0, 0.0, 1.0]); // Memory
+    }
+
+    #[test]
+    fn all_encoded_values_are_normalized() {
+        let enc = StateEncoder::new(6, 7, FeatureSet::full(), bounds());
+        let net = NetSnapshot::default();
+        let mut c = cand(10, 7);
+        c.features.local_age = 1_000_000; // way past the cap
+        c.features.hop_count = 200;
+        let cands = vec![c];
+        let ctx = OutputCtx {
+            router: RouterId(0),
+            out_port: 0,
+            cycle: 0,
+            num_ports: 6,
+            num_vnets: 7,
+            candidates: &cands,
+            net: &net,
+        };
+        let s = enc.encode(&ctx);
+        assert!(s.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn feature_set_builders() {
+        assert_eq!(FeatureSet::full().width_per_buffer(), 12);
+        assert_eq!(FeatureSet::synthetic().width_per_buffer(), 4);
+        assert_eq!(FeatureSet::only(Feature::MsgType).width_per_buffer(), 3);
+        let combined = FeatureSet::only(Feature::LocalAge).with(Feature::HopCount);
+        assert_eq!(combined.width_per_buffer(), 2);
+        assert!(combined.contains(Feature::HopCount));
+        // Duplicate insertion is a no-op.
+        assert_eq!(combined.with(Feature::LocalAge).width_per_buffer(), 2);
+        let dedup = FeatureSet::from_features(&[Feature::LocalAge, Feature::LocalAge]);
+        assert_eq!(dedup.features().len(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Hill-climbing feature selection (paper §6.5).
+//!
+//! "We started by individually training the neural network with only one
+//! feature at a time … we then retrained utilizing all pairs of features
+//! combining local age with one other feature … which resulted in local age
+//! and hop count." This module automates that procedure: greedily grow the
+//! feature set, keeping an addition only if it improves final latency by at
+//! least a relative margin.
+
+use crate::features::{Feature, FeatureSet};
+use crate::train::{train_synthetic, TrainSpec};
+
+/// One evaluated feature set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The features trained with.
+    pub features: Vec<Feature>,
+    /// Mean latency over the last quarter of the training curve.
+    pub latency: f64,
+}
+
+/// Result of a hill-climbing search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HillClimbResult {
+    /// The selected feature set, in the order features were adopted.
+    pub selected: Vec<Feature>,
+    /// Final latency of the selected set.
+    pub latency: f64,
+    /// Every evaluation performed, in order.
+    pub history: Vec<Evaluation>,
+}
+
+fn settled_latency(spec: &TrainSpec) -> f64 {
+    let out = train_synthetic(spec);
+    let q = (out.curve.len() / 4).max(1);
+    let tail = &out.curve[out.curve.len() - q..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+/// Greedy forward feature selection over `candidates`, evaluated by
+/// training on `base` (whose `features` field is replaced per evaluation).
+/// An addition is kept when it improves the settled latency by at least
+/// `min_gain` (relative, e.g. `0.02` = 2%).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn hill_climb(base: &TrainSpec, candidates: &[Feature], min_gain: f64) -> HillClimbResult {
+    assert!(!candidates.is_empty(), "need at least one candidate feature");
+    let mut history = Vec::new();
+    let eval = |features: &[Feature], history: &mut Vec<Evaluation>| {
+        let spec = TrainSpec {
+            features: FeatureSet::from_features(features),
+            ..base.clone()
+        };
+        let latency = settled_latency(&spec);
+        history.push(Evaluation {
+            features: features.to_vec(),
+            latency,
+        });
+        latency
+    };
+
+    // Round 1: each feature alone.
+    let mut best_set: Vec<Feature> = Vec::new();
+    let mut best_latency = f64::INFINITY;
+    for &f in candidates {
+        let l = eval(&[f], &mut history);
+        if l < best_latency {
+            best_latency = l;
+            best_set = vec![f];
+        }
+    }
+
+    // Subsequent rounds: try adding each remaining feature.
+    loop {
+        let mut round_best: Option<(Feature, f64)> = None;
+        for &f in candidates {
+            if best_set.contains(&f) {
+                continue;
+            }
+            let mut trial = best_set.clone();
+            trial.push(f);
+            let l = eval(&trial, &mut history);
+            if round_best.is_none_or(|(_, bl)| l < bl) {
+                round_best = Some((f, l));
+            }
+        }
+        match round_best {
+            Some((f, l)) if l < best_latency * (1.0 - min_gain) => {
+                best_set.push(f);
+                best_latency = l;
+            }
+            _ => break,
+        }
+    }
+
+    HillClimbResult {
+        selected: best_set,
+        latency: best_latency,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::AgentConfig;
+    use noc_sim::Pattern;
+
+    fn tiny_spec() -> TrainSpec {
+        TrainSpec {
+            width: 4,
+            height: 4,
+            pattern: Pattern::UniformRandom,
+            injection_rate: 0.3,
+            epochs: 4,
+            cycles_per_epoch: 300,
+            agent: AgentConfig::paper_synthetic(2),
+            features: FeatureSet::synthetic(),
+            traffic_seed: 5,
+            curriculum: Vec::new(),
+            feature_bounds: None,
+        }
+    }
+
+    #[test]
+    fn single_round_explores_each_candidate() {
+        let result = hill_climb(
+            &tiny_spec(),
+            &[Feature::LocalAge, Feature::HopCount],
+            0.5, // huge gain requirement: stop after round 1
+        );
+        assert_eq!(result.selected.len(), 1);
+        // Round 1 (2 evals) + round 2 (1 eval of the remaining feature).
+        assert_eq!(result.history.len(), 3);
+        assert!(result.latency.is_finite());
+    }
+
+    #[test]
+    fn history_records_feature_sets() {
+        let result = hill_climb(&tiny_spec(), &[Feature::PayloadSize], 0.01);
+        assert_eq!(result.history[0].features, vec![Feature::PayloadSize]);
+        assert_eq!(result.selected, vec![Feature::PayloadSize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_rejected() {
+        hill_climb(&tiny_spec(), &[], 0.01);
+    }
+}

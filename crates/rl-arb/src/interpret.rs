@@ -1,0 +1,261 @@
+//! Interpretability tooling: the weight heatmaps of Figs. 4 and 7.
+//!
+//! "Fig. 4 shows a heatmap where each pixel is the average of the absolute
+//! value of a specific weight across all 15 neurons in the hidden layer. A
+//! darker pixel has a higher magnitude … each row corresponds to a feature,
+//! and each column corresponds to an input buffer." This module computes
+//! that matrix from a trained network plus its encoder, and renders it as
+//! ASCII art or CSV.
+
+use nn_mlp::Mlp;
+
+use crate::features::StateEncoder;
+
+/// The averaged first-layer weight-magnitude matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    /// Row labels — one per state-vector entry of a buffer (feature name,
+    /// with an index suffix for one-hot features).
+    pub row_labels: Vec<String>,
+    /// Column labels — one per input buffer, `"{port}.vc{v}"`.
+    pub col_labels: Vec<String>,
+    /// Row-major values, `rows × cols`, each the mean `|w|` over hidden
+    /// neurons for that (feature entry, buffer) input.
+    pub values: Vec<f64>,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Heatmap {
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        assert!(col < self.cols, "column out of range");
+        self.values[row * self.cols + col]
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.row_labels.len()
+    }
+
+    /// Mean magnitude of a whole row (a feature entry across all buffers).
+    pub fn row_mean(&self, row: usize) -> f64 {
+        let r = &self.values[row * self.cols..(row + 1) * self.cols];
+        r.iter().sum::<f64>() / self.cols as f64
+    }
+
+    /// Rows ranked by mean magnitude, strongest first — the "which features
+    /// does the network use" readout of §3.2 and §4.6.
+    pub fn ranked_rows(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = (0..self.rows()).map(|r| (r, self.row_mean(r))).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Renders the heatmap as ASCII art (darker character = larger
+    /// magnitude), mirroring the paper's figures in a terminal.
+    pub fn to_ascii(&self) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let max = self
+            .values
+            .iter()
+            .fold(0.0_f64, |m, &v| m.max(v))
+            .max(1e-12);
+        let label_w = self.row_labels.iter().map(|l| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (r, label) in self.row_labels.iter().enumerate() {
+            out.push_str(&format!("{label:>label_w$} |"));
+            for c in 0..self.cols {
+                let v = self.at(r, c) / max;
+                let idx = ((v * (SHADES.len() - 1) as f64).round() as usize)
+                    .min(SHADES.len() - 1);
+                out.push(SHADES[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the heatmap as CSV with header row/column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("feature");
+        for c in &self.col_labels {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (r, label) in self.row_labels.iter().enumerate() {
+            out.push_str(label);
+            for c in 0..self.cols {
+                out.push_str(&format!(",{:.6}", self.at(r, c)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Computes the Fig. 4 / Fig. 7 heatmap from a trained network.
+///
+/// # Panics
+///
+/// Panics if the network's input width does not match the encoder.
+pub fn weight_heatmap(net: &Mlp, encoder: &StateEncoder) -> Heatmap {
+    assert_eq!(
+        net.input_size(),
+        encoder.state_width(),
+        "network does not match encoder"
+    );
+    let first = &net.layers()[0];
+    let hidden = first.outputs();
+    let per_buffer = encoder.features().width_per_buffer();
+    let slots = encoder.num_slots();
+
+    // Row labels: feature entries in encoding order.
+    let mut row_labels = Vec::with_capacity(per_buffer);
+    for f in encoder.features().features() {
+        if f.width() == 1 {
+            row_labels.push(f.label().to_string());
+        } else {
+            for k in 0..f.width() {
+                row_labels.push(format!("{}[{k}]", f.label()));
+            }
+        }
+    }
+
+    // Column labels: Local0.., N, S, W, E × vnet.
+    let locals = encoder.num_ports() - 4;
+    let mut col_labels = Vec::with_capacity(slots);
+    for port in 0..encoder.num_ports() {
+        let pname = if port < locals {
+            match (locals, port) {
+                (1, _) => "Core".to_string(),
+                (2, 0) => "Core".to_string(),
+                (2, 1) => "Mem".to_string(),
+                _ => format!("L{port}"),
+            }
+        } else {
+            ["N", "S", "W", "E"][port - locals].to_string()
+        };
+        for v in 0..encoder.num_vnets() {
+            col_labels.push(format!("{pname}.vc{v}"));
+        }
+    }
+
+    // values[row][slot] = mean over hidden neurons of |w[neuron][input]|
+    // where input = slot * per_buffer + row.
+    let mut values = vec![0.0; per_buffer * slots];
+    for row in 0..per_buffer {
+        for slot in 0..slots {
+            let input = slot * per_buffer + row;
+            let sum: f64 = (0..hidden).map(|h| first.weight(h, input).abs()).sum();
+            values[row * slots + slot] = sum / hidden as f64;
+        }
+    }
+    Heatmap {
+        row_labels,
+        col_labels,
+        values,
+        cols: slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{Feature, FeatureSet};
+    use nn_mlp::{Activation, DenseLayer};
+    use noc_sim::FeatureBounds;
+
+    fn encoder() -> StateEncoder {
+        StateEncoder::new(5, 3, FeatureSet::synthetic(), FeatureBounds::for_mesh(4, 4))
+    }
+
+    /// Builds a network whose first layer has |w| = input index, so the
+    /// heatmap values are predictable.
+    fn indexed_net(enc: &StateEncoder) -> Mlp {
+        let inputs = enc.state_width();
+        let hidden = 2;
+        let mut w1 = Vec::with_capacity(inputs * hidden);
+        for _h in 0..hidden {
+            for i in 0..inputs {
+                w1.push(i as f64);
+            }
+        }
+        let l1 = DenseLayer::from_parts(inputs, hidden, w1, vec![0.0; hidden], Activation::Sigmoid);
+        let l2 = DenseLayer::from_parts(
+            hidden,
+            enc.num_slots(),
+            vec![0.1; hidden * enc.num_slots()],
+            vec![0.0; enc.num_slots()],
+            Activation::Relu,
+        );
+        Mlp::from_layers(vec![l1, l2])
+    }
+
+    #[test]
+    fn heatmap_shape_matches_encoder() {
+        let enc = encoder();
+        let hm = weight_heatmap(&indexed_net(&enc), &enc);
+        assert_eq!(hm.rows(), 4); // 4 synthetic features
+        assert_eq!(hm.cols, 15); // 5 ports × 3 vcs
+        assert_eq!(hm.col_labels[0], "Core.vc0");
+        assert_eq!(hm.col_labels[14], "E.vc2");
+        assert_eq!(hm.row_labels[1], "local age");
+    }
+
+    #[test]
+    fn heatmap_values_average_first_layer_magnitudes() {
+        let enc = encoder();
+        let hm = weight_heatmap(&indexed_net(&enc), &enc);
+        // Input index for (row=1 local age, slot=3) is 3*4+1 = 13; both
+        // hidden neurons carry |w| = 13.
+        assert!((hm.at(1, 3) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranked_rows_orders_by_mean_magnitude() {
+        let enc = encoder();
+        let hm = weight_heatmap(&indexed_net(&enc), &enc);
+        // With |w| = input index, later rows within each buffer have larger
+        // weights: hop count (row 3) must rank first.
+        let ranked = hm.ranked_rows();
+        assert_eq!(ranked[0].0, 3);
+        assert_eq!(ranked.last().unwrap().0, 0);
+    }
+
+    #[test]
+    fn ascii_and_csv_render_every_cell() {
+        let enc = encoder();
+        let hm = weight_heatmap(&indexed_net(&enc), &enc);
+        let ascii = hm.to_ascii();
+        assert_eq!(ascii.lines().count(), 4);
+        let csv = hm.to_csv();
+        assert_eq!(csv.lines().count(), 5); // header + 4 rows
+        assert!(csv.starts_with("feature,Core.vc0,"));
+    }
+
+    #[test]
+    fn one_hot_rows_get_indexed_labels() {
+        let enc = StateEncoder::new(
+            6,
+            7,
+            FeatureSet::from_features(&[Feature::LocalAge, Feature::MsgType]),
+            FeatureBounds::for_mesh(8, 8),
+        );
+        let net = Mlp::paper_agent(enc.state_width(), 4, enc.num_slots(), 0);
+        let hm = weight_heatmap(&net, &enc);
+        assert_eq!(hm.row_labels, vec![
+            "local age",
+            "message type[0]",
+            "message type[1]",
+            "message type[2]"
+        ]);
+        assert_eq!(hm.col_labels[0], "Core.vc0");
+        assert_eq!(hm.col_labels[7], "Mem.vc0");
+    }
+}

@@ -1,0 +1,194 @@
+//! Multiple agents over router subsets (paper §3.1.1).
+//!
+//! "Note that the same neural-network weights are used to calculate
+//! Q-values across all output ports and routers … However, this is not
+//! fundamental; designers can use multiple agents for training, where each
+//! agent is trained with only a fixed subset of routers." This module
+//! implements that design point: a router→agent partition, an arbiter that
+//! dispatches each decision to the owning agent, and a quadrant partition
+//! helper matching the APU layout.
+
+use noc_sim::{Arbiter, NetSnapshot, OutputCtx, RouterCtx, Topology};
+
+use crate::agent::{AgentConfig, DqnAgent, RlAgentArbiter, SharedAgent};
+use crate::features::StateEncoder;
+
+/// A set of agents plus the router→agent assignment.
+#[derive(Debug, Clone)]
+pub struct PartitionedAgents {
+    agents: Vec<SharedAgent>,
+    /// `assignment[router] = agent index`.
+    assignment: Vec<usize>,
+}
+
+impl PartitionedAgents {
+    /// Creates a partition from explicit agents and a per-router
+    /// assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents` is empty or any assignment index is out of range.
+    pub fn new(agents: Vec<SharedAgent>, assignment: Vec<usize>) -> Self {
+        assert!(!agents.is_empty(), "need at least one agent");
+        assert!(
+            assignment.iter().all(|&a| a < agents.len()),
+            "assignment references a missing agent"
+        );
+        PartitionedAgents { agents, assignment }
+    }
+
+    /// One agent per mesh quadrant — the natural partition for the APU
+    /// system, where each quadrant runs an independent workload copy.
+    /// Agents are seeded from `cfg.seed + quadrant`.
+    pub fn by_quadrant(topo: &Topology, encoder: &StateEncoder, cfg: &AgentConfig) -> Self {
+        let agents: Vec<SharedAgent> = (0..4)
+            .map(|q| {
+                let mut c = cfg.clone();
+                c.seed = cfg.seed.wrapping_add(q as u64);
+                DqnAgent::new(encoder.clone(), c).into_shared()
+            })
+            .collect();
+        let assignment = (0..topo.num_routers())
+            .map(|r| {
+                let c = topo.coord(noc_sim::RouterId(r));
+                let qx = usize::from(c.x >= topo.width() / 2);
+                let qy = usize::from(c.y >= topo.height() / 2);
+                qy * 2 + qx
+            })
+            .collect();
+        PartitionedAgents { agents, assignment }
+    }
+
+    /// The agents, in index order.
+    pub fn agents(&self) -> &[SharedAgent] {
+        &self.agents
+    }
+
+    /// The per-router assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// A training arbiter dispatching each router's decisions to its
+    /// owning agent.
+    pub fn training_arbiter(&self) -> MultiAgentArbiter {
+        MultiAgentArbiter {
+            handles: self.agents.iter().map(|a| a.training_arbiter()).collect(),
+            assignment: self.assignment.clone(),
+        }
+    }
+
+    /// Recovers the trained agents once the simulator (and its arbiter)
+    /// has been dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arbiter handles are still alive.
+    pub fn into_agents(self) -> Vec<DqnAgent> {
+        self.agents.into_iter().map(SharedAgent::into_inner).collect()
+    }
+}
+
+/// An [`Arbiter`] that routes each decision to the agent owning the
+/// router, per the partition.
+#[derive(Debug)]
+pub struct MultiAgentArbiter {
+    handles: Vec<RlAgentArbiter>,
+    assignment: Vec<usize>,
+}
+
+impl Arbiter for MultiAgentArbiter {
+    fn name(&self) -> String {
+        format!("RL-agents x{} (training)", self.handles.len())
+    }
+
+    fn select(&mut self, ctx: &OutputCtx<'_>) -> Option<usize> {
+        let agent = self
+            .assignment
+            .get(ctx.router.index())
+            .copied()
+            .unwrap_or(0);
+        self.handles[agent].select(ctx)
+    }
+
+    fn plan_router(&mut self, ctx: &RouterCtx<'_>) {
+        let agent = self
+            .assignment
+            .get(ctx.router.index())
+            .copied()
+            .unwrap_or(0);
+        self.handles[agent].plan_router(ctx);
+    }
+
+    fn end_cycle(&mut self, net: &NetSnapshot) {
+        for h in &mut self.handles {
+            h.end_cycle(net);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSet;
+    use noc_sim::{
+        FeatureBounds, Pattern, SimConfig, Simulator, SyntheticTraffic,
+    };
+
+    fn encoder() -> StateEncoder {
+        StateEncoder::new(5, 3, FeatureSet::synthetic(), FeatureBounds::for_mesh(4, 4))
+    }
+
+    #[test]
+    fn quadrant_partition_covers_all_routers() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let p = PartitionedAgents::by_quadrant(&topo, &encoder(), &AgentConfig::tuned_synthetic(1));
+        assert_eq!(p.agents().len(), 4);
+        assert_eq!(p.assignment().len(), 16);
+        // Each quadrant owns exactly 4 routers of the 4x4 mesh.
+        for q in 0..4 {
+            assert_eq!(p.assignment().iter().filter(|&&a| a == q).count(), 4);
+        }
+    }
+
+    #[test]
+    fn multi_agent_training_reaches_every_agent() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let partition =
+            PartitionedAgents::by_quadrant(&topo, &encoder(), &AgentConfig::tuned_synthetic(3));
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.35, cfg.num_vnets, 9);
+        let mut sim = Simulator::new(
+            topo,
+            cfg,
+            Box::new(partition.training_arbiter()),
+            traffic,
+        )
+        .unwrap();
+        sim.run(3_000);
+        drop(sim);
+        let agents = partition.into_agents();
+        for (i, a) in agents.iter().enumerate() {
+            assert!(a.decisions() > 0, "agent {i} made no decisions");
+        }
+        // Decisions are split, not duplicated: under uniform traffic every
+        // quadrant sees a comparable share.
+        let total: u64 = agents.iter().map(|a| a.decisions()).sum();
+        for a in &agents {
+            assert!(a.decisions() * 8 > total, "agent shares are wildly uneven");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "references a missing agent")]
+    fn bad_assignment_rejected() {
+        let a = DqnAgent::new(encoder(), AgentConfig::tuned_synthetic(0)).into_shared();
+        PartitionedAgents::new(vec![a], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn empty_agent_list_rejected() {
+        PartitionedAgents::new(vec![], vec![]);
+    }
+}

@@ -1,0 +1,390 @@
+//! Experience replay memory (paper §3.1.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One `⟨state, action, next state, reward⟩` tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experience {
+    /// State vector at decision time.
+    pub state: Vec<f64>,
+    /// Chosen action (buffer slot).
+    pub action: usize,
+    /// State at the *next* arbitration of the same (router, output port).
+    /// Tuples are completed before insertion, so this is always populated.
+    pub next_state: Vec<f64>,
+    /// Buffer slots that held competing candidates in `next_state`. The
+    /// Bellman backup maximizes only over these: Q-values of empty buffer
+    /// slots are meaningless and must not leak into targets.
+    pub next_valid_slots: Vec<u16>,
+    /// Immediate reward for the action.
+    pub reward: f64,
+}
+
+/// A circular replay buffer with uniform random sampling.
+///
+/// "The replay memory is a circular buffer used for improving the quality
+/// of training … instead of using the most recent record, a batch of
+/// records is randomly sampled" (§3.1.2). The paper's APU configuration
+/// uses 4000 entries with batches of two.
+#[derive(Debug, Clone)]
+pub struct ReplayMemory {
+    buf: Vec<Experience>,
+    capacity: usize,
+    write: usize,
+    rng: StdRng,
+}
+
+impl ReplayMemory {
+    /// Creates a replay memory holding up to `capacity` experiences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayMemory {
+            buf: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            write: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Stored experiences.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity in experiences.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records an experience, overwriting the oldest once full.
+    pub fn push(&mut self, exp: Experience) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(exp);
+        } else {
+            self.buf[self.write] = exp;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Samples `n` experiences uniformly at random (with replacement),
+    /// or fewer if the memory holds fewer than `n`.
+    pub fn sample(&mut self, n: usize) -> Vec<&Experience> {
+        let len = self.buf.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        (0..n.min(len))
+            .map(|_| &self.buf[self.rng.gen_range(0..len)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(tag: f64) -> Experience {
+        Experience {
+            state: vec![tag],
+            action: 0,
+            next_state: vec![tag + 0.5],
+            next_valid_slots: vec![0],
+            reward: tag,
+        }
+    }
+
+    #[test]
+    fn wraps_around_when_full() {
+        let mut m = ReplayMemory::new(3, 1);
+        for i in 0..5 {
+            m.push(exp(i as f64));
+        }
+        assert_eq!(m.len(), 3);
+        // Entries 0 and 1 were overwritten by 3 and 4.
+        let rewards: Vec<f64> = m.buf.iter().map(|e| e.reward).collect();
+        assert_eq!(rewards, vec![3.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn sample_returns_requested_count_once_warm() {
+        let mut m = ReplayMemory::new(100, 2);
+        for i in 0..50 {
+            m.push(exp(i as f64));
+        }
+        assert_eq!(m.sample(8).len(), 8);
+        assert_eq!(m.sample(200).len(), 50);
+    }
+
+    #[test]
+    fn sample_from_empty_is_empty() {
+        let mut m = ReplayMemory::new(10, 3);
+        assert!(m.sample(4).is_empty());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = ReplayMemory::new(10, 9);
+        let mut b = ReplayMemory::new(10, 9);
+        for i in 0..10 {
+            a.push(exp(i as f64));
+            b.push(exp(i as f64));
+        }
+        let ra: Vec<f64> = a.sample(5).iter().map(|e| e.reward).collect();
+        let rb: Vec<f64> = b.sample(5).iter().map(|e| e.reward).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        ReplayMemory::new(0, 0);
+    }
+}
+
+/// A Fenwick (binary-indexed) tree over bucket weights, supporting O(log n)
+/// point updates and weighted sampling by prefix sums.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<f64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0.0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: f64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.prefix(self.tree.len() - 1)
+    }
+
+    fn prefix(&self, mut i: usize) -> f64 {
+        let mut s = 0.0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// First index whose prefix sum exceeds `target`.
+    fn find(&self, mut target: f64) -> usize {
+        let mut pos = 0;
+        let mut step = self.tree.len().next_power_of_two() >> 1;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos // 0-based bucket index
+    }
+}
+
+/// Proportional prioritized experience replay (Schaul et al., ICLR 2016):
+/// experiences are sampled with probability ∝ `(|TD error| + ε)^α`, so the
+/// agent revisits surprising transitions more often. New experiences enter
+/// at the current maximum priority to guarantee they are seen at least
+/// once. (Importance-sampling correction is omitted — a documented
+/// simplification appropriate at this scale.)
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay {
+    buf: Vec<Experience>,
+    priorities: Fenwick,
+    raw: Vec<f64>,
+    capacity: usize,
+    write: usize,
+    alpha: f64,
+    max_priority: f64,
+    rng: StdRng,
+}
+
+impl PrioritizedReplay {
+    /// Creates a prioritized replay memory. `alpha` controls how strongly
+    /// priorities skew sampling (0 = uniform, 1 = fully proportional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `alpha` is outside `[0, 1]`.
+    pub fn new(capacity: usize, alpha: f64, seed: u64) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        PrioritizedReplay {
+            buf: Vec::with_capacity(capacity.min(1 << 20)),
+            priorities: Fenwick::new(capacity),
+            raw: vec![0.0; capacity],
+            capacity,
+            write: 0,
+            alpha,
+            max_priority: 1.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Stored experiences.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records an experience at the current maximum priority.
+    pub fn push(&mut self, exp: Experience) {
+        let slot = if self.buf.len() < self.capacity {
+            self.buf.push(exp);
+            self.buf.len() - 1
+        } else {
+            self.buf[self.write] = exp;
+            self.write
+        };
+        let p = self.max_priority;
+        let delta = p - self.raw[slot];
+        self.raw[slot] = p;
+        self.priorities.add(slot, delta);
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Samples `n` indices proportionally to priority (with replacement).
+    pub fn sample_indices(&mut self, n: usize) -> Vec<usize> {
+        let len = self.buf.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let total = self.priorities.total();
+        (0..n)
+            .map(|_| {
+                let target = self.rng.gen::<f64>() * total;
+                self.priorities.find(target).min(len - 1)
+            })
+            .collect()
+    }
+
+    /// The experience at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> &Experience {
+        &self.buf[index]
+    }
+
+    /// Updates an experience's priority from its observed TD error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update_priority(&mut self, index: usize, td_error: f64) {
+        let p = (td_error.abs() + 1e-6).powf(self.alpha);
+        self.max_priority = self.max_priority.max(p);
+        let delta = p - self.raw[index];
+        self.raw[index] = p;
+        self.priorities.add(index, delta);
+    }
+}
+
+#[cfg(test)]
+mod prioritized_tests {
+    use super::*;
+
+    fn exp(tag: f64) -> Experience {
+        Experience {
+            state: vec![tag],
+            action: 0,
+            next_state: vec![tag],
+            next_valid_slots: vec![0],
+            reward: tag,
+        }
+    }
+
+    #[test]
+    fn high_priority_entries_are_sampled_more() {
+        let mut m = PrioritizedReplay::new(64, 1.0, 7);
+        for i in 0..10 {
+            m.push(exp(i as f64));
+        }
+        // Crank one entry's priority way up.
+        m.update_priority(3, 100.0);
+        for i in 0..10 {
+            if i != 3 {
+                m.update_priority(i, 0.001);
+            }
+        }
+        let samples = m.sample_indices(2000);
+        let hot = samples.iter().filter(|&&i| i == 3).count();
+        assert!(hot > 1500, "hot entry sampled only {hot}/2000");
+    }
+
+    #[test]
+    fn new_entries_enter_at_max_priority() {
+        let mut m = PrioritizedReplay::new(16, 1.0, 3);
+        m.push(exp(0.0));
+        m.update_priority(0, 50.0); // raises max priority
+        m.push(exp(1.0)); // should enter at the raised maximum
+        let samples = m.sample_indices(1000);
+        let fresh = samples.iter().filter(|&&i| i == 1).count();
+        assert!(fresh > 300, "fresh entry starved: {fresh}/1000");
+    }
+
+    #[test]
+    fn wraparound_replaces_priorities_too() {
+        let mut m = PrioritizedReplay::new(4, 1.0, 1);
+        for i in 0..4 {
+            m.push(exp(i as f64));
+            m.update_priority(i, 0.01);
+        }
+        m.push(exp(99.0)); // overwrites slot 0 at max priority
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.get(0).reward, 99.0);
+        let samples = m.sample_indices(500);
+        let hot = samples.iter().filter(|&&i| i == 0).count();
+        assert!(hot > 300, "replacement entry under-sampled: {hot}/500");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let mut m = PrioritizedReplay::new(32, 0.0, 11);
+        for i in 0..8 {
+            m.push(exp(i as f64));
+            m.update_priority(i, (i as f64 + 1.0) * 100.0);
+        }
+        let samples = m.sample_indices(8000);
+        let mut counts = [0usize; 8];
+        for s in samples {
+            counts[s] += 1;
+        }
+        for c in counts {
+            assert!((600..1500).contains(&c), "non-uniform at alpha=0: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn bad_alpha_rejected() {
+        PrioritizedReplay::new(4, 1.5, 0);
+    }
+}

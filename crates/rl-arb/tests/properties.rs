@@ -1,0 +1,131 @@
+//! Property-based tests: state encoding and replay-memory invariants.
+
+use noc_sim::{
+    Candidate, DestType, FeatureBounds, Features, MsgType, NetSnapshot, NodeId, OutputCtx,
+    RouterId,
+};
+use proptest::prelude::*;
+use rl_arb::{Experience, FeatureSet, ReplayMemory, StateEncoder};
+
+fn candidate_strategy(num_ports: usize, num_vnets: usize) -> impl Strategy<Value = Candidate> {
+    (
+        0..num_ports,
+        0..num_vnets,
+        1u32..9,
+        0u64..100_000,
+        0u32..20,
+        0u32..20,
+        0u64..100_000,
+        0u8..3,
+        0u8..3,
+    )
+        .prop_map(
+            move |(port, vnet, payload, la, dist, hops, create, mt, dt)| Candidate {
+                in_port: port,
+                vnet,
+                slot: port * num_vnets + vnet,
+                features: Features {
+                    payload_size: payload,
+                    local_age: la,
+                    distance: dist,
+                    hop_count: hops,
+                    in_flight_from_src: (la % 200) as u32,
+                    inter_arrival: la / 3,
+                    msg_type: MsgType::ALL[mt as usize],
+                    dst_type: DestType::ALL[dt as usize],
+                },
+                packet_id: create,
+                create_cycle: create,
+                arrival_cycle: create,
+                src: NodeId(0),
+                dst: NodeId(1),
+            },
+        )
+}
+
+proptest! {
+    /// Encoded states always have the advertised width and live in [0, 1],
+    /// no matter how extreme the raw features are.
+    #[test]
+    fn encoded_states_are_normalized(
+        cands in proptest::collection::vec(candidate_strategy(6, 7), 0..12),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        let cands: Vec<Candidate> =
+            cands.into_iter().filter(|c| seen.insert(c.slot)).collect();
+        let enc = StateEncoder::new(6, 7, FeatureSet::full(), FeatureBounds::for_mesh(8, 8));
+        let net = NetSnapshot::default();
+        let ctx = OutputCtx {
+            router: RouterId(0),
+            out_port: 0,
+            cycle: 0,
+            num_ports: 6,
+            num_vnets: 7,
+            candidates: &cands,
+            net: &net,
+        };
+        let s = enc.encode(&ctx);
+        prop_assert_eq!(s.len(), 504);
+        prop_assert!(s.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    /// Candidates with identical features at different slots produce
+    /// encodings that are permutations of each other (slot-locality).
+    #[test]
+    fn encoding_is_slot_local(c in candidate_strategy(5, 3), other_slot in 0usize..15) {
+        let enc = StateEncoder::new(5, 3, FeatureSet::synthetic(), FeatureBounds::for_mesh(4, 4));
+        let net = NetSnapshot::default();
+        let mut moved = c.clone();
+        moved.slot = other_slot;
+        moved.in_port = other_slot / 3;
+        moved.vnet = other_slot % 3;
+        let encode_one = |cand: &Candidate| {
+            let cands = vec![cand.clone()];
+            let ctx = OutputCtx {
+                router: RouterId(0),
+                out_port: 0,
+                cycle: 0,
+                num_ports: 5,
+                num_vnets: 3,
+                candidates: &cands,
+                net: &net,
+            };
+            enc.encode(&ctx)
+        };
+        let a = encode_one(&c);
+        let b = encode_one(&moved);
+        let w = 4;
+        // The nonzero block moves with the slot; its contents are equal.
+        prop_assert_eq!(&a[c.slot * w..(c.slot + 1) * w], &b[moved.slot * w..(moved.slot + 1) * w]);
+        let nz_a = a.iter().filter(|&&v| v != 0.0).count();
+        let nz_b = b.iter().filter(|&&v| v != 0.0).count();
+        prop_assert_eq!(nz_a, nz_b);
+    }
+
+    /// Replay memory never exceeds capacity and always serves samples from
+    /// stored experiences.
+    #[test]
+    fn replay_memory_respects_capacity(
+        capacity in 1usize..50,
+        pushes in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut m = ReplayMemory::new(capacity, seed);
+        for i in 0..pushes {
+            m.push(Experience {
+                state: vec![i as f64],
+                action: i % 4,
+                next_state: vec![i as f64 + 0.5],
+                next_valid_slots: vec![(i % 4) as u16],
+                reward: i as f64,
+            });
+            prop_assert!(m.len() <= capacity);
+        }
+        let stored = m.len();
+        let sample = m.sample(10);
+        prop_assert_eq!(sample.len(), 10.min(stored));
+        for e in sample {
+            prop_assert!((e.reward as usize) < pushes.max(1));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Working with on-disk artifacts: SynFull-style workload model files and
+//! saved agent networks.
+//!
+//! Run with: `cargo run --release --example model_files`
+
+use ml_noc::apu_sim::{run_apu, EngineConfig, NUM_QUADRANTS};
+use ml_noc::apu_workloads::{from_model_file, to_model_file, Benchmark};
+use ml_noc::nn_mlp::Mlp;
+use ml_noc::noc_arbiters::{make_arbiter, PolicyKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("ml-noc-example");
+    std::fs::create_dir_all(&dir)?;
+
+    // --- 1. Export a built-in benchmark as an editable model file -------
+    let bfs = Benchmark::Bfs.spec_scaled(0.2);
+    let path = dir.join("bfs.workload");
+    std::fs::write(&path, to_model_file(&bfs))?;
+    println!("wrote {}:", path.display());
+    println!("{}", to_model_file(&bfs));
+
+    // --- 2. Define a custom workload in the same format -----------------
+    let custom_text = "\
+workload pointer-chase
+kernel_invalidate true
+flow sequence
+phase ops_per_cu=20 issue_prob=0.15 window=2 store_frac=0.05 l2_hit_rate=0.2 cpu_ops=10
+";
+    let custom = from_model_file(custom_text)?;
+    println!(
+        "parsed custom workload '{}' with {} phase(s)",
+        custom.name,
+        custom.phases.len()
+    );
+
+    // --- 3. Run it on the APU chip ---------------------------------------
+    let result = run_apu(
+        vec![custom; NUM_QUADRANTS],
+        make_arbiter(PolicyKind::RlApu, 7),
+        EngineConfig::default(),
+        7,
+        2_000_000,
+    );
+    println!(
+        "pointer-chase: avg execution {:.0} cycles, tail {} (completed: {})",
+        result.avg_exec, result.tail_exec, result.completed
+    );
+
+    // --- 4. Save and reload a network ------------------------------------
+    let net = Mlp::paper_agent(60, 15, 15, 42);
+    let model_path = dir.join("agent.mlp");
+    net.save(&model_path)?;
+    let reloaded = Mlp::load(&model_path)?;
+    assert_eq!(net, reloaded);
+    println!(
+        "saved + reloaded a {}-parameter network at {}",
+        net.num_parameters(),
+        model_path.display()
+    );
+    Ok(())
+}

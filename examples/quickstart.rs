@@ -1,0 +1,34 @@
+//! Quickstart: simulate a 4×4 mesh under uniform-random traffic and compare
+//! two arbitration policies.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ml_noc::noc_arbiters::{GlobalAgeArbiter, RoundRobinArbiter};
+use ml_noc::noc_sim::{format_report, Arbiter, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
+
+fn measure(arbiter: Box<dyn Arbiter>, name: &str) {
+    // A 4×4 mesh with one core per router, three virtual channels per port.
+    let topo = Topology::uniform_mesh(4, 4).expect("4x4 mesh is valid");
+    let cfg = SimConfig::synthetic(4, 4);
+    // Every node injects a packet with 40% probability per cycle — heavy
+    // enough that arbitration decisions matter.
+    let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.40, cfg.num_vnets, 42);
+    let mut sim = Simulator::new(topo, cfg, arbiter, traffic).expect("valid configuration");
+
+    // Warm up, then measure.
+    sim.run(3_000);
+    sim.reset_stats();
+    sim.run(20_000);
+
+    println!("--- {name} ---");
+    println!("{}", format_report(sim.stats(), sim.topology().num_mesh_links()));
+}
+
+fn main() {
+    println!("4x4 mesh, uniform random traffic @ 0.40 packets/node/cycle:\n");
+    measure(Box::new(RoundRobinArbiter::new()), "round-robin");
+    measure(Box::new(GlobalAgeArbiter::new()), "global-age");
+    println!("\nGlobal-age arbitration trims the latency tail (p99/max): that");
+    println!("equality-of-service gap is what the paper's RL agent learns to close");
+    println!("with implementable features. See examples/train_and_distill.rs.");
+}

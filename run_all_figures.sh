@@ -1,0 +1,9 @@
+#!/bin/bash
+# Regenerates every figure/table of the paper. Output lands in results/.
+set -u
+cd "$(dirname "$0")"
+BINS="table3_synthesis starvation_check fig04_heatmap fig05_synthetic fig12_rewards fig13_features ablation_defeature ablation_hparams ablation_multi_agent ablation_routing extended_policies load_sweep fig07_apu_heatmap fig09_avg_exec fig10_tail_exec fig11_mixed"
+for b in $BINS; do
+  echo "=== $b ==="
+  ./target/release/$b "$@" > results/$b.txt 2> results/$b.log && echo "ok: results/$b.txt" || echo "FAILED: see results/$b.log"
+done

@@ -1,0 +1,26 @@
+//! # ml-noc — reproduction of *"Experiences with ML-Driven Design: A NoC Case Study"* (HPCA 2020)
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`noc_sim`] — the cycle-level NoC simulator substrate.
+//! * [`noc_arbiters`] — every arbitration policy from the paper.
+//! * [`nn_mlp`] — the dense-MLP library backing the DQN agent.
+//! * [`rl_arb`] — the deep-Q-learning arbitration agent and its tooling
+//!   (the paper's core contribution).
+//! * [`apu_sim`] — the heterogeneous CPU+GPU chip model of §4.
+//! * [`apu_workloads`] — SynFull-style statistical workload models.
+//! * [`hw_cost`] — the analytical Table 3 synthesis model.
+//!
+//! See the repository `README.md` for a guided tour and `EXPERIMENTS.md`
+//! for the paper-vs-measured record of every figure and table.
+
+#![warn(missing_docs)]
+
+pub use apu_sim;
+pub use apu_workloads;
+pub use hw_cost;
+pub use nn_mlp;
+pub use noc_arbiters;
+pub use noc_sim;
+pub use rl_arb;

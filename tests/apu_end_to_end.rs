@@ -1,0 +1,130 @@
+//! Cross-crate integration: the heterogeneous APU system (apu-sim +
+//! apu-workloads + noc-arbiters) reproduces the paper's qualitative
+//! execution-time behavior.
+
+use ml_noc::apu_sim::{run_apu, EngineConfig, NUM_QUADRANTS};
+use ml_noc::apu_workloads::{mixed_scenario, Benchmark};
+use ml_noc::noc_arbiters::{make_arbiter, PolicyKind};
+
+const SCALE: f64 = 0.15; // small programs keep debug-mode tests quick
+
+fn avg_exec(bench: Benchmark, kind: PolicyKind, seeds: &[u64]) -> f64 {
+    let mut sum = 0.0;
+    for &seed in seeds {
+        let specs = vec![bench.spec_scaled(SCALE); NUM_QUADRANTS];
+        let r = run_apu(
+            specs,
+            make_arbiter(kind, seed),
+            EngineConfig::default(),
+            seed,
+            2_000_000,
+        );
+        assert!(r.completed, "{bench}/{kind} did not complete");
+        sum += r.avg_exec;
+    }
+    sum / seeds.len() as f64
+}
+
+#[test]
+fn every_policy_completes_every_benchmark() {
+    for bench in Benchmark::ALL {
+        let specs = vec![bench.spec_scaled(0.05); NUM_QUADRANTS];
+        for kind in [
+            PolicyKind::RoundRobin,
+            PolicyKind::Islip,
+            PolicyKind::Fifo,
+            PolicyKind::ProbDist,
+            PolicyKind::RlApu,
+            PolicyKind::Algorithm2,
+            PolicyKind::GlobalAge,
+        ] {
+            let r = run_apu(
+                specs.clone(),
+                make_arbiter(kind, 1),
+                EngineConfig::default(),
+                1,
+                2_000_000,
+            );
+            assert!(r.completed, "{bench} under {kind} did not complete");
+            assert!(r.tail_exec > 0);
+        }
+    }
+}
+
+#[test]
+fn rl_inspired_tracks_the_oracle_on_a_contended_workload() {
+    let seeds = [1, 2, 3];
+    let rr = avg_exec(Benchmark::Bfs, PolicyKind::RoundRobin, &seeds);
+    let rl = avg_exec(Benchmark::Bfs, PolicyKind::RlApu, &seeds);
+    let ga = avg_exec(Benchmark::Bfs, PolicyKind::GlobalAge, &seeds);
+    // The distilled policy should sit near the oracle, clearly ahead of
+    // round-robin (paper Fig. 9's headline relationship). Tolerances are
+    // loose because the programs are scaled down for test speed.
+    assert!(
+        rl <= rr * 1.01,
+        "rl-inspired ({rl:.0}) should not trail round-robin ({rr:.0})"
+    );
+    assert!(
+        rl <= ga * 1.08,
+        "rl-inspired ({rl:.0}) strayed too far from global-age ({ga:.0})"
+    );
+}
+
+#[test]
+fn mixed_scenarios_run_to_completion() {
+    for n_low in 0..=NUM_QUADRANTS {
+        let specs = mixed_scenario(n_low, 3, 0.05);
+        let r = run_apu(
+            specs,
+            make_arbiter(PolicyKind::RlApu, 2),
+            EngineConfig::default(),
+            2,
+            2_000_000,
+        );
+        assert!(r.completed, "mix {n_low}L did not complete");
+    }
+}
+
+#[test]
+fn high_injection_workloads_stress_the_network_more() {
+    // The Fig. 11 classification must be visible in network load: a
+    // high-injection app delivers more flits per cycle than a low one.
+    let flit_rate = |b: Benchmark| {
+        let specs = vec![b.spec_scaled(SCALE); NUM_QUADRANTS];
+        let r = run_apu(
+            specs,
+            make_arbiter(PolicyKind::GlobalAge, 1),
+            EngineConfig::default(),
+            1,
+            2_000_000,
+        );
+        r.stats.flits_on_links as f64 / r.stats.cycles as f64
+    };
+    let hi = flit_rate(Benchmark::Spmv);
+    let lo = flit_rate(Benchmark::Histogram);
+    assert!(
+        hi > 1.5 * lo,
+        "spmv ({hi:.2} flits/cyc) should clearly exceed histogram ({lo:.2})"
+    );
+}
+
+#[test]
+fn execution_times_are_reproducible() {
+    let specs = vec![Benchmark::Hotspot.spec_scaled(SCALE); NUM_QUADRANTS];
+    let a = run_apu(
+        specs.clone(),
+        make_arbiter(PolicyKind::Fifo, 9),
+        EngineConfig::default(),
+        9,
+        2_000_000,
+    );
+    let b = run_apu(
+        specs,
+        make_arbiter(PolicyKind::Fifo, 9),
+        EngineConfig::default(),
+        9,
+        2_000_000,
+    );
+    assert_eq!(a.exec_times, b.exec_times);
+    assert_eq!(a.stats.delivered, b.stats.delivered);
+}
