@@ -1,0 +1,31 @@
+//! Microbenchmark of the simulator's per-cycle hot path after the
+//! de-allocation work: one `step()` on a warmed-up 8×8 uniform-random
+//! mesh at rate 0.20 (the Fig. 5 operating point). In steady state this
+//! path performs no heap allocation — arrivals, injections, arbitration
+//! candidates and tx-end bookkeeping all live in reusable scratch
+//! buffers and calendar-queue slots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_arbiters::{make_arbiter, PolicyKind};
+use noc_sim::{Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
+
+fn warmed_sim(kind: PolicyKind) -> Simulator<SyntheticTraffic> {
+    let topo = Topology::uniform_mesh(8, 8).unwrap();
+    let cfg = SimConfig::synthetic(8, 8);
+    let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.20, cfg.num_vnets, 42);
+    let mut sim = Simulator::new(topo, cfg, make_arbiter(kind, 42), traffic).unwrap();
+    sim.run(2_000); // reach steady-state occupancy before measuring
+    sim
+}
+
+fn sim_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step_8x8_rate020");
+    let mut sim = warmed_sim(PolicyKind::GlobalAge);
+    group.bench_function("global_age", |b| b.iter(|| sim.step()));
+    let mut sim = warmed_sim(PolicyKind::RlSynth8x8);
+    group.bench_function("rl_inspired", |b| b.iter(|| sim.step()));
+    group.finish();
+}
+
+criterion_group!(benches, sim_step);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Wall-clock benchmark of the parallel sweep engine: runs the quick
+//! configuration of representative figure cores serially (`threads = 1`)
+//! and on the worker pool, and writes `BENCH_sweep.json` with both
+//! timings plus the simulator's raw cycles/sec throughput.
+//!
+//! The APU figures (9–11) share their sweep core with `apu_sweep_seeds`,
+//! so the `apu_sweep` entry below (one benchmark, all policies × seeds)
+//! measures exactly the work their inner loops dispatch; the multi-minute
+//! NN-training preamble is excluded because it is inherently serial and
+//! identical in both modes.
+
+use std::time::Instant;
+
+use apu_sim::NUM_QUADRANTS;
+use apu_workloads::Benchmark;
+use bench::sweep::default_threads;
+use bench::{apu_sweep_seeds, load_sweep_table, sweep_seeds, CliArgs, Fig05Params};
+use noc_arbiters::{make_arbiter, PolicyKind};
+use noc_sim::{Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+/// Simulated cycles per wall-second on the Fig. 5 8×8 operating point.
+fn cycles_per_sec(cycles: u64, seed: u64) -> f64 {
+    let topo = Topology::uniform_mesh(8, 8).unwrap();
+    let cfg = SimConfig::synthetic(8, 8);
+    let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.20, cfg.num_vnets, seed);
+    let mut sim = Simulator::new(
+        topo,
+        cfg,
+        make_arbiter(PolicyKind::GlobalAge, seed),
+        traffic,
+    )
+    .unwrap();
+    sim.run(1_000); // settle into steady state before timing
+    let (secs, _) = time(|| sim.run(cycles));
+    cycles as f64 / secs
+}
+
+fn main() {
+    let args = CliArgs::parse();
+    // Exercise the pool even when the host reports one core (the checked-in
+    // numbers come from whatever machine regenerates this file).
+    let par_threads = args.threads.max(2);
+    let mut entries: Vec<String> = Vec::new();
+
+    eprintln!("[1/4] fig05 core, serial ...");
+    let (fig05_serial, serial_tables) = time(|| bench::fig05_report(&Fig05Params::quick(args.seed, 1)));
+    eprintln!("[2/4] fig05 core, {par_threads} threads ...");
+    let (fig05_par, par_tables) =
+        time(|| bench::fig05_report(&Fig05Params::quick(args.seed, par_threads)));
+    assert_eq!(serial_tables, par_tables, "thread count changed the tables");
+    entries.push(entry("fig05_synthetic", fig05_serial, fig05_par, par_threads));
+
+    eprintln!("[3/4] load_sweep core ...");
+    let (ls_serial, _) = time(|| load_sweep_table(true, args.seed, 1));
+    let (ls_par, _) = time(|| load_sweep_table(true, args.seed, par_threads));
+    entries.push(entry("load_sweep", ls_serial, ls_par, par_threads));
+
+    eprintln!("[4/4] apu sweep core (bfs, all policies x seeds) ...");
+    let scale = 0.08; // the --quick APU workload scale
+    let specs = vec![Benchmark::Bfs.spec_scaled(scale); NUM_QUADRANTS];
+    let seeds = sweep_seeds(args.seed, true);
+    let (apu_serial, _) = time(|| apu_sweep_seeds(&specs, &seeds, 4_000_000, None, 1));
+    let (apu_par, _) = time(|| apu_sweep_seeds(&specs, &seeds, 4_000_000, None, par_threads));
+    entries.push(entry("apu_sweep_bfs", apu_serial, apu_par, par_threads));
+
+    let cps = cycles_per_sec(20_000, args.seed);
+
+    let json = format!(
+        "{{\n  \"mode\": \"--quick\",\n  \"seed\": {},\n  \"host_threads\": {},\n  \"figures\": [\n{}\n  ],\n  \"sim_throughput\": {{\n    \"mesh\": \"8x8\",\n    \"pattern\": \"uniform_random\",\n    \"rate\": 0.20,\n    \"arbiter\": \"global_age\",\n    \"timed_cycles\": 20000,\n    \"cycles_per_sec\": {:.0}\n  }},\n  \"note\": \"serial_s is --threads 1; parallel_s uses the listed thread count. Speedups track the host's physical core count; a single-core host shows ~1.0x.\"\n}}\n",
+        args.seed,
+        default_threads(),
+        entries.join(",\n"),
+        cps,
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    eprintln!("wrote BENCH_sweep.json");
+    print!("{json}");
+}
+
+fn entry(name: &str, serial_s: f64, parallel_s: f64, threads: usize) -> String {
+    format!(
+        "    {{ \"name\": \"{name}\", \"serial_s\": {serial_s:.3}, \"parallel_s\": {parallel_s:.3}, \"threads\": {threads}, \"speedup\": {:.2} }}",
+        serial_s / parallel_s.max(1e-9),
+    )
+}

@@ -7,55 +7,22 @@
 //! the *tail* of the latency distribution — the equality-of-service
 //! property age-based arbitration buys — so both the mean and p99 are
 //! reported; see EXPERIMENTS.md for the deviation discussion.
+//!
+//! The four policy measurements per mesh run concurrently on `--threads`
+//! workers (`--threads 1` reproduces the serial tables bit-for-bit); the
+//! experiment core lives in [`bench::fig05_report`] so the determinism
+//! regression test can compare thread counts in-process.
 
-use bench::{render_table, synthetic_run, train_synthetic_nn, CliArgs};
-use noc_arbiters::{make_arbiter, PolicyKind};
-use noc_sim::Pattern;
+use bench::{CliArgs, Fig05Params};
 
 fn main() {
     let args = CliArgs::parse();
-    let (warmup, measure) = if args.quick { (1_000, 6_000) } else { (5_000, 40_000) };
-    let (epochs, epoch_cycles) = if args.quick { (8, 1_000) } else { (60, 2_000) };
+    let params = if args.quick {
+        Fig05Params::quick(args.seed, args.threads)
+    } else {
+        Fig05Params::full(args.seed, args.threads)
+    };
 
     println!("== Fig. 5: message latency, uniform random (normalized to Global-age) ==\n");
-    for (w, rl_kind, rate) in [
-        (4u16, PolicyKind::RlSynth4x4, 0.40),
-        (8u16, PolicyKind::RlSynth8x8, 0.20),
-    ] {
-        eprintln!("training NN policy for {w}x{w} at rate {rate} ...");
-        let nn = train_synthetic_nn(w, w, rate, epochs, epoch_cycles, args.seed);
-        let policies: Vec<(String, Box<dyn noc_sim::Arbiter>)> = vec![
-            ("FIFO".into(), make_arbiter(PolicyKind::Fifo, args.seed)),
-            ("RL-inspired".into(), make_arbiter(rl_kind, args.seed)),
-            ("NN".into(), Box::new(nn)),
-            ("Global-age".into(), make_arbiter(PolicyKind::GlobalAge, args.seed)),
-        ];
-        let mut rows_raw = Vec::new();
-        for (name, arb) in policies {
-            let s = synthetic_run(w, w, Pattern::UniformRandom, rate, arb, warmup, measure, args.seed);
-            rows_raw.push((name, s.avg_latency(), s.latency_percentile(99.0) as f64, s.max_latency()));
-        }
-        let (ga_avg, ga_p99) = (rows_raw.last().unwrap().1, rows_raw.last().unwrap().2);
-        let rows: Vec<Vec<String>> = rows_raw
-            .iter()
-            .map(|(n, avg, p99, max)| {
-                vec![
-                    n.clone(),
-                    format!("{avg:.1}"),
-                    format!("{:.2}", avg / ga_avg),
-                    format!("{p99:.0}"),
-                    format!("{:.2}", p99 / ga_p99),
-                    format!("{max}"),
-                ]
-            })
-            .collect();
-        println!("{w}x{w} mesh @ injection rate {rate}:");
-        println!(
-            "{}",
-            render_table(
-                &["policy", "avg (cyc)", "avg norm", "p99 (cyc)", "p99 norm", "max"],
-                &rows
-            )
-        );
-    }
+    print!("{}", bench::fig05_report(&params));
 }

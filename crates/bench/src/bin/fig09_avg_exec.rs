@@ -30,7 +30,7 @@ fn main() {
     for bench in Benchmark::ALL {
         eprintln!("running {bench} under all policies x {} seeds ...", seeds.len());
         let specs = vec![bench.spec_scaled(scale); NUM_QUADRANTS];
-        let results = apu_sweep_seeds(&specs, &seeds, max_cycles, Some(&nn));
+        let results = apu_sweep_seeds(&specs, &seeds, max_cycles, Some(&nn), args.threads);
         if policy_names.is_empty() {
             policy_names = results.iter().map(|(n, _, _)| n.clone()).collect();
             per_policy = vec![Vec::new(); results.len()];

@@ -33,7 +33,7 @@ fn main() {
         let specs = mixed_scenario(n_low, args.seed, scale);
         let apps: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         eprintln!("  quadrants: {apps:?}");
-        let results = apu_sweep_seeds(&specs, &seeds, max_cycles, Some(&nn));
+        let results = apu_sweep_seeds(&specs, &seeds, max_cycles, Some(&nn), args.threads);
         if policy_names.is_empty() {
             policy_names = results.iter().map(|(n, _, _)| n.clone()).collect();
         }

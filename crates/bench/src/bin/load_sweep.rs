@@ -4,50 +4,19 @@
 //! policy's saturation point; we used exactly this sweep to choose the
 //! operating points of Figs. 5 and 12–13 (see DESIGN.md calibration
 //! notes). Prints one row per injection rate with avg and p99 latency per
-//! policy.
+//! policy. All `rate × policy` simulations are independent and run
+//! concurrently on `--threads` workers (see [`bench::load_sweep_table`]).
 
-use bench::{render_table, synthetic_run, write_csv, CliArgs};
-use noc_arbiters::{make_arbiter, PolicyKind};
-use noc_sim::Pattern;
+use bench::{load_sweep_table, render_table, write_csv, CliArgs};
 
 fn main() {
     let args = CliArgs::parse();
-    let (warmup, measure) = if args.quick { (1_000, 4_000) } else { (3_000, 15_000) };
-    let policies = [
-        PolicyKind::RoundRobin,
-        PolicyKind::Fifo,
-        PolicyKind::RlSynth4x4,
-        PolicyKind::GlobalAge,
-    ];
-    let rates: Vec<f64> = (1..=11).map(|i| 0.05 * i as f64).collect();
-
-    let mut headers: Vec<String> = vec!["rate".into()];
-    for k in policies {
-        headers.push(format!("{k} avg"));
-        headers.push(format!("{k} p99"));
-    }
+    eprintln!(
+        "sweeping 11 rates x 4 policies on {} thread(s) ...",
+        args.threads
+    );
+    let (headers, rows) = load_sweep_table(args.quick, args.seed, args.threads);
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-
-    let mut rows = Vec::new();
-    for &rate in &rates {
-        eprintln!("rate {rate:.2} ...");
-        let mut row = vec![format!("{rate:.2}")];
-        for kind in policies {
-            let s = synthetic_run(
-                4,
-                4,
-                Pattern::UniformRandom,
-                rate,
-                make_arbiter(kind, args.seed),
-                warmup,
-                measure,
-                args.seed,
-            );
-            row.push(format!("{:.1}", s.avg_latency()));
-            row.push(format!("{}", s.latency_percentile(99.0)));
-        }
-        rows.push(row);
-    }
     println!("\n== latency vs offered load, 4x4 uniform random ==\n");
     println!("{}", render_table(&header_refs, &rows));
     if let Ok(path) = write_csv("results/load_sweep.csv", &header_refs, &rows) {

@@ -56,21 +56,23 @@ fn main() {
     let args = CliArgs::parse();
     let cycles = if args.quick { 20_000 } else { 100_000 };
     println!("== §6.4 starvation check: feasible hotspot traffic, 8x8 mesh, {cycles} cycles ==\n");
-    for (name, policy) in [
-        (
-            "RL-inspired (distilled, with starvation clause)",
-            make_arbiter(PolicyKind::RlApu, args.seed),
-        ),
-        (
-            "Global-age (oracle)",
-            make_arbiter(PolicyKind::GlobalAge, args.seed),
-        ),
-        (
-            "Newest-first (adversarial control)",
-            Box::new(MaxPriorityArbiter::new(NewestFirst)) as Box<dyn Arbiter>,
-        ),
-    ] {
-        let (max_age, starving, p999, max_lat) = run(policy, cycles, args.seed);
+    // The three policy runs are independent; dispatch them on the sweep
+    // pool. Arbiters are built inside each worker (the policy index is the
+    // job), keeping the jobs trivially Send.
+    let names = [
+        "RL-inspired (distilled, with starvation clause)",
+        "Global-age (oracle)",
+        "Newest-first (adversarial control)",
+    ];
+    let results = bench::sweep::run_parallel((0..names.len()).collect(), args.threads, |i| {
+        let policy: Box<dyn Arbiter> = match i {
+            0 => make_arbiter(PolicyKind::RlApu, args.seed),
+            1 => make_arbiter(PolicyKind::GlobalAge, args.seed),
+            _ => Box::new(MaxPriorityArbiter::new(NewestFirst)),
+        };
+        run(policy, cycles, args.seed)
+    });
+    for (name, (max_age, starving, p999, max_lat)) in names.into_iter().zip(results) {
         println!("{name}:");
         println!("  max local age seen            : {max_age}");
         println!("  packets starving (> 1000 cyc) : {starving}");

@@ -5,13 +5,18 @@
 //! machinery: latency/execution-time measurement loops, agent training
 //! helpers for the "NN" policy, and plain-text table/series rendering.
 //!
-//! All binaries accept `--quick` (shrink workloads for smoke runs) and
-//! `--seed <n>`.
+//! All binaries accept `--quick` (shrink workloads for smoke runs),
+//! `--seed <n>`, and `--threads <n>` (worker count for the parallel sweep
+//! engine in [`sweep`]; `--threads 1` reproduces the serial path
+//! bit-for-bit).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod sweep;
+
 use apu_sim::{run_apu, ApuRunResult, EngineConfig, WorkloadSpec};
+use noc_arbiters::{make_arbiter, PolicyKind};
 use noc_sim::{Arbiter, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
 use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter, SharedAgent, StateEncoder};
 
@@ -22,10 +27,14 @@ pub struct CliArgs {
     pub quick: bool,
     /// Base seed for all stochastic components.
     pub seed: u64,
+    /// Worker threads for independent-simulation sweeps (default: the
+    /// host's available parallelism; `1` forces the serial path).
+    pub threads: usize,
 }
 
 impl CliArgs {
-    /// Parses `--quick` and `--seed <n>` from the process arguments.
+    /// Parses `--quick`, `--seed <n>` and `--threads <n>` from the process
+    /// arguments.
     ///
     /// # Panics
     ///
@@ -34,6 +43,7 @@ impl CliArgs {
         let mut args = CliArgs {
             quick: false,
             seed: 42,
+            threads: sweep::default_threads(),
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -43,7 +53,14 @@ impl CliArgs {
                     let v = it.next().expect("--seed needs a value");
                     args.seed = v.parse().expect("--seed needs an integer");
                 }
-                other => panic!("unknown argument '{other}' (expected --quick or --seed <n>)"),
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    args.threads = v.parse().expect("--threads needs an integer");
+                    assert!(args.threads > 0, "--threads needs a positive integer");
+                }
+                other => panic!(
+                    "unknown argument '{other}' (expected --quick, --seed <n> or --threads <n>)"
+                ),
             }
         }
         args
@@ -193,26 +210,84 @@ pub fn render_series(title: &str, labels: &[String], series: &[(String, Vec<f64>
     render_table(&header_refs, &rows)
 }
 
-/// The Fig. 9/10/11 policy line-up, in the paper's presentation order.
-/// `nn` supplies the frozen trained network when the sweep includes the
-/// "NN" column.
+/// A named, thread-constructible arbitration policy.
+///
+/// The parallel sweep engine needs to build a fresh `Box<dyn Arbiter>`
+/// inside each worker (trait objects are not `Send` here, but the *recipe*
+/// is), so policies are carried as specs and instantiated per job. Builtin
+/// policies defer to [`noc_arbiters::make_arbiter`] with the job's seed —
+/// exactly what the serial path did — and the NN policy clones the trained
+/// network, exactly as the serial line-up cloned it per seed.
+#[derive(Debug, Clone)]
+pub struct PolicySpec {
+    /// Display name for tables/CSV headers.
+    pub name: String,
+    kind: PolicySpecKind,
+}
+
+#[derive(Debug, Clone)]
+enum PolicySpecKind {
+    Builtin(PolicyKind),
+    // Boxed: the trained network dwarfs the registry tag.
+    Nn(Box<NnPolicyArbiter>),
+}
+
+impl PolicySpec {
+    /// A spec for one of the registry policies.
+    pub fn builtin(name: impl Into<String>, kind: PolicyKind) -> Self {
+        PolicySpec {
+            name: name.into(),
+            kind: PolicySpecKind::Builtin(kind),
+        }
+    }
+
+    /// A spec for a frozen trained network ("NN" column).
+    pub fn nn(name: impl Into<String>, nn: NnPolicyArbiter) -> Self {
+        PolicySpec {
+            name: name.into(),
+            kind: PolicySpecKind::Nn(Box::new(nn)),
+        }
+    }
+
+    /// Instantiates the arbiter for one run.
+    pub fn build(&self, seed: u64) -> Box<dyn Arbiter> {
+        match &self.kind {
+            PolicySpecKind::Builtin(kind) => make_arbiter(*kind, seed),
+            PolicySpecKind::Nn(nn) => Box::new((**nn).clone()),
+        }
+    }
+}
+
+/// The Fig. 9/10/11 policy line-up as specs, in the paper's presentation
+/// order. `nn` supplies the frozen trained network when the sweep includes
+/// the "NN" column.
+pub fn apu_policy_specs(nn: Option<NnPolicyArbiter>) -> Vec<PolicySpec> {
+    let mut v = vec![
+        PolicySpec::builtin("Round-robin", PolicyKind::RoundRobin),
+        PolicySpec::builtin("iSLIP", PolicyKind::Islip),
+        PolicySpec::builtin("FIFO", PolicyKind::Fifo),
+        PolicySpec::builtin("ProbDist", PolicyKind::ProbDist),
+        PolicySpec::builtin("RL-inspired", PolicyKind::RlApu),
+    ];
+    if let Some(nn) = nn {
+        v.push(PolicySpec::nn("NN", nn));
+    }
+    v.push(PolicySpec::builtin("Global-age", PolicyKind::GlobalAge));
+    v
+}
+
+/// The Fig. 9/10/11 policy line-up, pre-built for one seed.
 pub fn apu_policy_lineup(
     seed: u64,
     nn: Option<NnPolicyArbiter>,
 ) -> Vec<(String, Box<dyn Arbiter>)> {
-    use noc_arbiters::{make_arbiter, PolicyKind};
-    let mut v: Vec<(String, Box<dyn Arbiter>)> = vec![
-        ("Round-robin".into(), make_arbiter(PolicyKind::RoundRobin, seed)),
-        ("iSLIP".into(), make_arbiter(PolicyKind::Islip, seed)),
-        ("FIFO".into(), make_arbiter(PolicyKind::Fifo, seed)),
-        ("ProbDist".into(), make_arbiter(PolicyKind::ProbDist, seed)),
-        ("RL-inspired".into(), make_arbiter(PolicyKind::RlApu, seed)),
-    ];
-    if let Some(nn) = nn {
-        v.push(("NN".into(), Box::new(nn)));
-    }
-    v.push(("Global-age".into(), make_arbiter(PolicyKind::GlobalAge, seed)));
-    v
+    apu_policy_specs(nn)
+        .into_iter()
+        .map(|spec| {
+            let arb = spec.build(seed);
+            (spec.name, arb)
+        })
+        .collect()
 }
 
 /// Runs one benchmark's four-copies experiment under every policy in the
@@ -235,32 +310,39 @@ pub fn apu_sweep_one(
 /// Multi-seed sweep: every policy runs the experiment once per seed;
 /// returns `(policy name, mean avg-exec, mean tail-exec)` rows. Seed
 /// averaging tames the run-to-run variance of the statistical workloads.
+///
+/// All `seeds × policies` simulations are independent, so they dispatch
+/// through [`sweep::run_parallel`] on `threads` workers. Results are
+/// accumulated in the same (seed-major, policy-minor) order as the
+/// historical serial loop, so the output is identical for any `threads`.
 pub fn apu_sweep_seeds(
     specs: &[WorkloadSpec],
     seeds: &[u64],
     max_cycles: u64,
     nn: Option<&NnPolicyArbiter>,
+    threads: usize,
 ) -> Vec<(String, f64, f64)> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let mut names: Vec<String> = Vec::new();
-    let mut avg_sums: Vec<f64> = Vec::new();
-    let mut tail_sums: Vec<f64> = Vec::new();
-    for &seed in seeds {
-        for (i, (name, r)) in apu_sweep_one(specs, seed, max_cycles, nn).into_iter().enumerate() {
-            if names.len() <= i {
-                names.push(name);
-                avg_sums.push(0.0);
-                tail_sums.push(0.0);
-            }
-            avg_sums[i] += r.avg_exec;
-            tail_sums[i] += r.tail_exec as f64;
-        }
+    let policies = apu_policy_specs(nn.cloned());
+    let jobs: Vec<(u64, &PolicySpec)> = seeds
+        .iter()
+        .flat_map(|&seed| policies.iter().map(move |p| (seed, p)))
+        .collect();
+    let results = sweep::run_parallel(jobs, threads, |(seed, policy)| {
+        apu_run(specs.to_vec(), policy.build(seed), seed, max_cycles)
+    });
+    let n_policies = policies.len();
+    let mut avg_sums = vec![0.0; n_policies];
+    let mut tail_sums = vec![0.0; n_policies];
+    for (j, r) in results.into_iter().enumerate() {
+        avg_sums[j % n_policies] += r.avg_exec;
+        tail_sums[j % n_policies] += r.tail_exec as f64;
     }
     let n = seeds.len() as f64;
-    names
+    policies
         .into_iter()
         .zip(avg_sums.into_iter().zip(tail_sums))
-        .map(|(name, (a, t))| (name, a / n, t / n))
+        .map(|(p, (a, t))| (p.name, a / n, t / n))
         .collect()
 }
 
@@ -312,6 +394,170 @@ pub fn synthetic_run(
     sim.reset_stats();
     sim.run(measure);
     sim.stats().clone()
+}
+
+/// Parameters for the Fig. 5 experiment core ([`fig05_report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig05Params {
+    /// Warmup cycles discarded before the measurement window.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Training epochs for the NN policy.
+    pub epochs: usize,
+    /// Cycles per training epoch.
+    pub epoch_cycles: u64,
+    /// Base seed for training, traffic and seeded policies.
+    pub seed: u64,
+    /// Sweep worker threads.
+    pub threads: usize,
+}
+
+impl Fig05Params {
+    /// The `--quick` configuration of the `fig05_synthetic` binary.
+    pub fn quick(seed: u64, threads: usize) -> Self {
+        Fig05Params {
+            warmup: 1_000,
+            measure: 6_000,
+            epochs: 8,
+            epoch_cycles: 1_000,
+            seed,
+            threads,
+        }
+    }
+
+    /// The full configuration of the `fig05_synthetic` binary.
+    pub fn full(seed: u64, threads: usize) -> Self {
+        Fig05Params {
+            warmup: 5_000,
+            measure: 40_000,
+            epochs: 60,
+            epoch_cycles: 2_000,
+            seed,
+            threads,
+        }
+    }
+}
+
+/// The Fig. 5 experiment core: per mesh (4×4 and 8×8), trains the NN
+/// policy, measures FIFO / RL-inspired / NN / Global-age under
+/// uniform-random traffic — the four runs dispatched through
+/// [`sweep::run_parallel`] — and renders the normalized latency tables.
+///
+/// A pure function of its parameters: equal `Fig05Params` (including
+/// different `threads` values) yield byte-identical text, which the
+/// determinism regression test in `tests/determinism.rs` pins down.
+pub fn fig05_report(p: &Fig05Params) -> String {
+    let mut out = String::new();
+    for (w, rl_kind, rate) in [
+        (4u16, PolicyKind::RlSynth4x4, 0.40),
+        (8u16, PolicyKind::RlSynth8x8, 0.20),
+    ] {
+        eprintln!("training NN policy for {w}x{w} at rate {rate} ...");
+        let nn = train_synthetic_nn(w, w, rate, p.epochs, p.epoch_cycles, p.seed);
+        let policies = vec![
+            PolicySpec::builtin("FIFO", PolicyKind::Fifo),
+            PolicySpec::builtin("RL-inspired", rl_kind),
+            PolicySpec::nn("NN", nn),
+            PolicySpec::builtin("Global-age", PolicyKind::GlobalAge),
+        ];
+        let rows_raw: Vec<(String, f64, f64, u64)> =
+            sweep::run_parallel(policies, p.threads, |spec| {
+                let s = synthetic_run(
+                    w,
+                    w,
+                    Pattern::UniformRandom,
+                    rate,
+                    spec.build(p.seed),
+                    p.warmup,
+                    p.measure,
+                    p.seed,
+                );
+                (
+                    spec.name,
+                    s.avg_latency(),
+                    s.latency_percentile(99.0) as f64,
+                    s.max_latency(),
+                )
+            });
+        let (ga_avg, ga_p99) = (rows_raw.last().unwrap().1, rows_raw.last().unwrap().2);
+        let rows: Vec<Vec<String>> = rows_raw
+            .iter()
+            .map(|(n, avg, p99, max)| {
+                vec![
+                    n.clone(),
+                    format!("{avg:.1}"),
+                    format!("{:.2}", avg / ga_avg),
+                    format!("{p99:.0}"),
+                    format!("{:.2}", p99 / ga_p99),
+                    format!("{max}"),
+                ]
+            })
+            .collect();
+        out.push_str(&format!("{w}x{w} mesh @ injection rate {rate}:\n"));
+        out.push_str(&render_table(
+            &["policy", "avg (cyc)", "avg norm", "p99 (cyc)", "p99 norm", "max"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// The load-sweep experiment core: latency vs offered load for four
+/// policies on a 4×4 uniform-random mesh, all `rate × policy` runs
+/// dispatched through [`sweep::run_parallel`]. Returns `(headers, rows)`
+/// ready for [`render_table`] / [`write_csv`].
+pub fn load_sweep_table(
+    quick: bool,
+    seed: u64,
+    threads: usize,
+) -> (Vec<String>, Vec<Vec<String>>) {
+    let (warmup, measure) = if quick { (1_000, 4_000) } else { (3_000, 15_000) };
+    let policies = [
+        PolicyKind::RoundRobin,
+        PolicyKind::Fifo,
+        PolicyKind::RlSynth4x4,
+        PolicyKind::GlobalAge,
+    ];
+    let rates: Vec<f64> = (1..=11).map(|i| 0.05 * i as f64).collect();
+
+    let mut headers: Vec<String> = vec!["rate".into()];
+    for k in policies {
+        headers.push(format!("{k} avg"));
+        headers.push(format!("{k} p99"));
+    }
+
+    let jobs: Vec<(f64, PolicyKind)> = rates
+        .iter()
+        .flat_map(|&rate| policies.iter().map(move |&kind| (rate, kind)))
+        .collect();
+    let stats = sweep::run_parallel(jobs, threads, |(rate, kind)| {
+        synthetic_run(
+            4,
+            4,
+            Pattern::UniformRandom,
+            rate,
+            make_arbiter(kind, seed),
+            warmup,
+            measure,
+            seed,
+        )
+    });
+
+    let rows = rates
+        .iter()
+        .enumerate()
+        .map(|(ri, &rate)| {
+            let mut row = vec![format!("{rate:.2}")];
+            for s in &stats[ri * policies.len()..(ri + 1) * policies.len()] {
+                row.push(format!("{:.1}", s.avg_latency()));
+                row.push(format!("{}", s.latency_percentile(99.0)));
+            }
+            row
+        })
+        .collect();
+    (headers, rows)
 }
 
 #[cfg(test)]

@@ -1,0 +1,52 @@
+//! Regression tests: the parallel sweep engine must not change results.
+//!
+//! Every simulation in a sweep is seeded and self-contained, and
+//! `sweep::run_parallel` preserves input order, so the rendered tables
+//! must be byte-identical for any worker count. These tests pin that down
+//! on the Fig. 5 path (synthetic meshes + trained NN policy) and on the
+//! APU multi-seed sweep behind Figs. 9–11.
+
+use apu_sim::NUM_QUADRANTS;
+use apu_workloads::Benchmark;
+use bench::{apu_sweep_seeds, Fig05Params};
+
+/// The fig05 `--quick` pipeline — NN training plus the four-policy
+/// measurement sweep — produces identical stats tables with 1 and 8
+/// worker threads. Parameters are the quick shape scaled down ~10× so the
+/// double run stays test-suite friendly; the sweep structure (two meshes,
+/// four policies, shared trained network) is exactly the binary's.
+#[test]
+fn fig05_tables_identical_across_thread_counts() {
+    let scaled = |threads| {
+        let mut p = Fig05Params::quick(42, threads);
+        p.warmup = 200;
+        p.measure = 800;
+        p.epochs = 2;
+        p.epoch_cycles = 250;
+        p
+    };
+    let serial = bench::fig05_report(&scaled(1));
+    let parallel = bench::fig05_report(&scaled(8));
+    assert!(
+        serial.contains("Global-age"),
+        "report should contain the policy tables:\n{serial}"
+    );
+    assert_eq!(serial, parallel, "thread count changed the fig05 tables");
+}
+
+/// The APU seed × policy sweep (the Figs. 9–11 inner loop) returns
+/// identical per-policy means for 1 and 8 worker threads, including the
+/// floating-point accumulation order.
+#[test]
+fn apu_sweep_identical_across_thread_counts() {
+    let specs = vec![Benchmark::Bfs.spec_scaled(0.02); NUM_QUADRANTS];
+    let seeds = [42, 43];
+    let serial = apu_sweep_seeds(&specs, &seeds, 300_000, None, 1);
+    let parallel = apu_sweep_seeds(&specs, &seeds, 300_000, None, 8);
+    assert_eq!(serial.len(), 6, "six policies without the NN column");
+    for ((n1, a1, t1), (n2, a2, t2)) in serial.iter().zip(&parallel) {
+        assert_eq!(n1, n2);
+        assert_eq!(a1.to_bits(), a2.to_bits(), "{n1}: avg-exec mean differs");
+        assert_eq!(t1.to_bits(), t2.to_bits(), "{n1}: tail-exec mean differs");
+    }
+}

@@ -111,6 +111,28 @@ impl DenseLayer {
         out
     }
 
+    /// Forward pass into a caller-owned buffer: `out` is cleared and filled
+    /// with the layer's activations. Once `out` has capacity for
+    /// `self.outputs()` values this never allocates, which keeps per-decision
+    /// inference off the heap (see [`crate::Mlp::forward_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.inputs()`.
+    pub fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(input.len(), self.inputs, "input width mismatch");
+        out.clear();
+        out.reserve(self.outputs);
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.biases[o];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            out.push(self.activation.apply(acc));
+        }
+    }
+
     /// Backward pass for one sample.
     ///
     /// `output` must be the value returned by [`DenseLayer::forward`] for

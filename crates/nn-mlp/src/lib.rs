@@ -24,5 +24,5 @@ mod quantize;
 pub use activation::Activation;
 pub use io::ParseModelError;
 pub use layer::DenseLayer;
-pub use network::Mlp;
+pub use network::{Mlp, Scratch};
 pub use quantize::{QuantizedLayer, QuantizedMlp};

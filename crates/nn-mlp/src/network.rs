@@ -22,6 +22,34 @@ pub struct Mlp {
     layers: Vec<DenseLayer>,
 }
 
+/// Reusable activation buffers for [`Mlp::forward_into`].
+///
+/// One scratch serves any network: the buffers grow to the widest layer on
+/// first use and are reused (allocation-free) thereafter. Keep one per
+/// inference site, not per call.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    ping: Vec<f64>,
+    pong: Vec<f64>,
+}
+
+impl Scratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// A scratch with capacity preallocated for `net`, so even the first
+    /// [`Mlp::forward_into`] call does not allocate.
+    pub fn for_net(net: &Mlp) -> Self {
+        let widest = net.layers.iter().map(DenseLayer::outputs).max().unwrap_or(0);
+        Scratch {
+            ping: Vec::with_capacity(widest),
+            pong: Vec::with_capacity(widest),
+        }
+    }
+}
+
 impl Mlp {
     /// Builds an MLP with the given layer sizes (`sizes[0]` is the input
     /// width) and one activation per layer transition, Xavier-initialized
@@ -104,6 +132,26 @@ impl Mlp {
             x = layer.forward(&x);
         }
         x
+    }
+
+    /// Allocation-free forward pass: activations ping-pong between the two
+    /// buffers in `scratch`, and the returned slice borrows the one holding
+    /// the output layer. After the first call with a given scratch, no heap
+    /// allocation occurs — this is the inference path the NoC arbiter runs
+    /// once per contended output port per cycle.
+    ///
+    /// Numerically identical to [`Mlp::forward`].
+    pub fn forward_into<'s>(&self, input: &[f64], scratch: &'s mut Scratch) -> &'s [f64] {
+        let Scratch { ping, pong } = scratch;
+        let mut cur: &mut Vec<f64> = ping;
+        let mut next: &mut Vec<f64> = pong;
+        let (first, rest) = self.layers.split_first().expect("Mlp has at least one layer");
+        first.forward_into(input, cur);
+        for layer in rest {
+            layer.forward_into(cur, next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
     }
 
     /// Forward pass keeping every layer's output (needed for backprop).
@@ -226,6 +274,17 @@ mod tests {
             let y = net.forward(x)[0];
             assert!((y - t[0]).abs() < 0.2, "xor({x:?}) = {y}");
         }
+    }
+
+    #[test]
+    fn forward_into_equals_forward_with_lazy_scratch() {
+        let net = Mlp::paper_agent(6, 9, 4, 3);
+        let mut scratch = Scratch::new();
+        let x = [0.1, -0.3, 0.7, 0.0, 0.5, -0.9];
+        assert_eq!(net.forward_into(&x, &mut scratch), &net.forward(&x)[..]);
+        // Second call reuses the (now-sized) buffers.
+        let y = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_eq!(net.forward_into(&y, &mut scratch), &net.forward(&y)[..]);
     }
 
     #[test]

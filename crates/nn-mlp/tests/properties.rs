@@ -1,9 +1,38 @@
 //! Property-based tests: backprop correctness and quantization bounds.
 
-use nn_mlp::{Activation, DenseLayer, Mlp, QuantizedMlp};
+use nn_mlp::{Activation, DenseLayer, Mlp, QuantizedMlp, Scratch};
 use proptest::prelude::*;
 
 proptest! {
+    /// The allocation-free forward path is bit-identical to the allocating
+    /// one, across shapes, depths, seeds, and scratch reuse.
+    #[test]
+    fn forward_into_matches_forward(
+        seed in any::<u64>(),
+        inputs in 1usize..10,
+        hidden in 1usize..12,
+        outputs in 1usize..8,
+        deep in any::<bool>(),
+        xs in proptest::collection::vec(-2.0f64..2.0, 16),
+    ) {
+        let net = if deep {
+            Mlp::new(
+                &[inputs, hidden, hidden, outputs],
+                &[Activation::Sigmoid, Activation::Tanh, Activation::Relu],
+                seed,
+            )
+        } else {
+            Mlp::paper_agent(inputs, hidden, outputs, seed)
+        };
+        let mut scratch = Scratch::for_net(&net);
+        // Reuse the same scratch across calls with different inputs: stale
+        // buffer contents must not leak into later results.
+        for chunk in xs.chunks_exact(inputs).take(3) {
+            let reference = net.forward(chunk);
+            let fast = net.forward_into(chunk, &mut scratch);
+            prop_assert_eq!(fast, &reference[..]);
+        }
+    }
     /// Analytic gradients match central finite differences on random
     /// single layers (the core correctness property of the whole crate).
     #[test]

@@ -41,6 +41,7 @@
 
 mod arbitration;
 mod buffer;
+mod calendar;
 mod config;
 mod error;
 mod histogram;
@@ -59,6 +60,7 @@ pub mod arbiters;
 
 pub use arbitration::{Arbiter, Candidate, Features, Grant, NetSnapshot, OutputCtx, RouterCtx};
 pub use buffer::VcBuffer;
+pub use calendar::{CalendarCounter, CalendarQueue};
 pub use config::{FeatureBounds, RoutingKind, SimConfig};
 pub use error::ConfigError;
 pub use histogram::LatencyHistogram;

@@ -7,10 +7,11 @@
 //! launches the winners toward their next hop under credit-based
 //! virtual-cut-through flow control.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::arbitration::{Arbiter, Candidate, Features, Grant, NetSnapshot, OutputCtx, RouterCtx};
 use crate::buffer::VcBuffer;
+use crate::calendar::{CalendarCounter, CalendarQueue};
 use crate::config::SimConfig;
 use crate::error::ConfigError;
 use crate::packet::{InjectionRequest, Packet};
@@ -45,6 +46,19 @@ enum Arrival {
     Node { packet: Packet },
 }
 
+/// Reusable buffers for the per-cycle arbitration loop, so the steady-state
+/// step allocates nothing: candidate vectors are pooled in `spare` and the
+/// request matrix / availability list keep their capacity across cycles.
+#[derive(Debug, Default)]
+struct ArbScratch {
+    /// The request matrix being arbitrated: `(out_port, candidates)`.
+    outputs: Vec<(usize, Vec<Candidate>)>,
+    /// Recycled candidate vectors (capacity retained).
+    spare: Vec<Vec<Candidate>>,
+    /// Per-output candidates still grantable this cycle.
+    avail: Vec<Candidate>,
+}
+
 /// The cycle-accurate NoC simulator.
 ///
 /// Generic over the traffic source type `T` so closed-loop workload engines
@@ -73,7 +87,7 @@ pub struct Simulator<T: TrafficSource> {
     /// `inj_queues[node][vnet]` — unbounded source queues.
     inj_queues: Vec<Vec<VecDeque<Packet>>>,
     /// Packets in flight on links, keyed by arrival cycle.
-    arrivals: BTreeMap<u64, Vec<Arrival>>,
+    arrivals: CalendarQueue<Arrival>,
     cycle: u64,
     next_packet_id: u64,
     stats: SimStats,
@@ -81,7 +95,7 @@ pub struct Simulator<T: TrafficSource> {
     /// Outstanding (injected, undelivered) packets per source router.
     in_flight_per_router: Vec<u32>,
     /// Mesh-link transmissions ending at a given cycle.
-    tx_ends: BTreeMap<u64, u32>,
+    tx_ends: CalendarCounter,
     /// Mesh-link transmissions currently active.
     active_mesh_tx: u32,
     /// Σ create_cycle over in-flight packets (for the acc-latency reward).
@@ -94,6 +108,12 @@ pub struct Simulator<T: TrafficSource> {
     grant_log: Option<Vec<Grant>>,
     /// Optional per-packet event trace.
     trace: Option<PacketTrace>,
+    /// Scratch for draining this cycle's arrivals (capacity reused).
+    arrival_scratch: Vec<Arrival>,
+    /// Scratch for pulling this cycle's injections (capacity reused).
+    inj_scratch: Vec<InjectionRequest>,
+    /// Scratch for the arbitration request matrix (capacity reused).
+    arb: ArbScratch,
 }
 
 impl<T: TrafficSource> Simulator<T> {
@@ -127,6 +147,11 @@ impl<T: TrafficSource> Simulator<T> {
             .collect();
         let stats = SimStats::new(cfg.num_vnets, topo.num_nodes());
         let in_flight = vec![0; topo.num_routers()];
+        // Every event lands within max_packet_flits + link + router latency
+        // cycles of its scheduling cycle, so this horizon keeps the calendar
+        // queues on their O(1) ring path (overflow handles anything larger).
+        let horizon =
+            (cfg.max_packet_flits as u64 + cfg.link_latency + cfg.router_latency + 2) as usize;
         Ok(Simulator {
             cfg,
             topo,
@@ -134,13 +159,13 @@ impl<T: TrafficSource> Simulator<T> {
             traffic,
             routers,
             inj_queues,
-            arrivals: BTreeMap::new(),
+            arrivals: CalendarQueue::new(horizon),
             cycle: 0,
             next_packet_id: 0,
             stats,
             net: NetSnapshot::default(),
             in_flight_per_router: in_flight,
-            tx_ends: BTreeMap::new(),
+            tx_ends: CalendarCounter::new(horizon),
             active_mesh_tx: 0,
             inflight_create_sum: 0,
             inflight_count: 0,
@@ -148,6 +173,9 @@ impl<T: TrafficSource> Simulator<T> {
             period_delivered: 0,
             grant_log: None,
             trace: None,
+            arrival_scratch: Vec::new(),
+            inj_scratch: Vec::new(),
+            arb: ArbScratch::default(),
         })
     }
 
@@ -306,38 +334,37 @@ impl<T: TrafficSource> Simulator<T> {
         let cycle = self.cycle;
 
         // Phase 0: expire finished link transmissions.
-        let expired: Vec<u64> = self.tx_ends.range(..=cycle).map(|(&k, _)| k).collect();
-        for k in expired {
-            let n = self.tx_ends.remove(&k).unwrap_or(0);
-            self.active_mesh_tx -= n;
-        }
+        self.active_mesh_tx -= self.tx_ends.take_due(cycle);
 
         // Phase 1: land packets that arrive this cycle.
-        if let Some(list) = self.arrivals.remove(&cycle) {
-            for a in list {
-                match a {
-                    Arrival::Router {
-                        router,
-                        in_port,
-                        vnet,
-                        packet,
-                    } => {
-                        self.routers[router.index()].inputs[in_port][vnet]
-                            .push_arrival(packet, cycle);
-                    }
-                    Arrival::Node { packet } => self.deliver(packet, cycle),
+        let mut list = std::mem::take(&mut self.arrival_scratch);
+        self.arrivals.drain_due_into(cycle, &mut list);
+        for a in list.drain(..) {
+            match a {
+                Arrival::Router {
+                    router,
+                    in_port,
+                    vnet,
+                    packet,
+                } => {
+                    self.routers[router.index()].inputs[in_port][vnet]
+                        .push_arrival(packet, cycle);
                 }
+                Arrival::Node { packet } => self.deliver(packet, cycle),
             }
         }
+        self.arrival_scratch = list;
 
         // Phase 2: create new traffic.
-        let reqs = self.traffic.pull(cycle, &self.net);
-        for req in reqs {
+        let mut reqs = std::mem::take(&mut self.inj_scratch);
+        self.traffic.pull_into(cycle, &self.net, &mut reqs);
+        for req in reqs.drain(..) {
             let pkt = self.make_packet(req, cycle);
             self.stats.created += 1;
             self.trace_event(cycle, pkt.id, TraceKind::Created);
             self.inj_queues[pkt.src.index()][pkt.vnet].push_back(pkt);
         }
+        self.inj_scratch = reqs;
 
         // Phase 3: drain injection queues into local input VCs (one packet
         // per node per vnet per cycle).
@@ -532,13 +559,16 @@ impl<T: TrafficSource> Simulator<T> {
 
     fn arbitrate_router(&mut self, router: RouterId, cycle: u64) {
         let ports = self.topo.ports_per_router();
-        // Build the request matrix for all free outputs.
-        let mut outputs: Vec<(usize, Vec<Candidate>)> = Vec::new();
+        // Build the request matrix for all free outputs into the reusable
+        // scratch (taken out of `self` so candidate_for/apply_grant can
+        // borrow the simulator while the matrix is alive).
+        let mut scratch = std::mem::take(&mut self.arb);
+        debug_assert!(scratch.outputs.is_empty());
         for out_port in 0..ports {
             if self.routers[router.index()].out_free_at[out_port] > cycle {
                 continue;
             }
-            let mut cands = Vec::new();
+            let mut cands = scratch.spare.pop().unwrap_or_default();
             for in_port in 0..ports {
                 for vnet in 0..self.cfg.num_vnets {
                     if let Some((cand, head_out)) = self.candidate_for(router, in_port, vnet, cycle)
@@ -553,11 +583,14 @@ impl<T: TrafficSource> Simulator<T> {
                     }
                 }
             }
-            if !cands.is_empty() {
-                outputs.push((out_port, cands));
+            if cands.is_empty() {
+                scratch.spare.push(cands);
+            } else {
+                scratch.outputs.push((out_port, cands));
             }
         }
-        if outputs.is_empty() {
+        if scratch.outputs.is_empty() {
+            self.arb = scratch;
             return;
         }
 
@@ -566,21 +599,23 @@ impl<T: TrafficSource> Simulator<T> {
             cycle,
             num_ports: ports,
             num_vnets: self.cfg.num_vnets,
-            outputs: &outputs,
+            outputs: &scratch.outputs,
             net: &self.net,
         });
 
         let mut granted_inputs: u64 = 0;
-        for (out_port, cands) in &outputs {
-            let avail: Vec<Candidate> = cands
-                .iter()
-                .filter(|c| granted_inputs & (1 << c.in_port) == 0)
-                .cloned()
-                .collect();
-            if avail.is_empty() {
+        for idx in 0..scratch.outputs.len() {
+            let out_port = scratch.outputs[idx].0;
+            scratch.avail.clear();
+            for c in &scratch.outputs[idx].1 {
+                if granted_inputs & (1 << c.in_port) == 0 {
+                    scratch.avail.push(c.clone());
+                }
+            }
+            if scratch.avail.is_empty() {
                 continue;
             }
-            let choice = if avail.len() == 1 {
+            let choice = if scratch.avail.len() == 1 {
                 // Single requester: grant directly without querying the
                 // policy (paper §4.5).
                 Some(0)
@@ -588,20 +623,27 @@ impl<T: TrafficSource> Simulator<T> {
                 self.stats.arbiter_queries += 1;
                 let ctx = OutputCtx {
                     router,
-                    out_port: *out_port,
+                    out_port,
                     cycle,
                     num_ports: ports,
                     num_vnets: self.cfg.num_vnets,
-                    candidates: &avail,
+                    candidates: &scratch.avail,
                     net: &self.net,
                 };
-                self.arbiter.select(&ctx).filter(|&i| i < avail.len())
+                self.arbiter.select(&ctx).filter(|&i| i < scratch.avail.len())
             };
             let Some(i) = choice else { continue };
-            let winner = avail[i].clone();
+            let winner = scratch.avail[i].clone();
             granted_inputs |= 1 << winner.in_port;
-            self.apply_grant(router, *out_port, &winner, cycle);
+            self.apply_grant(router, out_port, &winner, cycle);
         }
+
+        // Return candidate buffers to the pool for the next router/cycle.
+        for (_, mut cands) in scratch.outputs.drain(..) {
+            cands.clear();
+            scratch.spare.push(cands);
+        }
+        self.arb = scratch;
     }
 
     fn apply_grant(&mut self, router: RouterId, out_port: usize, winner: &Candidate, cycle: u64) {
@@ -632,9 +674,7 @@ impl<T: TrafficSource> Simulator<T> {
             self.trace_event(cycle, pkt.id, TraceKind::Delivered { router });
             let at = cycle + (len as u64 - 1) + self.cfg.link_latency;
             self.arrivals
-                .entry(at.max(cycle + 1))
-                .or_default()
-                .push(Arrival::Node { packet: pkt });
+                .schedule(at.max(cycle + 1), Arrival::Node { packet: pkt });
         } else {
             self.trace_event(cycle, pkt.id, TraceKind::Forwarded { router, out_port });
             let next = self
@@ -646,18 +686,18 @@ impl<T: TrafficSource> Simulator<T> {
             pkt.hop_count += 1;
             self.stats.flits_on_links += len as u64;
             self.active_mesh_tx += 1;
-            *self.tx_ends.entry(cycle + len as u64).or_insert(0) += 1;
+            self.tx_ends.add(cycle + len as u64, 1);
             let at = cycle + (len as u64 - 1) + self.cfg.link_latency + self.cfg.router_latency;
             let vnet = pkt.vnet;
-            self.arrivals
-                .entry(at.max(cycle + 1))
-                .or_default()
-                .push(Arrival::Router {
+            self.arrivals.schedule(
+                at.max(cycle + 1),
+                Arrival::Router {
                     router: next,
                     in_port,
                     vnet,
                     packet: pkt,
-                });
+                },
+            );
         }
     }
 }

@@ -18,6 +18,14 @@ pub trait TrafficSource {
     /// queues and drain into the network as buffer space allows.
     fn pull(&mut self, cycle: u64, net: &NetSnapshot) -> Vec<InjectionRequest>;
 
+    /// Allocation-free variant of [`TrafficSource::pull`]: appends this
+    /// cycle's messages to `out` (a scratch buffer the simulator reuses
+    /// across cycles). The default delegates to `pull`; hot sources override
+    /// it to avoid the per-cycle `Vec`.
+    fn pull_into(&mut self, cycle: u64, net: &NetSnapshot, out: &mut Vec<InjectionRequest>) {
+        out.extend(self.pull(cycle, net));
+    }
+
     /// Notification that `packet` was consumed by its destination node.
     fn on_delivered(&mut self, _packet: &Packet, _cycle: u64) {}
 
@@ -161,9 +169,14 @@ impl SyntheticTraffic {
 }
 
 impl TrafficSource for SyntheticTraffic {
-    fn pull(&mut self, _cycle: u64, _net: &NetSnapshot) -> Vec<InjectionRequest> {
-        let _ = self.height; // height participates only through num_nodes
+    fn pull(&mut self, cycle: u64, net: &NetSnapshot) -> Vec<InjectionRequest> {
         let mut out = Vec::new();
+        self.pull_into(cycle, net, &mut out);
+        out
+    }
+
+    fn pull_into(&mut self, _cycle: u64, _net: &NetSnapshot, out: &mut Vec<InjectionRequest>) {
+        let _ = self.height; // height participates only through num_nodes
         for src in 0..self.num_nodes {
             if !self.rng.chance(self.injection_rate) {
                 continue;
@@ -180,7 +193,6 @@ impl TrafficSource for SyntheticTraffic {
                 tag: 0,
             });
         }
-        out
     }
 }
 
@@ -208,13 +220,17 @@ impl TraceTraffic {
 }
 
 impl TrafficSource for TraceTraffic {
-    fn pull(&mut self, cycle: u64, _net: &NetSnapshot) -> Vec<InjectionRequest> {
+    fn pull(&mut self, cycle: u64, net: &NetSnapshot) -> Vec<InjectionRequest> {
         let mut out = Vec::new();
+        self.pull_into(cycle, net, &mut out);
+        out
+    }
+
+    fn pull_into(&mut self, cycle: u64, _net: &NetSnapshot, out: &mut Vec<InjectionRequest>) {
         while self.next < self.events.len() && self.events[self.next].0 <= cycle {
             out.push(self.events[self.next].1.clone());
             self.next += 1;
         }
-        out
     }
 
     fn is_done(&self, _cycle: u64) -> bool {

@@ -377,6 +377,7 @@ impl SharedAgent {
         RlAgentArbiter {
             agent: Rc::clone(&self.0),
             train: true,
+            scratch: InferenceScratch::default(),
         }
     }
 
@@ -386,6 +387,7 @@ impl SharedAgent {
         RlAgentArbiter {
             agent: Rc::clone(&self.0),
             train: false,
+            scratch: InferenceScratch::default(),
         }
     }
 
@@ -416,6 +418,7 @@ impl SharedAgent {
 pub struct RlAgentArbiter {
     agent: Rc<RefCell<DqnAgent>>,
     train: bool,
+    scratch: InferenceScratch,
 }
 
 impl Arbiter for RlAgentArbiter {
@@ -432,7 +435,12 @@ impl Arbiter for RlAgentArbiter {
         if self.train {
             Some(agent.decide(ctx))
         } else {
-            Some(greedy_choice(&agent.net, &agent.encoder, ctx))
+            Some(greedy_choice_with(
+                &agent.net,
+                &agent.encoder,
+                ctx,
+                &mut self.scratch,
+            ))
         }
     }
 
@@ -451,8 +459,29 @@ impl Arbiter for RlAgentArbiter {
 /// Without this, deterministic lowest-slot ties persistently starve
 /// high-index buffers whenever states alias.
 fn greedy_choice(net: &Mlp, encoder: &StateEncoder, ctx: &OutputCtx<'_>) -> usize {
-    let state = encoder.encode(ctx);
-    let q = net.forward(&state);
+    let mut scratch = InferenceScratch::default();
+    greedy_choice_with(net, encoder, ctx, &mut scratch)
+}
+
+/// Reusable buffers for one inference site: the encoded state vector plus
+/// the network's activation ping-pong. After warm-up, a greedy decision
+/// through [`greedy_choice_with`] performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+struct InferenceScratch {
+    state: Vec<f64>,
+    nn: nn_mlp::Scratch,
+}
+
+/// [`greedy_choice`] on caller-owned scratch buffers (the per-decision hot
+/// path of the frozen NN arbiter).
+fn greedy_choice_with(
+    net: &Mlp,
+    encoder: &StateEncoder,
+    ctx: &OutputCtx<'_>,
+    scratch: &mut InferenceScratch,
+) -> usize {
+    encoder.encode_into(ctx, &mut scratch.state);
+    let q = net.forward_into(&scratch.state, &mut scratch.nn);
     let slots = encoder.num_slots();
     let ptr = (ctx.cycle as usize).wrapping_mul(7) % slots;
     ctx.candidates
@@ -478,6 +507,7 @@ pub struct NnPolicyArbiter {
     encoder: StateEncoder,
     epsilon: f64,
     rng: StdRng,
+    scratch: InferenceScratch,
 }
 
 impl NnPolicyArbiter {
@@ -500,6 +530,7 @@ impl NnPolicyArbiter {
             encoder,
             epsilon: 0.01,
             rng: StdRng::seed_from_u64(0x9e3779b97f4a7c15),
+            scratch: InferenceScratch::default(),
         }
     }
 
@@ -529,7 +560,12 @@ impl Arbiter for NnPolicyArbiter {
         if self.epsilon > 0.0 && self.rng.gen::<f64>() < self.epsilon {
             return Some(self.rng.gen_range(0..ctx.candidates.len()));
         }
-        Some(greedy_choice(&self.net, &self.encoder, ctx))
+        Some(greedy_choice_with(
+            &self.net,
+            &self.encoder,
+            ctx,
+            &mut self.scratch,
+        ))
     }
 }
 

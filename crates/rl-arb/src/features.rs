@@ -252,13 +252,22 @@ impl StateEncoder {
     /// zeros elsewhere (paper §3.1.1: "a list of features from all messages
     /// that compete for the same output port").
     pub fn encode(&self, ctx: &OutputCtx<'_>) -> Vec<f64> {
-        let mut state = vec![0.0; self.state_width()];
+        let mut state = Vec::new();
+        self.encode_into(ctx, &mut state);
+        state
+    }
+
+    /// Allocation-free variant of [`StateEncoder::encode`]: `out` is cleared,
+    /// zero-filled to the state width, and populated in place. Reusing one
+    /// buffer across calls keeps per-decision encoding off the heap.
+    pub fn encode_into(&self, ctx: &OutputCtx<'_>, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.state_width(), 0.0);
         let w = self.features.width_per_buffer();
         for c in ctx.candidates {
             debug_assert!(c.slot < self.num_slots(), "candidate slot out of range");
-            self.encode_candidate(c, &mut state, c.slot * w);
+            self.encode_candidate(c, out, c.slot * w);
         }
-        state
     }
 }
 

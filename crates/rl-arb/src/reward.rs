@@ -122,8 +122,10 @@ mod tests {
 
     #[test]
     fn link_util_passes_through_snapshot() {
-        let mut net = NetSnapshot::default();
-        net.link_utilization_prev = 0.375;
+        let net = NetSnapshot {
+            link_utilization_prev: 0.375,
+            ..Default::default()
+        };
         let cands = vec![cand(0, 0), cand(1, 1)];
         assert_eq!(RewardKind::LinkUtil.compute(&ctx(&cands, &net), 1), 0.375);
     }

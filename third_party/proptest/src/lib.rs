@@ -1,0 +1,393 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the proptest 1.x API this workspace uses — the
+//! `proptest!` macro with `ident in strategy` bindings, range and
+//! `collection::vec` strategies, `any::<T>()`, `prop_assert!`/
+//! `prop_assert_eq!`/`prop_assume!`, and `ProptestConfig::with_cases` —
+//! backed by a deterministic random-case runner.
+//!
+//! Differences from upstream: failing inputs are *not* shrunk (the failing
+//! case's seed and values are reported instead), and case generation is
+//! fully deterministic per test name, so failures reproduce across runs
+//! without a persistence file.
+
+#![warn(missing_docs)]
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite quick while still
+        // exercising the properties broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adaptor mapping generated values through a function.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($v,)+) = self;
+                    ($($v.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S1/a);
+    impl_tuple_strategy!(S1/a, S2/b);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c, S4/d);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c, S4/d, S5/e);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c, S4/d, S5/e, S6/f);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c, S4/d, S5/e, S6/f, S7/g);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c, S4/d, S5/e, S6/f, S7/g, S8/h);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c, S4/d, S5/e, S6/f, S7/g, S8/h, S9/i);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c, S4/d, S5/e, S6/f, S7/g, S8/h, S9/i, S10/j);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c, S4/d, S5/e, S6/f, S7/g, S8/h, S9/i, S10/j, S11/k);
+    impl_tuple_strategy!(S1/a, S2/b, S3/c, S4/d, S5/e, S6/f, S7/g, S8/h, S9/i, S10/j, S11/k, S12/l);
+
+    impl<T: Clone> Strategy for super::Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for core::ops::Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// Strategy over a type's whole domain (`any::<T>()`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+/// Whole-domain strategy for `T` (`any::<u64>()`, `any::<bool>()`, …).
+pub fn any<T: rand::Standard>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// Strategy that always yields the wrapped value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Element-count specification for [`vec`]: an exact length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an inner strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The case runner behind the `proptest!` macro.
+pub mod test_runner {
+    use super::ProptestConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejected the input; try another.
+        Reject,
+    }
+
+    /// A failed assertion.
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+
+    /// Runs up to `cfg.cases` accepted cases of `body`, panicking on the
+    /// first failure with the case number (generation is deterministic per
+    /// test name, so the report reproduces the failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a case fails or too many inputs are rejected.
+    pub fn run(
+        cfg: ProptestConfig,
+        name: &str,
+        mut body: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    ) {
+        // Deterministic per-test seed: FNV-1a over the test name.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = cfg.cases.saturating_mul(16).max(1024);
+        let mut case = 0u64;
+        while accepted < cfg.cases {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(case));
+            case += 1;
+            match body(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed at case {} (accepted case {}):\n{msg}",
+                        case - 1,
+                        accepted
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything the `proptest!` macro body needs in scope.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::strategy::Strategy;
+    pub use super::test_runner::TestCaseError;
+    pub use super::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig};
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Rejects the current input (the runner draws a fresh one).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn` runs many random cases with its
+/// `ident in strategy` bindings freshly sampled per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run($cfg, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(
+                    &($strat),
+                    &mut *__proptest_rng,
+                );)*
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, f in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            xs in collection::vec(0u8..3, 1..5),
+            ys in collection::vec(any::<u64>(), 4),
+        ) {
+            prop_assert!((1..5).contains(&xs.len()));
+            prop_assert_eq!(ys.len(), 4);
+            prop_assert!(xs.iter().all(|&v| v < 3));
+        }
+
+        #[test]
+        fn assume_filters_inputs(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn configured_case_count_accepted(x in any::<bool>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        crate::test_runner::run(
+            crate::ProptestConfig::with_cases(5),
+            "always_fails",
+            |_| Err(crate::test_runner::fail("nope".into())),
+        );
+    }
+}
