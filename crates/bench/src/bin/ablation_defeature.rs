@@ -4,69 +4,11 @@
 //! Expected shape (paper): removing port information costs up to ~6.5%
 //! (2.2% average) execution time; removing message type up to ~5.1%
 //! (1.2% average).
-
-use apu_sim::NUM_QUADRANTS;
-use apu_workloads::{Benchmark, InjectionClass};
-use bench::{apu_run, geomean, render_table, sweep_seeds, CliArgs};
-use noc_arbiters::{make_arbiter, PolicyKind};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- ablation_defeature` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let scale = args.apu_scale();
-    let max_cycles = 4_000_000;
-    let variants = [
-        ("full", PolicyKind::RlApu),
-        ("no-port", PolicyKind::RlApuNoPort),
-        ("no-msgtype", PolicyKind::RlApuNoMsgType),
-    ];
-
-    let mut rows = Vec::new();
-    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for bench in Benchmark::ALL {
-        eprintln!("running {bench} ...");
-        let specs = vec![bench.spec_scaled(scale); NUM_QUADRANTS];
-        let seeds = sweep_seeds(args.seed, args.quick);
-        let mut values = Vec::new();
-        for (_, kind) in variants {
-            let mut sum = 0.0;
-            for &seed in &seeds {
-                let r = apu_run(specs.clone(), make_arbiter(kind, seed), seed, max_cycles);
-                sum += r.avg_exec;
-            }
-            values.push(sum / seeds.len() as f64);
-        }
-        let full = values[0];
-        let mut row = vec![bench.name().to_string()];
-        for (i, v) in values.iter().enumerate() {
-            ratios[i].push(v / full);
-            row.push(format!("{:.3}", v / full));
-        }
-        rows.push(row);
-    }
-    let mut gm = vec!["geomean".to_string()];
-    for r in &ratios {
-        gm.push(format!("{:.3}", geomean(r)));
-    }
-    rows.push(gm);
-    // The de-featured terms matter most where the NoC is actually
-    // contended, so also report the high-injection subset (paper §5.1's
-    // effects are likewise strongest on congested workloads).
-    let hi_idx: Vec<usize> = Benchmark::ALL
-        .iter()
-        .enumerate()
-        .filter(|(_, b)| b.injection_class() == InjectionClass::High)
-        .map(|(i, _)| i)
-        .collect();
-    let mut gm_hi = vec!["geomean (high-inj)".to_string()];
-    for r in &ratios {
-        let subset: Vec<f64> = hi_idx.iter().map(|&i| r[i]).collect();
-        gm_hi.push(format!("{:.3}", geomean(&subset)));
-    }
-    rows.push(gm_hi);
-
-    println!("\n== §5.1 ablation: avg execution time relative to full Algorithm 2 ==\n");
-    println!(
-        "{}",
-        render_table(&["workload", "full", "no-port", "no-msgtype"], &rows)
-    );
+    bench::exp::driver::shim_main("ablation_defeature");
 }

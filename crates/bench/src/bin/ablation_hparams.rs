@@ -5,79 +5,11 @@
 //! reproduction's tuned configuration: it trains agents under the paper's
 //! published values and under our tuned values (plus one-factor variants),
 //! and reports final latency and oracle accuracy for each.
-
-use bench::{render_table, CliArgs};
-use rl_arb::{train_synthetic, AgentConfig, TrainSpec};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- ablation_hparams` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let (epochs, cycles) = if args.quick { (12, 800) } else { (50, 2_000) };
-
-    let variants: Vec<(&str, AgentConfig)> = vec![
-        ("paper (lr.001 g.9 e.001 b2)", AgentConfig::paper_synthetic(args.seed)),
-        ("tuned (lr.05 g.2 e.05 b16)", AgentConfig::tuned_synthetic(args.seed)),
-        ("tuned, gamma=0.9", {
-            let mut c = AgentConfig::tuned_synthetic(args.seed);
-            c.gamma = 0.9;
-            c
-        }),
-        ("tuned, gamma=0.0", {
-            let mut c = AgentConfig::tuned_synthetic(args.seed);
-            c.gamma = 0.0;
-            c
-        }),
-        ("tuned, lr=0.001", {
-            let mut c = AgentConfig::tuned_synthetic(args.seed);
-            c.lr = 0.001;
-            c
-        }),
-        ("tuned, batch=2", {
-            let mut c = AgentConfig::tuned_synthetic(args.seed);
-            c.batch_size = 2;
-            c
-        }),
-        ("tuned, eps=0.001", {
-            let mut c = AgentConfig::tuned_synthetic(args.seed);
-            c.epsilon = 0.001;
-            c
-        }),
-        (
-            "tuned + double DQN",
-            AgentConfig::tuned_synthetic(args.seed).with_double_dqn(true),
-        ),
-        (
-            "tuned + prioritized (a=0.6)",
-            AgentConfig::tuned_synthetic(args.seed).with_prioritized(0.6),
-        ),
-    ];
-
-    let mut rows = Vec::new();
-    for (name, agent) in variants {
-        eprintln!("training: {name} ...");
-        let mut spec = TrainSpec::tuned_synthetic(4, 0.40, args.seed);
-        spec.agent = agent;
-        spec.curriculum = Vec::new();
-        spec.epochs = epochs;
-        spec.cycles_per_epoch = cycles;
-        let out = train_synthetic(&spec);
-        let acc = out.agent.cumulative_reward() / out.agent.decisions().max(1) as f64;
-        let tail = &out.curve[out.curve.len() - out.curve.len() / 4..];
-        let settled = tail.iter().sum::<f64>() / tail.len() as f64;
-        rows.push(vec![
-            name.to_string(),
-            format!("{settled:.1}"),
-            format!("{:.1}", out.best_latency()),
-            format!("{acc:.3}"),
-        ]);
-    }
-    println!("\n== hyperparameter ablation: training on 4x4 @ 0.40 ==\n");
-    println!(
-        "{}",
-        render_table(
-            &["configuration", "settled latency", "best epoch", "oracle acc"],
-            &rows
-        )
-    );
-    println!("the paper's published values do not converge in this substrate;");
-    println!("the decisive change is the discount factor (see DESIGN.md).");
+    bench::exp::driver::shim_main("ablation_hparams");
 }

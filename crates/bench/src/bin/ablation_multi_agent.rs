@@ -1,74 +1,11 @@
 //! Design-choice ablation: one shared agent vs one agent per quadrant
 //! (paper §3.1.1: "designers can use multiple agents for training, where
 //! each agent is trained with only a fixed subset of routers").
-
-use apu_sim::{make_apu_sim, EngineConfig, APU_MESH, NUM_QUADRANTS};
-use apu_workloads::Benchmark;
-use bench::{render_table, CliArgs};
-use noc_sim::SimConfig;
-use rl_arb::{AgentConfig, DqnAgent, FeatureSet, PartitionedAgents, StateEncoder};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- ablation_multi_agent` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let scale = args.apu_scale();
-    let repeats = if args.quick { 1 } else { 3 };
-    let specs = vec![Benchmark::Bfs.spec_scaled(scale); NUM_QUADRANTS];
-    let cfg = SimConfig::apu(APU_MESH, APU_MESH);
-    let encoder = StateEncoder::new(6, cfg.num_vnets, FeatureSet::full(), cfg.feature_bounds);
-
-    // --- single shared agent ------------------------------------------
-    eprintln!("training single shared agent ...");
-    let single = DqnAgent::new(encoder.clone(), AgentConfig::tuned_apu(args.seed)).into_shared();
-    for rep in 0..repeats {
-        let mut sim = make_apu_sim(
-            specs.clone(),
-            Box::new(single.training_arbiter()),
-            EngineConfig::default(),
-            args.seed.wrapping_add(rep),
-        );
-        sim.run_until_done(4_000_000);
-    }
-    let single_agent = single.into_inner();
-    let single_acc =
-        single_agent.cumulative_reward() / single_agent.decisions().max(1) as f64;
-
-    // --- per-quadrant agents ------------------------------------------
-    eprintln!("training four per-quadrant agents ...");
-    let apu = apu_sim::ApuTopology::build();
-    let partition = PartitionedAgents::by_quadrant(
-        apu.topology(),
-        &encoder,
-        &AgentConfig::tuned_apu(args.seed),
-    );
-    for rep in 0..repeats {
-        let mut sim = make_apu_sim(
-            specs.clone(),
-            Box::new(partition.training_arbiter()),
-            EngineConfig::default(),
-            args.seed.wrapping_add(rep),
-        );
-        sim.run_until_done(4_000_000);
-    }
-    let quad_agents = partition.into_agents();
-
-    let mut rows = vec![vec![
-        "single shared".to_string(),
-        format!("{}", single_agent.decisions()),
-        format!("{single_acc:.3}"),
-    ]];
-    for (q, a) in quad_agents.iter().enumerate() {
-        rows.push(vec![
-            format!("quadrant {q}"),
-            format!("{}", a.decisions()),
-            format!("{:.3}", a.cumulative_reward() / a.decisions().max(1) as f64),
-        ]);
-    }
-    println!("\n== multi-agent ablation: bfs training on the APU ==\n");
-    println!(
-        "{}",
-        render_table(&["agent", "decisions", "oracle accuracy"], &rows)
-    );
-    println!("per-quadrant agents see a quarter of the data each; with the");
-    println!("quadrant-symmetric workload their accuracies match the shared");
-    println!("agent's, supporting the paper's 'not fundamental' remark.");
+    bench::exp::driver::shim_main("ablation_multi_agent");
 }

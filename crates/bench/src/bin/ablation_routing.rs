@@ -5,58 +5,11 @@
 //! the arbitration-policy ordering fares under minimal west-first
 //! *adaptive* routing — a robustness check on the reproduction's
 //! conclusions.
-
-use bench::{render_table, synthetic_run_routed, CliArgs};
-use noc_arbiters::{make_arbiter, PolicyKind};
-use noc_sim::{NodeId, Pattern, RoutingKind};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- ablation_routing` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let (warmup, measure) = if args.quick { (1_000, 5_000) } else { (3_000, 25_000) };
-
-    let scenarios: Vec<(&str, Pattern, f64)> = vec![
-        ("uniform@0.40", Pattern::UniformRandom, 0.40),
-        ("tornado@0.30", Pattern::Tornado, 0.30),
-        (
-            "hotspot@0.18",
-            Pattern::Hotspot {
-                node: NodeId(5),
-                fraction: 0.04,
-            },
-            0.18,
-        ),
-    ];
-    let policies = [PolicyKind::Fifo, PolicyKind::RlSynth4x4, PolicyKind::GlobalAge];
-
-    let mut rows = Vec::new();
-    for (label, pattern, rate) in scenarios {
-        for kind in policies {
-            eprintln!("running {label} / {kind} ...");
-            let mut row = vec![label.to_string(), kind.to_string()];
-            for routing in [RoutingKind::XY, RoutingKind::WestFirstAdaptive] {
-                let s = synthetic_run_routed(
-                    4,
-                    4,
-                    pattern,
-                    rate,
-                    routing,
-                    make_arbiter(kind, args.seed),
-                    warmup,
-                    measure,
-                    args.seed,
-                );
-                row.push(format!("{:.1}", s.avg_latency()));
-                row.push(format!("{}", s.latency_percentile(99.0)));
-            }
-            rows.push(row);
-        }
-    }
-    println!("\n== routing ablation: X-Y vs west-first adaptive (4x4 mesh) ==\n");
-    println!(
-        "{}",
-        render_table(
-            &["scenario", "policy", "xy avg", "xy p99", "adaptive avg", "adaptive p99"],
-            &rows
-        )
-    );
+    bench::exp::driver::shim_main("ablation_routing");
 }

@@ -2,65 +2,11 @@
 //! the related-work additions (wavefront, ping-pong, slack-aware) the
 //! paper discusses in §7 but does not plot — on a contended synthetic mesh
 //! and one contended APU workload.
-
-use apu_sim::NUM_QUADRANTS;
-use apu_workloads::Benchmark;
-use bench::{apu_run, render_table, synthetic_run, CliArgs};
-use noc_arbiters::{make_arbiter, PolicyKind};
-use noc_sim::Pattern;
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- extended_policies` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let (warmup, measure) = if args.quick { (1_000, 5_000) } else { (3_000, 20_000) };
-    let scale = args.apu_scale();
-
-    let kinds = [
-        PolicyKind::Random,
-        PolicyKind::RoundRobin,
-        PolicyKind::Islip,
-        PolicyKind::Wavefront,
-        PolicyKind::PingPong,
-        PolicyKind::Fifo,
-        PolicyKind::LocalAge,
-        PolicyKind::ProbDist,
-        PolicyKind::SlackAware,
-        PolicyKind::RlSynth4x4,
-        PolicyKind::RlApu,
-        PolicyKind::Algorithm2,
-        PolicyKind::GlobalAge,
-    ];
-
-    let mut rows = Vec::new();
-    for kind in kinds {
-        eprintln!("running {kind} ...");
-        let s = synthetic_run(
-            4,
-            4,
-            Pattern::UniformRandom,
-            0.42,
-            make_arbiter(kind, args.seed),
-            warmup,
-            measure,
-            args.seed,
-        );
-        let specs = vec![Benchmark::Spmv.spec_scaled(scale); NUM_QUADRANTS];
-        let r = apu_run(specs, make_arbiter(kind, args.seed), args.seed, 4_000_000);
-        rows.push(vec![
-            kind.to_string(),
-            format!("{:.1}", s.avg_latency()),
-            format!("{}", s.latency_percentile(99.0)),
-            format!("{:.3}", s.jain_fairness()),
-            format!("{:.0}", r.avg_exec),
-            format!("{}", r.tail_exec),
-        ]);
-    }
-    println!("\n== extended policy comparison ==");
-    println!("(synthetic: 4x4 uniform random @ 0.42; APU: spmv x 4 copies)\n");
-    println!(
-        "{}",
-        render_table(
-            &["policy", "syn avg", "syn p99", "syn jain", "apu avg exec", "apu tail"],
-            &rows
-        )
-    );
+    bench::exp::driver::shim_main("extended_policies");
 }

@@ -4,37 +4,11 @@
 //! The paper's takeaway, which the printed ranking should reproduce:
 //! "the hidden layer neurons tend to make the most use of the local age
 //! and hop count features … distance is largely ignored."
-
-use bench::CliArgs;
-use rl_arb::{train_synthetic, weight_heatmap, TrainSpec};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- fig04` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    // Train at a contended operating point with the tuned recipe — at
-    // light load there is almost no arbitration and hence no signal.
-    let mut spec = TrainSpec::tuned_synthetic(4, 0.40, args.seed);
-    if args.quick {
-        spec.curriculum = vec![(0.32, 4)];
-        spec.epochs = 8;
-        spec.cycles_per_epoch = 800;
-    }
-    eprintln!(
-        "training agent: {} epochs x {} cycles on 4x4 uniform random ...",
-        spec.epochs, spec.cycles_per_epoch
-    );
-    let outcome = train_synthetic(&spec);
-    let hm = weight_heatmap(outcome.agent.network(), outcome.agent.encoder());
-
-    println!("== Fig. 4: hidden-layer |weight| heatmap (4x4 mesh agent) ==");
-    println!("rows: features, columns: input buffers (port x VC); darker = larger\n");
-    println!("{}", hm.to_ascii());
-    println!("feature importance (mean |w| across all buffers):");
-    for (row, mean) in hm.ranked_rows() {
-        println!("  {:>14}: {:.4}", hm.row_labels[row], mean);
-    }
-    println!("\ncsv:\n{}", hm.to_csv());
-    println!(
-        "training curve (avg latency per epoch): {:?}",
-        outcome.curve.iter().map(|l| (l * 10.0).round() / 10.0).collect::<Vec<_>>()
-    );
+    bench::exp::driver::shim_main("fig04");
 }

@@ -12,17 +12,11 @@
 //! workers (`--threads 1` reproduces the serial tables bit-for-bit); the
 //! experiment core lives in [`bench::fig05_report`] so the determinism
 //! regression test can compare thread counts in-process.
-
-use bench::{CliArgs, Fig05Params};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- fig05` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let params = if args.quick {
-        Fig05Params::quick(args.seed, args.threads)
-    } else {
-        Fig05Params::full(args.seed, args.threads)
-    };
-
-    println!("== Fig. 5: message latency, uniform random (normalized to Global-age) ==\n");
-    print!("{}", bench::fig05_report(&params));
+    bench::exp::driver::shim_main("fig05");
 }

@@ -4,33 +4,11 @@
 //! Expected shape (paper §4.6): local age and hop count heavily used;
 //! coherence / memory-response / GPU-L2-response message classes carry
 //! significant weight.
-
-use apu_sim::NUM_QUADRANTS;
-use apu_workloads::Benchmark;
-use bench::{train_apu_agent, CliArgs};
-use rl_arb::weight_heatmap;
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- fig07` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let scale = args.apu_scale();
-    let repeats = if args.quick { 1 } else { 3 };
-    let specs = vec![Benchmark::Bfs.spec_scaled(scale); NUM_QUADRANTS];
-    eprintln!("training agent on bfs x{repeats} (scale {scale}) ...");
-    let agent = train_apu_agent(specs, repeats, 2_000_000, args.seed);
-    let hm = weight_heatmap(agent.network(), agent.encoder());
-
-    println!("== Fig. 7: hidden-layer |weight| heatmap (APU agent, bfs) ==");
-    println!("rows: 12 feature entries, columns: 42 buffers (Core/Mem/N/S/W/E x 7 VCs)\n");
-    println!("{}", hm.to_ascii());
-    println!("feature importance (mean |w| across buffers):");
-    for (row, mean) in hm.ranked_rows() {
-        println!("  {:>20}: {:.4}", hm.row_labels[row], mean);
-    }
-    println!(
-        "\nagent: {} decisions, {} explored, replay {} entries",
-        agent.decisions(),
-        agent.explored(),
-        agent.replay_len()
-    );
-    println!("\ncsv:\n{}", hm.to_csv());
+    bench::exp::driver::shim_main("fig07");
 }

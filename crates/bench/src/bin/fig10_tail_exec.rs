@@ -5,55 +5,11 @@
 //! Expected shape (paper): same ordering as Fig. 9 with larger
 //! round-robin/FIFO penalties (13.4%/4.3% vs RL-inspired) — age-agnostic
 //! policies let one workload copy lag far behind.
-
-use apu_sim::NUM_QUADRANTS;
-use apu_workloads::Benchmark;
-use bench::{apu_sweep_seeds, geomean, render_table, sweep_seeds, train_apu_agent, CliArgs};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- fig10` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let scale = args.apu_scale();
-    let max_cycles = 4_000_000;
-    let seeds = sweep_seeds(args.seed, args.quick);
-    eprintln!("training NN policy on bfs (the paper derives its policy from bfs training) ...");
-    let nn = train_apu_agent(
-        vec![Benchmark::Bfs.spec_scaled(scale); NUM_QUADRANTS],
-        if args.quick { 1 } else { 3 },
-        max_cycles,
-        args.seed,
-    )
-    .freeze();
-
-    let mut policy_names: Vec<String> = Vec::new();
-    let mut per_policy: Vec<Vec<f64>> = Vec::new();
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        eprintln!("running {bench} under all policies x {} seeds ...", seeds.len());
-        let specs = vec![bench.spec_scaled(scale); NUM_QUADRANTS];
-        let results = apu_sweep_seeds(&specs, &seeds, max_cycles, Some(&nn), args.threads);
-        if policy_names.is_empty() {
-            policy_names = results.iter().map(|(n, _, _)| n.clone()).collect();
-            per_policy = vec![Vec::new(); results.len()];
-        }
-        let values: Vec<f64> = results.iter().map(|(_, _, tail)| *tail).collect();
-        let reference = *values.last().unwrap();
-        for (i, v) in values.iter().enumerate() {
-            per_policy[i].push(v / reference);
-        }
-        let mut row = vec![bench.name().to_string()];
-        row.extend(values.iter().map(|v| format!("{:.3}", v / reference)));
-        rows.push(row);
-    }
-    let mut gm_row = vec!["geomean".to_string()];
-    gm_row.extend(per_policy.iter().map(|v| format!("{:.3}", geomean(v))));
-    rows.push(gm_row);
-
-    let mut headers = vec!["workload"];
-    let name_refs: Vec<&str> = policy_names.iter().map(|s| s.as_str()).collect();
-    headers.extend(name_refs);
-    println!("\n== Fig. 10: normalized tail execution time (global-age = 1.0) ==\n");
-    println!("{}", render_table(&headers, &rows));
-    if let Ok(path) = bench::write_csv("results/fig10_tail_exec.csv", &headers, &rows) {
-        eprintln!("csv written to {}", path.display());
-    }
+    bench::exp::driver::shim_main("fig10");
 }

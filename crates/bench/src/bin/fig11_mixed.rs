@@ -6,50 +6,11 @@
 //! Expected shape (paper): under congestion (0L4H–2L2H) RL-inspired is
 //! competitive with Global-age; at 4L0H the network is under-utilized and
 //! policy choice hardly matters (all bars ≈ 1.0).
-
-use apu_sim::NUM_QUADRANTS;
-use apu_workloads::{mix_label, mixed_scenario, Benchmark};
-use bench::{apu_sweep_seeds, render_table, sweep_seeds, train_apu_agent, CliArgs};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- fig11` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let scale = args.apu_scale();
-    let max_cycles = 4_000_000;
-    eprintln!("training NN policy on bfs ...");
-    let nn = train_apu_agent(
-        vec![Benchmark::Bfs.spec_scaled(scale); NUM_QUADRANTS],
-        if args.quick { 1 } else { 2 },
-        max_cycles,
-        args.seed,
-    )
-    .freeze();
-
-    let seeds = sweep_seeds(args.seed, args.quick);
-    let mut policy_names: Vec<String> = Vec::new();
-    let mut rows = Vec::new();
-    for n_low in 0..=NUM_QUADRANTS {
-        let label = mix_label(n_low);
-        eprintln!("running mix {label} x {} seeds ...", seeds.len());
-        let specs = mixed_scenario(n_low, args.seed, scale);
-        let apps: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
-        eprintln!("  quadrants: {apps:?}");
-        let results = apu_sweep_seeds(&specs, &seeds, max_cycles, Some(&nn), args.threads);
-        if policy_names.is_empty() {
-            policy_names = results.iter().map(|(n, _, _)| n.clone()).collect();
-        }
-        let values: Vec<f64> = results.iter().map(|(_, avg, _)| *avg).collect();
-        let reference = *values.last().unwrap();
-        let mut row = vec![label];
-        row.extend(values.iter().map(|v| format!("{:.3}", v / reference)));
-        rows.push(row);
-    }
-
-    let mut headers = vec!["mix"];
-    let name_refs: Vec<&str> = policy_names.iter().map(|s| s.as_str()).collect();
-    headers.extend(name_refs);
-    println!("\n== Fig. 11: mixed workloads, normalized avg execution time ==\n");
-    println!("{}", render_table(&headers, &rows));
-    if let Ok(path) = bench::write_csv("results/fig11_mixed.csv", &headers, &rows) {
-        eprintln!("csv written to {}", path.display());
-    }
+    bench::exp::driver::shim_main("fig11");
 }

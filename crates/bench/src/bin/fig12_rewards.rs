@@ -4,36 +4,11 @@
 //! Expected shape (paper §6.3): only global_age converges to low latency;
 //! acc_latency and link_util hardly converge because their reward is
 //! global and delayed rather than tied to the specific decision.
-
-use bench::{render_series, CliArgs};
-use rl_arb::{train_synthetic, RewardKind, TrainSpec};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- fig12` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let (epochs, cycles) = if args.quick { (10, 800) } else { (50, 2_000) };
-
-    let mut series = Vec::new();
-    for reward in RewardKind::ALL {
-        eprintln!("training with reward {} ...", reward.label());
-        // Cold start at the edge of saturation (like the paper's Fig. 12,
-        // whose y-axis starts near 1000 cycles): an agent that learns pulls
-        // the network out of congestion; one that does not stays there.
-        let mut spec = TrainSpec::tuned_synthetic(4, 0.40, args.seed);
-        spec.curriculum = Vec::new();
-        spec.epochs = epochs;
-        spec.cycles_per_epoch = cycles;
-        spec.agent = spec.agent.with_reward(reward);
-        let out = train_synthetic(&spec);
-        let converged = out.converged(1.15);
-        eprintln!(
-            "  final latency {:.1}, best {:.1}, converged: {converged}",
-            out.final_latency(),
-            out.best_latency()
-        );
-        series.push((reward.label().to_string(), out.curve));
-    }
-
-    let labels: Vec<String> = (1..=epochs).map(|e| e.to_string()).collect();
-    println!("\n== Fig. 12: avg message latency (cycles) vs training epoch ==\n");
-    println!("{}", render_series("epoch", &labels, &series));
+    bench::exp::driver::shim_main("fig12");
 }

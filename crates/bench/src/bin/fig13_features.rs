@@ -5,58 +5,11 @@
 //! Expected shape (paper): local age is the best single feature; the full
 //! feature set matches or beats it; hill climbing selects local age first
 //! and hop count second.
-
-use bench::{render_series, CliArgs};
-use rl_arb::{hill_climb, train_synthetic, Feature, FeatureSet, TrainSpec};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- fig13` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let (epochs, cycles) = if args.quick { (8, 800) } else { (40, 2_000) };
-
-    let variants: Vec<(&str, FeatureSet)> = vec![
-        ("payload", FeatureSet::only(Feature::PayloadSize)),
-        ("localage", FeatureSet::only(Feature::LocalAge)),
-        ("distance", FeatureSet::only(Feature::Distance)),
-        ("hop", FeatureSet::only(Feature::HopCount)),
-        ("allfeature", FeatureSet::synthetic()),
-    ];
-
-    let mut series = Vec::new();
-    for (name, features) in variants {
-        eprintln!("training with features: {name} ...");
-        let mut spec = TrainSpec::tuned_synthetic(4, 0.40, args.seed);
-        spec.curriculum = Vec::new();
-        spec.epochs = epochs;
-        spec.cycles_per_epoch = cycles;
-        spec.features = features;
-        let out = train_synthetic(&spec);
-        series.push((name.to_string(), out.curve));
-    }
-
-    let labels: Vec<String> = (1..=epochs).map(|e| e.to_string()).collect();
-    println!("\n== Fig. 13: avg message latency (cycles) vs training epoch, per feature set ==\n");
-    println!("{}", render_series("epoch", &labels, &series));
-
-    // §6.5: hill-climbing over the synthetic feature pool.
-    eprintln!("hill-climbing feature selection ...");
-    let mut spec = TrainSpec::tuned_synthetic(4, 0.40, args.seed);
-    spec.curriculum = Vec::new();
-    spec.epochs = if args.quick { 4 } else { 12 };
-    spec.cycles_per_epoch = if args.quick { 600 } else { 1_500 };
-    let result = hill_climb(
-        &spec,
-        &[
-            Feature::PayloadSize,
-            Feature::LocalAge,
-            Feature::Distance,
-            Feature::HopCount,
-        ],
-        0.02,
-    );
-    println!("hill-climbing (§6.5) selected features, in adoption order:");
-    for f in &result.selected {
-        println!("  {}", f.label());
-    }
-    println!("settled latency: {:.1} cycles", result.latency);
-    println!("evaluations performed: {}", result.history.len());
+    bench::exp::driver::shim_main("fig13");
 }

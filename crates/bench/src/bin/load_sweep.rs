@@ -6,20 +6,11 @@
 //! notes). Prints one row per injection rate with avg and p99 latency per
 //! policy. All `rate × policy` simulations are independent and run
 //! concurrently on `--threads` workers (see [`bench::load_sweep_table`]).
-
-use bench::{load_sweep_table, render_table, write_csv, CliArgs};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- load_sweep` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    eprintln!(
-        "sweeping 11 rates x 4 policies on {} thread(s) ...",
-        args.threads
-    );
-    let (headers, rows) = load_sweep_table(args.quick, args.seed, args.threads);
-    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("\n== latency vs offered load, 4x4 uniform random ==\n");
-    println!("{}", render_table(&header_refs, &rows));
-    if let Ok(path) = write_csv("results/load_sweep.csv", &header_refs, &rows) {
-        eprintln!("csv written to {}", path.display());
-    }
+    bench::exp::driver::shim_main("load_sweep");
 }

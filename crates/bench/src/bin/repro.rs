@@ -1,0 +1,45 @@
+//! `repro` — the single entry point for regenerating every figure and
+//! table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- list
+//! cargo run --release -p bench --bin repro -- fig09 [--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>]
+//! ```
+//!
+//! Figure names resolve through the registry in `bench::exp::figures`;
+//! legacy binary names (`fig09_avg_exec`, …) are accepted as aliases.
+//! Every run prints the figure's text report to stdout (byte-identical to
+//! the pre-driver binaries) and writes a versioned `RunRecord` JSON with
+//! the per-cell values, seeds, normalization reference and provenance
+//! stamps into `--out-dir` (default `results/`).
+
+use bench::exp::{driver, figures};
+use bench::{CliArgs, USAGE_FLAGS};
+
+fn main() {
+    let (args, positionals) = match CliArgs::parse_from(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => usage(&format!("error: {e}")),
+    };
+    match positionals.as_slice() {
+        [cmd] if cmd == "list" => {
+            for def in figures::all() {
+                println!("{:<22} {}", def.name, def.summary);
+            }
+        }
+        [figure] => {
+            if let Err(e) = driver::run_figure(figure, &args) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        [] => usage("error: missing figure name"),
+        more => usage(&format!("error: expected one figure name, got {more:?}")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("{err}");
+    eprintln!("usage: repro <figure|list> {USAGE_FLAGS}");
+    std::process::exit(2);
+}

@@ -6,78 +6,11 @@
 //! and delivered latencies; the RL-inspired arbiter (and global-age)
 //! keep the tail bounded. The offered hotspot load is kept below the
 //! ejection-port capacity so backlogs reflect *policy*, not overload.
-
-use bench::CliArgs;
-use noc_arbiters::{make_arbiter, MaxPriorityArbiter, PolicyKind, PriorityPolicy};
-use noc_sim::{
-    Arbiter, Candidate, NodeId, OutputCtx, Pattern, SimConfig, Simulator, SyntheticTraffic,
-    Topology,
-};
-
-/// Adversarial control policy: always prefer the *youngest* message.
-#[derive(Debug)]
-struct NewestFirst;
-
-impl PriorityPolicy for NewestFirst {
-    fn name(&self) -> String {
-        "Newest-first".into()
-    }
-    fn priority(&self, c: &Candidate, _ctx: &OutputCtx<'_>) -> u32 {
-        let age = c.features.local_age.min((1 << 20) - 1) as u32;
-        (1 << 20) - age
-    }
-}
-
-fn run(policy: Box<dyn Arbiter>, cycles: u64, seed: u64) -> (u64, u64, u64, u64) {
-    let topo = Topology::uniform_mesh(8, 8).unwrap();
-    let mut cfg = SimConfig::synthetic(8, 8);
-    cfg.starvation_threshold = 1_000;
-    // Offered load at the hotspot ejection port, in flits/cycle (packets
-    // average 1.8 flits): 64 x 0.18 x 0.025 x 1.8 = 0.52 extra plus ~0.31
-    // background = ~0.83 < 1.0 flit/cycle capacity — feasible but hot.
-    let traffic = SyntheticTraffic::new(
-        &topo,
-        Pattern::Hotspot {
-            node: NodeId(27),
-            fraction: 0.025,
-        },
-        0.18,
-        cfg.num_vnets,
-        seed,
-    );
-    let mut sim = Simulator::new(topo, cfg, policy, traffic).unwrap();
-    sim.run(cycles);
-    let starving = sim.starving_packets();
-    let s = sim.stats();
-    (s.max_local_age, starving, s.latency_percentile(99.9), s.max_latency())
-}
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- starvation_check` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let args = CliArgs::parse();
-    let cycles = if args.quick { 20_000 } else { 100_000 };
-    println!("== §6.4 starvation check: feasible hotspot traffic, 8x8 mesh, {cycles} cycles ==\n");
-    // The three policy runs are independent; dispatch them on the sweep
-    // pool. Arbiters are built inside each worker (the policy index is the
-    // job), keeping the jobs trivially Send.
-    let names = [
-        "RL-inspired (distilled, with starvation clause)",
-        "Global-age (oracle)",
-        "Newest-first (adversarial control)",
-    ];
-    let results = bench::sweep::run_parallel((0..names.len()).collect(), args.threads, |i| {
-        let policy: Box<dyn Arbiter> = match i {
-            0 => make_arbiter(PolicyKind::RlApu, args.seed),
-            1 => make_arbiter(PolicyKind::GlobalAge, args.seed),
-            _ => Box::new(MaxPriorityArbiter::new(NewestFirst)),
-        };
-        run(policy, cycles, args.seed)
-    });
-    for (name, (max_age, starving, p999, max_lat)) in names.into_iter().zip(results) {
-        println!("{name}:");
-        println!("  max local age seen            : {max_age}");
-        println!("  packets starving (> 1000 cyc) : {starving}");
-        println!("  p99.9 / max delivered latency : {p999} / {max_lat}\n");
-    }
-    println!("expected: newest-first starves (huge max age/latency); the");
-    println!("RL-inspired starvation clause keeps the tail bounded.");
+    bench::exp::driver::shim_main("starvation_check");
 }

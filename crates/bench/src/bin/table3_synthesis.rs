@@ -4,34 +4,11 @@
 //!
 //! Expected shape (paper): NN orders of magnitude costlier and missing
 //! 1 GHz timing; proposed arbiter a few× round-robin and meeting timing.
-
-use bench::render_table;
-use hw_cost::{rl_inspired_latency_split, table3, TechNode};
+//!
+//! This binary is a thin shim over the unified driver: it is exactly
+//! `cargo run -p bench --bin repro -- table3` and exists so historical
+//! invocations keep working.
 
 fn main() {
-    let tech = TechNode::nm32();
-    let rows = table3(&tech);
-    let table_rows: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.design.clone(),
-                format!("{:.2}", r.report.latency_ns),
-                format!("{:.4}", r.report.area_mm2),
-                format!("{:.2}", r.report.power_mw),
-                if r.report.meets_timing { "yes" } else { "NO" }.to_string(),
-            ]
-        })
-        .collect();
-    println!("== Table 3: synthesis results (analytical 32nm model) ==\n");
-    println!(
-        "{}",
-        render_table(
-            &["design", "latency (ns)", "area (mm^2)", "power (mW)", "meets 1GHz"],
-            &table_rows
-        )
-    );
-    let (p, m) = rl_inspired_latency_split(42, &tech);
-    println!("proposed arbiter latency split: {p:.2} ns priority + {m:.2} ns select-max");
-    println!("(paper: 8.17/1.2344/63.67 NN; 0.89/0.0012/0.07 RR; 1.10/0.0044/0.27 proposed)");
+    bench::exp::driver::shim_main("table3");
 }

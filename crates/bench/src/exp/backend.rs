@@ -1,0 +1,276 @@
+//! `SimBackend` — one `run(&SpecInstance) -> CellRecord` entry point over
+//! both simulators.
+//!
+//! The synthetic mesh (`noc-sim`'s open-loop runner) and the APU chip
+//! (`apu-sim`'s closed-loop engine) historically exposed incompatible run
+//! APIs; every figure binary glued one of them by hand. A backend hides
+//! that behind a single call that takes one resolved cell of the run
+//! matrix and returns its metrics. Backends are stateless and `Sync`, so
+//! cells dispatch freely across the sweep worker pool.
+
+use apu_sim::NUM_QUADRANTS;
+use apu_sim::WorkloadSpec;
+use apu_workloads::{mixed_scenario, Benchmark};
+use noc_sim::{SimConfig, Simulator, SyntheticTraffic, Topology};
+
+use super::spec::{ScenarioSpec, TierParams};
+use crate::PolicySpec;
+
+/// One fully resolved cell of a run matrix: which scenario, which policy
+/// (already carrying any trained artifact), which seed, which budgets.
+#[derive(Debug)]
+pub struct SpecInstance<'a> {
+    /// The scenario to simulate.
+    pub scenario: &'a ScenarioSpec,
+    /// Canonical policy name (registry name, or `"nn"`).
+    pub policy_name: &'a str,
+    /// The instantiable policy recipe.
+    pub policy: &'a PolicySpec,
+    /// This cell's seed (feeds traffic, engine and stochastic policies).
+    pub seed: u64,
+    /// The sweep's base seed (mixed scenarios draw their app composition
+    /// from it, exactly as the legacy `fig11_mixed` binary did).
+    pub base_seed: u64,
+    /// Budget knobs for the active tier.
+    pub params: &'a TierParams,
+}
+
+/// The metrics of one simulated cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Scenario label.
+    pub scenario: String,
+    /// Canonical policy name.
+    pub policy: String,
+    /// Seed of this run.
+    pub seed: u64,
+    /// Named metric values, in a stable order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl CellRecord {
+    /// Looks up a metric by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric is absent — renderers ask only for metrics
+    /// their backend emits, so a miss is a programming error.
+    pub fn metric(&self, name: &str) -> f64 {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| {
+                panic!(
+                    "cell ({}, {}, seed {}) has no metric '{name}'",
+                    self.scenario, self.policy, self.seed
+                )
+            })
+    }
+}
+
+/// A simulator wrapped behind the uniform experiment entry point.
+pub trait SimBackend: Sync {
+    /// Stable backend name recorded in `RunRecord` JSON.
+    fn name(&self) -> &'static str;
+
+    /// Runs one cell to completion and returns its metrics.
+    fn run(&self, inst: &SpecInstance<'_>) -> CellRecord;
+}
+
+/// Picks the backend a scenario runs on.
+pub fn backend_for(scenario: &ScenarioSpec) -> &'static dyn SimBackend {
+    if scenario.is_apu() {
+        &ApuBackend
+    } else {
+        &SyntheticBackend
+    }
+}
+
+/// Open-loop synthetic-traffic mesh backend (`noc-sim`).
+///
+/// Runs `warmup` cycles, resets statistics, then measures `measure`
+/// cycles — or, with `warmup == 0`, measures from cycle zero (the
+/// starvation check's configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyntheticBackend;
+
+impl SimBackend for SyntheticBackend {
+    fn name(&self) -> &'static str {
+        "synthetic"
+    }
+
+    fn run(&self, inst: &SpecInstance<'_>) -> CellRecord {
+        let ScenarioSpec::Synthetic {
+            width,
+            height,
+            pattern,
+            rate,
+            routing,
+            starvation_threshold,
+            ..
+        } = inst.scenario
+        else {
+            panic!("synthetic backend got a non-synthetic scenario");
+        };
+        let topo = Topology::uniform_mesh(*width, *height).expect("valid mesh");
+        let mut cfg = SimConfig::synthetic(*width, *height);
+        cfg.routing = *routing;
+        if let Some(t) = starvation_threshold {
+            cfg.starvation_threshold = *t;
+        }
+        let traffic = SyntheticTraffic::new(&topo, *pattern, *rate, cfg.num_vnets, inst.seed);
+        let mut sim = Simulator::new(topo, cfg, inst.policy.build(inst.seed), traffic)
+            .expect("valid sim");
+        if inst.params.warmup > 0 {
+            sim.run(inst.params.warmup);
+            sim.reset_stats();
+        }
+        sim.run(inst.params.measure);
+        let starving = sim.starving_packets();
+        let s = sim.stats();
+        CellRecord {
+            scenario: inst.scenario.label(),
+            policy: inst.policy_name.to_string(),
+            seed: inst.seed,
+            metrics: vec![
+                ("avg_latency".into(), s.avg_latency()),
+                ("p99_latency".into(), s.latency_percentile(99.0) as f64),
+                ("p999_latency".into(), s.latency_percentile(99.9) as f64),
+                ("max_latency".into(), s.max_latency() as f64),
+                ("max_local_age".into(), s.max_local_age as f64),
+                ("starving_packets".into(), starving as f64),
+                ("jain_fairness".into(), s.jain_fairness()),
+                ("delivered".into(), s.delivered as f64),
+                ("throughput".into(), s.throughput()),
+            ],
+        }
+    }
+}
+
+/// Closed-loop APU chip backend (`apu-sim`): four workload copies, one per
+/// quadrant, run to completion or the cycle budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApuBackend;
+
+impl SimBackend for ApuBackend {
+    fn name(&self) -> &'static str {
+        "apu"
+    }
+
+    fn run(&self, inst: &SpecInstance<'_>) -> CellRecord {
+        let specs = apu_specs_for(inst.scenario, inst.base_seed, inst.params.apu_scale);
+        let r = crate::apu_run(
+            specs,
+            inst.policy.build(inst.seed),
+            inst.seed,
+            inst.params.max_cycles,
+        );
+        CellRecord {
+            scenario: inst.scenario.label(),
+            policy: inst.policy_name.to_string(),
+            seed: inst.seed,
+            metrics: vec![
+                ("avg_exec".into(), r.avg_exec),
+                ("tail_exec".into(), r.tail_exec as f64),
+                ("completed".into(), if r.completed { 1.0 } else { 0.0 }),
+                ("delivered".into(), r.stats.delivered as f64),
+                ("avg_latency".into(), r.stats.avg_latency()),
+            ],
+        }
+    }
+}
+
+/// Resolves an APU scenario into its four workload specs.
+pub fn apu_specs_for(scenario: &ScenarioSpec, base_seed: u64, scale: f64) -> Vec<WorkloadSpec> {
+    match scenario {
+        ScenarioSpec::ApuWorkload { benchmark } => {
+            vec![benchmark_by_name(benchmark).spec_scaled(scale); NUM_QUADRANTS]
+        }
+        ScenarioSpec::ApuMix { n_low } => mixed_scenario(*n_low, base_seed, scale),
+        ScenarioSpec::Synthetic { .. } => {
+            panic!("APU backend got a synthetic scenario")
+        }
+    }
+}
+
+/// Resolves a benchmark by its registry name.
+///
+/// # Panics
+///
+/// Panics on an unknown name — benchmark names in specs are static data
+/// covered by the lineup-resolution tests.
+pub fn benchmark_by_name(name: &str) -> Benchmark {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| panic!("unknown benchmark '{name}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_arbiters::PolicyKind;
+    use noc_sim::{Pattern, RoutingKind};
+
+    fn tiny_params() -> TierParams {
+        let mut p = TierParams::zeroed();
+        p.warmup = 100;
+        p.measure = 300;
+        p.max_cycles = 200_000;
+        p.apu_scale = 0.02;
+        p
+    }
+
+    #[test]
+    fn synthetic_backend_smoke() {
+        let scenario = ScenarioSpec::Synthetic {
+            label: "4x4".into(),
+            width: 4,
+            height: 4,
+            pattern: Pattern::UniformRandom,
+            rate: 0.1,
+            routing: RoutingKind::XY,
+            starvation_threshold: None,
+            lineup: None,
+        };
+        let policy = PolicySpec::builtin("FIFO", PolicyKind::Fifo);
+        let params = tiny_params();
+        let cell = SyntheticBackend.run(&SpecInstance {
+            scenario: &scenario,
+            policy_name: "fifo",
+            policy: &policy,
+            seed: 1,
+            base_seed: 1,
+            params: &params,
+        });
+        assert_eq!(cell.policy, "fifo");
+        assert!(cell.metric("avg_latency") > 0.0);
+        assert!(cell.metric("delivered") > 0.0);
+    }
+
+    #[test]
+    fn apu_backend_smoke_and_seed_determinism() {
+        let scenario = ScenarioSpec::ApuWorkload { benchmark: "bfs".into() };
+        let policy = PolicySpec::builtin("FIFO", PolicyKind::Fifo);
+        let params = tiny_params();
+        let inst = |seed| SpecInstance {
+            scenario: &scenario,
+            policy_name: "fifo",
+            policy: &policy,
+            seed,
+            base_seed: seed,
+            params: &params,
+        };
+        let a = ApuBackend.run(&inst(7));
+        let b = ApuBackend.run(&inst(7));
+        assert_eq!(a, b, "same instance must reproduce exactly");
+        assert!(a.metric("avg_exec") > 0.0);
+    }
+
+    #[test]
+    fn mixed_scenario_resolves_four_quadrants() {
+        let specs = apu_specs_for(&ScenarioSpec::ApuMix { n_low: 2 }, 42, 0.05);
+        assert_eq!(specs.len(), NUM_QUADRANTS);
+    }
+}

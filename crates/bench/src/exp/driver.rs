@@ -1,0 +1,349 @@
+//! The experiment driver: figure name in, text table + `RunRecord` out.
+//!
+//! [`run_figure`] resolves a figure through the [`super::figures`]
+//! registry, executes its run matrix (or custom procedure), prints the
+//! same text the legacy per-figure binary printed, and writes the
+//! structured [`RunRecord`] JSON (plus CSV where the legacy binary wrote
+//! one) into `--out-dir`. All I/O errors propagate to the caller — no
+//! silently swallowed writes.
+//!
+//! ## Determinism
+//!
+//! Cells dispatch scenario-major, then seed-major, then policy-minor, and
+//! [`crate::sweep::run_parallel`] returns results in submission order.
+//! Per-policy seed averages therefore accumulate in increasing-seed order
+//! — exactly the summation order of the historical serial loops (e.g.
+//! [`crate::apu_sweep_seeds`]) — so every rendered value is bit-identical
+//! to the pre-refactor binaries for any `--threads` count. The
+//! `driver_equivalence` integration test pins this.
+
+use apu_sim::NUM_QUADRANTS;
+use rl_arb::NnPolicyArbiter;
+
+use super::backend::{apu_specs_for, backend_for, benchmark_by_name, CellRecord, SpecInstance};
+use super::figures::{self, FigureDef, FigureKind};
+use super::record::{git_describe, RunRecord};
+use super::spec::{
+    ExperimentSpec, Lineup, LineupEntry, NnRecipe, ScenarioSpec, Tier, TierParams,
+};
+use crate::{sweep, train_apu_agent, train_synthetic_nn, write_csv, CliArgs, PolicySpec};
+
+/// The collected cells of one scenario, seed-major / policy-minor.
+#[derive(Debug)]
+pub struct ScenarioData {
+    /// Scenario label.
+    pub label: String,
+    /// Canonical policy names, in line-up order.
+    pub canonical: Vec<String>,
+    /// Display policy names, in line-up order.
+    pub display: Vec<String>,
+    /// Seeds, in sweep order.
+    pub seeds: Vec<u64>,
+    /// Cells, seed-major then policy-minor.
+    pub cells: Vec<CellRecord>,
+}
+
+impl ScenarioData {
+    /// The cell of one `(seed index, policy index)` pair.
+    pub fn cell(&self, seed_idx: usize, policy_idx: usize) -> &CellRecord {
+        &self.cells[seed_idx * self.canonical.len() + policy_idx]
+    }
+
+    /// Mean of a metric over the seeds, for one policy.
+    ///
+    /// Sums in increasing-seed order — the exact accumulation order of the
+    /// historical serial sweeps, so multi-seed figures reproduce their
+    /// pre-refactor values bitwise.
+    pub fn mean(&self, policy_idx: usize, metric: &str) -> f64 {
+        let mut sum = 0.0;
+        for seed_idx in 0..self.seeds.len() {
+            sum += self.cell(seed_idx, policy_idx).metric(metric);
+        }
+        sum / self.seeds.len() as f64
+    }
+
+    /// [`Self::mean`] for every policy, in line-up order.
+    pub fn means(&self, metric: &str) -> Vec<f64> {
+        (0..self.canonical.len()).map(|p| self.mean(p, metric)).collect()
+    }
+}
+
+/// The executed run matrix: one [`ScenarioData`] per scenario, in spec
+/// order.
+#[derive(Debug)]
+pub struct MatrixData {
+    /// Per-scenario results.
+    pub scenarios: Vec<ScenarioData>,
+}
+
+impl MatrixData {
+    /// All cells, flattened in execution order.
+    pub fn all_cells(&self) -> Vec<CellRecord> {
+        self.scenarios.iter().flat_map(|s| s.cells.iter().cloned()).collect()
+    }
+}
+
+/// Runs a figure end-to-end: resolve, execute, print the text report,
+/// write the `RunRecord` JSON (and CSV when the figure historically wrote
+/// one) into `args.out_dir`. Returns the record for in-process callers
+/// (tests, future tooling).
+pub fn run_figure(name: &str, args: &CliArgs) -> Result<RunRecord, String> {
+    let def = figures::find(name).ok_or_else(|| {
+        format!("unknown figure '{name}' (try: {})", figures::names().join(", "))
+    })?;
+    let tier = if args.quick { Tier::Quick } else { Tier::Full };
+    let record = match &def.kind {
+        FigureKind::Matrix { spec, render, csv } => {
+            let spec = spec();
+            let params = *spec.params(tier);
+            let seeds = spec.seed_list(args.seed, tier);
+            let data = run_matrix(&spec, &params, &seeds, args);
+            let rendered = render(&spec, &params, &data);
+            print!("{}", rendered.text);
+            let record = RunRecord {
+                schema_version: super::record::RUN_RECORD_SCHEMA_VERSION,
+                figure: spec.figure.clone(),
+                title: spec.title.clone(),
+                tier: tier.as_str().into(),
+                backend: backend_label(&spec),
+                base_seed: args.seed,
+                seeds,
+                threads: args.threads as u64,
+                git_describe: git_describe(),
+                spec_hash: spec.hash_hex(),
+                normalization: spec.normalization_policy(),
+                cells: data.all_cells(),
+                table: rendered.table,
+            };
+            if *csv {
+                let headers: Vec<&str> =
+                    record.table.headers.iter().map(String::as_str).collect();
+                let path = write_csv(
+                    args.out_dir.join(format!("{}.csv", spec.output)),
+                    &headers,
+                    &record.table.rows,
+                )
+                .map_err(|e| format!("writing {} csv: {e}", spec.output))?;
+                eprintln!("csv written to {}", path.display());
+            }
+            write_record(&record, args, &spec.output)?;
+            record
+        }
+        FigureKind::Custom(f) => {
+            let out = f(args);
+            print!("{}", out.text);
+            let record = RunRecord {
+                schema_version: super::record::RUN_RECORD_SCHEMA_VERSION,
+                figure: def.name.into(),
+                title: def.summary.into(),
+                tier: tier.as_str().into(),
+                backend: out.backend.into(),
+                base_seed: args.seed,
+                seeds: vec![args.seed],
+                threads: args.threads as u64,
+                git_describe: git_describe(),
+                spec_hash: String::new(),
+                normalization: None,
+                cells: out.cells,
+                table: out.table,
+            };
+            write_record(&record, args, def.legacy_bin)?;
+            record
+        }
+    };
+    Ok(record)
+}
+
+/// Entry point shared by the thin per-figure shim binaries: parse the
+/// common flags (no positionals) and run one fixed figure.
+pub fn shim_main(figure: &str) {
+    let args = CliArgs::parse();
+    if let Err(e) = run_figure(figure, &args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn write_record(record: &RunRecord, args: &CliArgs, basename: &str) -> Result<(), String> {
+    let path = record
+        .write(&args.out_dir, basename)
+        .map_err(|e| format!("writing {basename} run record: {e}"))?;
+    eprintln!("run record written to {}", path.display());
+    Ok(())
+}
+
+/// The `RunRecord` backend field for a matrix spec.
+fn backend_label(spec: &ExperimentSpec) -> String {
+    let apu = spec.scenarios.iter().filter(|s| s.is_apu()).count();
+    match apu {
+        0 => "synthetic".into(),
+        n if n == spec.scenarios.len() => "apu".into(),
+        _ => "mixed".into(),
+    }
+}
+
+/// The line-up a scenario runs (its override, or the spec default).
+fn lineup_for<'a>(spec: &'a ExperimentSpec, scenario: &'a ScenarioSpec) -> &'a Lineup {
+    if let ScenarioSpec::Synthetic { lineup: Some(l), .. } = scenario {
+        l
+    } else {
+        &spec.lineup
+    }
+}
+
+/// Executes a spec's full run matrix.
+///
+/// Scenarios run in order; within a scenario all `seeds × policies` cells
+/// are independent and dispatch through [`sweep::run_parallel`] on
+/// `args.threads` workers. NN-slot training happens on the main thread
+/// with the same arguments, seed and call order as the legacy binaries.
+pub fn run_matrix(
+    spec: &ExperimentSpec,
+    params: &TierParams,
+    seeds: &[u64],
+    args: &CliArgs,
+) -> MatrixData {
+    let needs_nn = spec
+        .scenarios
+        .iter()
+        .any(|s| lineup_for(spec, s).has_nn_slot());
+    // The APU recipe trains one network shared by every scenario.
+    let shared_nn: Option<NnPolicyArbiter> = match &spec.nn {
+        Some(NnRecipe::ApuBenchmark { benchmark }) if needs_nn => {
+            eprintln!(
+                "training NN policy on {benchmark} (the paper derives its policy from {benchmark} training) ..."
+            );
+            Some(
+                train_apu_agent(
+                    vec![
+                        benchmark_by_name(benchmark).spec_scaled(params.apu_scale);
+                        NUM_QUADRANTS
+                    ],
+                    params.nn_repeats,
+                    params.max_cycles,
+                    args.seed,
+                )
+                .freeze(),
+            )
+        }
+        _ => None,
+    };
+
+    let mut scenarios = Vec::with_capacity(spec.scenarios.len());
+    for scenario in &spec.scenarios {
+        let lineup = lineup_for(spec, scenario);
+        let nn: Option<NnPolicyArbiter> = if lineup.has_nn_slot() {
+            match &spec.nn {
+                Some(NnRecipe::SyntheticPerScenario) => {
+                    let ScenarioSpec::Synthetic { label, width, height, rate, .. } = scenario
+                    else {
+                        panic!("synthetic NN recipe on a non-synthetic scenario")
+                    };
+                    eprintln!("training NN policy for {label} at rate {rate} ...");
+                    Some(train_synthetic_nn(
+                        *width,
+                        *height,
+                        *rate,
+                        params.nn_epochs,
+                        params.nn_epoch_cycles,
+                        args.seed,
+                    ))
+                }
+                Some(NnRecipe::ApuBenchmark { .. }) => shared_nn.clone(),
+                None => panic!("line-up has an NN slot but the spec has no NN recipe"),
+            }
+        } else {
+            None
+        };
+        // (canonical name, display name, buildable recipe) per slot.
+        let policies: Vec<(String, String, PolicySpec)> = lineup
+            .entries
+            .iter()
+            .map(|e| match e {
+                LineupEntry::Policy(kind) => (
+                    kind.as_str().to_string(),
+                    kind.display_name().to_string(),
+                    PolicySpec::builtin(kind.display_name(), *kind),
+                ),
+                LineupEntry::NnSlot => (
+                    "nn".into(),
+                    "NN".into(),
+                    PolicySpec::nn("NN", nn.clone().expect("NN recipe produced no network")),
+                ),
+            })
+            .collect();
+        eprintln!(
+            "running {} under {} policies x {} seed(s) ...",
+            scenario.label(),
+            policies.len(),
+            seeds.len()
+        );
+        if matches!(scenario, ScenarioSpec::ApuMix { .. }) {
+            let specs = apu_specs_for(scenario, args.seed, params.apu_scale);
+            let apps: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+            eprintln!("  quadrants: {apps:?}");
+        }
+        let backend = backend_for(scenario);
+        let jobs: Vec<(u64, usize)> = seeds
+            .iter()
+            .flat_map(|&seed| (0..policies.len()).map(move |p| (seed, p)))
+            .collect();
+        let cells = sweep::run_parallel(jobs, args.threads, |(seed, p)| {
+            backend.run(&SpecInstance {
+                scenario,
+                policy_name: &policies[p].0,
+                policy: &policies[p].2,
+                seed,
+                base_seed: args.seed,
+                params,
+            })
+        });
+        scenarios.push(ScenarioData {
+            label: scenario.label(),
+            canonical: policies.iter().map(|p| p.0.clone()).collect(),
+            display: policies.iter().map(|p| p.1.clone()).collect(),
+            seeds: seeds.to_vec(),
+            cells,
+        });
+    }
+    MatrixData { scenarios }
+}
+
+/// Looks up a figure definition (used by tests; `run_figure` resolves
+/// internally).
+pub fn resolve(name: &str) -> Option<&'static FigureDef> {
+    figures::find(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_figure_is_an_error() {
+        let err = run_figure("fig99", &CliArgs::default()).unwrap_err();
+        assert!(err.contains("unknown figure"), "got: {err}");
+        assert!(err.contains("fig05"), "error should list known figures: {err}");
+    }
+
+    #[test]
+    fn legacy_bin_names_resolve_to_the_same_figures() {
+        for def in figures::all() {
+            let by_name = figures::find(def.name).expect("canonical name resolves");
+            let by_bin = figures::find(def.legacy_bin).expect("legacy bin name resolves");
+            assert!(std::ptr::eq(by_name, by_bin), "{} aliases diverge", def.name);
+        }
+    }
+
+    #[test]
+    fn backend_labels() {
+        use super::super::figures;
+        let spec_of = |name: &str| match &figures::find(name).unwrap().kind {
+            FigureKind::Matrix { spec, .. } => spec(),
+            FigureKind::Custom(_) => panic!("{name} is not a matrix figure"),
+        };
+        assert_eq!(backend_label(&spec_of("fig05")), "synthetic");
+        assert_eq!(backend_label(&spec_of("fig09")), "apu");
+        assert_eq!(backend_label(&spec_of("extended_policies")), "mixed");
+    }
+}

@@ -1,0 +1,40 @@
+//! # exp — the unified, declarative experiment layer
+//!
+//! Every paper figure used to be its own binary with copy-pasted CLI
+//! parsing, table rendering and ad-hoc CSV emission, and the two
+//! simulators (`noc-sim` synthetic mesh, `apu-sim` APU chip) exposed
+//! incompatible run APIs. This module replaces that with one pipeline:
+//!
+//! * [`spec::ExperimentSpec`] — a pure-data description of a run matrix:
+//!   scenarios, a policy line-up by registry name (with a trained-artifact
+//!   slot for the NN policy), per-tier budgets and seed counts.
+//! * [`backend::SimBackend`] — one `run(&SpecInstance) -> CellRecord`
+//!   entry point with implementations wrapping the synthetic-mesh runner
+//!   and the APU engine.
+//! * [`record::RunRecord`] — the versioned, structured JSON result every
+//!   invocation emits alongside its text table: per-cell values, seeds,
+//!   the normalization reference, `git describe` and a spec hash. This is
+//!   the stable schema future sharded/remote execution and regression
+//!   tooling consume.
+//! * [`figures`] — the registry mapping figure names (`fig05`, `fig09`,
+//!   `table3`, …) to their specs and renderers.
+//! * [`driver`] — resolves a figure name, dispatches all independent
+//!   cells through [`crate::sweep::run_parallel`], prints the text table
+//!   and writes the `RunRecord` (plus CSV where the legacy binary wrote
+//!   one) into `--out-dir`.
+//!
+//! Determinism: a cell's value is a pure function of its `(scenario,
+//! policy, seed, budget)` instance, and results are collected in
+//! submission order, so tables are byte-identical for every `--threads`
+//! value and match the pre-refactor binaries (pinned by
+//! `tests/driver_equivalence.rs`).
+
+pub mod backend;
+pub mod driver;
+pub mod figures;
+pub mod record;
+pub mod spec;
+
+pub use backend::{ApuBackend, CellRecord, SimBackend, SpecInstance, SyntheticBackend};
+pub use record::{RunRecord, Table, RUN_RECORD_SCHEMA_VERSION};
+pub use spec::{ExperimentSpec, Lineup, LineupEntry, NnRecipe, Normalize, ScenarioSpec, Tier, TierParams};

@@ -1,0 +1,539 @@
+//! `RunRecord` — the versioned, structured result artifact.
+//!
+//! Every driver invocation writes one `RunRecord` JSON next to its text
+//! table: per-cell metric values, the seed list, the normalization
+//! reference, `git describe` and a hash of the `ExperimentSpec`. The
+//! schema is the stable contract future sharded/remote execution and
+//! regression tooling consume, so it is versioned
+//! ([`RUN_RECORD_SCHEMA_VERSION`]) and round-trip tested against a golden
+//! file.
+//!
+//! The build environment has no crates.io access, so serialization is a
+//! small hand-rolled JSON emitter plus a minimal recursive-descent parser
+//! (numbers keep their lexeme so `u64` seeds survive exactly).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use super::backend::CellRecord;
+
+/// Version stamp of the `RunRecord` JSON schema. Bump on any breaking
+/// change and teach consumers both shapes.
+pub const RUN_RECORD_SCHEMA_VERSION: u64 = 1;
+
+/// A rendered table: header row plus data rows, all strings.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// The structured result of one driver invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Schema version ([`RUN_RECORD_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Canonical figure name.
+    pub figure: String,
+    /// Human title.
+    pub title: String,
+    /// Tier name (`"quick"` / `"full"`).
+    pub tier: String,
+    /// Backend name (`"synthetic"`, `"apu"`, or `"mixed"`).
+    pub backend: String,
+    /// Base seed of the sweep.
+    pub base_seed: u64,
+    /// Every seed the sweep ran.
+    pub seeds: Vec<u64>,
+    /// Worker threads used (informational: results are thread-invariant).
+    pub threads: u64,
+    /// `git describe --always --dirty` of the producing checkout.
+    pub git_describe: String,
+    /// FNV-1a hash of the experiment spec (empty for custom figures).
+    pub spec_hash: String,
+    /// Canonical name of the normalization reference policy, if any.
+    pub normalization: Option<String>,
+    /// Per-cell raw values.
+    pub cells: Vec<CellRecord>,
+    /// The rendered table, machine-readable.
+    pub table: Table,
+}
+
+impl RunRecord {
+    /// Serializes the record as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(s, "  \"figure\": {},", json_str(&self.figure));
+        let _ = writeln!(s, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(s, "  \"tier\": {},", json_str(&self.tier));
+        let _ = writeln!(s, "  \"backend\": {},", json_str(&self.backend));
+        let _ = writeln!(s, "  \"base_seed\": {},", self.base_seed);
+        let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
+        let _ = writeln!(s, "  \"seeds\": [{}],", seeds.join(", "));
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"git_describe\": {},", json_str(&self.git_describe));
+        let _ = writeln!(s, "  \"spec_hash\": {},", json_str(&self.spec_hash));
+        match &self.normalization {
+            Some(n) => {
+                let _ = writeln!(s, "  \"normalization\": {},", json_str(n));
+            }
+            None => s.push_str("  \"normalization\": null,\n"),
+        }
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let metrics: Vec<String> = c
+                .metrics
+                .iter()
+                .map(|(k, v)| format!("{}: {}", json_str(k), json_num(*v)))
+                .collect();
+            let _ = write!(
+                s,
+                "    {{\"scenario\": {}, \"policy\": {}, \"seed\": {}, \"metrics\": {{{}}}}}",
+                json_str(&c.scenario),
+                json_str(&c.policy),
+                c.seed,
+                metrics.join(", ")
+            );
+            s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"table\": {\n");
+        let headers: Vec<String> = self.table.headers.iter().map(|h| json_str(h)).collect();
+        let _ = writeln!(s, "    \"headers\": [{}],", headers.join(", "));
+        s.push_str("    \"rows\": [\n");
+        for (i, row) in self.table.rows.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|c| json_str(c)).collect();
+            let _ = write!(s, "      [{}]", cells.join(", "));
+            s.push_str(if i + 1 < self.table.rows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("    ]\n");
+        s.push_str("  }\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parses a record back from JSON (the regression-tooling direction).
+    pub fn from_json(text: &str) -> Result<RunRecord, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object()?;
+        let cells_json = obj.get("cells").ok_or("missing 'cells'")?.as_array()?;
+        let mut cells = Vec::with_capacity(cells_json.len());
+        for c in cells_json {
+            let co = c.as_object()?;
+            let metrics_obj = co.get("metrics").ok_or("missing cell 'metrics'")?.as_object()?;
+            let mut metrics = Vec::with_capacity(metrics_obj.len());
+            for (k, v) in metrics_obj {
+                metrics.push((k.clone(), v.as_f64()?));
+            }
+            cells.push(CellRecord {
+                scenario: co.get("scenario").ok_or("missing cell 'scenario'")?.as_str()?,
+                policy: co.get("policy").ok_or("missing cell 'policy'")?.as_str()?,
+                seed: co.get("seed").ok_or("missing cell 'seed'")?.as_u64()?,
+                metrics,
+            });
+        }
+        let table_obj = obj.get("table").ok_or("missing 'table'")?.as_object()?;
+        let headers = table_obj
+            .get("headers")
+            .ok_or("missing table 'headers'")?
+            .as_array()?
+            .iter()
+            .map(Json::as_str)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut rows = Vec::new();
+        for row in table_obj.get("rows").ok_or("missing table 'rows'")?.as_array()? {
+            rows.push(
+                row.as_array()?
+                    .iter()
+                    .map(Json::as_str)
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+        }
+        let get_str = |key: &str| -> Result<String, String> {
+            obj.get(key).ok_or(format!("missing '{key}'"))?.as_str()
+        };
+        let normalization = match obj.get("normalization") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_str()?),
+        };
+        Ok(RunRecord {
+            schema_version: obj
+                .get("schema_version")
+                .ok_or("missing 'schema_version'")?
+                .as_u64()?,
+            figure: get_str("figure")?,
+            title: get_str("title")?,
+            tier: get_str("tier")?,
+            backend: get_str("backend")?,
+            base_seed: obj.get("base_seed").ok_or("missing 'base_seed'")?.as_u64()?,
+            seeds: obj
+                .get("seeds")
+                .ok_or("missing 'seeds'")?
+                .as_array()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Result<Vec<_>, _>>()?,
+            threads: obj.get("threads").ok_or("missing 'threads'")?.as_u64()?,
+            git_describe: get_str("git_describe")?,
+            spec_hash: get_str("spec_hash")?,
+            normalization,
+            cells,
+            table: Table { headers, rows },
+        })
+    }
+
+    /// Writes the record to `<dir>/<basename>.json`, creating the
+    /// directory, and returns the path. I/O errors propagate.
+    pub fn write(&self, dir: &Path, basename: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{basename}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git is unavailable (results must still be writable offline).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Escapes a string for JSON.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite f64 so it parses back to the same bits (`{:?}` is
+/// Rust's shortest round-trip float form); non-finite values become null.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".into()
+    }
+}
+
+/// A minimal JSON value — just enough for the `RunRecord` schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept as its lexeme so integers survive exactly.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn as_object(&self) -> Result<&Vec<(String, Json)>, String> {
+        match self {
+            Json::Obj(m) => Ok(m),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&Vec<Json>, String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self) -> Result<String, String> {
+        match self {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(n) => n.parse().map_err(|_| format!("expected u64, got {n}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(n) => n.parse().map_err(|_| format!("bad number {n}")),
+            Json::Null => Ok(f64::NAN),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+/// Helper for object field lookup on the insertion-ordered pairs.
+trait ObjExt {
+    fn get(&self, key: &str) -> Option<&Json>;
+}
+
+impl ObjExt for Vec<(String, Json)> {
+    fn get(&self, key: &str) -> Option<&Json> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", ch as char, pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            if start == *pos {
+                return Err(format!("unexpected byte at {start}"));
+            }
+            let lexeme = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            lexeme
+                .parse::<f64>()
+                .map_err(|_| format!("bad number '{lexeme}'"))?;
+            Ok(Json::Num(lexeme.to_string()))
+        }
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass through).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        RunRecord {
+            schema_version: RUN_RECORD_SCHEMA_VERSION,
+            figure: "fig09".into(),
+            title: "normalized average execution time".into(),
+            tier: "quick".into(),
+            backend: "apu".into(),
+            base_seed: 42,
+            seeds: vec![42, 43],
+            threads: 4,
+            git_describe: "abc1234-dirty".into(),
+            spec_hash: "00ff00ff00ff00ff".into(),
+            normalization: Some("global-age".into()),
+            cells: vec![CellRecord {
+                scenario: "bfs".into(),
+                policy: "round-robin".into(),
+                seed: 42,
+                metrics: vec![("avg_exec".into(), 1234.5), ("tail_exec".into(), 2000.0)],
+            }],
+            table: Table {
+                headers: vec!["workload".into(), "Round-robin".into()],
+                rows: vec![vec!["bfs".into(), "1.046".into()]],
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rec = sample();
+        let parsed = RunRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn json_escapes_special_chars() {
+        let mut rec = sample();
+        rec.title = "quote \" backslash \\ newline \n tab \t".into();
+        let parsed = RunRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(parsed.title, rec.title);
+    }
+
+    #[test]
+    fn null_normalization_round_trips() {
+        let mut rec = sample();
+        rec.normalization = None;
+        let parsed = RunRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(parsed.normalization, None);
+    }
+
+    #[test]
+    fn large_seeds_survive_exactly() {
+        let mut rec = sample();
+        rec.seeds = vec![u64::MAX, 0];
+        rec.base_seed = u64::MAX;
+        let parsed = RunRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(parsed.seeds, rec.seeds);
+        assert_eq!(parsed.base_seed, u64::MAX);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(RunRecord::from_json("{").is_err());
+        assert!(RunRecord::from_json("{} trailing").is_err());
+        assert!(RunRecord::from_json("{\"figure\": 3}").is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! `ExperimentSpec` — the pure-data description of a run matrix.
+//!
+//! A spec carries no trained networks, boxed arbiters or closures: policy
+//! line-ups are registry names (the NN policy is a named *slot* filled
+//! with a trained artifact at run time), scenarios are parameter records,
+//! and budgets are numbers. That makes a spec hashable (for the
+//! `RunRecord` provenance stamp), diffable, and — eventually — shippable
+//! to remote workers.
+
+use noc_arbiters::PolicyKind;
+use noc_sim::{Pattern, RoutingKind};
+
+/// Experiment size tier: `--quick` smoke or the full paper configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Shrunk workloads/epochs for smoke runs.
+    Quick,
+    /// The full configuration behind the checked-in results.
+    Full,
+}
+
+impl Tier {
+    /// Stable name used in `RunRecord` JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Quick => "quick",
+            Tier::Full => "full",
+        }
+    }
+}
+
+/// Per-tier budget knobs. Figures use the subset that applies to them;
+/// unused knobs stay zero and are ignored by the backends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierParams {
+    /// Synthetic: warmup cycles discarded before the measurement window
+    /// (`0` = measure from cycle zero, as the starvation check does).
+    pub warmup: u64,
+    /// Synthetic: measured cycles.
+    pub measure: u64,
+    /// APU: cycle budget per closed-loop run.
+    pub max_cycles: u64,
+    /// Number of seeds in the sweep (`base_seed .. base_seed + seeds`).
+    pub seeds: usize,
+    /// APU: workload scale factor.
+    pub apu_scale: f64,
+    /// NN slot: training epochs (synthetic recipe).
+    pub nn_epochs: usize,
+    /// NN slot: cycles per training epoch (synthetic recipe).
+    pub nn_epoch_cycles: u64,
+    /// NN slot: workload repeats (APU recipe).
+    pub nn_repeats: usize,
+}
+
+impl TierParams {
+    /// A zeroed parameter block to fill in field-by-field.
+    pub const fn zeroed() -> Self {
+        TierParams {
+            warmup: 0,
+            measure: 0,
+            max_cycles: 0,
+            seeds: 1,
+            apu_scale: 0.0,
+            nn_epochs: 0,
+            nn_epoch_cycles: 0,
+            nn_repeats: 0,
+        }
+    }
+}
+
+/// One slot in a policy line-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineupEntry {
+    /// A registry policy, constructed by name via
+    /// [`noc_arbiters::make_arbiter`].
+    Policy(PolicyKind),
+    /// The trained-artifact slot: filled with a frozen NN policy produced
+    /// by the spec's [`NnRecipe`] before the sweep dispatches.
+    NnSlot,
+}
+
+impl LineupEntry {
+    /// Parses a line-up name: `"nn"` is the trained-artifact slot, any
+    /// other name must resolve in the policy registry.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        if name == "nn" {
+            return Ok(LineupEntry::NnSlot);
+        }
+        name.parse::<PolicyKind>()
+            .map(LineupEntry::Policy)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Canonical machine-facing name (round-trips through [`Self::parse`]).
+    pub fn canonical_name(self) -> &'static str {
+        match self {
+            LineupEntry::Policy(kind) => kind.as_str(),
+            LineupEntry::NnSlot => "nn",
+        }
+    }
+
+    /// Human-facing label used in rendered tables.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            LineupEntry::Policy(kind) => kind.display_name(),
+            LineupEntry::NnSlot => "NN",
+        }
+    }
+}
+
+/// An ordered policy line-up, expressed entirely as parseable names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lineup {
+    /// The slots, in presentation order.
+    pub entries: Vec<LineupEntry>,
+}
+
+impl Lineup {
+    /// Parses a list of names (e.g. `["fifo", "nn", "global-age"]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name — line-ups are static data authored in
+    /// [`super::figures`], so a bad name is a programming error caught by
+    /// the registry round-trip tests.
+    pub fn parse(names: &[&str]) -> Self {
+        let entries = names
+            .iter()
+            .map(|n| LineupEntry::parse(n).unwrap_or_else(|e| panic!("bad lineup entry: {e}")))
+            .collect();
+        Lineup { entries }
+    }
+
+    /// Whether the line-up contains the trained-artifact slot.
+    pub fn has_nn_slot(&self) -> bool {
+        self.entries.contains(&LineupEntry::NnSlot)
+    }
+}
+
+/// How the trained-artifact ("NN") slot is filled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnRecipe {
+    /// Train a DQN agent on each synthetic scenario's mesh and rate
+    /// (`nn_epochs` × `nn_epoch_cycles`), freezing one network per
+    /// scenario — the Fig. 5 procedure.
+    SyntheticPerScenario,
+    /// Train one agent on the named APU benchmark (`nn_repeats` workload
+    /// repeats, four copies), shared by every scenario — the Figs. 9–11
+    /// procedure ("the paper derives its policy from bfs training").
+    ApuBenchmark {
+        /// Benchmark name (see [`apu_workloads::Benchmark::name`]).
+        benchmark: String,
+    },
+}
+
+/// One scenario (row group) of the run matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioSpec {
+    /// Open-loop synthetic traffic on a `width × height` mesh.
+    Synthetic {
+        /// Short label used in cells and tables.
+        label: String,
+        /// Mesh width.
+        width: u16,
+        /// Mesh height.
+        height: u16,
+        /// Traffic pattern.
+        pattern: Pattern,
+        /// Injection rate (packets/node/cycle).
+        rate: f64,
+        /// Routing function.
+        routing: RoutingKind,
+        /// Override for `SimConfig::starvation_threshold`.
+        starvation_threshold: Option<u64>,
+        /// Per-scenario line-up override (Fig. 5 swaps the distilled
+        /// policy variant per mesh size).
+        lineup: Option<Lineup>,
+    },
+    /// Closed-loop APU run: four copies of one benchmark, one per quadrant.
+    ApuWorkload {
+        /// Benchmark name (see [`apu_workloads::Benchmark::name`]).
+        benchmark: String,
+    },
+    /// Closed-loop APU mixed scenario: `n_low` low-injection apps and
+    /// `4 − n_low` high-injection apps (Fig. 11's 0L4H … 4L0H axis).
+    ApuMix {
+        /// Number of low-injection quadrants.
+        n_low: usize,
+    },
+}
+
+impl ScenarioSpec {
+    /// The label cells of this scenario carry.
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioSpec::Synthetic { label, .. } => label.clone(),
+            ScenarioSpec::ApuWorkload { benchmark } => benchmark.clone(),
+            ScenarioSpec::ApuMix { n_low } => apu_workloads::mix_label(*n_low),
+        }
+    }
+
+    /// Whether this scenario runs on the APU backend.
+    pub fn is_apu(&self) -> bool {
+        matches!(self, ScenarioSpec::ApuWorkload { .. } | ScenarioSpec::ApuMix { .. })
+    }
+}
+
+/// Which policy a row is normalized to (the "normalization reference"
+/// recorded in the `RunRecord`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Normalize {
+    /// Absolute values, no reference.
+    None,
+    /// Divide by the first line-up entry (the de-featuring ablation's
+    /// "full" variant).
+    First,
+    /// Divide by the last line-up entry (the figures' Global-age column).
+    Last,
+}
+
+/// A declarative description of one figure's run matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Canonical figure name (`fig09`, `table3`, `load_sweep`, …).
+    pub figure: String,
+    /// Output file basename (kept equal to the legacy binary name so
+    /// regenerated artifacts land on the checked-in paths).
+    pub output: String,
+    /// Human title printed above the table.
+    pub title: String,
+    /// Default policy line-up (scenarios may override).
+    pub lineup: Lineup,
+    /// How the NN slot is filled, when the line-up has one.
+    pub nn: Option<NnRecipe>,
+    /// The scenarios, in presentation order.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// `--quick` budgets.
+    pub quick: TierParams,
+    /// Full budgets.
+    pub full: TierParams,
+    /// Normalization reference.
+    pub normalize: Normalize,
+}
+
+impl ExperimentSpec {
+    /// The budget block for a tier.
+    pub fn params(&self, tier: Tier) -> &TierParams {
+        match tier {
+            Tier::Quick => &self.quick,
+            Tier::Full => &self.full,
+        }
+    }
+
+    /// The seed list for a tier: `base, base+1, …` (the historical
+    /// [`crate::sweep_seeds`] convention).
+    pub fn seed_list(&self, base: u64, tier: Tier) -> Vec<u64> {
+        (0..self.params(tier).seeds as u64).map(|i| base + i).collect()
+    }
+
+    /// Canonical name of the normalization reference policy, if any.
+    pub fn normalization_policy(&self) -> Option<String> {
+        let entry = match self.normalize {
+            Normalize::None => return None,
+            Normalize::First => self.lineup.entries.first(),
+            Normalize::Last => self.lineup.entries.last(),
+        };
+        entry.map(|e| e.canonical_name().to_string())
+    }
+
+    /// A 64-bit FNV-1a hash over the spec's canonical encoding, stamped
+    /// into every `RunRecord` so downstream tooling can detect that two
+    /// results came from the same experiment definition.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", fnv1a64(format!("{self:?}").as_bytes()))
+    }
+}
+
+/// 64-bit FNV-1a.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_entries_round_trip() {
+        for name in ["round-robin", "nn", "global-age", "rl-apu"] {
+            let entry = LineupEntry::parse(name).unwrap();
+            assert_eq!(entry.canonical_name(), name);
+        }
+        assert!(LineupEntry::parse("no-such-policy").is_err());
+    }
+
+    #[test]
+    fn spec_hash_is_stable_and_sensitive() {
+        let spec = ExperimentSpec {
+            figure: "t".into(),
+            output: "t".into(),
+            title: "t".into(),
+            lineup: Lineup::parse(&["fifo", "global-age"]),
+            nn: None,
+            scenarios: vec![ScenarioSpec::ApuWorkload { benchmark: "bfs".into() }],
+            quick: TierParams::zeroed(),
+            full: TierParams::zeroed(),
+            normalize: Normalize::Last,
+        };
+        let h1 = spec.hash_hex();
+        assert_eq!(h1, spec.clone().hash_hex(), "hash must be deterministic");
+        let mut other = spec;
+        other.quick.seeds = 7;
+        assert_ne!(h1, other.hash_hex(), "hash must see budget changes");
+    }
+
+    #[test]
+    fn normalization_reference_names() {
+        let mut spec = ExperimentSpec {
+            figure: "t".into(),
+            output: "t".into(),
+            title: "t".into(),
+            lineup: Lineup::parse(&["rl-apu", "nn", "global-age"]),
+            nn: None,
+            scenarios: Vec::new(),
+            quick: TierParams::zeroed(),
+            full: TierParams::zeroed(),
+            normalize: Normalize::Last,
+        };
+        assert_eq!(spec.normalization_policy().as_deref(), Some("global-age"));
+        spec.normalize = Normalize::First;
+        assert_eq!(spec.normalization_policy().as_deref(), Some("rl-apu"));
+        spec.normalize = Normalize::None;
+        assert_eq!(spec.normalization_policy(), None);
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod exp;
 pub mod sweep;
 
 use apu_sim::{run_apu, ApuRunResult, EngineConfig, WorkloadSpec};
@@ -20,8 +21,12 @@ use noc_arbiters::{make_arbiter, PolicyKind};
 use noc_sim::{Arbiter, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
 use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter, SharedAgent, StateEncoder};
 
-/// Command-line options shared by all figure binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The flag portion of every binary's usage line — there is exactly one
+/// flag grammar across the whole experiment layer.
+pub const USAGE_FLAGS: &str = "[--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>]";
+
+/// Command-line options shared by the `repro` driver and every figure shim.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliArgs {
     /// Shrink workloads/epochs for a fast smoke run.
     pub quick: bool,
@@ -30,40 +35,75 @@ pub struct CliArgs {
     /// Worker threads for independent-simulation sweeps (default: the
     /// host's available parallelism; `1` forces the serial path).
     pub threads: usize,
+    /// Directory for structured outputs (RunRecord JSON, CSV).
+    pub out_dir: std::path::PathBuf,
 }
 
-impl CliArgs {
-    /// Parses `--quick`, `--seed <n>` and `--threads <n>` from the process
-    /// arguments.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on unknown arguments.
-    pub fn parse() -> Self {
-        let mut args = CliArgs {
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
             quick: false,
             seed: 42,
             threads: sweep::default_threads(),
-        };
-        let mut it = std::env::args().skip(1);
+            out_dir: "results".into(),
+        }
+    }
+}
+
+impl CliArgs {
+    /// Parses the shared flags (`--quick`, `--seed <n>`, `--threads <n>`,
+    /// `--out-dir <dir>`) from an argument iterator. Non-flag arguments are
+    /// returned as positionals (the driver's figure name); unknown flags
+    /// are errors — never silently ignored.
+    pub fn parse_from(
+        args: impl Iterator<Item = String>,
+    ) -> Result<(Self, Vec<String>), String> {
+        let mut out = CliArgs::default();
+        let mut positionals = Vec::new();
+        let mut it = args;
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--quick" => args.quick = true,
+                "--quick" => out.quick = true,
                 "--seed" => {
-                    let v = it.next().expect("--seed needs a value");
-                    args.seed = v.parse().expect("--seed needs an integer");
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = v
+                        .parse()
+                        .map_err(|_| format!("--seed needs an integer, got '{v}'"))?;
                 }
                 "--threads" => {
-                    let v = it.next().expect("--threads needs a value");
-                    args.threads = v.parse().expect("--threads needs an integer");
-                    assert!(args.threads > 0, "--threads needs a positive integer");
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    out.threads = v
+                        .parse()
+                        .map_err(|_| format!("--threads needs an integer, got '{v}'"))?;
+                    if out.threads == 0 {
+                        return Err("--threads needs a positive integer".into());
+                    }
                 }
-                other => panic!(
-                    "unknown argument '{other}' (expected --quick, --seed <n> or --threads <n>)"
-                ),
+                "--out-dir" => {
+                    out.out_dir = it.next().ok_or("--out-dir needs a value")?.into();
+                }
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag '{flag}'"));
+                }
+                other => positionals.push(other.to_string()),
             }
         }
-        args
+        Ok((out, positionals))
+    }
+
+    /// Parses the process arguments for a single-figure binary (flags only,
+    /// no positionals). On bad input prints the usage message to stderr and
+    /// exits with status 2 instead of panicking.
+    pub fn parse() -> Self {
+        let parsed = Self::parse_from(std::env::args().skip(1));
+        match parsed {
+            Ok((args, positionals)) if positionals.is_empty() => args,
+            Ok((_, positionals)) => usage_exit(&format!(
+                "unexpected argument '{}'",
+                positionals[0]
+            )),
+            Err(e) => usage_exit(&e),
+        }
     }
 
     /// Workload scale factor for APU runs.
@@ -74,6 +114,22 @@ impl CliArgs {
             0.5
         }
     }
+}
+
+/// Prints an argument error plus the shared usage line and exits(2).
+fn usage_exit(err: &str) -> ! {
+    let bin = std::env::args()
+        .next()
+        .map(|p| {
+            std::path::Path::new(&p)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or(p.clone())
+        })
+        .unwrap_or_else(|| "bench".into());
+    eprintln!("error: {err}");
+    eprintln!("usage: {bin} {USAGE_FLAGS}");
+    std::process::exit(2);
 }
 
 /// Measures the steady-state average message latency of a policy on a

@@ -1,0 +1,126 @@
+//! The unified `repro` driver must reproduce the legacy per-figure
+//! binaries exactly: same text, same numbers, for any worker count.
+//!
+//! Budgets are the `--quick` shapes scaled down ~10× (the same convention
+//! as `tests/determinism.rs`) so the double runs stay test-suite friendly;
+//! the sweep *structure* — scenario order, line-up order, seed order, NN
+//! training calls — is exactly the binaries'.
+
+use std::path::PathBuf;
+
+use apu_sim::NUM_QUADRANTS;
+use apu_workloads::Benchmark;
+use bench::exp::driver::run_matrix;
+use bench::exp::figures::{self, FigureKind};
+use bench::exp::spec::{ExperimentSpec, Lineup, ScenarioSpec, TierParams};
+use bench::{apu_sweep_seeds, CliArgs, Fig05Params};
+
+fn args(threads: usize) -> CliArgs {
+    CliArgs {
+        quick: true,
+        seed: 42,
+        threads,
+        out_dir: PathBuf::from("results"),
+    }
+}
+
+/// The fig05 matrix spec from the registry, with its quick budgets
+/// shrunk ~10×.
+fn scaled_fig05() -> (ExperimentSpec, TierParams) {
+    let FigureKind::Matrix { spec, .. } = &figures::find("fig05").unwrap().kind else {
+        panic!("fig05 must be a matrix figure")
+    };
+    let spec = spec();
+    let params = TierParams {
+        warmup: 200,
+        measure: 800,
+        nn_epochs: 2,
+        nn_epoch_cycles: 250,
+        ..spec.quick
+    };
+    (spec, params)
+}
+
+/// Driver text output for fig05 is byte-identical to the pre-refactor
+/// `fig05_synthetic` binary (whose report core, `bench::fig05_report`,
+/// is retained as the legacy reference).
+#[test]
+fn fig05_driver_text_matches_legacy_binary() {
+    let (spec, params) = scaled_fig05();
+    let FigureKind::Matrix { render, .. } = &figures::find("fig05").unwrap().kind else {
+        unreachable!()
+    };
+    let data = run_matrix(&spec, &params, &[42], &args(1));
+    let driver_text = render(&spec, &params, &data).text;
+
+    let legacy = Fig05Params {
+        warmup: params.warmup,
+        measure: params.measure,
+        epochs: params.nn_epochs,
+        epoch_cycles: params.nn_epoch_cycles,
+        seed: 42,
+        threads: 1,
+    };
+    let legacy_text = format!(
+        "== Fig. 5: message latency, uniform random (normalized to Global-age) ==\n\n{}",
+        bench::fig05_report(&legacy)
+    );
+    assert_eq!(driver_text, legacy_text, "driver fig05 text diverged from the legacy binary");
+}
+
+/// The driver's seed-mean accumulation on the fig09 path reproduces the
+/// legacy `apu_sweep_seeds` numbers bit-for-bit (same policy order, same
+/// increasing-seed summation), for serial and parallel dispatch.
+#[test]
+fn fig09_driver_means_match_legacy_sweep_bitwise() {
+    let FigureKind::Matrix { spec, .. } = &figures::find("fig09").unwrap().kind else {
+        panic!("fig09 must be a matrix figure")
+    };
+    let mut spec = spec();
+    // Tiny-budget shape: one workload, the six untrained policies.
+    spec.scenarios = vec![ScenarioSpec::ApuWorkload { benchmark: "bfs".into() }];
+    spec.lineup = Lineup::parse(&[
+        "round-robin",
+        "islip",
+        "fifo",
+        "probdist",
+        "rl-apu",
+        "global-age",
+    ]);
+    spec.nn = None;
+    let params = TierParams { max_cycles: 300_000, apu_scale: 0.02, ..spec.quick };
+    let seeds = [42u64, 43];
+
+    let specs = vec![Benchmark::Bfs.spec_scaled(params.apu_scale); NUM_QUADRANTS];
+    let legacy = apu_sweep_seeds(&specs, &seeds, params.max_cycles, None, 1);
+    assert_eq!(legacy.len(), spec.lineup.entries.len());
+
+    for threads in [1, 8] {
+        let data = run_matrix(&spec, &params, &seeds, &args(threads));
+        let sc = &data.scenarios[0];
+        let avgs = sc.means("avg_exec");
+        let tails = sc.means("tail_exec");
+        for (p, (name, legacy_avg, legacy_tail)) in legacy.iter().enumerate() {
+            assert_eq!(
+                avgs[p].to_bits(),
+                legacy_avg.to_bits(),
+                "{name} (threads {threads}): avg-exec mean diverged from legacy sweep"
+            );
+            assert_eq!(
+                tails[p].to_bits(),
+                legacy_tail.to_bits(),
+                "{name} (threads {threads}): tail-exec mean diverged from legacy sweep"
+            );
+        }
+    }
+}
+
+/// Worker count is invisible through the driver: the full cell set of a
+/// matrix run is identical for 1 and 8 threads.
+#[test]
+fn driver_cells_identical_across_thread_counts() {
+    let (spec, params) = scaled_fig05();
+    let serial = run_matrix(&spec, &params, &[42], &args(1));
+    let parallel = run_matrix(&spec, &params, &[42], &args(8));
+    assert_eq!(serial.all_cells(), parallel.all_cells(), "thread count changed driver cells");
+}

@@ -1,0 +1,74 @@
+//! Registry round-trip tests: policy line-ups are data (names), so every
+//! name the experiment layer can emit must parse back and construct.
+
+use bench::exp::figures::{self, FigureKind};
+use bench::exp::spec::LineupEntry;
+use noc_arbiters::{make_arbiter, PolicyKind};
+
+/// Every `PolicyKind` round-trips through its canonical name and
+/// constructs a live arbiter via `make_arbiter`.
+#[test]
+fn every_policy_kind_round_trips_and_constructs() {
+    for kind in PolicyKind::ALL {
+        let name = kind.as_str();
+        let parsed: PolicyKind = name.parse().unwrap_or_else(|e| {
+            panic!("{name} does not parse back: {e}");
+        });
+        assert_eq!(parsed, kind, "{name} parsed to a different kind");
+        let arbiter = make_arbiter(kind, 42);
+        // The constructed arbiter is live, not a stub.
+        let _ = arbiter;
+        assert!(!kind.display_name().is_empty());
+    }
+}
+
+/// Unknown names are rejected, not mapped to a default.
+#[test]
+fn unknown_policy_names_are_errors() {
+    for bad in ["", "nn ", "global_age", "roundrobin", "no-such-policy"] {
+        assert!(
+            bad.parse::<PolicyKind>().is_err(),
+            "'{bad}' should not parse as a policy"
+        );
+    }
+}
+
+/// Every line-up name in every registered figure spec — defaults and
+/// per-scenario overrides — resolves, and the NN slot only appears in
+/// specs that carry a recipe to fill it.
+#[test]
+fn every_figure_lineup_resolves() {
+    for def in figures::all() {
+        let FigureKind::Matrix { spec, .. } = &def.kind else {
+            continue;
+        };
+        let spec = spec();
+        let mut lineups = vec![&spec.lineup];
+        for scenario in &spec.scenarios {
+            if let bench::exp::spec::ScenarioSpec::Synthetic { lineup: Some(l), .. } = scenario {
+                lineups.push(l);
+            }
+        }
+        for lineup in lineups {
+            assert!(!lineup.entries.is_empty(), "{}: empty line-up", def.name);
+            for entry in &lineup.entries {
+                // Canonical names round-trip through the parser.
+                let name = entry.canonical_name();
+                let reparsed = LineupEntry::parse(name)
+                    .unwrap_or_else(|e| panic!("{}: '{name}' fails to parse: {e}", def.name));
+                assert_eq!(&reparsed, entry, "{}: '{name}' round-trip mismatch", def.name);
+                // Registry entries construct.
+                if let LineupEntry::Policy(kind) = entry {
+                    let _ = make_arbiter(*kind, 42);
+                }
+            }
+            if lineup.has_nn_slot() {
+                assert!(
+                    spec.nn.is_some(),
+                    "{}: NN slot in line-up but no NN recipe in spec",
+                    def.name
+                );
+            }
+        }
+    }
+}

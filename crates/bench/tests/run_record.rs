@@ -1,0 +1,90 @@
+//! `RunRecord` JSON schema tests: the serialized form is a versioned
+//! interface, pinned by a checked-in golden file.
+//!
+//! To regenerate the golden after an intentional schema bump:
+//! `BLESS=1 cargo test -p bench --test run_record`.
+
+use bench::exp::backend::CellRecord;
+use bench::exp::record::{RunRecord, Table, RUN_RECORD_SCHEMA_VERSION};
+
+fn sample_record() -> RunRecord {
+    RunRecord {
+        schema_version: RUN_RECORD_SCHEMA_VERSION,
+        figure: "fig09".into(),
+        title: "Fig. 9: normalized average execution time (global-age = 1.0)".into(),
+        tier: "quick".into(),
+        backend: "apu".into(),
+        base_seed: 42,
+        seeds: vec![42, 43],
+        threads: 2,
+        git_describe: "v0-test".into(),
+        spec_hash: "00ff00ff00ff00ff".into(),
+        normalization: Some("global-age".into()),
+        cells: vec![
+            CellRecord {
+                scenario: "bfs".into(),
+                policy: "round-robin".into(),
+                seed: 42,
+                metrics: vec![
+                    ("avg_exec".into(), 123456.75),
+                    ("tail_exec".into(), 130000.0),
+                ],
+            },
+            CellRecord {
+                scenario: "bfs".into(),
+                policy: "global-age".into(),
+                seed: 43,
+                // A metric with an exotic value and a name needing escapes.
+                metrics: vec![("avg \"exec\"\n".into(), 0.1)],
+            },
+        ],
+        table: Table {
+            headers: vec!["workload".into(), "Round-robin".into()],
+            rows: vec![vec!["bfs".into(), "1.023".into()]],
+        },
+    }
+}
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/run_record_v1.json"
+);
+
+/// The serialized form matches the checked-in golden byte-for-byte, and
+/// the golden parses back to the identical record.
+#[test]
+fn run_record_matches_golden_schema() {
+    let record = sample_record();
+    let json = record.to_json();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).expect("bless golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with BLESS=1 to create it");
+    assert_eq!(
+        json, golden,
+        "RunRecord JSON no longer matches the v{RUN_RECORD_SCHEMA_VERSION} golden; \
+         if the schema change is intentional, bump RUN_RECORD_SCHEMA_VERSION and re-bless"
+    );
+    let parsed = RunRecord::from_json(&golden).expect("golden parses");
+    assert_eq!(parsed, record, "golden does not round-trip");
+}
+
+/// Round-trip stability: serialize → parse → serialize is a fixpoint.
+#[test]
+fn run_record_serialization_is_a_fixpoint() {
+    let record = sample_record();
+    let once = record.to_json();
+    let twice = RunRecord::from_json(&once).unwrap().to_json();
+    assert_eq!(once, twice);
+}
+
+/// The schema version field gates parsing-compatible evolution: records
+/// always carry it, and it survives the trip.
+#[test]
+fn schema_version_is_stamped_and_preserved() {
+    let json = sample_record().to_json();
+    assert!(json.starts_with("{\n  \"schema_version\": 1,"));
+    let parsed = RunRecord::from_json(&json).unwrap();
+    assert_eq!(parsed.schema_version, RUN_RECORD_SCHEMA_VERSION);
+}

@@ -164,6 +164,38 @@ impl Arbiter for PingPongArbiter {
     }
 }
 
+/// Adversarial control policy: always prefer the *youngest* message.
+///
+/// Deliberately starvation-prone — the §6.4 starvation check runs it as
+/// the worst-case contrast to the RL-inspired arbiter's local-age clause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NewestFirstPolicy {
+    _priv: (),
+}
+
+impl NewestFirstPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        NewestFirstPolicy { _priv: () }
+    }
+
+    /// Wraps the policy in the select-max adapter.
+    pub fn arbiter() -> MaxPriorityArbiter<Self> {
+        MaxPriorityArbiter::new(NewestFirstPolicy::new())
+    }
+}
+
+impl PriorityPolicy for NewestFirstPolicy {
+    fn name(&self) -> String {
+        "Newest-first".into()
+    }
+
+    fn priority(&self, c: &noc_sim::Candidate, _ctx: &OutputCtx<'_>) -> u32 {
+        let age = c.features.local_age.min((1 << 20) - 1) as u32;
+        (1 << 20) - age
+    }
+}
+
 /// A slack-aware policy in the spirit of Aergia (Das et al., ISCA 2010
 /// \[32\]): packets with less slack — here proxied by the *remaining route
 /// length*, since a packet far from its destination still has the most

@@ -36,7 +36,7 @@ mod random;
 mod registry;
 mod rl_inspired;
 
-pub use extra::{PingPongArbiter, SlackAwarePolicy, WavefrontArbiter};
+pub use extra::{NewestFirstPolicy, PingPongArbiter, SlackAwarePolicy, WavefrontArbiter};
 pub use global_age::GlobalAgeArbiter;
 pub use islip::IslipArbiter;
 pub use noc_sim::arbiters::{FifoArbiter, RoundRobinArbiter};
@@ -44,5 +44,5 @@ pub use ports::{is_east_west, port_dir_of};
 pub use priority::{MaxPriorityArbiter, PriorityPolicy};
 pub use probdist::{ProbDistArbiter, Weighting};
 pub use random::RandomArbiter;
-pub use registry::{make_arbiter, PolicyKind};
+pub use registry::{make_arbiter, parse_lineup, ParsePolicyError, PolicyKind};
 pub use rl_inspired::{Algorithm2Paper, ApuAblation, LocalAgePolicy, RlInspiredApu, RlInspiredSynthetic};

@@ -9,7 +9,7 @@ use crate::global_age::GlobalAgeArbiter;
 use crate::islip::IslipArbiter;
 use crate::probdist::ProbDistArbiter;
 use crate::random::RandomArbiter;
-use crate::extra::{PingPongArbiter, SlackAwarePolicy, WavefrontArbiter};
+use crate::extra::{NewestFirstPolicy, PingPongArbiter, SlackAwarePolicy, WavefrontArbiter};
 use crate::rl_inspired::{Algorithm2Paper, ApuAblation, LocalAgePolicy, RlInspiredApu, RlInspiredSynthetic};
 use noc_sim::arbiters::{FifoArbiter, RoundRobinArbiter};
 
@@ -48,11 +48,13 @@ pub enum PolicyKind {
     PingPong,
     /// Slack-aware priority (related work, Aergia-inspired).
     SlackAware,
+    /// Youngest-message-first adversarial control (§6.4 starvation check).
+    NewestFirst,
 }
 
 impl PolicyKind {
     /// All variants, in reporting order.
-    pub const ALL: [PolicyKind; 16] = [
+    pub const ALL: [PolicyKind; 17] = [
         PolicyKind::RoundRobin,
         PolicyKind::Islip,
         PolicyKind::Wavefront,
@@ -68,6 +70,7 @@ impl PolicyKind {
         PolicyKind::Algorithm2,
         PolicyKind::RlApuNoPort,
         PolicyKind::RlApuNoMsgType,
+        PolicyKind::NewestFirst,
         PolicyKind::GlobalAge,
     ];
 
@@ -90,8 +93,45 @@ impl PolicyKind {
             PolicyKind::Wavefront => "wavefront",
             PolicyKind::PingPong => "ping-pong",
             PolicyKind::SlackAware => "slack-aware",
+            PolicyKind::NewestFirst => "newest-first",
         }
     }
+
+    /// Human-facing label used in figure tables (the registry name is the
+    /// machine-facing one). Several kinds share a label on purpose: the
+    /// paper presents every distilled variant as "RL-inspired".
+    pub fn display_name(self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "Round-robin",
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Islip => "iSLIP",
+            PolicyKind::ProbDist => "ProbDist",
+            PolicyKind::GlobalAge => "Global-age",
+            PolicyKind::Random => "Random",
+            PolicyKind::LocalAge => "Local-age",
+            PolicyKind::RlSynth4x4 | PolicyKind::RlSynth8x8 | PolicyKind::RlApu => "RL-inspired",
+            PolicyKind::Algorithm2 => "Algorithm 2",
+            PolicyKind::RlApuNoPort => "no-port",
+            PolicyKind::RlApuNoMsgType => "no-msgtype",
+            PolicyKind::Wavefront => "Wavefront",
+            PolicyKind::PingPong => "Ping-pong",
+            PolicyKind::SlackAware => "Slack-aware",
+            PolicyKind::NewestFirst => "Newest-first",
+        }
+    }
+}
+
+/// Parses a comma-separated policy line-up (e.g. `"fifo,rl-apu,global-age"`)
+/// into kinds, preserving order. Whitespace around names is ignored; empty
+/// segments and unknown names are errors.
+///
+/// ```
+/// use noc_arbiters::{parse_lineup, PolicyKind};
+/// let lineup = parse_lineup("fifo, rl-apu, global-age").unwrap();
+/// assert_eq!(lineup, vec![PolicyKind::Fifo, PolicyKind::RlApu, PolicyKind::GlobalAge]);
+/// ```
+pub fn parse_lineup(s: &str) -> Result<Vec<PolicyKind>, ParsePolicyError> {
+    s.split(',').map(|name| name.trim().parse()).collect()
 }
 
 impl fmt::Display for PolicyKind {
@@ -150,6 +190,7 @@ pub fn make_arbiter(kind: PolicyKind, seed: u64) -> Box<dyn Arbiter> {
         PolicyKind::Wavefront => Box::new(WavefrontArbiter::new()),
         PolicyKind::PingPong => Box::new(PingPongArbiter::new()),
         PolicyKind::SlackAware => Box::new(SlackAwarePolicy::arbiter()),
+        PolicyKind::NewestFirst => Box::new(NewestFirstPolicy::arbiter()),
     }
 }
 
@@ -177,5 +218,23 @@ mod tests {
     fn unknown_name_is_an_error() {
         let err = "not-a-policy".parse::<PolicyKind>().unwrap_err();
         assert!(err.to_string().contains("not-a-policy"));
+    }
+
+    #[test]
+    fn every_kind_has_a_display_name() {
+        for kind in PolicyKind::ALL {
+            assert!(!kind.display_name().is_empty(), "{kind} has no display name");
+        }
+    }
+
+    #[test]
+    fn lineups_parse_in_order() {
+        let lineup = parse_lineup("round-robin,islip , fifo").unwrap();
+        assert_eq!(
+            lineup,
+            vec![PolicyKind::RoundRobin, PolicyKind::Islip, PolicyKind::Fifo]
+        );
+        assert!(parse_lineup("fifo,,islip").is_err());
+        assert!(parse_lineup("fifo,nope").is_err());
     }
 }
