@@ -4,7 +4,16 @@
 //! ```text
 //! cargo run --release -p bench --bin repro -- list
 //! cargo run --release -p bench --bin repro -- fig09 [--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>]
+//! cargo run --release -p bench --bin repro -- train fig09 [--retrain] [--artifacts-dir <dir>]
 //! ```
+//!
+//! Figures with an NN slot resolve their trained policy through the
+//! content-addressed artifact store (`--artifacts-dir`, default
+//! `results/artifacts/`): checkpoints are named by training-recipe hash,
+//! so a warm store re-runs the figure with zero training steps and
+//! byte-identical output. `train <figure>` resolves (training if needed)
+//! a figure's artifacts without running its matrix; `--retrain` ignores
+//! the cache.
 //!
 //! Figure names resolve through the registry in `bench::exp::figures`;
 //! legacy binary names (`fig09_avg_exec`, …) are accepted as aliases.
@@ -27,6 +36,22 @@ fn main() {
                 println!("{:<22} {}", def.name, def.summary);
             }
         }
+        [cmd, figure] if cmd == "train" => match driver::train_figure(figure, &args) {
+            Ok(artifacts) => {
+                for a in artifacts {
+                    println!(
+                        "{}  {}  ({})",
+                        a.recipe_hash,
+                        a.path.display(),
+                        if a.was_cached { "cached" } else { "trained" }
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
         [figure] => {
             if let Err(e) = driver::run_figure(figure, &args) {
                 eprintln!("error: {e}");
@@ -40,6 +65,6 @@ fn main() {
 
 fn usage(err: &str) -> ! {
     eprintln!("{err}");
-    eprintln!("usage: repro <figure|list> {USAGE_FLAGS}");
+    eprintln!("usage: repro <figure|train <figure>|list> {USAGE_FLAGS}");
     std::process::exit(2);
 }

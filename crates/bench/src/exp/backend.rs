@@ -33,6 +33,9 @@ pub struct SpecInstance<'a> {
     pub base_seed: u64,
     /// Budget knobs for the active tier.
     pub params: &'a TierParams,
+    /// Recipe hash of the trained artifact the policy was built from
+    /// (`Some` exactly for NN-slot cells; recorded in the `RunRecord`).
+    pub artifact: Option<&'a str>,
 }
 
 /// The metrics of one simulated cell.
@@ -44,6 +47,9 @@ pub struct CellRecord {
     pub policy: String,
     /// Seed of this run.
     pub seed: u64,
+    /// Recipe hash of the trained artifact this cell was evaluated with
+    /// (`None` for policies that carry no trained network).
+    pub artifact: Option<String>,
     /// Named metric values, in a stable order.
     pub metrics: Vec<(String, f64)>,
 }
@@ -133,6 +139,7 @@ impl SimBackend for SyntheticBackend {
             scenario: inst.scenario.label(),
             policy: inst.policy_name.to_string(),
             seed: inst.seed,
+            artifact: inst.artifact.map(String::from),
             metrics: vec![
                 ("avg_latency".into(), s.avg_latency()),
                 ("p99_latency".into(), s.latency_percentile(99.0) as f64),
@@ -170,6 +177,7 @@ impl SimBackend for ApuBackend {
             scenario: inst.scenario.label(),
             policy: inst.policy_name.to_string(),
             seed: inst.seed,
+            artifact: inst.artifact.map(String::from),
             metrics: vec![
                 ("avg_exec".into(), r.avg_exec),
                 ("tail_exec".into(), r.tail_exec as f64),
@@ -243,6 +251,7 @@ mod tests {
             seed: 1,
             base_seed: 1,
             params: &params,
+            artifact: None,
         });
         assert_eq!(cell.policy, "fifo");
         assert!(cell.metric("avg_latency") > 0.0);
@@ -261,6 +270,7 @@ mod tests {
             seed,
             base_seed: seed,
             params: &params,
+            artifact: None,
         };
         let a = ApuBackend.run(&inst(7));
         let b = ApuBackend.run(&inst(7));

@@ -17,16 +17,16 @@
 //! to the pre-refactor binaries for any `--threads` count. The
 //! `driver_equivalence` integration test pins this.
 
-use apu_sim::NUM_QUADRANTS;
-use rl_arb::NnPolicyArbiter;
+use rl_arb::{progress, ApuTrainSpec, NnPolicyArbiter, TrainRecipe, TrainSpec};
 
-use super::backend::{apu_specs_for, backend_for, benchmark_by_name, CellRecord, SpecInstance};
+use super::artifacts::{ArtifactStore, ResolvedArtifact};
+use super::backend::{apu_specs_for, backend_for, CellRecord, SpecInstance};
 use super::figures::{self, FigureDef, FigureKind};
 use super::record::{git_describe, RunRecord};
 use super::spec::{
     ExperimentSpec, Lineup, LineupEntry, NnRecipe, ScenarioSpec, Tier, TierParams,
 };
-use crate::{sweep, train_apu_agent, train_synthetic_nn, write_csv, CliArgs, PolicySpec};
+use crate::{sweep, write_csv, CliArgs, PolicySpec};
 
 /// The collected cells of one scenario, seed-major / policy-minor.
 #[derive(Debug)]
@@ -88,6 +88,7 @@ impl MatrixData {
 /// one) into `args.out_dir`. Returns the record for in-process callers
 /// (tests, future tooling).
 pub fn run_figure(name: &str, args: &CliArgs) -> Result<RunRecord, String> {
+    rl_arb::set_quiet(args.quiet);
     let def = figures::find(name).ok_or_else(|| {
         format!("unknown figure '{name}' (try: {})", figures::names().join(", "))
     })?;
@@ -124,7 +125,7 @@ pub fn run_figure(name: &str, args: &CliArgs) -> Result<RunRecord, String> {
                     &record.table.rows,
                 )
                 .map_err(|e| format!("writing {} csv: {e}", spec.output))?;
-                eprintln!("csv written to {}", path.display());
+                progress!("csv written to {}", path.display());
             }
             write_record(&record, args, &spec.output)?;
             record
@@ -168,7 +169,7 @@ fn write_record(record: &RunRecord, args: &CliArgs, basename: &str) -> Result<()
     let path = record
         .write(&args.out_dir, basename)
         .map_err(|e| format!("writing {basename} run record: {e}"))?;
-    eprintln!("run record written to {}", path.display());
+    progress!("run record written to {}", path.display());
     Ok(())
 }
 
@@ -191,40 +192,119 @@ fn lineup_for<'a>(spec: &'a ExperimentSpec, scenario: &'a ScenarioSpec) -> &'a L
     }
 }
 
+/// The training recipe behind a spec's shared APU NN slot — the same
+/// workload set, budgets and seed the legacy inline `train_apu_agent`
+/// call used, as pure data.
+fn apu_recipe(benchmark: &str, params: &TierParams, seed: u64) -> TrainRecipe {
+    TrainRecipe::Apu(ApuTrainSpec::tuned(
+        benchmark,
+        params.nn_repeats,
+        params.max_cycles,
+        params.apu_scale,
+        seed,
+    ))
+}
+
+/// The training recipe behind a synthetic scenario's NN slot (the exact
+/// arguments of the legacy inline `train_synthetic_nn` call).
+fn synthetic_recipe(scenario: &ScenarioSpec, params: &TierParams, seed: u64) -> TrainRecipe {
+    let ScenarioSpec::Synthetic { width, height, rate, .. } = scenario else {
+        panic!("synthetic NN recipe on a non-synthetic scenario")
+    };
+    let mut spec = TrainSpec::tuned_synthetic(*width, *rate, seed);
+    spec.height = *height;
+    spec.epochs = params.nn_epochs;
+    spec.cycles_per_epoch = params.nn_epoch_cycles;
+    TrainRecipe::Synthetic(spec)
+}
+
+/// Resolves an NN slot through the artifact store. Training failures are
+/// programming or environment errors (unknown benchmark, unwritable
+/// store), so they abort the run like the legacy inline panics did.
+fn resolve_nn(store: &ArtifactStore, recipe: &TrainRecipe) -> (NnPolicyArbiter, String) {
+    let resolved = store
+        .resolve(recipe)
+        .unwrap_or_else(|e| panic!("resolving NN artifact for {}: {e}", recipe.label()));
+    (resolved.policy, resolved.recipe_hash)
+}
+
+/// Resolves (training only on a cold store) every NN artifact a figure
+/// needs, without running its matrix — the `repro train <figure>`
+/// subcommand. Returns the artifacts in resolution order.
+///
+/// # Errors
+///
+/// Unknown figures, figures whose training is inline (custom procedures),
+/// and figures with no NN slot are reported, as are store failures.
+pub fn train_figure(name: &str, args: &CliArgs) -> Result<Vec<ResolvedArtifact>, String> {
+    rl_arb::set_quiet(args.quiet);
+    let def = figures::find(name).ok_or_else(|| {
+        format!("unknown figure '{name}' (try: {})", figures::names().join(", "))
+    })?;
+    let FigureKind::Matrix { spec, .. } = &def.kind else {
+        return Err(format!(
+            "figure '{name}' trains inline (custom procedure) — no artifact-backed NN slot"
+        ));
+    };
+    let spec = spec();
+    let tier = if args.quick { Tier::Quick } else { Tier::Full };
+    let params = *spec.params(tier);
+    let store = ArtifactStore::from_args(args);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for scenario in &spec.scenarios {
+        if !lineup_for(&spec, scenario).has_nn_slot() {
+            continue;
+        }
+        let recipe = match &spec.nn {
+            Some(NnRecipe::SyntheticPerScenario) => {
+                synthetic_recipe(scenario, &params, args.seed)
+            }
+            Some(NnRecipe::ApuBenchmark { benchmark }) => {
+                apu_recipe(benchmark, &params, args.seed)
+            }
+            None => {
+                return Err(format!(
+                    "figure '{name}' has an NN slot but no training recipe"
+                ))
+            }
+        };
+        if seen.insert(recipe.hash_hex()) {
+            out.push(store.resolve(&recipe)?);
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("figure '{name}' has no NN slot to train"));
+    }
+    Ok(out)
+}
+
 /// Executes a spec's full run matrix.
 ///
 /// Scenarios run in order; within a scenario all `seeds × policies` cells
 /// are independent and dispatch through [`sweep::run_parallel`] on
-/// `args.threads` workers. NN-slot training happens on the main thread
-/// with the same arguments, seed and call order as the legacy binaries.
+/// `args.threads` workers. NN slots resolve through the artifact store on
+/// the main thread — training (cold store only) uses the same arguments,
+/// seed and call order as the legacy binaries, and a warm store rebuilds
+/// a bit-identical policy with zero training steps.
 pub fn run_matrix(
     spec: &ExperimentSpec,
     params: &TierParams,
     seeds: &[u64],
     args: &CliArgs,
 ) -> MatrixData {
+    let store = ArtifactStore::from_args(args);
     let needs_nn = spec
         .scenarios
         .iter()
         .any(|s| lineup_for(spec, s).has_nn_slot());
     // The APU recipe trains one network shared by every scenario.
-    let shared_nn: Option<NnPolicyArbiter> = match &spec.nn {
+    let shared_nn: Option<(NnPolicyArbiter, String)> = match &spec.nn {
         Some(NnRecipe::ApuBenchmark { benchmark }) if needs_nn => {
-            eprintln!(
-                "training NN policy on {benchmark} (the paper derives its policy from {benchmark} training) ..."
+            progress!(
+                "resolving NN policy for {benchmark} (the paper derives its policy from {benchmark} training) ..."
             );
-            Some(
-                train_apu_agent(
-                    vec![
-                        benchmark_by_name(benchmark).spec_scaled(params.apu_scale);
-                        NUM_QUADRANTS
-                    ],
-                    params.nn_repeats,
-                    params.max_cycles,
-                    args.seed,
-                )
-                .freeze(),
-            )
+            Some(resolve_nn(&store, &apu_recipe(benchmark, params, args.seed)))
         }
         _ => None,
     };
@@ -232,22 +312,14 @@ pub fn run_matrix(
     let mut scenarios = Vec::with_capacity(spec.scenarios.len());
     for scenario in &spec.scenarios {
         let lineup = lineup_for(spec, scenario);
-        let nn: Option<NnPolicyArbiter> = if lineup.has_nn_slot() {
+        let nn: Option<(NnPolicyArbiter, String)> = if lineup.has_nn_slot() {
             match &spec.nn {
                 Some(NnRecipe::SyntheticPerScenario) => {
-                    let ScenarioSpec::Synthetic { label, width, height, rate, .. } = scenario
-                    else {
+                    let ScenarioSpec::Synthetic { label, rate, .. } = scenario else {
                         panic!("synthetic NN recipe on a non-synthetic scenario")
                     };
-                    eprintln!("training NN policy for {label} at rate {rate} ...");
-                    Some(train_synthetic_nn(
-                        *width,
-                        *height,
-                        *rate,
-                        params.nn_epochs,
-                        params.nn_epoch_cycles,
-                        args.seed,
-                    ))
+                    progress!("resolving NN policy for {label} at rate {rate} ...");
+                    Some(resolve_nn(&store, &synthetic_recipe(scenario, params, args.seed)))
                 }
                 Some(NnRecipe::ApuBenchmark { .. }) => shared_nn.clone(),
                 None => panic!("line-up has an NN slot but the spec has no NN recipe"),
@@ -255,8 +327,9 @@ pub fn run_matrix(
         } else {
             None
         };
-        // (canonical name, display name, buildable recipe) per slot.
-        let policies: Vec<(String, String, PolicySpec)> = lineup
+        // (canonical name, display name, buildable recipe, artifact hash)
+        // per slot.
+        let policies: Vec<(String, String, PolicySpec, Option<String>)> = lineup
             .entries
             .iter()
             .map(|e| match e {
@@ -264,15 +337,16 @@ pub fn run_matrix(
                     kind.as_str().to_string(),
                     kind.display_name().to_string(),
                     PolicySpec::builtin(kind.display_name(), *kind),
+                    None,
                 ),
-                LineupEntry::NnSlot => (
-                    "nn".into(),
-                    "NN".into(),
-                    PolicySpec::nn("NN", nn.clone().expect("NN recipe produced no network")),
-                ),
+                LineupEntry::NnSlot => {
+                    let (policy, hash) =
+                        nn.clone().expect("NN recipe produced no network");
+                    ("nn".into(), "NN".into(), PolicySpec::nn("NN", policy), Some(hash))
+                }
             })
             .collect();
-        eprintln!(
+        progress!(
             "running {} under {} policies x {} seed(s) ...",
             scenario.label(),
             policies.len(),
@@ -281,7 +355,7 @@ pub fn run_matrix(
         if matches!(scenario, ScenarioSpec::ApuMix { .. }) {
             let specs = apu_specs_for(scenario, args.seed, params.apu_scale);
             let apps: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
-            eprintln!("  quadrants: {apps:?}");
+            progress!("  quadrants: {apps:?}");
         }
         let backend = backend_for(scenario);
         let jobs: Vec<(u64, usize)> = seeds
@@ -296,6 +370,7 @@ pub fn run_matrix(
                 seed,
                 base_seed: args.seed,
                 params,
+                artifact: policies[p].3.as_deref(),
             })
         });
         scenarios.push(ScenarioData {

@@ -807,7 +807,7 @@ fn fig04(args: &CliArgs) -> CustomOutput {
         spec.epochs = 8;
         spec.cycles_per_epoch = 800;
     }
-    eprintln!(
+    rl_arb::progress!(
         "training agent: {} epochs x {} cycles on 4x4 uniform random ...",
         spec.epochs, spec.cycles_per_epoch
     );
@@ -828,6 +828,7 @@ fn fig04(args: &CliArgs) -> CustomOutput {
             scenario: "4x4-agent".into(),
             policy: hm.row_labels[row].clone(),
             seed: args.seed,
+            artifact: None,
             metrics: vec![("mean_abs_weight".into(), mean)],
         });
     }
@@ -848,7 +849,7 @@ fn fig07(args: &CliArgs) -> CustomOutput {
     let scale = args.apu_scale();
     let repeats = if args.quick { 1 } else { 3 };
     let specs = vec![Benchmark::Bfs.spec_scaled(scale); NUM_QUADRANTS];
-    eprintln!("training agent on bfs x{repeats} (scale {scale}) ...");
+    rl_arb::progress!("training agent on bfs x{repeats} (scale {scale}) ...");
     let agent = train_apu_agent(specs, repeats, 2_000_000, args.seed);
     let hm = weight_heatmap(agent.network(), agent.encoder());
 
@@ -866,6 +867,7 @@ fn fig07(args: &CliArgs) -> CustomOutput {
             scenario: "apu-bfs-agent".into(),
             policy: hm.row_labels[row].clone(),
             seed: args.seed,
+            artifact: None,
             metrics: vec![("mean_abs_weight".into(), mean)],
         });
     }
@@ -889,7 +891,7 @@ fn fig12(args: &CliArgs) -> CustomOutput {
     let mut series = Vec::new();
     let mut cells = Vec::new();
     for reward in RewardKind::ALL {
-        eprintln!("training with reward {} ...", reward.label());
+        rl_arb::progress!("training with reward {} ...", reward.label());
         // Cold start at the edge of saturation (like the paper's Fig. 12,
         // whose y-axis starts near 1000 cycles): an agent that learns pulls
         // the network out of congestion; one that does not stays there.
@@ -900,7 +902,7 @@ fn fig12(args: &CliArgs) -> CustomOutput {
         spec.agent = spec.agent.with_reward(reward);
         let out = train_synthetic(&spec);
         let converged = out.converged(1.15);
-        eprintln!(
+        rl_arb::progress!(
             "  final latency {:.1}, best {:.1}, converged: {converged}",
             out.final_latency(),
             out.best_latency()
@@ -909,6 +911,7 @@ fn fig12(args: &CliArgs) -> CustomOutput {
             scenario: "4x4@0.40".into(),
             policy: reward.label().to_string(),
             seed: args.seed,
+            artifact: None,
             metrics: vec![
                 ("final_latency".into(), out.final_latency()),
                 ("best_latency".into(), out.best_latency()),
@@ -942,7 +945,7 @@ fn fig13(args: &CliArgs) -> CustomOutput {
     let mut series = Vec::new();
     let mut cells = Vec::new();
     for (name, features) in variants {
-        eprintln!("training with features: {name} ...");
+        rl_arb::progress!("training with features: {name} ...");
         let mut spec = TrainSpec::tuned_synthetic(4, 0.40, args.seed);
         spec.curriculum = Vec::new();
         spec.epochs = epochs;
@@ -953,6 +956,7 @@ fn fig13(args: &CliArgs) -> CustomOutput {
             scenario: "4x4@0.40".into(),
             policy: name.to_string(),
             seed: args.seed,
+            artifact: None,
             metrics: vec![
                 ("final_latency".into(), out.final_latency()),
                 ("best_latency".into(), out.best_latency()),
@@ -967,7 +971,7 @@ fn fig13(args: &CliArgs) -> CustomOutput {
     );
 
     // §6.5: hill-climbing over the synthetic feature pool.
-    eprintln!("hill-climbing feature selection ...");
+    rl_arb::progress!("hill-climbing feature selection ...");
     let mut spec = TrainSpec::tuned_synthetic(4, 0.40, args.seed);
     spec.curriculum = Vec::new();
     spec.epochs = if args.quick { 4 } else { 12 };
@@ -1002,6 +1006,7 @@ fn table3_figure(_args: &CliArgs) -> CustomOutput {
                 scenario: "32nm".into(),
                 policy: r.design.clone(),
                 seed: 0,
+                artifact: None,
                 metrics: vec![
                     ("latency_ns".into(), r.report.latency_ns),
                     ("area_mm2".into(), r.report.area_mm2),
@@ -1074,7 +1079,7 @@ fn ablation_hparams(args: &CliArgs) -> CustomOutput {
     let mut rows = Vec::new();
     let mut cells = Vec::new();
     for (name, agent) in variants {
-        eprintln!("training: {name} ...");
+        rl_arb::progress!("training: {name} ...");
         let mut spec = TrainSpec::tuned_synthetic(4, 0.40, args.seed);
         spec.agent = agent;
         spec.curriculum = Vec::new();
@@ -1088,6 +1093,7 @@ fn ablation_hparams(args: &CliArgs) -> CustomOutput {
             scenario: "4x4@0.40".into(),
             policy: name.to_string(),
             seed: args.seed,
+            artifact: None,
             metrics: vec![
                 ("settled_latency".into(), settled),
                 ("best_epoch_latency".into(), out.best_latency()),
@@ -1116,7 +1122,7 @@ fn ablation_multi_agent(args: &CliArgs) -> CustomOutput {
     let cfg = SimConfig::apu(APU_MESH, APU_MESH);
     let encoder = StateEncoder::new(6, cfg.num_vnets, FeatureSet::full(), cfg.feature_bounds);
 
-    eprintln!("training single shared agent ...");
+    rl_arb::progress!("training single shared agent ...");
     let single = DqnAgent::new(encoder.clone(), AgentConfig::tuned_apu(args.seed)).into_shared();
     for rep in 0..repeats {
         let mut sim = make_apu_sim(
@@ -1130,7 +1136,7 @@ fn ablation_multi_agent(args: &CliArgs) -> CustomOutput {
     let single_agent = single.into_inner();
     let single_acc = single_agent.cumulative_reward() / single_agent.decisions().max(1) as f64;
 
-    eprintln!("training four per-quadrant agents ...");
+    rl_arb::progress!("training four per-quadrant agents ...");
     let apu = apu_sim::ApuTopology::build();
     let partition =
         PartitionedAgents::by_quadrant(apu.topology(), &encoder, &AgentConfig::tuned_apu(args.seed));
@@ -1149,6 +1155,7 @@ fn ablation_multi_agent(args: &CliArgs) -> CustomOutput {
         scenario: "apu-bfs".into(),
         policy: "single shared".into(),
         seed: args.seed,
+        artifact: None,
         metrics: vec![
             ("decisions".into(), single_agent.decisions() as f64),
             ("oracle_accuracy".into(), single_acc),
@@ -1165,6 +1172,7 @@ fn ablation_multi_agent(args: &CliArgs) -> CustomOutput {
             scenario: "apu-bfs".into(),
             policy: format!("quadrant {q}"),
             seed: args.seed,
+            artifact: None,
             metrics: vec![
                 ("decisions".into(), a.decisions() as f64),
                 ("oracle_accuracy".into(), acc),

@@ -16,6 +16,10 @@
 //!   the normalization reference, `git describe` and a spec hash. This is
 //!   the stable schema future sharded/remote execution and regression
 //!   tooling consume.
+//! * [`artifacts::ArtifactStore`] — the content-addressed trained-artifact
+//!   store: NN slots resolve to checkpoints named by training-recipe hash
+//!   (`results/artifacts/<hash>.ckpt.json`), so a warm store re-runs a
+//!   figure with zero training steps and byte-identical output.
 //! * [`figures`] — the registry mapping figure names (`fig05`, `fig09`,
 //!   `table3`, …) to their specs and renderers.
 //! * [`driver`] — resolves a figure name, dispatches all independent
@@ -29,12 +33,14 @@
 //! value and match the pre-refactor binaries (pinned by
 //! `tests/driver_equivalence.rs`).
 
+pub mod artifacts;
 pub mod backend;
 pub mod driver;
 pub mod figures;
 pub mod record;
 pub mod spec;
 
+pub use artifacts::{ArtifactStore, ResolvedArtifact};
 pub use backend::{ApuBackend, CellRecord, SimBackend, SpecInstance, SyntheticBackend};
 pub use record::{RunRecord, Table, RUN_RECORD_SCHEMA_VERSION};
 pub use spec::{ExperimentSpec, Lineup, LineupEntry, NnRecipe, Normalize, ScenarioSpec, Tier, TierParams};

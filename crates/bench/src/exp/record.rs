@@ -90,9 +90,15 @@ impl RunRecord {
                 .iter()
                 .map(|(k, v)| format!("{}: {}", json_str(k), json_num(*v)))
                 .collect();
+            // The artifact key appears only on cells that carry one, so
+            // artifact-free records keep their exact pre-store shape.
+            let artifact = match &c.artifact {
+                Some(a) => format!(", \"artifact\": {}", json_str(a)),
+                None => String::new(),
+            };
             let _ = write!(
                 s,
-                "    {{\"scenario\": {}, \"policy\": {}, \"seed\": {}, \"metrics\": {{{}}}}}",
+                "    {{\"scenario\": {}, \"policy\": {}, \"seed\": {}{artifact}, \"metrics\": {{{}}}}}",
                 json_str(&c.scenario),
                 json_str(&c.policy),
                 c.seed,
@@ -129,10 +135,15 @@ impl RunRecord {
             for (k, v) in metrics_obj {
                 metrics.push((k.clone(), v.as_f64()?));
             }
+            let artifact = match co.get("artifact") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_str()?),
+            };
             cells.push(CellRecord {
                 scenario: co.get("scenario").ok_or("missing cell 'scenario'")?.as_str()?,
                 policy: co.get("policy").ok_or("missing cell 'policy'")?.as_str()?,
                 seed: co.get("seed").ok_or("missing cell 'seed'")?.as_u64()?,
+                artifact,
                 metrics,
             });
         }
@@ -488,6 +499,7 @@ mod tests {
                 scenario: "bfs".into(),
                 policy: "round-robin".into(),
                 seed: 42,
+                artifact: None,
                 metrics: vec![("avg_exec".into(), 1234.5), ("tail_exec".into(), 2000.0)],
             }],
             table: Table {
@@ -510,6 +522,19 @@ mod tests {
         rec.title = "quote \" backslash \\ newline \n tab \t".into();
         let parsed = RunRecord::from_json(&rec.to_json()).unwrap();
         assert_eq!(parsed.title, rec.title);
+    }
+
+    #[test]
+    fn cell_artifacts_round_trip_and_absent_ones_stay_absent() {
+        let mut rec = sample();
+        rec.cells[0].artifact = Some("0123456789abcdef".into());
+        let json = rec.to_json();
+        assert!(json.contains("\"artifact\": \"0123456789abcdef\""));
+        assert_eq!(RunRecord::from_json(&json).unwrap(), rec);
+        rec.cells[0].artifact = None;
+        let json = rec.to_json();
+        assert!(!json.contains("artifact"), "no key for artifact-free cells");
+        assert_eq!(RunRecord::from_json(&json).unwrap(), rec);
     }
 
     #[test]

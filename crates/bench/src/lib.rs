@@ -19,11 +19,12 @@ pub mod sweep;
 use apu_sim::{run_apu, ApuRunResult, EngineConfig, WorkloadSpec};
 use noc_arbiters::{make_arbiter, PolicyKind};
 use noc_sim::{Arbiter, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
-use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter, SharedAgent, StateEncoder};
+use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter};
 
 /// The flag portion of every binary's usage line — there is exactly one
 /// flag grammar across the whole experiment layer.
-pub const USAGE_FLAGS: &str = "[--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>]";
+pub const USAGE_FLAGS: &str = "[--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>] \
+[--artifacts-dir <dir>] [--retrain] [--quiet]";
 
 /// Command-line options shared by the `repro` driver and every figure shim.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +38,13 @@ pub struct CliArgs {
     pub threads: usize,
     /// Directory for structured outputs (RunRecord JSON, CSV).
     pub out_dir: std::path::PathBuf,
+    /// The content-addressed trained-artifact store (checkpoints named by
+    /// recipe hash; see `exp::artifacts`).
+    pub artifacts_dir: std::path::PathBuf,
+    /// Ignore cached artifacts and train fresh ones.
+    pub retrain: bool,
+    /// Suppress progress chatter on stderr (tables still print to stdout).
+    pub quiet: bool,
 }
 
 impl Default for CliArgs {
@@ -46,15 +54,19 @@ impl Default for CliArgs {
             seed: 42,
             threads: sweep::default_threads(),
             out_dir: "results".into(),
+            artifacts_dir: "results/artifacts".into(),
+            retrain: false,
+            quiet: false,
         }
     }
 }
 
 impl CliArgs {
     /// Parses the shared flags (`--quick`, `--seed <n>`, `--threads <n>`,
-    /// `--out-dir <dir>`) from an argument iterator. Non-flag arguments are
-    /// returned as positionals (the driver's figure name); unknown flags
-    /// are errors — never silently ignored.
+    /// `--out-dir <dir>`, `--artifacts-dir <dir>`, `--retrain`, `--quiet`)
+    /// from an argument iterator. Non-flag arguments are returned as
+    /// positionals (the driver's figure name); unknown flags are errors —
+    /// never silently ignored.
     pub fn parse_from(
         args: impl Iterator<Item = String>,
     ) -> Result<(Self, Vec<String>), String> {
@@ -82,6 +94,12 @@ impl CliArgs {
                 "--out-dir" => {
                     out.out_dir = it.next().ok_or("--out-dir needs a value")?.into();
                 }
+                "--artifacts-dir" => {
+                    out.artifacts_dir =
+                        it.next().ok_or("--artifacts-dir needs a value")?.into();
+                }
+                "--retrain" => out.retrain = true,
+                "--quiet" => out.quiet = true,
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag '{flag}'"));
                 }
@@ -183,19 +201,9 @@ pub fn train_apu_agent(
     max_cycles_per_run: u64,
     seed: u64,
 ) -> DqnAgent {
-    let cfg = SimConfig::apu(apu_sim::APU_MESH, apu_sim::APU_MESH);
-    let encoder = StateEncoder::new(6, cfg.num_vnets, FeatureSet::full(), cfg.feature_bounds);
-    let shared: SharedAgent = DqnAgent::new(encoder, AgentConfig::tuned_apu(seed)).into_shared();
-    for rep in 0..repeats {
-        let mut sim = apu_sim::make_apu_sim(
-            specs.clone(),
-            Box::new(shared.training_arbiter()),
-            EngineConfig::default(),
-            seed.wrapping_add(rep as u64),
-        );
-        sim.run_until_done(max_cycles_per_run);
-    }
-    shared.into_inner()
+    let mut env =
+        rl_arb::ApuEnv::from_workloads(specs, repeats, max_cycles_per_run, seed, FeatureSet::full());
+    rl_arb::Trainer::new(AgentConfig::tuned_apu(seed)).run(&mut env).agent
 }
 
 /// Runs one APU experiment (four workload copies) under a policy.
@@ -509,7 +517,7 @@ pub fn fig05_report(p: &Fig05Params) -> String {
         (4u16, PolicyKind::RlSynth4x4, 0.40),
         (8u16, PolicyKind::RlSynth8x8, 0.20),
     ] {
-        eprintln!("training NN policy for {w}x{w} at rate {rate} ...");
+        rl_arb::progress!("training NN policy for {w}x{w} at rate {rate} ...");
         let nn = train_synthetic_nn(w, w, rate, p.epochs, p.epoch_cycles, p.seed);
         let policies = vec![
             PolicySpec::builtin("FIFO", PolicyKind::Fifo),

@@ -21,6 +21,11 @@ fn args(threads: usize) -> CliArgs {
         seed: 42,
         threads,
         out_dir: PathBuf::from("results"),
+        // A per-process store keeps these runs independent of whatever
+        // `results/artifacts/` holds (and of other test binaries).
+        artifacts_dir: std::env::temp_dir()
+            .join(format!("bench-driver-eq-artifacts-{}", std::process::id())),
+        ..CliArgs::default()
     }
 }
 

@@ -25,6 +25,7 @@ fn sample_record() -> RunRecord {
                 scenario: "bfs".into(),
                 policy: "round-robin".into(),
                 seed: 42,
+                artifact: None,
                 metrics: vec![
                     ("avg_exec".into(), 123456.75),
                     ("tail_exec".into(), 130000.0),
@@ -36,6 +37,15 @@ fn sample_record() -> RunRecord {
                 seed: 43,
                 // A metric with an exotic value and a name needing escapes.
                 metrics: vec![("avg \"exec\"\n".into(), 0.1)],
+                artifact: None,
+            },
+            // An NN cell carrying its trained artifact's recipe hash.
+            CellRecord {
+                scenario: "bfs".into(),
+                policy: "nn".into(),
+                seed: 42,
+                artifact: Some("a1b2c3d4e5f60718".into()),
+                metrics: vec![("avg_exec".into(), 119000.5)],
             },
         ],
         table: Table {

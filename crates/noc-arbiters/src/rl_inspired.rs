@@ -83,6 +83,30 @@ impl RlInspiredSynthetic {
         }
     }
 
+    /// Distills measured feature importances into the shift-and-add
+    /// datapath, mechanizing the paper's §3.2 heatmap-to-hardware step:
+    /// `la_weight` / `hc_weight` are the mean first-layer `|w|` of the
+    /// local-age and hop-count rows of a trained agent's heatmap. A
+    /// feature dominating by ≥ 2× earns the larger shift (the 8×8-style
+    /// asymmetric formulas); near-equal magnitudes reproduce the balanced
+    /// 4×4 formula. Hop counters widen to 4 bits when hop count leads, so
+    /// the favored feature is not the one that saturates first.
+    pub fn from_weights(la_weight: f64, hc_weight: f64) -> Self {
+        let (la_shift, hc_shift, hc_bits) = if hc_weight >= 2.0 * la_weight {
+            (0, 2, 4)
+        } else if la_weight >= 2.0 * hc_weight {
+            (2, 0, 3)
+        } else {
+            (1, 1, 3)
+        };
+        RlInspiredSynthetic {
+            la_shift,
+            hc_shift,
+            hc_bits,
+            label: "RL-inspired (distilled)",
+        }
+    }
+
     /// Wraps the policy in the select-max adapter.
     pub fn arbiter(self) -> MaxPriorityArbiter<Self> {
         MaxPriorityArbiter::new(self)
@@ -360,6 +384,26 @@ mod tests {
         let cands = [cand(0, 1000, 100, MsgType::Request)];
         // LA saturates at 31 (5 bits), HC at 7 (3 bits).
         assert_eq!(p.priority(&cands[0], &ctx6(&cands, &net)), (31 << 1) + (7 << 1));
+    }
+
+    #[test]
+    fn from_weights_maps_dominance_onto_shifts() {
+        // Near-equal magnitudes reproduce the balanced 4×4 formula.
+        let balanced = RlInspiredSynthetic::from_weights(0.5, 0.6);
+        let m4 = RlInspiredSynthetic::mesh4x4();
+        let net = NetSnapshot::default();
+        let cands = [cand(0, 10, 3, MsgType::Request)];
+        let c = ctx6(&cands, &net);
+        assert_eq!(balanced.priority(&cands[0], &c), m4.priority(&cands[0], &c));
+        // Hop-count dominance ≥ 2× reproduces the 8×8 shape.
+        let hops = RlInspiredSynthetic::from_weights(0.2, 0.5);
+        let m8 = RlInspiredSynthetic::mesh8x8();
+        assert_eq!(hops.priority(&cands[0], &c), m8.priority(&cands[0], &c));
+        // Local-age dominance mirrors it the other way.
+        let age = RlInspiredSynthetic::from_weights(0.9, 0.1);
+        assert_eq!(age.priority(&cands[0], &c), (10 << 2) + 3);
+        // The distilled variant announces itself.
+        assert_eq!(age.name(), "RL-inspired (distilled)");
     }
 
     #[test]

@@ -52,18 +52,10 @@ pub struct AgentConfig {
 }
 
 impl AgentConfig {
-    /// The §3.2 synthetic-study configuration (15 hidden neurons).
-    pub fn paper_synthetic(seed: u64) -> Self {
+    /// The shared §4.6 baseline every named configuration is a delta of.
+    fn base(hidden: usize, seed: u64) -> Self {
         AgentConfig {
-            hidden: 15,
-            ..AgentConfig::paper_apu(seed)
-        }
-    }
-
-    /// The §4.6 APU configuration (42 hidden neurons).
-    pub fn paper_apu(seed: u64) -> Self {
-        AgentConfig {
-            hidden: 42,
+            hidden,
             lr: 0.001,
             gamma: 0.9,
             epsilon: 0.001,
@@ -78,6 +70,29 @@ impl AgentConfig {
         }
     }
 
+    /// This reproduction's tuning delta on the paper baseline: faster
+    /// learning (α 0.001 → 0.05), much shorter horizon (γ 0.9 → 0.2),
+    /// more exploration (ε 0.001 → 0.05), bigger batches (2 → 16).
+    fn tuned(hidden: usize, seed: u64) -> Self {
+        AgentConfig {
+            lr: 0.05,
+            gamma: 0.2,
+            epsilon: 0.05,
+            batch_size: 16,
+            ..AgentConfig::base(hidden, seed)
+        }
+    }
+
+    /// The §3.2 synthetic-study configuration (15 hidden neurons).
+    pub fn paper_synthetic(seed: u64) -> Self {
+        AgentConfig::base(15, seed)
+    }
+
+    /// The §4.6 APU configuration (42 hidden neurons).
+    pub fn paper_apu(seed: u64) -> Self {
+        AgentConfig::base(42, seed)
+    }
+
     /// Hyperparameters tuned *for this reproduction's substrate* (the
     /// paper's §3.2/§4.6 values are kept in the `paper_*` constructors).
     /// Tuning the learning rate, batch size, discount factor and
@@ -86,28 +101,83 @@ impl AgentConfig {
     /// the ±1 oracle reward is not buried under the action-independent
     /// bootstrapped future term.
     pub fn tuned_synthetic(seed: u64) -> Self {
-        AgentConfig {
-            hidden: 15,
-            lr: 0.05,
-            gamma: 0.2,
-            epsilon: 0.05,
-            batch_size: 16,
-            replay_capacity: 4000,
-            target_sync_period: 500,
-            grad_clip: 1.0,
-            reward: RewardKind::GlobalAge,
-            double_dqn: false,
-            prioritized: None,
-            seed,
-        }
+        AgentConfig::tuned(15, seed)
     }
 
     /// The tuned configuration at APU scale (42 hidden neurons).
     pub fn tuned_apu(seed: u64) -> Self {
-        AgentConfig {
-            hidden: 42,
-            ..AgentConfig::tuned_synthetic(seed)
+        AgentConfig::tuned(42, seed)
+    }
+
+    /// Serializes the hyperparameters as ordered `agent.*` key/value
+    /// strings for the checkpoint `config` section. Floats use Rust's
+    /// shortest round-trip form, so
+    /// [`from_config_entries`](AgentConfig::from_config_entries) restores
+    /// the exact configuration.
+    pub fn config_entries(&self) -> Vec<(String, String)> {
+        let float = |v: f64| format!("{v:?}");
+        vec![
+            ("agent.hidden".into(), self.hidden.to_string()),
+            ("agent.lr".into(), float(self.lr)),
+            ("agent.gamma".into(), float(self.gamma)),
+            ("agent.epsilon".into(), float(self.epsilon)),
+            ("agent.batch_size".into(), self.batch_size.to_string()),
+            ("agent.replay_capacity".into(), self.replay_capacity.to_string()),
+            ("agent.target_sync_period".into(), self.target_sync_period.to_string()),
+            ("agent.grad_clip".into(), float(self.grad_clip)),
+            ("agent.reward".into(), self.reward.label().into()),
+            ("agent.double_dqn".into(), self.double_dqn.to_string()),
+            (
+                "agent.prioritized".into(),
+                match self.prioritized {
+                    Some(alpha) => float(alpha),
+                    None => "none".into(),
+                },
+            ),
+            ("agent.seed".into(), self.seed.to_string()),
+        ]
+    }
+
+    /// Reconstructs a configuration from checkpoint `config` entries —
+    /// the inverse of [`AgentConfig::config_entries`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or unparseable entry.
+    pub fn from_config_entries(entries: &[(String, String)]) -> Result<AgentConfig, String> {
+        fn get<'a>(entries: &'a [(String, String)], key: &str) -> Result<&'a str, String> {
+            entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("checkpoint config missing '{key}'"))
         }
+        fn num<T: std::str::FromStr>(entries: &[(String, String)], key: &str) -> Result<T, String> {
+            get(entries, key)?
+                .parse()
+                .map_err(|_| format!("bad value for '{key}'"))
+        }
+        let prioritized = match get(entries, "agent.prioritized")? {
+            "none" => None,
+            v => Some(
+                v.parse()
+                    .map_err(|_| "bad value for 'agent.prioritized'".to_string())?,
+            ),
+        };
+        Ok(AgentConfig {
+            hidden: num(entries, "agent.hidden")?,
+            lr: num(entries, "agent.lr")?,
+            gamma: num(entries, "agent.gamma")?,
+            epsilon: num(entries, "agent.epsilon")?,
+            batch_size: num(entries, "agent.batch_size")?,
+            replay_capacity: num(entries, "agent.replay_capacity")?,
+            target_sync_period: num(entries, "agent.target_sync_period")?,
+            grad_clip: num(entries, "agent.grad_clip")?,
+            reward: get(entries, "agent.reward")?.parse()?,
+            double_dqn: num(entries, "agent.double_dqn")?,
+            prioritized,
+            seed: num(entries, "agent.seed")?,
+        })
     }
 
     /// Replaces the reward function.

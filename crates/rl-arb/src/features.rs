@@ -65,6 +65,33 @@ impl Feature {
             Feature::DestType => "destination type",
         }
     }
+
+    /// Stable machine name used in checkpoints and recipe strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::PayloadSize => "payload_size",
+            Feature::LocalAge => "local_age",
+            Feature::Distance => "distance",
+            Feature::HopCount => "hop_count",
+            Feature::InFlight => "in_flight",
+            Feature::InterArrival => "inter_arrival",
+            Feature::MsgType => "msg_type",
+            Feature::DestType => "dest_type",
+        }
+    }
+
+    /// Parses a machine name back — the inverse of [`Feature::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown names.
+    pub fn from_name(name: &str) -> Result<Feature, String> {
+        Feature::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == name)
+            .ok_or_else(|| format!("unknown feature '{name}'"))
+    }
 }
 
 /// An ordered set of enabled features.
@@ -137,6 +164,36 @@ impl FeatureSet {
     pub fn contains(&self, feature: Feature) -> bool {
         self.enabled.contains(&feature)
     }
+
+    /// The comma-separated machine-name encoding used in checkpoints
+    /// (order-preserving, e.g. `"payload_size,local_age"`).
+    pub fn to_list_string(&self) -> String {
+        self.enabled
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses the comma-separated encoding back — the inverse of
+    /// [`FeatureSet::to_list_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown feature names or an empty list.
+    pub fn from_list_string(list: &str) -> Result<FeatureSet, String> {
+        let mut enabled = Vec::new();
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let f = Feature::from_name(name)?;
+            if !enabled.contains(&f) {
+                enabled.push(f);
+            }
+        }
+        if enabled.is_empty() {
+            return Err("empty feature list".into());
+        }
+        Ok(FeatureSet { enabled })
+    }
 }
 
 impl Default for FeatureSet {
@@ -196,6 +253,11 @@ impl StateEncoder {
     /// Ports per router.
     pub fn num_ports(&self) -> usize {
         self.num_ports
+    }
+
+    /// The feature-normalization caps in effect.
+    pub fn bounds(&self) -> FeatureBounds {
+        self.bounds
     }
 
     /// Encodes one candidate's features into `out[offset..]`.
@@ -404,5 +466,20 @@ mod tests {
         assert_eq!(combined.with(Feature::LocalAge).width_per_buffer(), 2);
         let dedup = FeatureSet::from_features(&[Feature::LocalAge, Feature::LocalAge]);
         assert_eq!(dedup.features().len(), 1);
+    }
+
+    #[test]
+    fn feature_sets_round_trip_through_list_strings() {
+        for set in [FeatureSet::full(), FeatureSet::synthetic(), FeatureSet::only(Feature::MsgType)]
+        {
+            let encoded = set.to_list_string();
+            assert_eq!(FeatureSet::from_list_string(&encoded).unwrap(), set);
+        }
+        assert_eq!(
+            FeatureSet::synthetic().to_list_string(),
+            "payload_size,local_age,distance,hop_count"
+        );
+        assert!(FeatureSet::from_list_string("").is_err());
+        assert!(FeatureSet::from_list_string("payload_size,bogus").is_err());
     }
 }

@@ -32,19 +32,30 @@
 #![warn(missing_debug_implementations)]
 
 mod agent;
+mod ckpt;
+mod env;
 mod features;
 mod hillclimb;
 mod interpret;
 mod multi;
+pub mod progress;
 mod replay;
 mod reward;
 mod train;
+mod trainer;
 
 pub use agent::{AgentConfig, DqnAgent, NnPolicyArbiter, RlAgentArbiter, SharedAgent};
+pub use ckpt::{
+    agent_config_from_checkpoint, checkpoint_from_outcome, distill_checkpoint,
+    encoder_from_checkpoint, policy_from_checkpoint,
+};
+pub use env::{ApuEnv, ApuTrainSpec, SyntheticEnv, TrainEnv, TrainRecipe};
 pub use features::{Feature, FeatureSet, StateEncoder};
 pub use hillclimb::{hill_climb, Evaluation, HillClimbResult};
 pub use interpret::{weight_heatmap, Heatmap};
 pub use multi::{MultiAgentArbiter, PartitionedAgents};
+pub use progress::{is_quiet, set_quiet};
 pub use replay::{Experience, PrioritizedReplay, ReplayMemory};
 pub use reward::RewardKind;
-pub use train::{train_synthetic, TrainOutcome, TrainSpec};
+pub use train::{fnv1a64, train_synthetic, TrainOutcome, TrainSpec};
+pub use trainer::{training_epochs, Trainer};

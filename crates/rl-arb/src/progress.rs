@@ -1,0 +1,56 @@
+//! One progress reporter for the training and experiment stack.
+//!
+//! Training drivers and the `repro` experiment driver used to scatter
+//! ad-hoc `eprintln!("training ...")` lines. They now all route through
+//! [`progress!`](crate::progress!), so a single `--quiet` flag (wired to
+//! [`set_quiet`]) silences the chatter and keeps driver output
+//! machine-parseable.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Globally silences (or re-enables) progress notes.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// True when progress notes are suppressed.
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Emits one progress note to stderr unless quieted. Prefer the
+/// [`progress!`](crate::progress!) macro over calling this directly.
+pub fn note(args: fmt::Arguments<'_>) {
+    if !is_quiet() {
+        eprintln!("{args}");
+    }
+}
+
+/// `eprintln!`-style progress reporting that honors the global `--quiet`
+/// state ([`set_quiet`]).
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        $crate::progress::note(::core::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_flag_round_trips() {
+        // Note: process-global state; restore the default before exiting.
+        assert!(!is_quiet());
+        set_quiet(true);
+        assert!(is_quiet());
+        // A quieted note must not panic (output itself is untestable here).
+        progress!("hidden {}", 1);
+        set_quiet(false);
+        assert!(!is_quiet());
+    }
+}

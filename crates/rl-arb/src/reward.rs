@@ -35,6 +35,20 @@ impl RewardKind {
         }
     }
 
+    /// Parses a label back into the kind — the inverse of
+    /// [`RewardKind::label`], used by the checkpoint config round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown labels.
+    pub fn from_label(label: &str) -> Result<RewardKind, String> {
+        RewardKind::ALL
+            .iter()
+            .copied()
+            .find(|r| r.label() == label)
+            .ok_or_else(|| format!("unknown reward '{label}'"))
+    }
+
     /// Computes the reward for granting `chosen` (an index into
     /// `ctx.candidates`).
     ///
@@ -58,6 +72,14 @@ impl RewardKind {
             }
             RewardKind::LinkUtil => ctx.net.link_utilization_prev,
         }
+    }
+}
+
+impl std::str::FromStr for RewardKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        RewardKind::from_label(s)
     }
 }
 
@@ -142,5 +164,13 @@ mod tests {
     fn labels_are_unique() {
         let labels: Vec<&str> = RewardKind::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels, vec!["global_age", "acc_latency", "link_util"]);
+    }
+
+    #[test]
+    fn labels_round_trip_through_parsing() {
+        for kind in RewardKind::ALL {
+            assert_eq!(kind.label().parse::<RewardKind>(), Ok(kind));
+        }
+        assert!("oldest_first".parse::<RewardKind>().is_err());
     }
 }

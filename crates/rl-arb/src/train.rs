@@ -1,10 +1,23 @@
 //! Training drivers: run the agent inside a live simulation and record
 //! learning curves (the raw material of Figs. 5, 12 and 13).
 
-use noc_sim::{FeatureBounds, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
+use noc_sim::{FeatureBounds, Pattern};
 
 use crate::agent::{AgentConfig, DqnAgent};
-use crate::features::{FeatureSet, StateEncoder};
+use crate::env::SyntheticEnv;
+use crate::features::FeatureSet;
+use crate::trainer::Trainer;
+
+/// FNV-1a 64-bit hash — the workspace's content hash for pure-data
+/// recipes and experiment specs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Specification of a synthetic-traffic training run.
 #[derive(Debug, Clone)]
@@ -87,6 +100,14 @@ impl TrainSpec {
             ..TrainSpec::synthetic_4x4(seed)
         }
     }
+
+    /// Content hash of the recipe: FNV-1a 64 over the `Debug` encoding of
+    /// this pure-data spec. Equal recipes hash equal; any field change
+    /// (rates, hyperparameters, curriculum, seeds) changes the hash —
+    /// the property the content-addressed artifact store keys on.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", fnv1a64(format!("{self:?}").as_bytes()))
+    }
 }
 
 /// Result of a training run.
@@ -98,8 +119,26 @@ pub struct TrainOutcome {
     /// Fraction of decisions per epoch that matched the global-age oracle
     /// (only meaningful under the global-age reward, where reward = match).
     pub accuracy: Vec<f64>,
+    /// The trainer's early-stop verdict: `Some(true)` when the armed
+    /// convergence check fired (remaining epochs skipped), `Some(false)`
+    /// when armed but never satisfied, `None` when early stopping was off.
+    /// Persisted in the checkpoint's `converged` field.
+    pub converged: Option<bool>,
     /// The trained agent.
     pub agent: DqnAgent,
+}
+
+/// The convergence criterion shared by [`TrainOutcome::converged`] and
+/// the trainer's early-stop check: the mean of the last quarter of the
+/// curve is within `tolerance`× of the best epoch (needs ≥ 8 samples).
+pub(crate) fn curve_converged(curve: &[f64], tolerance: f64) -> bool {
+    if curve.len() < 8 {
+        return false;
+    }
+    let tail = &curve[curve.len() - curve.len() / 4..];
+    let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+    let best = curve.iter().copied().fold(f64::INFINITY, f64::min);
+    tail_mean <= best * tolerance
 }
 
 impl TrainOutcome {
@@ -119,13 +158,11 @@ impl TrainOutcome {
     /// A crude convergence check: the mean of the last quarter of the
     /// curve is within `tolerance`× of the best epoch. Unconverging
     /// rewards (paper Fig. 12's `acc_latency`/`link_util`) fail this.
+    /// The same criterion drives [`Trainer::with_early_stop`].
+    ///
+    /// [`Trainer::with_early_stop`]: crate::Trainer::with_early_stop
     pub fn converged(&self, tolerance: f64) -> bool {
-        if self.curve.len() < 8 {
-            return false;
-        }
-        let tail = &self.curve[self.curve.len() - self.curve.len() / 4..];
-        let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
-        tail_mean <= self.best_latency() * tolerance
+        curve_converged(&self.curve, tolerance)
     }
 }
 
@@ -142,72 +179,15 @@ impl TrainOutcome {
 /// Panics if the specification is internally inconsistent (zero-sized mesh,
 /// epochs of zero cycles, …).
 pub fn train_synthetic(spec: &TrainSpec) -> TrainOutcome {
-    assert!(spec.epochs > 0 && spec.cycles_per_epoch > 0, "empty training run");
-    let topo = Topology::uniform_mesh(spec.width, spec.height).expect("valid mesh");
-    let mut cfg = SimConfig::synthetic(spec.width, spec.height);
-    if let Some(bounds) = spec.feature_bounds {
-        cfg.feature_bounds = bounds;
-    }
-    let encoder = StateEncoder::new(
-        topo.ports_per_router(),
-        cfg.num_vnets,
-        spec.features.clone(),
-        cfg.feature_bounds,
-    );
-    let shared = DqnAgent::new(encoder, spec.agent.clone()).into_shared();
-
-    let mut curve = Vec::with_capacity(spec.epochs);
-    let mut accuracy = Vec::with_capacity(spec.epochs);
-    let mut last_decisions = 0u64;
-    let mut last_reward = 0.0f64;
-    for (stage, (rate, epochs)) in spec
-        .curriculum
-        .iter()
-        .copied()
-        .chain(std::iter::once((spec.injection_rate, spec.epochs)))
-        .enumerate()
-    {
-        let stage = stage as u64;
-        let traffic = SyntheticTraffic::new(
-            &topo,
-            spec.pattern,
-            rate,
-            cfg.num_vnets,
-            spec.traffic_seed.wrapping_add(stage),
-        );
-        let mut sim = Simulator::new(
-            topo.clone(),
-            cfg.clone(),
-            Box::new(shared.training_arbiter()),
-            traffic,
-        )
-        .expect("valid simulator configuration");
-        for _ in 0..epochs {
-            sim.reset_stats();
-            sim.run(spec.cycles_per_epoch);
-            curve.push(sim.stats().avg_latency());
-            let (dec, rew) = shared.with(|a| (a.decisions(), a.cumulative_reward()));
-            let epoch_dec = dec - last_decisions;
-            accuracy.push(if epoch_dec == 0 {
-                0.0
-            } else {
-                (rew - last_reward) / epoch_dec as f64
-            });
-            last_decisions = dec;
-            last_reward = rew;
-        }
-    }
-    TrainOutcome {
-        curve,
-        accuracy,
-        agent: shared.into_inner(),
-    }
+    Trainer::new(spec.agent.clone()).run(&mut SyntheticEnv::new(spec))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::StateEncoder;
     use crate::reward::RewardKind;
+    use noc_sim::{SimConfig, Topology};
 
     fn quick_spec(seed: u64) -> TrainSpec {
         TrainSpec {
@@ -252,6 +232,7 @@ mod tests {
         let outcome = TrainOutcome {
             curve: vec![100.0, 60.0, 40.0, 30.0, 31.0, 30.0, 29.0, 30.0],
             accuracy: vec![0.5; 8],
+            converged: None,
             agent: {
                 let spec = quick_spec(1);
                 let topo = Topology::uniform_mesh(4, 4).unwrap();
