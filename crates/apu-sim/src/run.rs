@@ -1,6 +1,6 @@
 //! Convenience harness: build and run a four-quadrant APU experiment.
 
-use noc_sim::{Arbiter, SimConfig, SimStats, Simulator};
+use noc_sim::{Arbiter, FaultPlan, SimConfig, SimStats, Simulator};
 
 use crate::engine::{ApuEngine, EngineConfig};
 use crate::topology::{ApuTopology, APU_MESH, NUM_QUADRANTS};
@@ -66,7 +66,24 @@ pub fn run_apu(
     seed: u64,
     max_cycles: u64,
 ) -> ApuRunResult {
+    run_apu_with_faults(specs, arbiter, engine_cfg, seed, max_cycles, None)
+}
+
+/// [`run_apu`] with an optional deterministic [`FaultPlan`] injected into
+/// the underlying simulator. Passing `None` (or an empty plan) is
+/// bit-identical to the fault-free path.
+pub fn run_apu_with_faults(
+    specs: Vec<WorkloadSpec>,
+    arbiter: Box<dyn Arbiter>,
+    engine_cfg: EngineConfig,
+    seed: u64,
+    max_cycles: u64,
+    faults: Option<&FaultPlan>,
+) -> ApuRunResult {
     let mut sim = make_apu_sim(specs, arbiter, engine_cfg, seed);
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan);
+    }
     let completed = sim.run_until_done(max_cycles);
     let engine = sim.traffic();
     let exec_times: Vec<u64> = engine

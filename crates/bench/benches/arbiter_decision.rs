@@ -27,6 +27,7 @@ fn candidates(n: usize) -> Vec<Candidate> {
             arrival_cycle: 500 + i as u64,
             src: NodeId(i % 64),
             dst: NodeId((i + 7) % 64),
+            port_degraded: false,
         })
         .collect()
 }

@@ -30,6 +30,7 @@ fn apu_candidates() -> Vec<Candidate> {
             arrival_cycle: 10 + i as u64,
             src: NodeId(0),
             dst: NodeId(1),
+            port_degraded: false,
         })
         .collect()
 }

@@ -11,7 +11,7 @@
 use apu_sim::NUM_QUADRANTS;
 use apu_sim::WorkloadSpec;
 use apu_workloads::{mixed_scenario, Benchmark};
-use noc_sim::{SimConfig, Simulator, SyntheticTraffic, Topology};
+use noc_sim::{FaultPlan, SimConfig, Simulator, SyntheticTraffic, Topology};
 
 use super::spec::{ScenarioSpec, TierParams};
 use crate::PolicySpec;
@@ -22,6 +22,9 @@ use crate::PolicySpec;
 pub struct SpecInstance<'a> {
     /// The scenario to simulate.
     pub scenario: &'a ScenarioSpec,
+    /// Row label the cell carries — the scenario label, plus an
+    /// `@f<intensity>` suffix when a fault axis expanded this cell.
+    pub label: &'a str,
     /// Canonical policy name (registry name, or `"nn"`).
     pub policy_name: &'a str,
     /// The instantiable policy recipe.
@@ -36,6 +39,9 @@ pub struct SpecInstance<'a> {
     /// Recipe hash of the trained artifact the policy was built from
     /// (`Some` exactly for NN-slot cells; recorded in the `RunRecord`).
     pub artifact: Option<&'a str>,
+    /// Deterministic fault plan injected into the simulator (`None` for
+    /// fault-free cells — the historical behaviour, bit-identical).
+    pub faults: Option<&'a FaultPlan>,
 }
 
 /// The metrics of one simulated cell.
@@ -50,6 +56,9 @@ pub struct CellRecord {
     /// Recipe hash of the trained artifact this cell was evaluated with
     /// (`None` for policies that carry no trained network).
     pub artifact: Option<String>,
+    /// Hash of the fault plan this cell ran under (`None` for fault-free
+    /// cells; see [`noc_sim::FaultPlan::hash_hex`]).
+    pub fault_plan: Option<String>,
     /// Named metric values, in a stable order.
     pub metrics: Vec<(String, f64)>,
 }
@@ -128,6 +137,9 @@ impl SimBackend for SyntheticBackend {
         let traffic = SyntheticTraffic::new(&topo, *pattern, *rate, cfg.num_vnets, inst.seed);
         let mut sim = Simulator::new(topo, cfg, inst.policy.build(inst.seed), traffic)
             .expect("valid sim");
+        if let Some(plan) = inst.faults {
+            sim.set_fault_plan(plan);
+        }
         if inst.params.warmup > 0 {
             sim.run(inst.params.warmup);
             sim.reset_stats();
@@ -136,10 +148,11 @@ impl SimBackend for SyntheticBackend {
         let starving = sim.starving_packets();
         let s = sim.stats();
         CellRecord {
-            scenario: inst.scenario.label(),
+            scenario: inst.label.to_string(),
             policy: inst.policy_name.to_string(),
             seed: inst.seed,
             artifact: inst.artifact.map(String::from),
+            fault_plan: inst.faults.map(FaultPlan::hash_hex),
             metrics: vec![
                 ("avg_latency".into(), s.avg_latency()),
                 ("p99_latency".into(), s.latency_percentile(99.0) as f64),
@@ -150,6 +163,8 @@ impl SimBackend for SyntheticBackend {
                 ("jain_fairness".into(), s.jain_fairness()),
                 ("delivered".into(), s.delivered as f64),
                 ("throughput".into(), s.throughput()),
+                ("link_fault_drops".into(), s.link_fault_drops as f64),
+                ("wedged_ports".into(), s.wedged_ports as f64),
             ],
         }
     }
@@ -167,17 +182,19 @@ impl SimBackend for ApuBackend {
 
     fn run(&self, inst: &SpecInstance<'_>) -> CellRecord {
         let specs = apu_specs_for(inst.scenario, inst.base_seed, inst.params.apu_scale);
-        let r = crate::apu_run(
+        let r = crate::apu_run_with_faults(
             specs,
             inst.policy.build(inst.seed),
             inst.seed,
             inst.params.max_cycles,
+            inst.faults,
         );
         CellRecord {
-            scenario: inst.scenario.label(),
+            scenario: inst.label.to_string(),
             policy: inst.policy_name.to_string(),
             seed: inst.seed,
             artifact: inst.artifact.map(String::from),
+            fault_plan: inst.faults.map(FaultPlan::hash_hex),
             metrics: vec![
                 ("avg_exec".into(), r.avg_exec),
                 ("tail_exec".into(), r.tail_exec as f64),
@@ -246,12 +263,14 @@ mod tests {
         let params = tiny_params();
         let cell = SyntheticBackend.run(&SpecInstance {
             scenario: &scenario,
+            label: "4x4",
             policy_name: "fifo",
             policy: &policy,
             seed: 1,
             base_seed: 1,
             params: &params,
             artifact: None,
+            faults: None,
         });
         assert_eq!(cell.policy, "fifo");
         assert!(cell.metric("avg_latency") > 0.0);
@@ -265,12 +284,14 @@ mod tests {
         let params = tiny_params();
         let inst = |seed| SpecInstance {
             scenario: &scenario,
+            label: "bfs",
             policy_name: "fifo",
             policy: &policy,
             seed,
             base_seed: seed,
             params: &params,
             artifact: None,
+            faults: None,
         };
         let a = ApuBackend.run(&inst(7));
         let b = ApuBackend.run(&inst(7));

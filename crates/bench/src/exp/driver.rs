@@ -17,6 +17,7 @@
 //! to the pre-refactor binaries for any `--threads` count. The
 //! `driver_equivalence` integration test pins this.
 
+use noc_sim::{FaultPlan, Topology};
 use rl_arb::{progress, ApuTrainSpec, NnPolicyArbiter, TrainRecipe, TrainSpec};
 
 use super::artifacts::{ArtifactStore, ResolvedArtifact};
@@ -31,8 +32,13 @@ use crate::{sweep, write_csv, CliArgs, PolicySpec};
 /// The collected cells of one scenario, seed-major / policy-minor.
 #[derive(Debug)]
 pub struct ScenarioData {
-    /// Scenario label.
+    /// Scenario label (carries the `@f<intensity>` suffix for rows a
+    /// fault axis expanded).
     pub label: String,
+    /// Fault intensity this row group ran under (`0.0` = fault-free).
+    pub fault_intensity: f64,
+    /// Hash of the generated fault plan (`None` for fault-free rows).
+    pub fault_plan_hash: Option<String>,
     /// Canonical policy names, in line-up order.
     pub canonical: Vec<String>,
     /// Display policy names, in line-up order.
@@ -346,42 +352,98 @@ pub fn run_matrix(
                 }
             })
             .collect();
-        progress!(
-            "running {} under {} policies x {} seed(s) ...",
-            scenario.label(),
-            policies.len(),
-            seeds.len()
-        );
-        if matches!(scenario, ScenarioSpec::ApuMix { .. }) {
-            let specs = apu_specs_for(scenario, args.seed, params.apu_scale);
-            let apps: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
-            progress!("  quadrants: {apps:?}");
-        }
         let backend = backend_for(scenario);
-        let jobs: Vec<(u64, usize)> = seeds
-            .iter()
-            .flat_map(|&seed| (0..policies.len()).map(move |p| (seed, p)))
-            .collect();
-        let cells = sweep::run_parallel(jobs, args.threads, |(seed, p)| {
-            backend.run(&SpecInstance {
-                scenario,
-                policy_name: &policies[p].0,
-                policy: &policies[p].2,
-                seed,
-                base_seed: args.seed,
-                params,
-                artifact: policies[p].3.as_deref(),
-            })
-        });
-        scenarios.push(ScenarioData {
-            label: scenario.label(),
-            canonical: policies.iter().map(|p| p.0.clone()).collect(),
-            display: policies.iter().map(|p| p.1.clone()).collect(),
-            seeds: seeds.to_vec(),
-            cells,
-        });
+        // With no fault axis this is a single fault-free pass — the
+        // historical dispatch, cell for cell.
+        let intensities: Vec<f64> = match &spec.faults {
+            Some(axis) => axis.intensities.clone(),
+            None => vec![0.0],
+        };
+        for &intensity in &intensities {
+            // Plans are generated here on the main thread, so every
+            // worker-thread cell of this row group shares one plan and the
+            // result is thread-count-invariant. The plan seed depends only
+            // on the base seed, scenario and intensity — not on the
+            // per-cell sweep seed — so all seeds and policies of a row see
+            // the same fault environment.
+            let plan: Option<FaultPlan> = if intensity > 0.0 {
+                let plan_seed = args.seed ^ super::spec::fnv1a64(
+                    format!("{}@f{intensity:.2}", scenario.label()).as_bytes(),
+                );
+                let plan = FaultPlan::generate(
+                    plan_seed,
+                    intensity,
+                    &fault_topology(scenario),
+                    fault_horizon(scenario, params),
+                );
+                Some(plan)
+            } else {
+                None
+            };
+            let label = match plan {
+                Some(_) => format!("{}@f{intensity:.2}", scenario.label()),
+                None => scenario.label(),
+            };
+            progress!(
+                "running {} under {} policies x {} seed(s) ...",
+                label,
+                policies.len(),
+                seeds.len()
+            );
+            if matches!(scenario, ScenarioSpec::ApuMix { .. }) {
+                let specs = apu_specs_for(scenario, args.seed, params.apu_scale);
+                let apps: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+                progress!("  quadrants: {apps:?}");
+            }
+            let jobs: Vec<(u64, usize)> = seeds
+                .iter()
+                .flat_map(|&seed| (0..policies.len()).map(move |p| (seed, p)))
+                .collect();
+            let cells = sweep::run_parallel(jobs, args.threads, |(seed, p)| {
+                backend.run(&SpecInstance {
+                    scenario,
+                    label: &label,
+                    policy_name: &policies[p].0,
+                    policy: &policies[p].2,
+                    seed,
+                    base_seed: args.seed,
+                    params,
+                    artifact: policies[p].3.as_deref(),
+                    faults: plan.as_ref(),
+                })
+            });
+            scenarios.push(ScenarioData {
+                label,
+                fault_intensity: intensity,
+                fault_plan_hash: plan.as_ref().map(FaultPlan::hash_hex),
+                canonical: policies.iter().map(|p| p.0.clone()).collect(),
+                display: policies.iter().map(|p| p.1.clone()).collect(),
+                seeds: seeds.to_vec(),
+                cells,
+            });
+        }
     }
     MatrixData { scenarios }
+}
+
+/// The mesh a scenario's fault plan is generated against (fault targets
+/// must name real routers/ports of the simulated topology).
+fn fault_topology(scenario: &ScenarioSpec) -> Topology {
+    match scenario {
+        ScenarioSpec::Synthetic { width, height, .. } => {
+            Topology::uniform_mesh(*width, *height).expect("valid mesh")
+        }
+        _ => apu_sim::ApuTopology::build().clone_topology(),
+    }
+}
+
+/// The cycle horizon fault onsets/durations are scaled to.
+fn fault_horizon(scenario: &ScenarioSpec, params: &TierParams) -> u64 {
+    if scenario.is_apu() {
+        params.max_cycles
+    } else {
+        params.warmup + params.measure
+    }
 }
 
 /// Looks up a figure definition (used by tests; `run_figure` resolves

@@ -23,7 +23,7 @@ use super::backend::CellRecord;
 use super::driver::MatrixData;
 use super::record::Table;
 use super::spec::{
-    ExperimentSpec, Lineup, NnRecipe, Normalize, ScenarioSpec, TierParams,
+    ExperimentSpec, FaultAxis, Lineup, NnRecipe, Normalize, ScenarioSpec, TierParams,
 };
 use crate::{geomean, render_series, render_table, train_apu_agent, CliArgs};
 
@@ -101,7 +101,7 @@ pub fn names() -> Vec<&'static str> {
     FIGURES.iter().map(|d| d.name).collect()
 }
 
-static FIGURES: [FigureDef; 16] = [
+static FIGURES: [FigureDef; 17] = [
     FigureDef {
         name: "fig04",
         legacy_bin: "fig04_heatmap",
@@ -214,6 +214,16 @@ static FIGURES: [FigureDef; 16] = [
             csv: false,
         },
     },
+    FigureDef {
+        name: "resilience",
+        legacy_bin: "resilience",
+        summary: "graceful degradation under deterministic fault injection",
+        kind: FigureKind::Matrix {
+            spec: spec_resilience,
+            render: render_resilience,
+            csv: true,
+        },
+    },
 ];
 
 fn mk_table(headers: &[&str], rows: Vec<Vec<String>>) -> Table {
@@ -257,6 +267,7 @@ fn spec_fig05() -> ExperimentSpec {
                 lineup: Some(Lineup::parse(&["fifo", "rl-synth-8x8", "nn", "global-age"])),
             },
         ],
+        faults: None,
         quick: TierParams {
             warmup: 1_000,
             measure: 6_000,
@@ -298,6 +309,7 @@ fn spec_apu_normalized(figure: &str, output: &str, title: &str, nn_repeats_full:
         ]),
         nn: Some(NnRecipe::ApuBenchmark { benchmark: "bfs".into() }),
         scenarios: apu_workload_scenarios(),
+        faults: None,
         quick: TierParams {
             max_cycles: 4_000_000,
             seeds: 2,
@@ -367,6 +379,7 @@ fn spec_load_sweep() -> ExperimentSpec {
                 }
             })
             .collect(),
+        faults: None,
         quick: TierParams { warmup: 1_000, measure: 4_000, ..TierParams::zeroed() },
         full: TierParams { warmup: 3_000, measure: 15_000, ..TierParams::zeroed() },
         normalize: Normalize::None,
@@ -407,6 +420,7 @@ fn spec_extended_policies() -> ExperimentSpec {
             },
             ScenarioSpec::ApuWorkload { benchmark: "spmv".into() },
         ],
+        faults: None,
         quick: TierParams {
             warmup: 1_000,
             measure: 5_000,
@@ -433,6 +447,7 @@ fn spec_ablation_defeature() -> ExperimentSpec {
         lineup: Lineup::parse(&["rl-apu", "rl-apu-no-port", "rl-apu-no-msgtype"]),
         nn: None,
         scenarios: apu_workload_scenarios(),
+        faults: None,
         quick: TierParams {
             max_cycles: 4_000_000,
             seeds: 2,
@@ -483,6 +498,7 @@ fn spec_ablation_routing() -> ExperimentSpec {
         lineup: Lineup::parse(&["fifo", "rl-synth-4x4", "global-age"]),
         nn: None,
         scenarios,
+        faults: None,
         quick: TierParams { warmup: 1_000, measure: 5_000, ..TierParams::zeroed() },
         full: TierParams { warmup: 3_000, measure: 25_000, ..TierParams::zeroed() },
         normalize: Normalize::None,
@@ -510,8 +526,42 @@ fn spec_starvation_check() -> ExperimentSpec {
             lineup: None,
         }],
         // warmup 0: measure from cycle zero, ages accumulate unreset.
+        faults: None,
         quick: TierParams { warmup: 0, measure: 20_000, ..TierParams::zeroed() },
         full: TierParams { warmup: 0, measure: 100_000, ..TierParams::zeroed() },
+        normalize: Normalize::None,
+    }
+}
+
+fn spec_resilience() -> ExperimentSpec {
+    ExperimentSpec {
+        figure: "resilience".into(),
+        output: "resilience".into(),
+        title: "resilience: graceful degradation under deterministic fault injection".into(),
+        // No NN slot: the resilience sweep compares the distilled policies
+        // and classic baselines so the quick smoke needs no training.
+        lineup: Lineup::parse(&["round-robin", "fifo", "rl-synth-4x4", "global-age"]),
+        nn: None,
+        scenarios: vec![ScenarioSpec::Synthetic {
+            label: "4x4".into(),
+            width: 4,
+            height: 4,
+            pattern: Pattern::UniformRandom,
+            rate: 0.30,
+            routing: RoutingKind::XY,
+            starvation_threshold: None,
+            lineup: None,
+        }],
+        // Intensity i generates round(i x num_mesh_links) fault events;
+        // 0.0 is the fault-free reference row.
+        faults: Some(FaultAxis { intensities: vec![0.0, 0.25, 0.5, 1.0] }),
+        quick: TierParams { warmup: 500, measure: 4_000, ..TierParams::zeroed() },
+        full: TierParams {
+            warmup: 3_000,
+            measure: 20_000,
+            seeds: 3,
+            ..TierParams::zeroed()
+        },
         normalize: Normalize::None,
     }
 }
@@ -794,6 +844,46 @@ fn render_starvation_check(
     Rendered { text, table: mk_table(&headers, rows) }
 }
 
+fn render_resilience(_spec: &ExperimentSpec, _params: &TierParams, data: &MatrixData) -> Rendered {
+    let headers = [
+        "scenario", "policy", "avg lat", "p99 lat", "throughput", "jain", "delivered",
+        "drops", "wedged",
+    ];
+    let mut rows = Vec::new();
+    for sc in &data.scenarios {
+        for p in 0..sc.canonical.len() {
+            rows.push(vec![
+                sc.label.clone(),
+                sc.display[p].clone(),
+                format!("{:.1}", sc.mean(p, "avg_latency")),
+                format!("{:.0}", sc.mean(p, "p99_latency")),
+                format!("{:.4}", sc.mean(p, "throughput")),
+                format!("{:.3}", sc.mean(p, "jain_fairness")),
+                format!("{:.0}", sc.mean(p, "delivered")),
+                format!("{:.0}", sc.mean(p, "link_fault_drops")),
+                format!("{:.0}", sc.mean(p, "wedged_ports")),
+            ]);
+        }
+    }
+    let mut text = String::from(
+        "== resilience: graceful degradation under deterministic fault injection ==\n\n",
+    );
+    for sc in &data.scenarios {
+        if let Some(hash) = &sc.fault_plan_hash {
+            text.push_str(&format!(
+                "{}: intensity {:.2}, fault plan {hash}\n",
+                sc.label, sc.fault_intensity
+            ));
+        } else {
+            text.push_str(&format!("{}: fault-free reference\n", sc.label));
+        }
+    }
+    text.push('\n');
+    text.push_str(&render_table(&headers, &rows));
+    text.push('\n');
+    Rendered { text, table: mk_table(&headers, rows) }
+}
+
 // --------------------------------------------------------------------
 // Custom figures (procedures the matrix cannot express)
 // --------------------------------------------------------------------
@@ -829,6 +919,7 @@ fn fig04(args: &CliArgs) -> CustomOutput {
             policy: hm.row_labels[row].clone(),
             seed: args.seed,
             artifact: None,
+            fault_plan: None,
             metrics: vec![("mean_abs_weight".into(), mean)],
         });
     }
@@ -868,6 +959,7 @@ fn fig07(args: &CliArgs) -> CustomOutput {
             policy: hm.row_labels[row].clone(),
             seed: args.seed,
             artifact: None,
+            fault_plan: None,
             metrics: vec![("mean_abs_weight".into(), mean)],
         });
     }
@@ -912,6 +1004,7 @@ fn fig12(args: &CliArgs) -> CustomOutput {
             policy: reward.label().to_string(),
             seed: args.seed,
             artifact: None,
+            fault_plan: None,
             metrics: vec![
                 ("final_latency".into(), out.final_latency()),
                 ("best_latency".into(), out.best_latency()),
@@ -957,6 +1050,7 @@ fn fig13(args: &CliArgs) -> CustomOutput {
             policy: name.to_string(),
             seed: args.seed,
             artifact: None,
+            fault_plan: None,
             metrics: vec![
                 ("final_latency".into(), out.final_latency()),
                 ("best_latency".into(), out.best_latency()),
@@ -1007,6 +1101,7 @@ fn table3_figure(_args: &CliArgs) -> CustomOutput {
                 policy: r.design.clone(),
                 seed: 0,
                 artifact: None,
+                fault_plan: None,
                 metrics: vec![
                     ("latency_ns".into(), r.report.latency_ns),
                     ("area_mm2".into(), r.report.area_mm2),
@@ -1094,6 +1189,7 @@ fn ablation_hparams(args: &CliArgs) -> CustomOutput {
             policy: name.to_string(),
             seed: args.seed,
             artifact: None,
+            fault_plan: None,
             metrics: vec![
                 ("settled_latency".into(), settled),
                 ("best_epoch_latency".into(), out.best_latency()),
@@ -1156,6 +1252,7 @@ fn ablation_multi_agent(args: &CliArgs) -> CustomOutput {
         policy: "single shared".into(),
         seed: args.seed,
         artifact: None,
+        fault_plan: None,
         metrics: vec![
             ("decisions".into(), single_agent.decisions() as f64),
             ("oracle_accuracy".into(), single_acc),
@@ -1173,6 +1270,7 @@ fn ablation_multi_agent(args: &CliArgs) -> CustomOutput {
             policy: format!("quadrant {q}"),
             seed: args.seed,
             artifact: None,
+            fault_plan: None,
             metrics: vec![
                 ("decisions".into(), a.decisions() as f64),
                 ("oracle_accuracy".into(), acc),
@@ -1220,7 +1318,7 @@ mod tests {
             assert!(find(def.name).is_some());
             assert!(find(def.legacy_bin).is_some());
         }
-        assert_eq!(all().len(), 16);
+        assert_eq!(all().len(), 17);
     }
 
     #[test]

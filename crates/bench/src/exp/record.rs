@@ -19,7 +19,14 @@ use super::backend::CellRecord;
 
 /// Version stamp of the `RunRecord` JSON schema. Bump on any breaking
 /// change and teach consumers both shapes.
-pub const RUN_RECORD_SCHEMA_VERSION: u64 = 1;
+///
+/// History:
+/// * **v1** — initial schema.
+/// * **v2** — cells may carry an optional `"fault_plan"` key (the
+///   [`noc_sim::FaultPlan::hash_hex`] of the plan the cell ran under).
+///   Fault-free cells omit the key, so v1 documents remain parseable by
+///   the v2 reader (`tests/run_record.rs` pins this).
+pub const RUN_RECORD_SCHEMA_VERSION: u64 = 2;
 
 /// A rendered table: header row plus data rows, all strings.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -96,9 +103,15 @@ impl RunRecord {
                 Some(a) => format!(", \"artifact\": {}", json_str(a)),
                 None => String::new(),
             };
+            // Like artifact: the fault_plan key appears only on cells that
+            // ran under a plan, so fault-free records keep the v1 shape.
+            let fault_plan = match &c.fault_plan {
+                Some(h) => format!(", \"fault_plan\": {}", json_str(h)),
+                None => String::new(),
+            };
             let _ = write!(
                 s,
-                "    {{\"scenario\": {}, \"policy\": {}, \"seed\": {}{artifact}, \"metrics\": {{{}}}}}",
+                "    {{\"scenario\": {}, \"policy\": {}, \"seed\": {}{artifact}{fault_plan}, \"metrics\": {{{}}}}}",
                 json_str(&c.scenario),
                 json_str(&c.policy),
                 c.seed,
@@ -139,11 +152,16 @@ impl RunRecord {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(v.as_str()?),
             };
+            let fault_plan = match co.get("fault_plan") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_str()?),
+            };
             cells.push(CellRecord {
                 scenario: co.get("scenario").ok_or("missing cell 'scenario'")?.as_str()?,
                 policy: co.get("policy").ok_or("missing cell 'policy'")?.as_str()?,
                 seed: co.get("seed").ok_or("missing cell 'seed'")?.as_u64()?,
                 artifact,
+                fault_plan,
                 metrics,
             });
         }
@@ -500,6 +518,7 @@ mod tests {
                 policy: "round-robin".into(),
                 seed: 42,
                 artifact: None,
+                fault_plan: None,
                 metrics: vec![("avg_exec".into(), 1234.5), ("tail_exec".into(), 2000.0)],
             }],
             table: Table {
@@ -534,6 +553,19 @@ mod tests {
         rec.cells[0].artifact = None;
         let json = rec.to_json();
         assert!(!json.contains("artifact"), "no key for artifact-free cells");
+        assert_eq!(RunRecord::from_json(&json).unwrap(), rec);
+    }
+
+    #[test]
+    fn cell_fault_plans_round_trip_and_absent_ones_stay_absent() {
+        let mut rec = sample();
+        rec.cells[0].fault_plan = Some("fedcba9876543210".into());
+        let json = rec.to_json();
+        assert!(json.contains("\"fault_plan\": \"fedcba9876543210\""));
+        assert_eq!(RunRecord::from_json(&json).unwrap(), rec);
+        rec.cells[0].fault_plan = None;
+        let json = rec.to_json();
+        assert!(!json.contains("fault_plan"), "no key for fault-free cells");
         assert_eq!(RunRecord::from_json(&json).unwrap(), rec);
     }
 

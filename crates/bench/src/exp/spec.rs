@@ -205,6 +205,21 @@ impl ScenarioSpec {
     }
 }
 
+/// The optional fault-injection axis of a run matrix.
+///
+/// When present, the driver runs every scenario once per intensity:
+/// intensity `0.0` is the unmodified fault-free scenario, and a positive
+/// intensity `i` deterministically generates a
+/// [`noc_sim::FaultPlan`] with `round(i × num_mesh_links)` fault events
+/// (see [`noc_sim::FaultPlan::generate`]). Rows produced by a positive
+/// intensity carry an `@f<intensity>` label suffix, and their cells record
+/// the plan hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultAxis {
+    /// Fault intensities, in presentation order. `0.0` means "no plan".
+    pub intensities: Vec<f64>,
+}
+
 /// Which policy a row is normalized to (the "normalization reference"
 /// recorded in the `RunRecord`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,6 +249,9 @@ pub struct ExperimentSpec {
     pub nn: Option<NnRecipe>,
     /// The scenarios, in presentation order.
     pub scenarios: Vec<ScenarioSpec>,
+    /// Optional fault-injection axis: each scenario is swept once per
+    /// intensity (`None` ≡ a single fault-free pass).
+    pub faults: Option<FaultAxis>,
     /// `--quick` budgets.
     pub quick: TierParams,
     /// Full budgets.
@@ -307,6 +325,7 @@ mod tests {
             lineup: Lineup::parse(&["fifo", "global-age"]),
             nn: None,
             scenarios: vec![ScenarioSpec::ApuWorkload { benchmark: "bfs".into() }],
+            faults: None,
             quick: TierParams::zeroed(),
             full: TierParams::zeroed(),
             normalize: Normalize::Last,
@@ -327,6 +346,7 @@ mod tests {
             lineup: Lineup::parse(&["rl-apu", "nn", "global-age"]),
             nn: None,
             scenarios: Vec::new(),
+            faults: None,
             quick: TierParams::zeroed(),
             full: TierParams::zeroed(),
             normalize: Normalize::Last,

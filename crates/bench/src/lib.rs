@@ -216,6 +216,18 @@ pub fn apu_run(
     run_apu(specs, arbiter, EngineConfig::default(), seed, max_cycles)
 }
 
+/// [`apu_run`] with an optional deterministic fault plan forwarded into
+/// the APU simulator. `None` is bit-identical to [`apu_run`].
+pub fn apu_run_with_faults(
+    specs: Vec<WorkloadSpec>,
+    arbiter: Box<dyn Arbiter>,
+    seed: u64,
+    max_cycles: u64,
+    faults: Option<&noc_sim::FaultPlan>,
+) -> ApuRunResult {
+    apu_sim::run_apu_with_faults(specs, arbiter, EngineConfig::default(), seed, max_cycles, faults)
+}
+
 /// Renders a plain-text table: header row, then rows of cells.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

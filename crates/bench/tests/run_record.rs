@@ -3,6 +3,9 @@
 //!
 //! To regenerate the golden after an intentional schema bump:
 //! `BLESS=1 cargo test -p bench --test run_record`.
+//!
+//! The previous schema's golden (`run_record_v1.json`) is kept as a
+//! frozen compatibility fixture: the current reader must keep parsing it.
 
 use bench::exp::backend::CellRecord;
 use bench::exp::record::{RunRecord, Table, RUN_RECORD_SCHEMA_VERSION};
@@ -26,6 +29,7 @@ fn sample_record() -> RunRecord {
                 policy: "round-robin".into(),
                 seed: 42,
                 artifact: None,
+                fault_plan: None,
                 metrics: vec![
                     ("avg_exec".into(), 123456.75),
                     ("tail_exec".into(), 130000.0),
@@ -38,6 +42,7 @@ fn sample_record() -> RunRecord {
                 // A metric with an exotic value and a name needing escapes.
                 metrics: vec![("avg \"exec\"\n".into(), 0.1)],
                 artifact: None,
+                fault_plan: None,
             },
             // An NN cell carrying its trained artifact's recipe hash.
             CellRecord {
@@ -45,7 +50,17 @@ fn sample_record() -> RunRecord {
                 policy: "nn".into(),
                 seed: 42,
                 artifact: Some("a1b2c3d4e5f60718".into()),
+                fault_plan: None,
                 metrics: vec![("avg_exec".into(), 119000.5)],
+            },
+            // A fault-injected cell (v2): carries its fault plan's hash.
+            CellRecord {
+                scenario: "bfs@f0.50".into(),
+                policy: "round-robin".into(),
+                seed: 42,
+                artifact: None,
+                fault_plan: Some("0f1e2d3c4b5a6978".into()),
+                metrics: vec![("avg_exec".into(), 131072.25)],
             },
         ],
         table: Table {
@@ -56,6 +71,11 @@ fn sample_record() -> RunRecord {
 }
 
 const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/run_record_v2.json"
+);
+
+const GOLDEN_V1_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/run_record_v1.json"
 );
@@ -94,7 +114,27 @@ fn run_record_serialization_is_a_fixpoint() {
 #[test]
 fn schema_version_is_stamped_and_preserved() {
     let json = sample_record().to_json();
-    assert!(json.starts_with("{\n  \"schema_version\": 1,"));
+    assert!(json.starts_with("{\n  \"schema_version\": 2,"));
     let parsed = RunRecord::from_json(&json).unwrap();
     assert_eq!(parsed.schema_version, RUN_RECORD_SCHEMA_VERSION);
+}
+
+/// v1 documents (no `fault_plan` keys anywhere) must keep parsing under
+/// the v2 reader — the compatibility guarantee EXPERIMENTS.md documents.
+/// The v1 golden is frozen; it is never re-blessed.
+#[test]
+fn v1_documents_still_parse() {
+    let golden = std::fs::read_to_string(GOLDEN_V1_PATH).expect("frozen v1 golden missing");
+    let parsed = RunRecord::from_json(&golden).expect("v1 golden parses under the v2 reader");
+    assert_eq!(parsed.schema_version, 1, "fixture must stay a v1 document");
+    assert!(
+        parsed.cells.iter().all(|c| c.fault_plan.is_none()),
+        "v1 cells parse with fault_plan = None"
+    );
+    // Everything else survives as under the v1 reader.
+    assert_eq!(parsed.figure, "fig09");
+    assert_eq!(parsed.cells.len(), 3);
+    assert_eq!(parsed.cells[2].artifact.as_deref(), Some("a1b2c3d4e5f60718"));
+    // A v1 document re-serializes without inventing fault_plan keys.
+    assert!(!parsed.to_json().contains("fault_plan"));
 }

@@ -23,7 +23,7 @@
 //! the paper's Fig. 8 (highest priority wins, lowest buffer index on ties —
 //! exactly what a hardware comparator tree does).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod extra;

@@ -97,6 +97,7 @@ mod tests {
             arrival_cycle: 0,
             src: NodeId(0),
             dst: NodeId(1),
+            port_degraded: false,
         }
     }
 

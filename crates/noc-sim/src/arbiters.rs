@@ -115,6 +115,7 @@ mod tests {
             arrival_cycle: arrival,
             src: NodeId(0),
             dst: NodeId(1),
+            port_degraded: false,
         }
     }
 

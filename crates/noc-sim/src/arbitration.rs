@@ -52,6 +52,12 @@ pub struct Candidate {
     pub src: NodeId,
     /// Destination endpoint of the head message.
     pub dst: NodeId,
+    /// True when the output link this candidate is routed toward is
+    /// currently degraded by an active fault (transient corruption or
+    /// link-down; see [`crate::FaultPlan`]). Always `false` on a healthy
+    /// mesh, so policies may branch on it without perturbing fault-free
+    /// behaviour.
+    pub port_degraded: bool,
 }
 
 /// Network-global statistics made available to arbiters and reward
@@ -198,6 +204,7 @@ mod tests {
             arrival_cycle: 0,
             src: NodeId(0),
             dst: NodeId(1),
+            port_degraded: false,
         }
     }
 

@@ -17,6 +17,9 @@ pub struct VcBuffer {
     capacity_flits: u32,
     used_flits: u32,
     reserved_flits: u32,
+    /// Capacity currently disabled by an active VC-shrink fault
+    /// (see [`crate::FaultKind::VcShrink`]).
+    shrink_flits: u32,
     last_arrival: Option<u64>,
 }
 
@@ -28,6 +31,7 @@ impl VcBuffer {
             capacity_flits,
             used_flits: 0,
             reserved_flits: 0,
+            shrink_flits: 0,
             last_arrival: None,
         }
     }
@@ -35,6 +39,19 @@ impl VcBuffer {
     /// Capacity in flits.
     pub fn capacity_flits(&self) -> u32 {
         self.capacity_flits
+    }
+
+    /// Disables `flits` flits of capacity (a VC-shrink fault); `0` restores
+    /// the full buffer. Packets already stored are unaffected — the shrink
+    /// only squeezes the credit advertised upstream, which saturates at
+    /// zero while occupancy exceeds the reduced capacity.
+    pub fn set_shrink(&mut self, flits: u32) {
+        self.shrink_flits = flits;
+    }
+
+    /// Capacity currently disabled by a VC-shrink fault.
+    pub fn shrink_flits(&self) -> u32 {
+        self.shrink_flits
     }
 
     /// Flits currently stored.
@@ -48,9 +65,12 @@ impl VcBuffer {
     }
 
     /// Free (unreserved, unoccupied) flits — the credit count the upstream
-    /// router sees.
+    /// router sees. An active shrink fault reduces the effective capacity;
+    /// the result saturates at zero when stored packets already exceed it.
     pub fn free_flits(&self) -> u32 {
-        self.capacity_flits - self.used_flits - self.reserved_flits
+        self.capacity_flits
+            .saturating_sub(self.shrink_flits)
+            .saturating_sub(self.used_flits + self.reserved_flits)
     }
 
     /// Whether a packet of `len` flits may be granted toward this buffer now.
@@ -67,6 +87,21 @@ impl VcBuffer {
     pub fn reserve(&mut self, len: u32) {
         assert!(self.can_reserve(len), "reserve() without available credit");
         self.reserved_flits += len;
+    }
+
+    /// Returns credit consumed by a transmission that was lost to a link
+    /// fault, once the credit-reconciliation message arrives (the inverse
+    /// of [`VcBuffer::reserve`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the outstanding reservation.
+    pub fn unreserve(&mut self, len: u32) {
+        assert!(
+            self.reserved_flits >= len,
+            "unreserve() without a matching reservation"
+        );
+        self.reserved_flits -= len;
     }
 
     /// Stores an arriving packet, converting its reservation into occupancy,
@@ -192,6 +227,40 @@ mod tests {
     fn over_reservation_panics() {
         let mut b = VcBuffer::new(4);
         b.reserve(5);
+    }
+
+    #[test]
+    fn unreserve_returns_credit() {
+        let mut b = VcBuffer::new(8);
+        b.reserve(5);
+        assert_eq!(b.free_flits(), 3);
+        b.unreserve(5);
+        assert_eq!(b.free_flits(), 8);
+        assert_eq!(b.reserved_flits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreserve() without a matching reservation")]
+    fn unreserve_without_reservation_panics() {
+        let mut b = VcBuffer::new(8);
+        b.unreserve(1);
+    }
+
+    #[test]
+    fn shrink_squeezes_credit_and_saturates() {
+        let mut b = VcBuffer::new(8);
+        b.push_injection(pkt(5), 0);
+        assert_eq!(b.free_flits(), 3);
+        b.set_shrink(2);
+        assert_eq!(b.free_flits(), 1);
+        // Occupancy above the reduced capacity: credit saturates at zero,
+        // stored packets are untouched.
+        b.set_shrink(6);
+        assert_eq!(b.free_flits(), 0);
+        assert_eq!(b.used_flits(), 5);
+        assert!(!b.can_reserve(1));
+        b.set_shrink(0);
+        assert_eq!(b.free_flits(), 3);
     }
 
     #[test]

@@ -1,0 +1,780 @@
+//! Deterministic fault injection and graceful degradation.
+//!
+//! A [`FaultPlan`] is pure data: a seed plus a list of [`FaultEvent`]s, each
+//! pinning one fault to a `(router, port)` location and a
+//! `[onset, onset + duration)` cycle window. Plans are serializable (a small
+//! JSON dialect, see [`FaultPlan::to_json`]), content-hashable
+//! ([`FaultPlan::hash_hex`]) and can be drawn from a seeded generator
+//! ([`FaultPlan::generate`]) so experiment sweeps can dial a single
+//! *intensity* knob. The same seed and plan always produce bit-identical
+//! simulations.
+//!
+//! Four fault kinds are modeled (see [`FaultKind`]):
+//!
+//! * **Transient link faults** — the link accepts flits but corrupts them on
+//!   the wire for the duration of the window. A grant attempt during the
+//!   window occupies the output port and consumes downstream credit exactly
+//!   like a healthy transmission, but the packet stays queued upstream; the
+//!   consumed credit is recovered when the reconciliation message round-trips
+//!   (see `Simulator`'s credit-return arrivals), and the upstream buffer
+//!   backs off with bounded exponential retry ([`RETRY_BACKOFF_BASE`] /
+//!   [`RETRY_BACKOFF_CAP`]).
+//! * **Persistent link-down faults** — the link advertises zero credit for
+//!   the window; nothing is granted toward it.
+//! * **Router stalls** — the router's arbitration pipeline freezes for the
+//!   window. Arrivals still land and credits are conserved, so neighbours
+//!   back-pressure instead of wedging.
+//! * **VC-buffer shrinkage** — the input VC buffers of one port lose
+//!   capacity for the window (RACE-style buffer pressure), squeezing the
+//!   credit the upstream router can see.
+//!
+//! A starvation watchdog (period [`WATCHDOG_PERIOD`]) scans buffered heads
+//! and surfaces per-port wedge detection into
+//! [`SimStats`](crate::SimStats::wedged_ports) instead of letting a faulty
+//! run hang silently.
+
+use crate::rng::SplitMix64;
+use crate::topology::Topology;
+use crate::types::{PortDir, RouterId};
+
+/// First retry delay, in cycles, after a grant is lost to a transient link
+/// fault. Each further loss doubles the delay up to [`RETRY_BACKOFF_CAP`].
+pub const RETRY_BACKOFF_BASE: u64 = 4;
+
+/// Upper bound, in cycles, on the transient-fault retry backoff. A bounded
+/// cap guarantees a held buffer re-enters arbitration within a fixed window,
+/// so retry loops cannot become infinite waits.
+pub const RETRY_BACKOFF_CAP: u64 = 256;
+
+/// Period, in cycles, of the starvation watchdog scan that runs while a
+/// fault plan is installed.
+pub const WATCHDOG_PERIOD: u64 = 1024;
+
+/// The kind of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The link behind an output port corrupts flits on the wire: grants
+    /// are attempted, consume bandwidth and downstream credit, and fail.
+    TransientLink,
+    /// The link behind an output port is down: it advertises no credit and
+    /// nothing is granted toward it.
+    LinkDown,
+    /// The router's arbitration pipeline is frozen (the event's `port`
+    /// field is ignored).
+    RouterStall,
+    /// The input VC buffers of one port shrink by `flits` flits of
+    /// capacity.
+    VcShrink {
+        /// Capacity removed from each VC buffer of the port, in flits.
+        flits: u32,
+    },
+}
+
+impl FaultKind {
+    /// Stable string tag used by the JSON serialization.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::TransientLink => "transient_link",
+            FaultKind::LinkDown => "link_down",
+            FaultKind::RouterStall => "router_stall",
+            FaultKind::VcShrink { .. } => "vc_shrink",
+        }
+    }
+}
+
+/// One fault pinned to a location and a cycle window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Index of the afflicted router.
+    pub router: usize,
+    /// Port the fault applies to: the *output* port for link faults, the
+    /// *input* port for [`FaultKind::VcShrink`]; ignored for
+    /// [`FaultKind::RouterStall`].
+    pub port: usize,
+    /// First cycle the fault is active.
+    pub onset: u64,
+    /// Number of cycles the fault stays active.
+    pub duration: u64,
+}
+
+impl FaultEvent {
+    /// First cycle after the fault window (`onset + duration`, saturating).
+    pub fn end(&self) -> u64 {
+        self.onset.saturating_add(self.duration)
+    }
+
+    /// Whether the fault is active at `cycle`.
+    pub fn active(&self, cycle: u64) -> bool {
+        self.onset <= cycle && cycle < self.end()
+    }
+}
+
+/// A deterministic fault-injection plan: pure data, safe to hash, store and
+/// replay. An empty plan is behaviourally identical to no plan at all.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (carried for provenance; replaying
+    /// a plan never draws random numbers).
+    pub seed: u64,
+    /// The injected faults.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan carrying `seed` for provenance.
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Draws a random plan for `topo` from a seed and an intensity knob in
+    /// `[0, 1]`: the number of faults scales with
+    /// `intensity × num_mesh_links`, onsets land in the first half of
+    /// `horizon`, and durations are fractions of `horizon`. Intensity `0.0`
+    /// yields an empty plan. Fully deterministic in `(seed, intensity,
+    /// topo, horizon)`.
+    pub fn generate(seed: u64, intensity: f64, topo: &Topology, horizon: u64) -> Self {
+        let intensity = intensity.clamp(0.0, 1.0);
+        let n = (intensity * topo.num_mesh_links() as f64).round() as usize;
+        let horizon = horizon.max(64);
+        let mut rng = SplitMix64::new(seed ^ 0xFAB1_7CA5_E5EE_D000);
+        let dirs = [PortDir::North, PortDir::South, PortDir::West, PortDir::East];
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Pick a connected mesh link (every router in a >1-router mesh
+            // has at least one neighbour, so this terminates).
+            let (router, port) = loop {
+                let r = RouterId(rng.next_bounded(topo.num_routers() as u64) as usize);
+                let d = dirs[rng.next_bounded(4) as usize];
+                if topo.neighbor(r, d).is_some() {
+                    break (r.index(), topo.port_index(d));
+                }
+            };
+            let onset = rng.next_bounded(horizon / 2 + 1);
+            let roll = rng.next_f64();
+            let (kind, port, duration) = if roll < 0.5 {
+                (
+                    FaultKind::TransientLink,
+                    port,
+                    horizon / 8 + rng.next_bounded(horizon / 8 + 1),
+                )
+            } else if roll < 0.7 {
+                (
+                    FaultKind::LinkDown,
+                    port,
+                    horizon / 16 + rng.next_bounded(horizon / 8 + 1),
+                )
+            } else if roll < 0.85 {
+                (
+                    FaultKind::RouterStall,
+                    0,
+                    horizon / 32 + rng.next_bounded(horizon / 16 + 1),
+                )
+            } else {
+                (
+                    FaultKind::VcShrink {
+                        flits: 1 + rng.next_bounded(4) as u32,
+                    },
+                    port,
+                    horizon / 8 + rng.next_bounded(horizon / 4 + 1),
+                )
+            };
+            events.push(FaultEvent {
+                kind,
+                router,
+                port,
+                onset,
+                duration,
+            });
+        }
+        FaultPlan { seed, events }
+    }
+
+    /// Checks every event against a topology: routers and ports in range,
+    /// link faults on mesh (non-local) ports only.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid event.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        let ports = topo.ports_per_router();
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.router >= topo.num_routers() {
+                return Err(format!(
+                    "fault event {i}: router {} out of range ({} routers)",
+                    ev.router,
+                    topo.num_routers()
+                ));
+            }
+            if ev.port >= ports {
+                return Err(format!(
+                    "fault event {i}: port {} out of range ({ports} ports)",
+                    ev.port
+                ));
+            }
+            let link_fault =
+                matches!(ev.kind, FaultKind::TransientLink | FaultKind::LinkDown);
+            if link_fault && topo.port_dir(ev.port).is_local() {
+                return Err(format!(
+                    "fault event {i}: link fault on local port {}",
+                    ev.port
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// 64-bit FNV-1a content hash of the plan, as 16 hex digits. Recorded
+    /// per experiment cell so results are traceable to the exact plan.
+    pub fn hash_hex(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Serializes the plan to its canonical JSON form:
+    ///
+    /// ```json
+    /// {
+    ///   "seed": 42,
+    ///   "events": [
+    ///     { "kind": "transient_link", "router": 1, "port": 3, "onset": 10, "duration": 100 },
+    ///     { "kind": "vc_shrink", "router": 2, "port": 0, "onset": 0, "duration": 50, "flits": 4 }
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"events\": [");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{ \"kind\": \"{}\", \"router\": {}, \"port\": {}, \"onset\": {}, \"duration\": {}",
+                ev.kind.tag(),
+                ev.router,
+                ev.port,
+                ev.onset,
+                ev.duration
+            ));
+            if let FaultKind::VcShrink { flits } = ev.kind {
+                out.push_str(&format!(", \"flits\": {flits}"));
+            }
+            out.push_str(" }");
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a plan from the JSON form written by [`FaultPlan::to_json`]
+    /// (whitespace-insensitive; object keys may appear in any order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj("plan")?;
+        let seed = json::get(obj, "seed")?.as_u64("seed")?;
+        let mut events = Vec::new();
+        for (i, item) in json::get(obj, "events")?.as_arr("events")?.iter().enumerate() {
+            let e = item.as_obj(&format!("events[{i}]"))?;
+            let tag = json::get(e, "kind")?.as_str("kind")?;
+            let kind = match tag {
+                "transient_link" => FaultKind::TransientLink,
+                "link_down" => FaultKind::LinkDown,
+                "router_stall" => FaultKind::RouterStall,
+                "vc_shrink" => FaultKind::VcShrink {
+                    flits: json::get(e, "flits")?.as_u64("flits")? as u32,
+                },
+                other => return Err(format!("unknown fault kind \"{other}\"")),
+            };
+            events.push(FaultEvent {
+                kind,
+                router: json::get(e, "router")?.as_u64("router")? as usize,
+                port: json::get(e, "port")?.as_u64("port")? as usize,
+                onset: json::get(e, "onset")?.as_u64("onset")?,
+                duration: json::get(e, "duration")?.as_u64("duration")?,
+            });
+        }
+        Ok(FaultPlan { seed, events })
+    }
+}
+
+/// Minimal JSON reader for the fault-plan dialect: objects, arrays,
+/// strings without escapes, and unsigned integers — exactly what
+/// [`FaultPlan::to_json`] emits.
+mod json {
+    pub(super) enum Value {
+        Num(u64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(super) fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                _ => Err(format!("\"{what}\" must be an unsigned integer")),
+            }
+        }
+
+        pub(super) fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err(format!("\"{what}\" must be a string")),
+            }
+        }
+
+        pub(super) fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(a) => Ok(a),
+                _ => Err(format!("\"{what}\" must be an array")),
+            }
+        }
+
+        pub(super) fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Obj(o) => Ok(o),
+                _ => Err(format!("{what} must be an object")),
+            }
+        }
+    }
+
+    pub(super) fn get<'a>(
+        obj: &'a [(String, Value)],
+        key: &str,
+    ) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key \"{key}\""))
+    }
+
+    pub(super) fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&ch) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", ch as char, *pos))
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let start = *pos;
+        while *pos < b.len() && b[*pos] != b'"' {
+            if b[*pos] == b'\\' {
+                return Err(format!("escape sequences unsupported at byte {}", *pos));
+            }
+            *pos += 1;
+        }
+        if *pos >= b.len() {
+            return Err("unterminated string".into());
+        }
+        let s = std::str::from_utf8(&b[start..*pos])
+            .map_err(|_| "invalid UTF-8 in string".to_string())?
+            .to_string();
+        *pos += 1;
+        Ok(s)
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    let key = string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    fields.push((key, value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(c) if c.is_ascii_digit() => {
+                let start = *pos;
+                while *pos < b.len() && b[*pos].is_ascii_digit() {
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&b[start..*pos]).unwrap();
+                s.parse::<u64>()
+                    .map(Value::Num)
+                    .map_err(|e| format!("bad number \"{s}\": {e}"))
+            }
+            _ => Err(format!("unexpected input at byte {}", *pos)),
+        }
+    }
+}
+
+/// Precomputed per-location fault timelines plus the mutable retry state,
+/// built once from a [`FaultPlan`] when it is installed on a simulator.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultRuntime {
+    plan: FaultPlan,
+    /// `transient[router * ports + port]` — transient-fault windows.
+    transient: Vec<Vec<(u64, u64)>>,
+    /// `down[router * ports + port]` — link-down windows.
+    down: Vec<Vec<(u64, u64)>>,
+    /// `stall[router]` — router-stall windows.
+    stall: Vec<Vec<(u64, u64)>>,
+    /// `hold_until[buf_slot]` — cycle a buffer may re-enter arbitration.
+    hold_until: Vec<u64>,
+    /// `retry_count[buf_slot]` — consecutive transient-fault losses.
+    retry_count: Vec<u32>,
+    ports: usize,
+    vnets: usize,
+}
+
+impl FaultRuntime {
+    /// Builds the runtime tables. The plan must pass
+    /// [`FaultPlan::validate`] for `topo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is invalid for the topology.
+    pub(crate) fn new(plan: &FaultPlan, topo: &Topology, num_vnets: usize) -> Self {
+        if let Err(e) = plan.validate(topo) {
+            panic!("invalid fault plan: {e}");
+        }
+        let ports = topo.ports_per_router();
+        let nr = topo.num_routers();
+        let mut transient = vec![Vec::new(); nr * ports];
+        let mut down = vec![Vec::new(); nr * ports];
+        let mut stall = vec![Vec::new(); nr];
+        for ev in &plan.events {
+            let window = (ev.onset, ev.end());
+            match ev.kind {
+                FaultKind::TransientLink => transient[ev.router * ports + ev.port].push(window),
+                FaultKind::LinkDown => down[ev.router * ports + ev.port].push(window),
+                FaultKind::RouterStall => stall[ev.router].push(window),
+                FaultKind::VcShrink { .. } => {} // applied via boundary scans
+            }
+        }
+        FaultRuntime {
+            plan: plan.clone(),
+            transient,
+            down,
+            stall,
+            hold_until: vec![0; nr * ports * num_vnets],
+            retry_count: vec![0; nr * ports * num_vnets],
+            ports,
+            vnets: num_vnets,
+        }
+    }
+
+    fn active(windows: &[(u64, u64)], cycle: u64) -> bool {
+        windows.iter().any(|&(s, e)| s <= cycle && cycle < e)
+    }
+
+    fn buf_slot(&self, router: RouterId, in_port: usize, vnet: usize) -> usize {
+        (router.index() * self.ports + in_port) * self.vnets + vnet
+    }
+
+    /// The link behind `(router, out_port)` corrupts flits at `cycle`.
+    pub(crate) fn transient_active(&self, router: RouterId, out_port: usize, cycle: u64) -> bool {
+        Self::active(&self.transient[router.index() * self.ports + out_port], cycle)
+    }
+
+    /// The link behind `(router, out_port)` is down at `cycle`.
+    pub(crate) fn link_down(&self, router: RouterId, out_port: usize, cycle: u64) -> bool {
+        Self::active(&self.down[router.index() * self.ports + out_port], cycle)
+    }
+
+    /// The link behind `(router, out_port)` is degraded (transient or down)
+    /// at `cycle` — the bit surfaced to arbiters as
+    /// [`Candidate::port_degraded`](crate::Candidate::port_degraded).
+    pub(crate) fn link_degraded(&self, router: RouterId, out_port: usize, cycle: u64) -> bool {
+        self.transient_active(router, out_port, cycle) || self.link_down(router, out_port, cycle)
+    }
+
+    /// The router's arbitration pipeline is stalled at `cycle`.
+    pub(crate) fn router_stalled(&self, router: usize, cycle: u64) -> bool {
+        Self::active(&self.stall[router], cycle)
+    }
+
+    /// The buffer is in retry backoff and must sit out this cycle.
+    pub(crate) fn held(&self, router: RouterId, in_port: usize, vnet: usize, cycle: u64) -> bool {
+        self.hold_until[self.buf_slot(router, in_port, vnet)] > cycle
+    }
+
+    /// Records a transient-fault loss for the buffer and arms its bounded
+    /// exponential backoff.
+    pub(crate) fn bump_retry(&mut self, router: RouterId, in_port: usize, vnet: usize, cycle: u64) {
+        let slot = self.buf_slot(router, in_port, vnet);
+        let shift = self.retry_count[slot].min(6);
+        let backoff = (RETRY_BACKOFF_BASE << shift).min(RETRY_BACKOFF_CAP);
+        self.retry_count[slot] = self.retry_count[slot].saturating_add(1);
+        self.hold_until[slot] = cycle + backoff;
+    }
+
+    /// Clears the buffer's retry state after a successful grant.
+    pub(crate) fn clear_retry(&mut self, router: RouterId, in_port: usize, vnet: usize) {
+        let slot = self.buf_slot(router, in_port, vnet);
+        self.hold_until[slot] = 0;
+        self.retry_count[slot] = 0;
+    }
+
+    /// Reports VC-shrink capacity changes crossing `cycle`:
+    /// `f(router, port, new_shrink_flits)` fires at each window onset (with
+    /// the shrink amount) and end (with `0`).
+    pub(crate) fn shrink_updates(&self, cycle: u64, mut f: impl FnMut(usize, usize, u32)) {
+        for ev in &self.plan.events {
+            if let FaultKind::VcShrink { flits } = ev.kind {
+                if ev.onset == cycle {
+                    f(ev.router, ev.port, flits);
+                } else if ev.end() == cycle {
+                    f(ev.router, ev.port, 0);
+                }
+            }
+        }
+    }
+
+    /// Whether the starvation watchdog scan is due at `cycle`.
+    pub(crate) fn watchdog_due(&self, cycle: u64) -> bool {
+        cycle > 0 && cycle.is_multiple_of(WATCHDOG_PERIOD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_with_all_kinds() -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            events: vec![
+                FaultEvent {
+                    kind: FaultKind::TransientLink,
+                    router: 1,
+                    port: 4,
+                    onset: 10,
+                    duration: 100,
+                },
+                FaultEvent {
+                    kind: FaultKind::LinkDown,
+                    router: 2,
+                    port: 2,
+                    onset: 0,
+                    duration: 50,
+                },
+                FaultEvent {
+                    kind: FaultKind::RouterStall,
+                    router: 3,
+                    port: 0,
+                    onset: 20,
+                    duration: 30,
+                },
+                FaultEvent {
+                    kind: FaultKind::VcShrink { flits: 4 },
+                    router: 0,
+                    port: 0,
+                    onset: 5,
+                    duration: 40,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let plan = plan_with_all_kinds();
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+        // Serialize → parse → serialize is a fixpoint.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn empty_plan_roundtrips() {
+        let plan = FaultPlan::empty(99);
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn parser_accepts_reordered_keys_and_whitespace() {
+        let text = r#"
+            { "events": [ { "duration": 9, "onset": 1, "port": 4,
+                            "router": 0, "kind": "transient_link" } ],
+              "seed": 3 }
+        "#;
+        let plan = FaultPlan::from_json(text).unwrap();
+        assert_eq!(plan.seed, 3);
+        assert_eq!(plan.events.len(), 1);
+        assert_eq!(plan.events[0].kind, FaultKind::TransientLink);
+        assert_eq!(plan.events[0].end(), 10);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(FaultPlan::from_json("{").is_err());
+        assert!(FaultPlan::from_json("{}").is_err()); // missing keys
+        assert!(FaultPlan::from_json(
+            r#"{ "seed": 1, "events": [ { "kind": "gremlin", "router": 0, "port": 4, "onset": 0, "duration": 1 } ] }"#
+        )
+        .is_err());
+        // vc_shrink without its flits field.
+        assert!(FaultPlan::from_json(
+            r#"{ "seed": 1, "events": [ { "kind": "vc_shrink", "router": 0, "port": 0, "onset": 0, "duration": 1 } ] }"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_scales_with_intensity() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let a = FaultPlan::generate(11, 0.5, &topo, 10_000);
+        let b = FaultPlan::generate(11, 0.5, &topo, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), (0.5 * topo.num_mesh_links() as f64).round() as usize);
+        assert!(FaultPlan::generate(11, 0.0, &topo, 10_000).is_empty());
+        let full = FaultPlan::generate(11, 1.0, &topo, 10_000);
+        assert_eq!(full.events.len(), topo.num_mesh_links());
+        full.validate(&topo).unwrap();
+    }
+
+    #[test]
+    fn hash_distinguishes_plans() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let a = FaultPlan::generate(1, 0.5, &topo, 1_000);
+        let b = FaultPlan::generate(2, 0.5, &topo, 1_000);
+        assert_eq!(a.hash_hex().len(), 16);
+        assert_ne!(a.hash_hex(), b.hash_hex());
+        assert_eq!(a.hash_hex(), a.clone().hash_hex());
+    }
+
+    #[test]
+    fn validate_flags_bad_events() {
+        let topo = Topology::uniform_mesh(2, 2).unwrap();
+        let mut plan = FaultPlan::empty(0);
+        plan.events.push(FaultEvent {
+            kind: FaultKind::TransientLink,
+            router: 99,
+            port: 4,
+            onset: 0,
+            duration: 1,
+        });
+        assert!(plan.validate(&topo).is_err());
+        plan.events[0].router = 0;
+        plan.events[0].port = 0; // local port: invalid for a link fault
+        assert!(plan.validate(&topo).is_err());
+        plan.events[0].kind = FaultKind::VcShrink { flits: 2 };
+        plan.validate(&topo).unwrap(); // shrink on a local port is fine
+    }
+
+    #[test]
+    fn runtime_windows_and_backoff() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let plan = plan_with_all_kinds();
+        let mut rt = FaultRuntime::new(&plan, &topo, 3);
+        assert!(rt.transient_active(RouterId(1), 4, 10));
+        assert!(rt.transient_active(RouterId(1), 4, 109));
+        assert!(!rt.transient_active(RouterId(1), 4, 110));
+        assert!(rt.link_down(RouterId(2), 2, 0));
+        assert!(!rt.link_down(RouterId(2), 2, 50));
+        assert!(rt.router_stalled(3, 25));
+        assert!(!rt.router_stalled(3, 19));
+        assert!(rt.link_degraded(RouterId(1), 4, 50));
+
+        // Backoff: base, doubling, capped; cleared on success.
+        assert!(!rt.held(RouterId(1), 2, 0, 100));
+        rt.bump_retry(RouterId(1), 2, 0, 100);
+        assert!(rt.held(RouterId(1), 2, 0, 100 + RETRY_BACKOFF_BASE - 1));
+        assert!(!rt.held(RouterId(1), 2, 0, 100 + RETRY_BACKOFF_BASE));
+        for _ in 0..20 {
+            rt.bump_retry(RouterId(1), 2, 0, 200);
+        }
+        // Bounded: even after many losses the hold never exceeds the cap.
+        assert!(!rt.held(RouterId(1), 2, 0, 200 + RETRY_BACKOFF_CAP));
+        rt.clear_retry(RouterId(1), 2, 0);
+        assert!(!rt.held(RouterId(1), 2, 0, 200));
+    }
+
+    #[test]
+    fn shrink_updates_fire_at_boundaries() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let rt = FaultRuntime::new(&plan_with_all_kinds(), &topo, 3);
+        let mut seen = Vec::new();
+        rt.shrink_updates(5, |r, p, s| seen.push((r, p, s)));
+        assert_eq!(seen, vec![(0, 0, 4)]);
+        seen.clear();
+        rt.shrink_updates(45, |r, p, s| seen.push((r, p, s)));
+        assert_eq!(seen, vec![(0, 0, 0)]);
+        seen.clear();
+        rt.shrink_updates(30, |r, p, s| seen.push((r, p, s)));
+        assert!(seen.is_empty());
+    }
+}

@@ -35,8 +35,10 @@
 //! * [`TrafficSource`] — open-loop synthetic patterns ([`SyntheticTraffic`])
 //!   and the hook closed-loop workload engines implement.
 //! * [`SimStats`] — latency/throughput/fairness/starvation accounting.
+//! * [`FaultPlan`] — deterministic fault injection (transient/persistent
+//!   link faults, router stalls, VC shrinkage) with graceful degradation.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod arbitration;
@@ -44,6 +46,7 @@ mod buffer;
 mod calendar;
 mod config;
 mod error;
+mod faults;
 mod histogram;
 mod packet;
 mod report;
@@ -63,6 +66,9 @@ pub use buffer::VcBuffer;
 pub use calendar::{CalendarCounter, CalendarQueue};
 pub use config::{FeatureBounds, RoutingKind, SimConfig};
 pub use error::ConfigError;
+pub use faults::{
+    FaultEvent, FaultKind, FaultPlan, RETRY_BACKOFF_BASE, RETRY_BACKOFF_CAP, WATCHDOG_PERIOD,
+};
 pub use histogram::LatencyHistogram;
 pub use packet::{BufferedPacket, InjectionRequest, Packet};
 pub use report::format_report;

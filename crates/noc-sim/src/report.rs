@@ -7,17 +7,17 @@ use crate::stats::SimStats;
 ///
 /// ```
 /// use noc_sim::{SimStats, format_report};
-/// let mut s = SimStats::new(3, 16);
+/// let mut s = SimStats::new(3, 16, 48);
 /// s.cycles = 1000;
 /// s.created = 100;
 /// s.injected = 100;
 /// s.delivered = 90;
 /// s.total_latency = 2700;
 /// s.latencies = vec![30; 90];
-/// let text = format_report(&s, 48);
+/// let text = format_report(&s);
 /// assert!(text.contains("avg latency"));
 /// ```
-pub fn format_report(stats: &SimStats, num_mesh_links: usize) -> String {
+pub fn format_report(stats: &SimStats) -> String {
     let mut out = String::new();
     let line = |out: &mut String, label: &str, value: String| {
         out.push_str(&format!("{label:<26}{value}\n"));
@@ -52,7 +52,7 @@ pub fn format_report(stats: &SimStats, num_mesh_links: usize) -> String {
     line(
         &mut out,
         "link utilization",
-        format!("{:.1}%", 100.0 * stats.avg_link_utilization(num_mesh_links)),
+        format!("{:.1}%", 100.0 * stats.avg_link_utilization()),
     );
     line(
         &mut out,
@@ -74,6 +74,19 @@ pub fn format_report(stats: &SimStats, num_mesh_links: usize) -> String {
             ),
         );
     }
+    if stats.link_fault_drops > 0 || stats.watchdog_fires > 0 || stats.stalled_router_cycles > 0 {
+        line(
+            &mut out,
+            "faults",
+            format!(
+                "{} drops, {} credits reconciled, {} stalled router-cycles, {} wedged ports",
+                stats.link_fault_drops,
+                stats.fault_credits_reconciled,
+                stats.stalled_router_cycles,
+                stats.wedged_ports
+            ),
+        );
+    }
     out
 }
 
@@ -83,7 +96,7 @@ mod tests {
 
     #[test]
     fn report_contains_every_headline_number() {
-        let mut s = SimStats::new(1, 4);
+        let mut s = SimStats::new(1, 4, 24);
         s.cycles = 500;
         s.created = 40;
         s.delivered = 40;
@@ -93,7 +106,7 @@ mod tests {
         s.latencies = vec![30; 40];
         s.arbiter_queries = 7;
         s.grants = 100;
-        let text = format_report(&s, 24);
+        let text = format_report(&s);
         for needle in ["500", "40 / 40", "30.0", "3.00", "7 / 100"] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
@@ -103,10 +116,10 @@ mod tests {
 
     #[test]
     fn starvation_line_appears_when_relevant() {
-        let mut s = SimStats::new(1, 4);
+        let mut s = SimStats::new(1, 4, 24);
         s.starved_grants = 3;
         s.max_local_age = 9001;
-        let text = format_report(&s, 24);
+        let text = format_report(&s);
         assert!(text.contains("starvation"));
         assert!(text.contains("9001"));
     }

@@ -14,6 +14,7 @@ use crate::buffer::VcBuffer;
 use crate::calendar::{CalendarCounter, CalendarQueue};
 use crate::config::SimConfig;
 use crate::error::ConfigError;
+use crate::faults::{FaultPlan, FaultRuntime};
 use crate::packet::{InjectionRequest, Packet};
 use crate::config::RoutingKind;
 use crate::routing::{route_west_first, route_xy_port, RouteStep};
@@ -44,6 +45,19 @@ enum Arrival {
     },
     /// Ejection: consume at the destination node.
     Node { packet: Packet },
+    /// Credit reconciliation: return credit that was consumed by a
+    /// transmission lost to a transient link fault (only scheduled while a
+    /// fault plan is installed).
+    CreditReturn {
+        /// Router whose input buffer holds the stale reservation.
+        router: RouterId,
+        /// Input port of that buffer.
+        in_port: usize,
+        /// Virtual network of that buffer.
+        vnet: usize,
+        /// Flits of credit to return.
+        len: u32,
+    },
 }
 
 /// Reusable buffers for the per-cycle arbitration loop, so the steady-state
@@ -114,6 +128,9 @@ pub struct Simulator<T: TrafficSource> {
     inj_scratch: Vec<InjectionRequest>,
     /// Scratch for the arbitration request matrix (capacity reused).
     arb: ArbScratch,
+    /// Fault-injection runtime; `None` (the default) is the fault-free
+    /// fast path and is bit-identical to a build without this subsystem.
+    faults: Option<Box<FaultRuntime>>,
 }
 
 impl<T: TrafficSource> Simulator<T> {
@@ -145,7 +162,7 @@ impl<T: TrafficSource> Simulator<T> {
         let inj_queues = (0..topo.num_nodes())
             .map(|_| (0..cfg.num_vnets).map(|_| VecDeque::new()).collect())
             .collect();
-        let stats = SimStats::new(cfg.num_vnets, topo.num_nodes());
+        let stats = SimStats::new(cfg.num_vnets, topo.num_nodes(), topo.num_mesh_links());
         let in_flight = vec![0; topo.num_routers()];
         // Every event lands within max_packet_flits + link + router latency
         // cycles of its scheduling cycle, so this horizon keeps the calendar
@@ -176,6 +193,7 @@ impl<T: TrafficSource> Simulator<T> {
             arrival_scratch: Vec::new(),
             inj_scratch: Vec::new(),
             arb: ArbScratch::default(),
+            faults: None,
         })
     }
 
@@ -233,7 +251,35 @@ impl<T: TrafficSource> Simulator<T> {
     /// Clears statistics (e.g. after a warm-up phase). Does not disturb
     /// in-flight packets or buffers.
     pub fn reset_stats(&mut self) {
-        self.stats = SimStats::new(self.cfg.num_vnets, self.topo.num_nodes());
+        self.stats = SimStats::new(
+            self.cfg.num_vnets,
+            self.topo.num_nodes(),
+            self.topo.num_mesh_links(),
+        );
+    }
+
+    /// Installs a deterministic fault plan (see [`FaultPlan`]). An empty
+    /// plan uninstalls the subsystem entirely, which is bit-identical to
+    /// never having called this method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] for this topology.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(Box::new(FaultRuntime::new(
+                plan,
+                &self.topo,
+                self.cfg.num_vnets,
+            )))
+        };
+    }
+
+    /// True when a non-empty fault plan is installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Starts recording every grant; used by tests and analysis tools.
@@ -336,6 +382,13 @@ impl<T: TrafficSource> Simulator<T> {
         // Phase 0: expire finished link transmissions.
         self.active_mesh_tx -= self.tx_ends.take_due(cycle);
 
+        // Phase 0b (faults only): apply VC-shrink window boundaries and run
+        // the starvation watchdog. The take/put-back dance lets the runtime
+        // borrow coexist with mutation of router buffers.
+        if self.faults.is_some() {
+            self.fault_phase(cycle);
+        }
+
         // Phase 1: land packets that arrive this cycle.
         let mut list = std::mem::take(&mut self.arrival_scratch);
         self.arrivals.drain_due_into(cycle, &mut list);
@@ -351,6 +404,15 @@ impl<T: TrafficSource> Simulator<T> {
                         .push_arrival(packet, cycle);
                 }
                 Arrival::Node { packet } => self.deliver(packet, cycle),
+                Arrival::CreditReturn {
+                    router,
+                    in_port,
+                    vnet,
+                    len,
+                } => {
+                    self.routers[router.index()].inputs[in_port][vnet].unreserve(len);
+                    self.stats.fault_credits_reconciled += len as u64;
+                }
             }
         }
         self.arrival_scratch = list;
@@ -410,8 +472,18 @@ impl<T: TrafficSource> Simulator<T> {
         self.net.cycle = cycle;
         self.net.in_flight_packets = self.inflight_count as usize;
 
-        // Phase 5: arbitrate each router.
+        // Phase 5: arbitrate each router (stalled routers sit the cycle
+        // out; their buffered credit keeps neighbours back-pressured
+        // rather than wedged).
         for r in 0..self.routers.len() {
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|fr| fr.router_stalled(r, cycle))
+            {
+                self.stats.stalled_router_cycles += 1;
+                continue;
+            }
             self.arbitrate_router(RouterId(r), cycle);
         }
 
@@ -422,6 +494,39 @@ impl<T: TrafficSource> Simulator<T> {
         self.arbiter.end_cycle(&self.net);
         self.stats.cycles += 1;
         self.cycle += 1;
+    }
+
+    /// Fault bookkeeping run once per cycle while a plan is installed:
+    /// VC-shrink boundaries crossing this cycle are applied to the affected
+    /// buffers, and the periodic starvation watchdog surfaces wedged ports
+    /// into [`SimStats`] so degraded runs degrade visibly instead of
+    /// hanging silently.
+    fn fault_phase(&mut self, cycle: u64) {
+        let Some(fr) = self.faults.take() else { return };
+        fr.shrink_updates(cycle, |router, port, shrink| {
+            for vc in &mut self.routers[router].inputs[port] {
+                vc.set_shrink(shrink);
+            }
+        });
+        if fr.watchdog_due(cycle) {
+            let mut wedged = 0;
+            for r in &self.routers {
+                for port in &r.inputs {
+                    let starving = port.iter().any(|vc| {
+                        vc.head()
+                            .is_some_and(|bp| bp.local_age(cycle) > self.cfg.starvation_threshold)
+                    });
+                    if starving {
+                        wedged += 1;
+                    }
+                }
+            }
+            self.stats.wedged_ports = wedged;
+            if wedged > 0 {
+                self.stats.watchdog_fires += 1;
+            }
+        }
+        self.faults = Some(fr);
     }
 
     fn make_packet(&mut self, req: InjectionRequest, cycle: u64) -> Packet {
@@ -516,9 +621,20 @@ impl<T: TrafficSource> Simulator<T> {
 
     /// Builds the candidate describing the head packet of `(in_port, vnet)`.
     fn candidate_for(&self, router: RouterId, in_port: usize, vnet: usize, cycle: u64) -> Option<(Candidate, usize)> {
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|fr| fr.held(router, in_port, vnet, cycle))
+        {
+            return None; // transient-fault retry backoff: sit this cycle out
+        }
         let buf = &self.routers[router.index()].inputs[in_port][vnet];
         let bp = buf.head()?;
         let out_port = self.route_port(router, bp.packet.dst_router, bp.packet.dst_slot, vnet);
+        let port_degraded = self
+            .faults
+            .as_ref()
+            .is_some_and(|fr| fr.link_degraded(router, out_port, cycle));
         let local_age = bp.local_age(cycle);
         let cand = Candidate {
             in_port,
@@ -539,16 +655,32 @@ impl<T: TrafficSource> Simulator<T> {
             arrival_cycle: bp.arrival_cycle,
             src: bp.packet.src,
             dst: bp.packet.dst,
+            port_degraded,
         };
         Some((cand, out_port))
     }
 
     /// True when a packet of `len` flits can be launched from `router`
-    /// through `out_port` (downstream credit available).
-    fn downstream_ready(&self, router: RouterId, out_port: usize, vnet: usize, len: u32) -> bool {
+    /// through `out_port` (downstream credit available and the link is not
+    /// down).
+    fn downstream_ready(
+        &self,
+        router: RouterId,
+        out_port: usize,
+        vnet: usize,
+        len: u32,
+        cycle: u64,
+    ) -> bool {
         let dir = self.topo.port_dir(out_port);
         if dir.is_local() {
             return true; // ejection: nodes always sink
+        }
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|fr| fr.link_down(router, out_port, cycle))
+        {
+            return false; // link down: no credit visible for the window
         }
         let Some(next) = self.topo.neighbor(router, dir) else {
             return false; // disconnected edge port; packets never route here
@@ -574,7 +706,13 @@ impl<T: TrafficSource> Simulator<T> {
                     if let Some((cand, head_out)) = self.candidate_for(router, in_port, vnet, cycle)
                     {
                         if head_out == out_port
-                            && self.downstream_ready(router, out_port, vnet, cand.features.payload_size)
+                            && self.downstream_ready(
+                                router,
+                                out_port,
+                                vnet,
+                                cand.features.payload_size,
+                                cycle,
+                            )
                         {
                             self.stats.max_local_age =
                                 self.stats.max_local_age.max(cand.features.local_age);
@@ -635,7 +773,18 @@ impl<T: TrafficSource> Simulator<T> {
             let Some(i) = choice else { continue };
             let winner = scratch.avail[i].clone();
             granted_inputs |= 1 << winner.in_port;
-            self.apply_grant(router, out_port, &winner, cycle);
+            // A transient link fault corrupts the transmission: the grant
+            // attempt consumes bandwidth and credit but the packet stays
+            // queued for retry.
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|fr| fr.transient_active(router, out_port, cycle))
+            {
+                self.fail_grant(router, out_port, &winner, cycle);
+            } else {
+                self.apply_grant(router, out_port, &winner, cycle);
+            }
         }
 
         // Return candidate buffers to the pool for the next router/cycle.
@@ -646,7 +795,54 @@ impl<T: TrafficSource> Simulator<T> {
         self.arb = scratch;
     }
 
+    /// A grant attempt hit a transiently faulty link: the flits leave the
+    /// output but are corrupted on the wire. The packet never leaves its
+    /// input buffer; the output port stays busy for the full serialization
+    /// window, the downstream credit consumed by the corrupt transmission
+    /// is recovered when the reconciliation message lands
+    /// ([`Arrival::CreditReturn`]), and the buffer backs off with bounded
+    /// exponential retry.
+    fn fail_grant(&mut self, router: RouterId, out_port: usize, winner: &Candidate, cycle: u64) {
+        let len = winner.features.payload_size;
+        self.stats.link_fault_drops += 1;
+        self.routers[router.index()].out_free_at[out_port] = cycle + len as u64;
+        self.trace_event(
+            cycle,
+            winner.packet_id,
+            TraceKind::FaultDropped { router, out_port },
+        );
+        let dir = self.topo.port_dir(out_port);
+        if !dir.is_local() {
+            if let Some(next) = self.topo.neighbor(router, dir) {
+                let in_port = self.topo.port_index(dir.opposite().expect("mesh dir"));
+                // The downstream credit is consumed exactly as a healthy
+                // transmission would, then returned after one link
+                // round-trip — stalled credit must not wedge the neighbour.
+                self.routers[next.index()].inputs[in_port][winner.vnet].reserve(len);
+                self.stats.fault_credits_reserved += len as u64;
+                self.active_mesh_tx += 1;
+                self.tx_ends.add(cycle + len as u64, 1);
+                let at = cycle + (len as u64 - 1) + self.cfg.link_latency + self.cfg.router_latency;
+                self.arrivals.schedule(
+                    at.max(cycle + 1),
+                    Arrival::CreditReturn {
+                        router: next,
+                        in_port,
+                        vnet: winner.vnet,
+                        len,
+                    },
+                );
+            }
+        }
+        if let Some(fr) = &mut self.faults {
+            fr.bump_retry(router, winner.in_port, winner.vnet, cycle);
+        }
+    }
+
     fn apply_grant(&mut self, router: RouterId, out_port: usize, winner: &Candidate, cycle: u64) {
+        if let Some(fr) = &mut self.faults {
+            fr.clear_retry(router, winner.in_port, winner.vnet);
+        }
         let bp = self.routers[router.index()].inputs[winner.in_port][winner.vnet]
             .pop()
             .expect("granted buffer must be non-empty");
@@ -971,5 +1167,142 @@ mod tests {
             Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
         sim.run(3_000); // exercises buffer-full paths; panics would fire on bugs
         assert!(sim.stats().delivered > 100);
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+
+    /// East output port index on a 1-local-per-router mesh (L, N, S, W, E).
+    const EAST: usize = 4;
+
+    fn plan_of(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan { seed: 1, events }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        let mk = || {
+            let topo = Topology::uniform_mesh(4, 4).unwrap();
+            let cfg = SimConfig::synthetic(4, 4);
+            let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.1, 3, 99);
+            Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap()
+        };
+        let mut plain = mk();
+        let mut with_plan = mk();
+        with_plan.set_fault_plan(&FaultPlan::empty(7));
+        assert!(!with_plan.faults_enabled());
+        plain.run(2_000);
+        with_plan.run(2_000);
+        assert_eq!(
+            format!("{:?}", plain.stats()),
+            format!("{:?}", with_plan.stats())
+        );
+    }
+
+    #[test]
+    fn link_down_blocks_delivery_until_the_fault_clears() {
+        let mut sim = single_packet_sim(0, 1, 1);
+        sim.set_fault_plan(&plan_of(vec![FaultEvent {
+            kind: FaultKind::LinkDown,
+            router: 0,
+            port: EAST,
+            onset: 0,
+            duration: 50,
+        }]));
+        assert!(sim.faults_enabled());
+        sim.run(40);
+        assert_eq!(sim.stats().delivered, 0, "delivered through a down link");
+        assert!(sim.run_until_done(200));
+        assert_eq!(sim.stats().delivered, 1);
+        // Fault-free latency is 4; the down window must have delayed it.
+        assert!(sim.stats().latencies[0] > 50);
+    }
+
+    #[test]
+    fn transient_fault_drops_then_retries_to_delivery() {
+        let mut sim = single_packet_sim(0, 1, 1);
+        sim.set_fault_plan(&plan_of(vec![FaultEvent {
+            kind: FaultKind::TransientLink,
+            router: 0,
+            port: EAST,
+            onset: 0,
+            duration: 10,
+        }]));
+        assert!(sim.run_until_done(1_000));
+        let s = sim.stats();
+        assert_eq!(s.delivered, 1);
+        assert!(s.link_fault_drops >= 1, "no drop recorded: {s:?}");
+        // Every corrupted transmission reserved downstream credit that must
+        // come back, or the heavy-load credit invariants would panic.
+        assert!(s.fault_credits_reserved >= s.link_fault_drops);
+        assert_eq!(s.fault_credits_reconciled, s.fault_credits_reserved);
+        assert!(s.latencies[0] > 4);
+    }
+
+    #[test]
+    fn router_stall_freezes_arbitration_for_its_duration() {
+        let mut sim = single_packet_sim(0, 1, 1);
+        sim.set_fault_plan(&plan_of(vec![FaultEvent {
+            kind: FaultKind::RouterStall,
+            router: 0,
+            port: 0,
+            onset: 0,
+            duration: 30,
+        }]));
+        assert!(sim.run_until_done(200));
+        let s = sim.stats();
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.stalled_router_cycles, 30);
+        assert!(s.latencies[0] > 30);
+    }
+
+    #[test]
+    fn vc_shrink_still_delivers_under_load() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.1, 3, 5);
+        let mut sim =
+            Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        sim.set_fault_plan(&plan_of(vec![FaultEvent {
+            kind: FaultKind::VcShrink { flits: 3 },
+            router: 5,
+            port: EAST,
+            onset: 100,
+            duration: 1_000,
+        }]));
+        sim.run(4_000);
+        assert!(sim.stats().delivered > 100);
+    }
+
+    #[test]
+    fn watchdog_reports_wedged_ports_on_a_permanent_link_down() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let mut cfg = SimConfig::synthetic(4, 4);
+        cfg.starvation_threshold = 200;
+        let req = InjectionRequest {
+            src: NodeId(0),
+            dst: NodeId(1),
+            vnet: 0,
+            msg_type: MsgType::Request,
+            dst_type: DestType::Core,
+            len_flits: 1,
+            tag: 0,
+        };
+        let traffic = TraceTraffic::new(vec![(0, req)]);
+        let mut sim =
+            Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        sim.set_fault_plan(&plan_of(vec![FaultEvent {
+            kind: FaultKind::LinkDown,
+            router: 0,
+            port: EAST,
+            onset: 0,
+            duration: u64::MAX,
+        }]));
+        sim.run(3_000); // covers watchdog scans at cycles 1024 and 2048
+        let s = sim.stats();
+        assert_eq!(s.delivered, 0);
+        assert!(s.watchdog_fires >= 1, "watchdog never fired: {s:?}");
+        assert_eq!(s.wedged_ports, 1);
     }
 }

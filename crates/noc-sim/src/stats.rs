@@ -44,14 +44,40 @@ pub struct SimStats {
     pub delivered_per_vnet: Vec<u64>,
     /// Per-source-node delivered-message counters (index = node id).
     pub delivered_per_node: Vec<u64>,
+    /// Grant attempts lost to a transient link fault (the packet stays
+    /// queued and retries with bounded backoff).
+    pub link_fault_drops: u64,
+    /// Downstream credit flits reserved by fault-corrupted transmissions
+    /// (each mesh-port drop consumes the packet's full flit count, exactly
+    /// like a healthy transmission would).
+    pub fault_credits_reserved: u64,
+    /// Downstream credit flits recovered by reconciliation after
+    /// fault-corrupted transmissions. Trails [`fault_credits_reserved`]
+    /// only by credits whose reconciliation message is still on the wire
+    /// when the run ends.
+    ///
+    /// [`fault_credits_reserved`]: SimStats::fault_credits_reserved
+    pub fault_credits_reconciled: u64,
+    /// Router-cycles spent frozen by an active router-stall fault.
+    pub stalled_router_cycles: u64,
+    /// Starvation-watchdog scans that found at least one wedged port.
+    pub watchdog_fires: u64,
+    /// Ports with a starving head packet at the most recent watchdog scan.
+    pub wedged_ports: u64,
+    /// Unidirectional mesh links in the simulated topology — stamped by the
+    /// simulator from the [`crate::Topology`] so utilization reports cannot
+    /// be skewed by a caller-supplied link count.
+    pub num_mesh_links: usize,
 }
 
 impl SimStats {
-    /// Creates zeroed statistics sized for the given configuration.
-    pub fn new(num_vnets: usize, num_nodes: usize) -> Self {
+    /// Creates zeroed statistics sized for the given configuration. The
+    /// mesh-link count comes from [`crate::Topology::num_mesh_links`].
+    pub fn new(num_vnets: usize, num_nodes: usize, num_mesh_links: usize) -> Self {
         SimStats {
             delivered_per_vnet: vec![0; num_vnets],
             delivered_per_node: vec![0; num_nodes],
+            num_mesh_links,
             ..SimStats::default()
         }
     }
@@ -93,13 +119,13 @@ impl SimStats {
         }
     }
 
-    /// Average fraction of mesh links busy per cycle, given the mesh's link
-    /// count.
-    pub fn avg_link_utilization(&self, num_links: usize) -> f64 {
-        if self.cycles == 0 || num_links == 0 {
+    /// Average fraction of mesh links busy per cycle, normalized by the
+    /// topology's link count ([`SimStats::num_mesh_links`]).
+    pub fn avg_link_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.num_mesh_links == 0 {
             0.0
         } else {
-            self.link_busy_cycles as f64 / (self.cycles as f64 * num_links as f64)
+            self.link_busy_cycles as f64 / (self.cycles as f64 * self.num_mesh_links as f64)
         }
     }
 
@@ -145,7 +171,7 @@ mod tests {
 
     #[test]
     fn empty_stats_report_zeroes() {
-        let s = SimStats::new(3, 16);
+        let s = SimStats::new(3, 16, 48);
         assert_eq!(s.avg_latency(), 0.0);
         assert_eq!(s.throughput(), 0.0);
         assert_eq!(s.latency_percentile(99.0), 0);
@@ -155,7 +181,7 @@ mod tests {
 
     #[test]
     fn averages_divide_by_delivered() {
-        let mut s = SimStats::new(1, 4);
+        let mut s = SimStats::new(1, 4, 24);
         s.delivered = 4;
         s.total_latency = 40;
         s.total_network_latency = 20;
@@ -169,7 +195,7 @@ mod tests {
 
     #[test]
     fn percentiles_use_nearest_rank() {
-        let mut s = SimStats::new(1, 1);
+        let mut s = SimStats::new(1, 1, 4);
         s.latencies = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
         assert_eq!(s.latency_percentile(50.0), 50);
         assert_eq!(s.latency_percentile(90.0), 90);
@@ -180,7 +206,7 @@ mod tests {
 
     #[test]
     fn jain_fairness_detects_imbalance() {
-        let mut s = SimStats::new(1, 4);
+        let mut s = SimStats::new(1, 4, 24);
         s.delivered_per_node = vec![10, 10, 10, 10];
         assert!((s.jain_fairness() - 1.0).abs() < 1e-12);
         s.delivered_per_node = vec![40, 0, 0, 0];
@@ -189,10 +215,11 @@ mod tests {
 
     #[test]
     fn link_utilization_normalizes_by_links_and_cycles() {
-        let mut s = SimStats::new(1, 4);
+        let mut s = SimStats::new(1, 4, 48);
         s.cycles = 100;
         s.link_busy_cycles = 240;
-        assert!((s.avg_link_utilization(48) - 0.05).abs() < 1e-12);
-        assert_eq!(s.avg_link_utilization(0), 0.0);
+        assert!((s.avg_link_utilization() - 0.05).abs() < 1e-12);
+        let degenerate = SimStats::new(1, 4, 0);
+        assert_eq!(degenerate.avg_link_utilization(), 0.0);
     }
 }

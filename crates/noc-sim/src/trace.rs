@@ -41,6 +41,14 @@ pub enum TraceKind {
         /// Router the packet left the network at.
         router: RouterId,
     },
+    /// Won arbitration but the transmission was lost to a transient link
+    /// fault; the packet stays queued for retry.
+    FaultDropped {
+        /// Router whose output link corrupted the transmission.
+        router: RouterId,
+        /// Output port the transmission was attempted on.
+        out_port: usize,
+    },
 }
 
 /// A bounded event recorder.
@@ -104,6 +112,12 @@ impl PacketTrace {
                 }
                 TraceKind::Delivered { router } => {
                     format!("cycle {:>6}: delivered via {router}", e.cycle)
+                }
+                TraceKind::FaultDropped { router, out_port } => {
+                    format!(
+                        "cycle {:>6}: dropped by fault at {router} port {out_port}",
+                        e.cycle
+                    )
                 }
             };
             out.push_str(&line);

@@ -1,0 +1,85 @@
+//! Property-based tests on the fault-injection subsystem.
+//!
+//! Two invariants hold for *any* generated fault plan, not just the
+//! hand-written ones in the unit tests:
+//!
+//! * **Termination & accounting** — a simulation under an arbitrary
+//!   `FaultPlan::generate` plan always runs to its cycle budget, and
+//!   every transient-fault drop reserves exactly the credits it later
+//!   returns (`fault_credits_reconciled == link_fault_drops`).
+//! * **Zero-fault identity** — an *empty* plan is indistinguishable,
+//!   bit for bit, from running with no plan installed at all.
+
+use proptest::prelude::*;
+
+use noc_sim::arbiters::FifoArbiter;
+use noc_sim::{FaultPlan, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
+
+/// A 4x4 uniform-random sim, the resilience sweep's smoke shape.
+fn uniform_sim(seed: u64, rate: f64) -> Simulator<SyntheticTraffic> {
+    let topo = Topology::uniform_mesh(4, 4).unwrap();
+    let cfg = SimConfig::synthetic(4, 4);
+    let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, rate, 3, seed);
+    Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap()
+}
+
+proptest! {
+    // Each case runs a few thousand simulated cycles; keep the count
+    // suite-friendly while still covering a spread of plans.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated plan terminates (the sim reaches its budget rather
+    /// than wedging the event loop) and reconciles every credit it
+    /// reserved for a faulted grant.
+    #[test]
+    fn any_generated_plan_terminates_and_reconciles_credits(
+        plan_seed in any::<u64>(),
+        traffic_seed in any::<u64>(),
+        intensity in 0.0f64..4.0,
+    ) {
+        let horizon = 3_000u64;
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let plan = FaultPlan::generate(plan_seed, intensity, &topo, horizon);
+        prop_assert!(plan.validate(&topo).is_ok(), "generated plan must be valid");
+
+        let mut sim = uniform_sim(traffic_seed, 0.20);
+        sim.set_fault_plan(&plan);
+        sim.run(horizon);
+        let s = sim.stats();
+        prop_assert_eq!(s.cycles, horizon, "sim must run to its full budget");
+        // Generated plans target mesh ports only, so every drop reserved
+        // the packet's flit count downstream; and every transient window
+        // closes by 3/4·horizon, leaving ample time for the last
+        // reconciliation message to land before the cutoff.
+        prop_assert!(
+            s.fault_credits_reserved >= s.link_fault_drops,
+            "mesh-port drops must each reserve at least one credit flit"
+        );
+        prop_assert_eq!(
+            s.fault_credits_reconciled, s.fault_credits_reserved,
+            "every credit reserved by a faulted transmission must come back"
+        );
+    }
+
+    /// An empty plan (`FaultPlan::empty`) is bit-identical to no plan:
+    /// the entire stats block — latencies, per-node counters, fault
+    /// fields — matches a plain run exactly.
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan(
+        plan_seed in any::<u64>(),
+        traffic_seed in any::<u64>(),
+    ) {
+        let mut plain = uniform_sim(traffic_seed, 0.15);
+        plain.run(2_000);
+
+        let mut empty = uniform_sim(traffic_seed, 0.15);
+        empty.set_fault_plan(&FaultPlan::empty(plan_seed));
+        empty.run(2_000);
+
+        prop_assert_eq!(
+            format!("{:?}", plain.stats()),
+            format!("{:?}", empty.stats()),
+            "an empty fault plan must not perturb the simulation"
+        );
+    }
+}

@@ -669,6 +669,7 @@ mod tests {
             arrival_cycle: create,
             src: NodeId(0),
             dst: NodeId(1),
+            port_degraded: false,
         }
     }
 

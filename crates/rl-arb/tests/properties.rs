@@ -39,6 +39,7 @@ fn candidate_strategy(num_ports: usize, num_vnets: usize) -> impl Strategy<Value
                 arrival_cycle: create,
                 src: NodeId(0),
                 dst: NodeId(1),
+                port_degraded: false,
             },
         )
 }

@@ -21,7 +21,7 @@ fn measure(arbiter: Box<dyn Arbiter>, name: &str) {
     sim.run(20_000);
 
     println!("--- {name} ---");
-    println!("{}", format_report(sim.stats(), sim.topology().num_mesh_links()));
+    println!("{}", format_report(sim.stats()));
 }
 
 fn main() {
