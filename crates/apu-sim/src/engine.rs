@@ -18,7 +18,10 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use noc_sim::{InjectionRequest, NetSnapshot, NodeId, Packet, SplitMix64, TrafficSource};
+use noc_sim::{
+    InjectionRequest, InvariantViolation, NetSnapshot, NodeId, Packet, SplitMix64, TrafficSource,
+    ViolationKind,
+};
 
 use crate::kinds::{flits, ApuNodeKind, Vnet};
 use crate::topology::{ApuTopology, NUM_QUADRANTS};
@@ -139,6 +142,40 @@ pub struct ApuEngine {
     outbox: Vec<InjectionRequest>,
     seed: u64,
     total_ops_completed: u64,
+    /// Protocol-level invariant checker; `None` (the default) takes the
+    /// exact branches of a build without the subsystem, so checked-off
+    /// runs are bit-identical (same pattern as the simulator's checker).
+    checker: Option<Box<EngineChecker>>,
+}
+
+/// Redundant protocol books for the engine: per-vnet sent/delivered
+/// message counts plus dependency-order and state-machine violations
+/// observed at delivery time. See [`noc_sim::InvariantChecker`] for the
+/// network-level analogue.
+#[derive(Debug, Default)]
+struct EngineChecker {
+    /// Messages handed to the simulator, per virtual network.
+    sent: [u64; Vnet::ALL.len()],
+    /// Messages delivered back to the engine, per virtual network.
+    delivered: [u64; Vnet::ALL.len()],
+    violations: Vec<InvariantViolation>,
+    total: u64,
+}
+
+/// Cap on recorded violations (the count keeps going past it).
+const MAX_RECORDED: usize = 64;
+
+impl EngineChecker {
+    fn record(&mut self, cycle: u64, location: String, kind: ViolationKind) {
+        self.total += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(InvariantViolation {
+                cycle,
+                location,
+                kind,
+            });
+        }
+    }
 }
 
 impl ApuEngine {
@@ -183,6 +220,7 @@ impl ApuEngine {
             outbox: Vec::new(),
             seed,
             total_ops_completed: 0,
+            checker: None,
         };
         // Kernel-launch invalidations for the first phase of each program.
         for q in 0..NUM_QUADRANTS {
@@ -196,6 +234,95 @@ impl ApuEngine {
     /// The chip topology the engine drives.
     pub fn apu(&self) -> &ApuTopology {
         &self.apu
+    }
+
+    /// Enables the opt-in protocol invariant checker: per-vnet message
+    /// conservation across the seven virtual networks, and dependency
+    /// order (a response-class message must find the live transaction its
+    /// request opened). Violations are recorded as structured
+    /// [`InvariantViolation`] values instead of panicking; the checker
+    /// never changes engine behavior on protocol-conforming runs.
+    pub fn enable_invariant_checker(&mut self) {
+        self.checker = Some(Box::default());
+    }
+
+    /// True when the protocol checker is enabled.
+    pub fn invariants_enabled(&self) -> bool {
+        self.checker.is_some()
+    }
+
+    /// Protocol violations recorded so far (empty when the checker is
+    /// disabled or the run is clean). The list is capped; see
+    /// [`ApuEngine::total_invariant_violations`].
+    pub fn invariant_violations(&self) -> &[InvariantViolation] {
+        self.checker.as_ref().map_or(&[], |ck| &ck.violations)
+    }
+
+    /// Every violation detected, including those past the recording cap.
+    pub fn total_invariant_violations(&self) -> u64 {
+        self.checker.as_ref().map_or(0, |ck| ck.total)
+    }
+
+    /// End-of-run conservation sweep: checks the engine's per-vnet sent
+    /// counts against the simulator's delivered counts
+    /// (`delivered_per_vnet` from [`noc_sim::SimStats`]), given how many
+    /// messages the simulator still holds (`in_flight` + `queued`). With
+    /// a fully drained network every vnet must balance exactly; at a
+    /// cycle horizon only the aggregate balance is checkable. No-op when
+    /// the checker is disabled.
+    pub fn finalize_invariants(
+        &mut self,
+        cycle: u64,
+        delivered_per_vnet: &[u64],
+        in_flight: u64,
+        queued: u64,
+    ) {
+        let Some(ck) = &mut self.checker else { return };
+        for (v, &sim_delivered) in delivered_per_vnet.iter().enumerate() {
+            // The engine observes every delivery the simulator performs;
+            // the two delivered books must agree unconditionally.
+            if ck.delivered[v] != sim_delivered {
+                ck.record(
+                    cycle,
+                    format!("engine vs sim, vnet {v}"),
+                    ViolationKind::VnetConservation {
+                        vnet: v,
+                        sent: ck.delivered[v],
+                        delivered: sim_delivered,
+                    },
+                );
+            }
+        }
+        if in_flight + queued == 0 {
+            for v in 0..Vnet::ALL.len() {
+                if ck.sent[v] != ck.delivered[v] {
+                    ck.record(
+                        cycle,
+                        format!("vnet {v}"),
+                        ViolationKind::VnetConservation {
+                            vnet: v,
+                            sent: ck.sent[v],
+                            delivered: ck.delivered[v],
+                        },
+                    );
+                }
+            }
+        } else {
+            let sent: u64 = ck.sent.iter().sum();
+            let delivered: u64 = ck.delivered.iter().sum();
+            if sent != delivered + in_flight + queued {
+                ck.record(
+                    cycle,
+                    "aggregate".to_string(),
+                    ViolationKind::MessageConservation {
+                        created: sent,
+                        delivered,
+                        in_flight,
+                        queued,
+                    },
+                );
+            }
+        }
     }
 
     /// Status of each quadrant's program copy.
@@ -517,10 +644,40 @@ impl TrafficSource for ApuEngine {
             }
             self.maybe_advance_phase(q, cycle);
         }
+        if let Some(ck) = &mut self.checker {
+            // Count sends at the moment messages leave for the simulator
+            // (not at push time), so delayed messages still held in the
+            // memory-latency queue never skew the conservation books.
+            for req in &self.outbox {
+                ck.sent[req.vnet] += 1;
+            }
+        }
         std::mem::take(&mut self.outbox)
     }
 
     fn on_delivered(&mut self, pkt: &Packet, cycle: u64) {
+        if let Some(ck) = &mut self.checker {
+            ck.delivered[pkt.vnet] += 1;
+            // Dependency order: a response-class message must find the
+            // live transaction its request opened. Requests create their
+            // transaction before being pushed, so an untracked response
+            // means it overtook (or outlived) its own request.
+            if !self.txns.contains_key(&pkt.tag)
+                && matches!(
+                    Vnet::ALL[pkt.vnet],
+                    Vnet::DataResp | Vnet::MemResp | Vnet::ProbeResp
+                )
+            {
+                ck.record(
+                    cycle,
+                    format!("tag {}", pkt.tag),
+                    ViolationKind::ResponseWithoutRequest {
+                        tag: pkt.tag,
+                        vnet: pkt.vnet,
+                    },
+                );
+            }
+        }
         let Some(txn) = self.txns.get(&pkt.tag).cloned() else {
             return; // untracked message (should not happen)
         };
@@ -639,7 +796,21 @@ impl TrafficSource for ApuEngine {
                 self.complete_op(txn.quadrant, txn.issuer);
             }
             (v, k) => {
-                unreachable!("protocol violation: {v:?} delivered for {k:?} transaction")
+                // With the checker on, an illegal (vnet, txn-kind) pairing
+                // becomes a structured violation the conformance harness
+                // can report and shrink; without it, the legacy loud-crash
+                // behavior is preserved bit for bit.
+                if let Some(ck) = &mut self.checker {
+                    ck.record(
+                        cycle,
+                        format!("tag {}", pkt.tag),
+                        ViolationKind::ProtocolViolation {
+                            detail: format!("{v:?} delivered for {k:?} transaction"),
+                        },
+                    );
+                } else {
+                    unreachable!("protocol violation: {v:?} delivered for {k:?} transaction")
+                }
             }
         }
     }

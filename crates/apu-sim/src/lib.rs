@@ -26,6 +26,8 @@ mod workload;
 
 pub use engine::{ApuEngine, EngineConfig, PhaseVisit, ProgramStatus};
 pub use kinds::{flits, ApuNodeKind, Vnet};
-pub use run::{make_apu_sim, run_apu, run_apu_with_faults, ApuRunResult};
+pub use run::{
+    make_apu_sim, run_apu, run_apu_checked, run_apu_with_faults, ApuConformance, ApuRunResult,
+};
 pub use topology::{quadrant_of, ApuTopology, APU_MESH, NUM_QUADRANTS};
 pub use workload::{PhaseFlow, PhaseSpec, WorkloadSpec};

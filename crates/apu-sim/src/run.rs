@@ -1,6 +1,6 @@
 //! Convenience harness: build and run a four-quadrant APU experiment.
 
-use noc_sim::{Arbiter, FaultPlan, SimConfig, SimStats, Simulator};
+use noc_sim::{Arbiter, FaultPlan, InvariantViolation, SimConfig, SimStats, Simulator};
 
 use crate::engine::{ApuEngine, EngineConfig};
 use crate::topology::{ApuTopology, APU_MESH, NUM_QUADRANTS};
@@ -100,6 +100,67 @@ pub fn run_apu_with_faults(
     }
 }
 
+/// Outcome of a conformance run: the usual results plus every invariant
+/// violation the network-level and protocol-level checkers recorded.
+#[derive(Debug, Clone)]
+pub struct ApuConformance {
+    /// The run's results, exactly as [`run_apu_with_faults`] reports them.
+    pub result: ApuRunResult,
+    /// Violations from both checkers (simulator first, then engine),
+    /// empty for a conforming run.
+    pub violations: Vec<InvariantViolation>,
+}
+
+/// [`run_apu_with_faults`] with both invariant checkers enabled: the
+/// network-level [`noc_sim::InvariantChecker`] on the simulator and the
+/// protocol-level checker on the [`ApuEngine`] (per-vnet conservation
+/// across the seven virtual networks, dependency order). The checkers
+/// observe without perturbing — `result` is bit-identical to an unchecked
+/// run with the same arguments.
+pub fn run_apu_checked(
+    specs: Vec<WorkloadSpec>,
+    arbiter: Box<dyn Arbiter>,
+    engine_cfg: EngineConfig,
+    seed: u64,
+    max_cycles: u64,
+    faults: Option<&FaultPlan>,
+) -> ApuConformance {
+    let mut sim = make_apu_sim(specs, arbiter, engine_cfg, seed);
+    sim.enable_invariant_checker();
+    sim.traffic_mut().enable_invariant_checker();
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan);
+    }
+    let completed = sim.run_until_done(max_cycles);
+
+    let cycle = sim.cycle();
+    let in_flight = sim.in_flight();
+    let queued = sim.queued_at_sources() as u64;
+    let delivered_per_vnet = sim.stats().delivered_per_vnet.clone();
+    sim.traffic_mut()
+        .finalize_invariants(cycle, &delivered_per_vnet, in_flight, queued);
+
+    let mut violations = sim.invariant_violations().to_vec();
+    violations.extend_from_slice(sim.traffic().invariant_violations());
+
+    let engine = sim.traffic();
+    let exec_times: Vec<u64> = engine
+        .execution_times()
+        .into_iter()
+        .map(|t| t.unwrap_or(max_cycles))
+        .collect();
+    ApuConformance {
+        result: ApuRunResult {
+            avg_exec: engine.avg_execution_time(max_cycles),
+            tail_exec: engine.tail_execution_time(max_cycles),
+            stats: sim.stats().clone(),
+            exec_times,
+            completed,
+        },
+        violations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +215,55 @@ mod tests {
             b.stats.created > 0
         );
         assert_ne!(a.exec_times, b.exec_times, "seeds should perturb timing");
+    }
+
+    #[test]
+    fn checked_run_is_clean_and_bit_identical() {
+        let plain = run_apu(
+            vec![quick(); 4],
+            Box::new(FifoArbiter::new()),
+            EngineConfig::default(),
+            11,
+            300_000,
+        );
+        let checked = run_apu_checked(
+            vec![quick(); 4],
+            Box::new(FifoArbiter::new()),
+            EngineConfig::default(),
+            11,
+            300_000,
+            None,
+        );
+        assert!(
+            checked.violations.is_empty(),
+            "violations: {:?}",
+            checked.violations
+        );
+        assert_eq!(plain.exec_times, checked.result.exec_times);
+        assert_eq!(
+            format!("{:?}", plain.stats),
+            format!("{:?}", checked.result.stats),
+            "enabling the checkers changed the simulation"
+        );
+    }
+
+    #[test]
+    fn checked_run_stays_clean_under_faults() {
+        let topo = ApuTopology::build().clone_topology();
+        let plan = noc_sim::FaultPlan::generate(5, 1.0, &topo, 300_000);
+        let checked = run_apu_checked(
+            vec![quick(); 4],
+            Box::new(FifoArbiter::new()),
+            EngineConfig::default(),
+            13,
+            300_000,
+            Some(&plan),
+        );
+        assert!(
+            checked.violations.is_empty(),
+            "violations: {:?}",
+            checked.violations
+        );
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! `repro conformance` — the randomized invariant-checker conformance
+//! harness over both simulators.
+//!
+//! The figure draws seeded random scenarios — mesh size × traffic pattern
+//! × routing × every [`PolicyKind`] × fault intensity — runs each with the
+//! runtime invariant checker enabled ([`noc_sim::InvariantChecker`] on the
+//! synthetic mesh, plus the protocol-level engine checker on the APU
+//! chip), and reports any violation. A healthy tree reports zero: the
+//! simulators conserve messages and credits under every arbitration
+//! policy, any routing function, and arbitrary generated fault plans.
+//!
+//! When a case *does* fail, the harness does not stop at "seed 0xDEAD
+//! broke": [`minimize`] greedily shrinks the failing case — fewer cycles,
+//! smaller mesh, lower rate, lower fault intensity, plainer pattern and
+//! routing — re-running the checker at every step, and reports the
+//! smallest case that still reproduces the violation. That minimal case
+//! (a handful of scalar fields) is the bug report.
+//!
+//! Everything is a pure function of the base `--seed`: case derivation
+//! uses [`SplitMix64`] streams keyed by `(seed, policy, intensity,
+//! trial)`, so a reported reproducer is replayable on any machine.
+
+use apu_sim::{run_apu_checked, EngineConfig, NUM_QUADRANTS};
+use apu_workloads::Benchmark;
+use noc_arbiters::{make_arbiter, PolicyKind};
+use noc_sim::{
+    FaultPlan, Pattern, RoutingKind, SimConfig, Simulator, SplitMix64, SyntheticTraffic, Topology,
+};
+
+use super::backend::CellRecord;
+use super::figures::CustomOutput;
+use crate::{render_table, sweep, CliArgs};
+
+/// One fully determined conformance scenario — every field a plain
+/// scalar, so a failing case prints as a complete reproducer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConformanceCase {
+    /// Mesh width.
+    pub width: u16,
+    /// Mesh height.
+    pub height: u16,
+    /// Synthetic traffic pattern.
+    pub pattern: Pattern,
+    /// Injection rate (packets/node/cycle).
+    pub rate: f64,
+    /// Routing function.
+    pub routing: RoutingKind,
+    /// Arbitration policy under test.
+    pub policy: PolicyKind,
+    /// Fault-plan intensity (`0.0` = fault-free, no plan installed).
+    pub intensity: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Seed feeding traffic, stochastic policies and the fault plan.
+    pub seed: u64,
+    /// Cycle at which to arm the test-only credit-leak hook (`None` in
+    /// every real sweep; set by the self-test that proves the harness
+    /// catches and shrinks a seeded bug).
+    pub leak_at: Option<u64>,
+}
+
+impl ConformanceCase {
+    /// Renders the case as a one-line replayable reproducer.
+    pub fn reproducer(&self) -> String {
+        format!(
+            "policy={} mesh={}x{} pattern={:?} rate={:.3} routing={:?} \
+             intensity={:.2} cycles={} seed={}",
+            self.policy.as_str(),
+            self.width,
+            self.height,
+            self.pattern,
+            self.rate,
+            self.routing,
+            self.intensity,
+            self.cycles,
+            self.seed,
+        )
+    }
+}
+
+/// Outcome of one checked run.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Total violations the checker recorded (including past the
+    /// recording cap).
+    pub violations: u64,
+    /// Display form of the first recorded violation, if any.
+    pub first: Option<String>,
+}
+
+/// Derives the fully determined case for one `(policy, intensity, trial)`
+/// cell of the sweep. Pure function of its arguments — the printed
+/// reproducer from any machine replays anywhere.
+pub fn derive_case(
+    base_seed: u64,
+    policy: PolicyKind,
+    policy_idx: usize,
+    intensity: f64,
+    trial: u64,
+    cycles: u64,
+) -> ConformanceCase {
+    let mut rng = SplitMix64::new(
+        base_seed ^ (policy_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ trial.rotate_left(17),
+    );
+    // Discard one draw so adjacent streams decorrelate fully.
+    let _ = rng.next_u64();
+    let (width, height) = if rng.chance(0.25) { (8, 8) } else { (4, 4) };
+    let pattern = match rng.next_bounded(5) {
+        0 => Pattern::Transpose,
+        1 => Pattern::BitComplement,
+        2 => Pattern::Tornado,
+        3 => Pattern::Hotspot {
+            node: noc_sim::NodeId(rng.next_bounded(u64::from(width) * u64::from(height)) as usize),
+            fraction: 0.2 + rng.next_f64() * 0.3,
+        },
+        _ => Pattern::UniformRandom,
+    };
+    let routing = if rng.chance(0.3) {
+        RoutingKind::WestFirstAdaptive
+    } else {
+        RoutingKind::XY
+    };
+    // Larger meshes saturate at lower per-node rates; keep cases live.
+    let max_rate = if width == 8 { 0.25 } else { 0.45 };
+    let rate = 0.02 + rng.next_f64() * (max_rate - 0.02);
+    ConformanceCase {
+        width,
+        height,
+        pattern,
+        rate,
+        routing,
+        policy,
+        intensity,
+        cycles,
+        seed: rng.next_u64(),
+        leak_at: None,
+    }
+}
+
+/// Runs one case on the synthetic mesh with the invariant checker
+/// enabled and reports what the checker saw.
+pub fn run_case(case: &ConformanceCase) -> CaseOutcome {
+    let topo = Topology::uniform_mesh(case.width, case.height).expect("valid mesh");
+    let mut cfg = SimConfig::synthetic(case.width, case.height);
+    cfg.routing = case.routing;
+    let traffic = SyntheticTraffic::new(&topo, case.pattern, case.rate, cfg.num_vnets, case.seed);
+    let arbiter = make_arbiter(case.policy, case.seed);
+    let mut sim = Simulator::new(topo, cfg, arbiter, traffic).expect("valid sim");
+    sim.enable_invariant_checker();
+    if case.intensity > 0.0 {
+        let topo = Topology::uniform_mesh(case.width, case.height).expect("valid mesh");
+        sim.set_fault_plan(&FaultPlan::generate(
+            case.seed ^ 0xFAB7,
+            case.intensity,
+            &topo,
+            case.cycles,
+        ));
+    }
+    if let Some(at) = case.leak_at {
+        sim.debug_inject_credit_leak(at);
+    }
+    sim.run(case.cycles);
+    CaseOutcome {
+        violations: sim.total_invariant_violations(),
+        first: sim.invariant_violations().first().map(|v| v.to_string()),
+    }
+}
+
+/// Greedily shrinks a failing case to a minimal one that still fails:
+/// bisect the cycle budget, collapse the mesh to 4×4, halve the rate,
+/// lower the fault intensity, plain-ify pattern and routing, and try
+/// small seeds — accepting each step only if the checker still reports a
+/// violation. Returns the input unchanged if it does not fail at all.
+pub fn minimize(case: ConformanceCase) -> ConformanceCase {
+    let fails = |c: &ConformanceCase| run_case(c).violations > 0;
+    if !fails(&case) {
+        return case;
+    }
+    let mut cur = case;
+    // Cycle-budget bisection (the biggest lever on replay time).
+    while cur.cycles >= 200 {
+        let candidate = ConformanceCase { cycles: cur.cycles / 2, ..cur };
+        if fails(&candidate) {
+            cur = candidate;
+        } else {
+            break;
+        }
+    }
+    // Each step derives its candidate from the *current* shrunk case, so
+    // accepted shrinks compose instead of overwriting one another.
+    let steps: [fn(&ConformanceCase) -> ConformanceCase; 4] = [
+        |c| ConformanceCase { width: 4, height: 4, ..*c },
+        |c| ConformanceCase { intensity: 0.0, ..*c },
+        |c| ConformanceCase { pattern: Pattern::UniformRandom, ..*c },
+        |c| ConformanceCase { routing: RoutingKind::XY, ..*c },
+    ];
+    for step in steps {
+        let candidate = step(&cur);
+        if candidate != cur && fails(&candidate) {
+            cur = candidate;
+        }
+    }
+    while cur.rate > 0.04 {
+        let candidate = ConformanceCase { rate: cur.rate / 2.0, ..cur };
+        if fails(&candidate) {
+            cur = candidate;
+        } else {
+            break;
+        }
+    }
+    for seed in 0..4 {
+        if cur.seed == seed {
+            break;
+        }
+        let candidate = ConformanceCase { seed, ..cur };
+        if fails(&candidate) {
+            cur = candidate;
+            break;
+        }
+    }
+    cur
+}
+
+/// The fault intensities swept per tier.
+fn intensities(quick: bool) -> &'static [f64] {
+    if quick {
+        &[0.0, 0.5]
+    } else {
+        &[0.0, 0.25, 0.5, 1.0]
+    }
+}
+
+/// Checked APU runs: closed-loop protocol traffic under a handful of
+/// policies, fault-free and heavily faulted. Returns `(label, outcome)`
+/// rows.
+fn apu_rows(args: &CliArgs) -> Vec<(String, CaseOutcome)> {
+    let scale = if args.quick { 0.02 } else { 0.05 };
+    let max_cycles: u64 = if args.quick { 200_000 } else { 400_000 };
+    let policies: &[PolicyKind] = if args.quick {
+        &[PolicyKind::Fifo, PolicyKind::GlobalAge]
+    } else {
+        &[
+            PolicyKind::Fifo,
+            PolicyKind::GlobalAge,
+            PolicyKind::Algorithm2,
+            PolicyKind::Islip,
+        ]
+    };
+    let jobs: Vec<(usize, PolicyKind)> = policies.iter().copied().enumerate().collect();
+    sweep::run_parallel(jobs, args.threads, |(i, policy)| {
+        // Alternate fault-free and faulted runs across the line-up.
+        let faulted = i % 2 == 1;
+        let specs = vec![Benchmark::Bfs.spec_scaled(scale); NUM_QUADRANTS];
+        let plan = faulted.then(|| {
+            let topo = apu_sim::ApuTopology::build().clone_topology();
+            FaultPlan::generate(args.seed ^ 0xA9u64, 1.0, &topo, max_cycles)
+        });
+        let out = run_apu_checked(
+            specs,
+            make_arbiter(policy, args.seed),
+            EngineConfig::default(),
+            args.seed.wrapping_add(i as u64),
+            max_cycles,
+            plan.as_ref(),
+        );
+        let label = format!(
+            "apu/bfs {} {}",
+            policy.as_str(),
+            if faulted { "f1.00" } else { "f0.00" }
+        );
+        let outcome = CaseOutcome {
+            violations: out.violations.len() as u64,
+            first: out.violations.first().map(|v| v.to_string()),
+        };
+        (label, outcome)
+    })
+}
+
+/// Runs the conformance sweep end-to-end: the custom-figure entry point
+/// behind `repro conformance [--quick]`.
+pub fn run(args: &CliArgs) -> CustomOutput {
+    let trials: u64 = if args.quick { 1 } else { 3 };
+    let cycles: u64 = if args.quick { 1_500 } else { 4_000 };
+
+    let mut jobs = Vec::new();
+    for (pi, policy) in PolicyKind::ALL.into_iter().enumerate() {
+        for &intensity in intensities(args.quick) {
+            for trial in 0..trials {
+                jobs.push(derive_case(args.seed, policy, pi, intensity, trial, cycles));
+            }
+        }
+    }
+    let synth_runs = jobs.len();
+    let outcomes: Vec<(ConformanceCase, CaseOutcome)> =
+        sweep::run_parallel(jobs, args.threads, |case| {
+            let outcome = run_case(&case);
+            (case, outcome)
+        });
+
+    // Aggregate per policy; shrink every failing case to its minimal
+    // reproducer.
+    let mut reproducers = Vec::new();
+    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    for policy in PolicyKind::ALL {
+        let mine: Vec<&(ConformanceCase, CaseOutcome)> =
+            outcomes.iter().filter(|(c, _)| c.policy == policy).collect();
+        let runs = mine.len();
+        let violations: u64 = mine.iter().map(|(_, o)| o.violations).sum();
+        for (case, outcome) in &mine {
+            if outcome.violations > 0 {
+                let minimal = minimize(*case);
+                reproducers.push(format!(
+                    "{} -> {} ({})",
+                    case.reproducer(),
+                    minimal.reproducer(),
+                    outcome.first.as_deref().unwrap_or("violation recorded past cap"),
+                ));
+            }
+        }
+        let status = if violations == 0 { "PASS" } else { "FAIL" };
+        cells.push(CellRecord {
+            scenario: "synthetic".into(),
+            policy: policy.as_str().into(),
+            seed: args.seed,
+            artifact: None,
+            fault_plan: None,
+            metrics: vec![
+                ("runs".into(), runs as f64),
+                ("violations".into(), violations as f64),
+            ],
+        });
+        rows.push(vec![
+            policy.as_str().to_string(),
+            runs.to_string(),
+            violations.to_string(),
+            status.to_string(),
+        ]);
+    }
+
+    let apu = apu_rows(args);
+    let apu_runs = apu.len();
+    for (label, outcome) in &apu {
+        let status = if outcome.violations == 0 { "PASS" } else { "FAIL" };
+        if let Some(first) = &outcome.first {
+            reproducers.push(format!("{label}: {first}"));
+        }
+        cells.push(CellRecord {
+            scenario: "apu".into(),
+            policy: label.clone(),
+            seed: args.seed,
+            artifact: None,
+            fault_plan: None,
+            metrics: vec![
+                ("runs".into(), 1.0),
+                ("violations".into(), outcome.violations as f64),
+            ],
+        });
+        rows.push(vec![
+            label.clone(),
+            "1".into(),
+            outcome.violations.to_string(),
+            status.to_string(),
+        ]);
+    }
+
+    let headers = ["case", "runs", "violations", "status"];
+    let total_runs = synth_runs + apu_runs;
+    let total_violations: u64 = outcomes.iter().map(|(_, o)| o.violations).sum::<u64>()
+        + apu.iter().map(|(_, o)| o.violations).sum::<u64>();
+    let mut text = format!(
+        "\n== conformance: randomized invariant-checker sweep ({} policies x {} intensities x {} trials + {} apu runs) ==\n\n{}\n",
+        PolicyKind::ALL.len(),
+        intensities(args.quick).len(),
+        trials,
+        apu_runs,
+        render_table(&headers, &rows)
+    );
+    if reproducers.is_empty() {
+        text.push_str(&format!(
+            "conformance: PASS ({total_runs} runs, 0 violations)\n"
+        ));
+    } else {
+        text.push_str(&format!(
+            "conformance: FAIL ({total_runs} runs, {total_violations} violations)\n"
+        ));
+        text.push_str("minimal reproducers (original -> shrunk):\n");
+        for r in &reproducers {
+            text.push_str(&format!("  {r}\n"));
+        }
+    }
+    CustomOutput {
+        text,
+        table: super::record::Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows,
+        },
+        cells,
+        backend: "mixed",
+    }
+}

@@ -101,7 +101,7 @@ pub fn names() -> Vec<&'static str> {
     FIGURES.iter().map(|d| d.name).collect()
 }
 
-static FIGURES: [FigureDef; 17] = [
+static FIGURES: [FigureDef; 18] = [
     FigureDef {
         name: "fig04",
         legacy_bin: "fig04_heatmap",
@@ -223,6 +223,12 @@ static FIGURES: [FigureDef; 17] = [
             render: render_resilience,
             csv: true,
         },
+    },
+    FigureDef {
+        name: "conformance",
+        legacy_bin: "conformance",
+        summary: "randomized invariant-checker conformance sweep over both simulators",
+        kind: FigureKind::Custom(super::conformance::run),
     },
 ];
 
@@ -1318,7 +1324,7 @@ mod tests {
             assert!(find(def.name).is_some());
             assert!(find(def.legacy_bin).is_some());
         }
-        assert_eq!(all().len(), 17);
+        assert_eq!(all().len(), 18);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod artifacts;
 pub mod backend;
+pub mod conformance;
 pub mod driver;
 pub mod figures;
 pub mod record;

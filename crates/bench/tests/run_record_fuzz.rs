@@ -1,0 +1,63 @@
+//! Fuzz-style robustness tests for the `RunRecord` JSON reader.
+//!
+//! The reader ingests files written by older versions of the tool, by
+//! other machines, and — in regression tooling — by hand. The contract
+//! under byte-level damage is *structured failure*: every mutated or
+//! truncated document either parses or returns an `Err`, and never
+//! panics, loops, or aborts the process.
+
+use proptest::prelude::*;
+
+use bench::exp::record::RunRecord;
+use noc_sim::SplitMix64;
+
+/// The checked-in current-schema golden document.
+const GOLDEN: &str = include_str!("golden/run_record_v2.json");
+
+/// Applies `n` seeded single-byte mutations (printable ASCII, so the
+/// result stays valid UTF-8 — the golden file is pure ASCII).
+fn mutate(doc: &str, seed: u64, n: usize) -> String {
+    let mut bytes = doc.as_bytes().to_vec();
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..n {
+        let pos = rng.next_bounded(bytes.len() as u64) as usize;
+        bytes[pos] = 0x20 + rng.next_bounded(0x5f) as u8;
+    }
+    String::from_utf8(bytes).expect("ascii mutations keep ascii")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary single- and multi-byte corruptions never panic the
+    /// reader.
+    #[test]
+    fn mutated_documents_never_panic(seed in any::<u64>(), burst in any::<u32>()) {
+        let n = 1 + (burst as usize % 8);
+        let doc = mutate(GOLDEN, seed, n);
+        // Ok (mutation hit insignificant whitespace / a value that still
+        // validates) and Err are both acceptable; a panic fails the test.
+        let _ = RunRecord::from_json(&doc);
+    }
+
+    /// Truncation at every prefix length yields a structured error, not
+    /// a panic.
+    #[test]
+    fn truncated_documents_never_panic(cut in any::<u64>()) {
+        let len = (cut % GOLDEN.len() as u64) as usize;
+        let doc = &GOLDEN[..len];
+        if len < GOLDEN.len() {
+            prop_assert!(
+                RunRecord::from_json(doc).is_err(),
+                "a strict prefix of the golden record must not parse"
+            );
+        }
+    }
+}
+
+/// The unmutated golden document still parses — the fuzz corpus is live.
+#[test]
+fn golden_document_parses() {
+    let rec = RunRecord::from_json(GOLDEN).expect("golden record parses");
+    assert!(!rec.cells.is_empty());
+}

@@ -1,0 +1,76 @@
+//! Fuzz-style robustness tests for the model-text and checkpoint-JSON
+//! readers.
+//!
+//! Checkpoints cross machine and version boundaries (the
+//! content-addressed artifact store hands them to future builds), so the
+//! readers must fail *structurally* on damaged input: every mutated or
+//! truncated document returns an `Err` or a still-valid parse — never a
+//! panic.
+
+use proptest::prelude::*;
+
+use nn_mlp::{Activation, Checkpoint, Mlp};
+
+/// The checked-in golden checkpoint document.
+const GOLDEN_CKPT: &str = include_str!("golden/checkpoint_v1.json");
+
+/// A tiny deterministic xorshift so mutations need no external RNG.
+fn next(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Applies `n` seeded printable-ASCII single-byte mutations.
+fn mutate(doc: &str, seed: u64, n: usize) -> String {
+    let mut bytes = doc.as_bytes().to_vec();
+    let mut state = seed | 1;
+    for _ in 0..n {
+        let pos = (next(&mut state) % bytes.len() as u64) as usize;
+        bytes[pos] = 0x20 + (next(&mut state) % 0x5f) as u8;
+    }
+    String::from_utf8(bytes).expect("ascii mutations keep ascii")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Corrupted checkpoint JSON never panics the reader.
+    #[test]
+    fn mutated_checkpoints_never_panic(seed in any::<u64>(), burst in any::<u32>()) {
+        let n = 1 + (burst as usize % 8);
+        let _ = Checkpoint::from_json(&mutate(GOLDEN_CKPT, seed, n));
+    }
+
+    /// Truncated checkpoint JSON always errors, never panics.
+    #[test]
+    fn truncated_checkpoints_never_panic(cut in any::<u64>()) {
+        let len = (cut % GOLDEN_CKPT.len() as u64) as usize;
+        if len < GOLDEN_CKPT.len() {
+            prop_assert!(
+                Checkpoint::from_json(&GOLDEN_CKPT[..len]).is_err(),
+                "a strict prefix of the golden checkpoint must not parse"
+            );
+        }
+    }
+
+    /// Corrupted and truncated model text never panics `Mlp::from_text`.
+    #[test]
+    fn mutated_model_text_never_panics(seed in any::<u64>(), cut in any::<u32>()) {
+        let model = Mlp::new(&[4, 3, 2], &[Activation::Sigmoid, Activation::Relu], 9);
+        let text = model.to_text();
+        let _ = Mlp::from_text(&mutate(&text, seed, 4));
+        let len = (cut as usize) % text.len();
+        let _ = Mlp::from_text(&text[..len]);
+    }
+}
+
+/// The fuzz corpora are live: unmutated inputs round-trip.
+#[test]
+fn golden_inputs_parse() {
+    Checkpoint::from_json(GOLDEN_CKPT).expect("golden checkpoint parses");
+    let model = Mlp::new(&[4, 3, 2], &[Activation::Sigmoid, Activation::Relu], 9);
+    let back = Mlp::from_text(&model.to_text()).expect("model text round-trips");
+    assert_eq!(model.to_text(), back.to_text());
+}

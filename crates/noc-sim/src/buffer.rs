@@ -155,6 +155,13 @@ impl VcBuffer {
         Some(bp)
     }
 
+    /// Total flits of the packets currently queued, recomputed from the
+    /// queue itself. The invariant checker cross-checks this against the
+    /// incrementally maintained [`VcBuffer::used_flits`].
+    pub fn queued_flits(&self) -> u32 {
+        self.queue.iter().map(|bp| bp.packet.len_flits).sum()
+    }
+
     /// Number of buffered packets.
     pub fn len(&self) -> usize {
         self.queue.len()
@@ -206,6 +213,18 @@ mod tests {
         let mut it = b.iter();
         assert_eq!(it.next().unwrap().inter_arrival, 5); // first arrival: gap = cycle
         assert_eq!(it.next().unwrap().inter_arrival, 7);
+    }
+
+    #[test]
+    fn queued_flits_recomputes_occupancy() {
+        let mut b = VcBuffer::new(16);
+        assert_eq!(b.queued_flits(), 0);
+        b.push_injection(pkt(5), 0);
+        b.push_injection(pkt(3), 1);
+        assert_eq!(b.queued_flits(), 8);
+        assert_eq!(b.queued_flits(), b.used_flits());
+        b.pop();
+        assert_eq!(b.queued_flits(), 3);
     }
 
     #[test]

@@ -610,6 +610,22 @@ impl FaultRuntime {
 mod tests {
     use super::*;
 
+    /// Golden seed-stability pin: `FaultPlan::generate` is part of the
+    /// named-RNG-stream contract (see the pins in `rng.rs`) — the
+    /// resilience figures and the conformance sweep key their results on
+    /// the plan hash, so a refactor that reorders draws must fail here,
+    /// not silently shift every fault experiment.
+    #[test]
+    fn generated_plans_are_pinned_by_seed() {
+        let topo = crate::Topology::uniform_mesh(4, 4).unwrap();
+        let p = FaultPlan::generate(42, 0.5, &topo, 10_000);
+        assert_eq!(p.events.len(), 24);
+        assert_eq!(p.hash_hex(), "4e84da641922fd49");
+        let p = FaultPlan::generate(7, 1.0, &topo, 10_000);
+        assert_eq!(p.events.len(), 48);
+        assert_eq!(p.hash_hex(), "d7ad7194f68e9b98");
+    }
+
     fn plan_with_all_kinds() -> FaultPlan {
         FaultPlan {
             seed: 7,

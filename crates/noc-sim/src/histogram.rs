@@ -246,4 +246,62 @@ mod tests {
         assert_eq!(h.max(), u64::MAX);
         assert!(h.quantile(1.0) > 0);
     }
+
+    #[test]
+    fn single_sample_pins_every_statistic() {
+        let mut h = LatencyHistogram::new(5);
+        h.record(37);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 37.0);
+        assert_eq!(h.min(), 37);
+        assert_eq!(h.max(), 37);
+        // Every quantile of a single sample is that sample, including the
+        // q=0 edge (rank clamps to 1) and out-of-range q (clamped).
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0] {
+            assert_eq!(h.quantile(q), 37, "q={q}");
+        }
+    }
+
+    #[test]
+    fn zero_valued_samples_are_distinct_from_empty() {
+        let mut h = LatencyHistogram::new(5);
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn power_of_two_boundaries_land_in_exact_buckets() {
+        // Around 2^sub_bits the histogram transitions from exact (one value
+        // per bucket) to approximate; the boundary values themselves are
+        // still exactly representable.
+        for v in [31u64, 32, 33, 63, 64] {
+            let mut h = LatencyHistogram::new(5);
+            h.record(v);
+            assert_eq!(h.quantile(0.5), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn saturating_top_bucket_keeps_quantiles_bounded() {
+        // All mass in the topmost magnitude (the saturating bucket): the
+        // quantile must stay clamped to max() from above and within one
+        // sub-bucket (1/2^sub_bits relative error) from below — no
+        // overflow, no zero.
+        let mut h = LatencyHistogram::new(5);
+        for _ in 0..100 {
+            h.record(u64::MAX - 1);
+        }
+        for q in [0.5, 1.0] {
+            let est = h.quantile(q);
+            assert!(est <= h.max(), "q={q}: {est} above max");
+            assert!(
+                est >= h.max() - (h.max() >> 5),
+                "q={q}: {est} more than one sub-bucket below max"
+            );
+        }
+    }
 }

@@ -48,6 +48,7 @@ mod config;
 mod error;
 mod faults;
 mod histogram;
+mod invariants;
 mod packet;
 mod report;
 mod rng;
@@ -70,6 +71,7 @@ pub use faults::{
     FaultEvent, FaultKind, FaultPlan, RETRY_BACKOFF_BASE, RETRY_BACKOFF_CAP, WATCHDOG_PERIOD,
 };
 pub use histogram::LatencyHistogram;
+pub use invariants::{InvariantChecker, InvariantViolation, SimError, ViolationKind};
 pub use packet::{BufferedPacket, InjectionRequest, Packet};
 pub use report::format_report;
 pub use rng::SplitMix64;

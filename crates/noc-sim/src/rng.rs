@@ -58,6 +58,49 @@ impl SplitMix64 {
 mod tests {
     use super::*;
 
+    /// Golden seed-stability pins: the exact first draws of the named
+    /// streams every figure in the repo is seeded from. A refactor that
+    /// changes any of these values silently shifts *every* experiment, so
+    /// the expected outputs are hardcoded (they match the reference
+    /// SplitMix64 vectors, e.g. seed 0 → `0xE220A8397B1DCDAF`).
+    #[test]
+    fn raw_stream_is_pinned_for_seed_0_and_42() {
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(
+            [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+            [
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F,
+                0xF88B_B8A8_724C_81EC,
+            ]
+        );
+        let mut rng = SplitMix64::new(42);
+        assert_eq!(
+            [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+            [
+                0xBDD7_3226_2FEB_6E95,
+                0x28EF_E333_B266_F103,
+                0x4752_6757_130F_9F52,
+                0x581C_E1FF_0E4A_E394,
+            ]
+        );
+    }
+
+    /// The derived streams (`next_bounded`, `next_f64`) are pinned too:
+    /// they depend on the reduction strategy (multiply-shift, 53-bit
+    /// mantissa scaling), not just the raw generator.
+    #[test]
+    fn derived_streams_are_pinned() {
+        let mut rng = SplitMix64::new(42);
+        let bounded: Vec<u64> = (0..4).map(|_| rng.next_bounded(100)).collect();
+        assert_eq!(bounded, [74, 15, 27, 34]);
+
+        let mut rng = SplitMix64::new(7);
+        let f: Vec<f64> = (0..3).map(|_| rng.next_f64()).collect();
+        assert_eq!(f, [0.3898297483912715, 0.01678829452815611, 0.9007606806068834]);
+    }
+
     #[test]
     fn bounded_values_stay_in_range() {
         let mut rng = SplitMix64::new(7);

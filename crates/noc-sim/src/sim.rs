@@ -15,6 +15,7 @@ use crate::calendar::{CalendarCounter, CalendarQueue};
 use crate::config::SimConfig;
 use crate::error::ConfigError;
 use crate::faults::{FaultPlan, FaultRuntime};
+use crate::invariants::{InvariantChecker, InvariantViolation, SimError};
 use crate::packet::{InjectionRequest, Packet};
 use crate::config::RoutingKind;
 use crate::routing::{route_west_first, route_xy_port, RouteStep};
@@ -131,6 +132,14 @@ pub struct Simulator<T: TrafficSource> {
     /// Fault-injection runtime; `None` (the default) is the fault-free
     /// fast path and is bit-identical to a build without this subsystem.
     faults: Option<Box<FaultRuntime>>,
+    /// Runtime invariant checker; `None` (the default) takes the exact
+    /// branches of a build without the subsystem, so checkers-off runs
+    /// are bit-identical (same pattern as `faults`).
+    checker: Option<Box<InvariantChecker>>,
+    /// Test-only fault seed: at this cycle, leak one flit of credit by
+    /// reserving it behind the checker's back (see
+    /// [`Simulator::debug_inject_credit_leak`]).
+    leak_at: Option<u64>,
 }
 
 impl<T: TrafficSource> Simulator<T> {
@@ -194,6 +203,8 @@ impl<T: TrafficSource> Simulator<T> {
             inj_scratch: Vec::new(),
             arb: ArbScratch::default(),
             faults: None,
+            checker: None,
+            leak_at: None,
         })
     }
 
@@ -256,6 +267,9 @@ impl<T: TrafficSource> Simulator<T> {
             self.topo.num_nodes(),
             self.topo.num_mesh_links(),
         );
+        if let Some(ck) = &mut self.checker {
+            ck.on_reset_stats();
+        }
     }
 
     /// Installs a deterministic fault plan (see [`FaultPlan`]). An empty
@@ -280,6 +294,76 @@ impl<T: TrafficSource> Simulator<T> {
     /// True when a non-empty fault plan is installed.
     pub fn faults_enabled(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// Enables the opt-in runtime invariant checker (see
+    /// [`crate::InvariantChecker`]). The checker keeps redundant books
+    /// alongside the simulator's own accounting and records every
+    /// divergence as a structured [`InvariantViolation`] instead of
+    /// panicking; query results with
+    /// [`Simulator::invariant_violations`] or
+    /// [`Simulator::check_invariants`]. It never perturbs the
+    /// simulation: a checked run produces bit-identical statistics to an
+    /// unchecked one.
+    ///
+    /// The per-flow in-order delivery check is only armed under
+    /// deterministic [`RoutingKind::XY`] routing — adaptive routing may
+    /// legitimately reorder a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already advanced past cycle 0; the
+    /// checker's books must observe every event from the start.
+    pub fn enable_invariant_checker(&mut self) {
+        assert_eq!(
+            self.cycle, 0,
+            "enable the invariant checker before the first step"
+        );
+        let check_order = matches!(self.cfg.routing, RoutingKind::XY);
+        self.checker = Some(Box::new(InvariantChecker::new(
+            self.topo.num_routers(),
+            self.topo.ports_per_router(),
+            self.cfg.num_vnets,
+            check_order,
+        )));
+    }
+
+    /// True when the invariant checker is enabled.
+    pub fn invariants_enabled(&self) -> bool {
+        self.checker.is_some()
+    }
+
+    /// Invariant violations recorded so far (empty when the checker is
+    /// disabled or the run is clean). The list is capped; see
+    /// [`Simulator::total_invariant_violations`] for the full count.
+    pub fn invariant_violations(&self) -> &[InvariantViolation] {
+        self.checker.as_ref().map_or(&[], |ck| ck.violations())
+    }
+
+    /// Every violation detected, including those past the recording cap.
+    pub fn total_invariant_violations(&self) -> u64 {
+        self.checker.as_ref().map_or(0, |ck| ck.total_violations())
+    }
+
+    /// `Ok` when no invariant was violated (or the checker is disabled);
+    /// otherwise the recorded violations as a [`SimError`].
+    pub fn check_invariants(&self) -> Result<(), SimError> {
+        let vs = self.invariant_violations();
+        if vs.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::InvariantsViolated(vs.to_vec()))
+        }
+    }
+
+    /// Test-only bug seed: at `cycle`, reserve one flit of credit on the
+    /// first input VC that has room *without* telling the invariant
+    /// checker — a deliberate credit leak the conformance harness must
+    /// catch as a `CreditMismatch`. Kept in the public API (hidden from
+    /// docs) so out-of-crate conformance tests can arm it.
+    #[doc(hidden)]
+    pub fn debug_inject_credit_leak(&mut self, cycle: u64) {
+        self.leak_at = Some(cycle);
     }
 
     /// Starts recording every grant; used by tests and analysis tools.
@@ -347,11 +431,21 @@ impl<T: TrafficSource> Simulator<T> {
         n
     }
 
+    /// Stamps the end-of-run residuals into the statistics: packets that
+    /// never drained stay visible in [`SimStats::in_flight_at_end`] /
+    /// [`SimStats::queued_at_end`] instead of silently vanishing from the
+    /// accounting at the horizon.
+    fn stamp_residuals(&mut self) {
+        self.stats.in_flight_at_end = self.inflight_count;
+        self.stats.queued_at_end = self.queued_at_sources() as u64;
+    }
+
     /// Runs `cycles` simulation cycles.
     pub fn run(&mut self, cycles: u64) {
         for _ in 0..cycles {
             self.step();
         }
+        self.stamp_residuals();
     }
 
     /// Runs until the traffic source reports completion and the network has
@@ -363,10 +457,12 @@ impl<T: TrafficSource> Simulator<T> {
                 && self.inflight_count == 0
                 && self.queued_at_sources() == 0
             {
+                self.stamp_residuals();
                 return true;
             }
             self.step();
         }
+        self.stamp_residuals();
         self.traffic.is_done(self.cycle) && self.inflight_count == 0 && self.queued_at_sources() == 0
     }
 
@@ -400,6 +496,9 @@ impl<T: TrafficSource> Simulator<T> {
                     vnet,
                     packet,
                 } => {
+                    if let Some(ck) = &mut self.checker {
+                        ck.on_arrival(router.index(), in_port, vnet, packet.len_flits);
+                    }
                     self.routers[router.index()].inputs[in_port][vnet]
                         .push_arrival(packet, cycle);
                 }
@@ -410,6 +509,9 @@ impl<T: TrafficSource> Simulator<T> {
                     vnet,
                     len,
                 } => {
+                    if let Some(ck) = &mut self.checker {
+                        ck.on_credit_return(router.index(), in_port, vnet, len);
+                    }
                     self.routers[router.index()].inputs[in_port][vnet].unreserve(len);
                     self.stats.fault_credits_reconciled += len as u64;
                 }
@@ -423,6 +525,9 @@ impl<T: TrafficSource> Simulator<T> {
         for req in reqs.drain(..) {
             let pkt = self.make_packet(req, cycle);
             self.stats.created += 1;
+            if let Some(ck) = &mut self.checker {
+                ck.on_created();
+            }
             self.trace_event(cycle, pkt.id, TraceKind::Created);
             self.inj_queues[pkt.src.index()][pkt.vnet].push_back(pkt);
         }
@@ -487,6 +592,19 @@ impl<T: TrafficSource> Simulator<T> {
             self.arbitrate_router(RouterId(r), cycle);
         }
 
+        // Test-only bug seed: apply a pending credit leak behind the
+        // checker's back (no-op unless armed by
+        // `debug_inject_credit_leak`).
+        if self.leak_at.is_some_and(|at| at <= cycle) {
+            self.apply_debug_leak();
+        }
+
+        // Invariant sweep (checker only): cross-check every buffer and the
+        // global conservation books after the cycle's state changes.
+        if self.checker.is_some() {
+            self.invariant_phase(cycle);
+        }
+
         // Phase 6: close out the cycle.
         self.stats.link_busy_cycles += self.active_mesh_tx as u64;
         self.net.link_utilization_prev =
@@ -494,6 +612,41 @@ impl<T: TrafficSource> Simulator<T> {
         self.arbiter.end_cycle(&self.net);
         self.stats.cycles += 1;
         self.cycle += 1;
+    }
+
+    /// Reserves one flit on the first input VC with room, without telling
+    /// the invariant checker — the deliberate bug armed by
+    /// [`Simulator::debug_inject_credit_leak`]. Stays armed until a
+    /// buffer with free space is found.
+    fn apply_debug_leak(&mut self) {
+        for router in &mut self.routers {
+            for port in &mut router.inputs {
+                for vc in port {
+                    if vc.can_reserve(1) {
+                        vc.reserve(1);
+                        self.leak_at = None;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invariant bookkeeping run once per cycle while the checker is
+    /// enabled. The take/put-back dance lets the checker borrow coexist
+    /// with reads of router buffers (same pattern as `fault_phase`).
+    fn invariant_phase(&mut self, cycle: u64) {
+        let Some(mut ck) = self.checker.take() else { return };
+        for (r, router) in self.routers.iter().enumerate() {
+            for (p, port) in router.inputs.iter().enumerate() {
+                for (v, buf) in port.iter().enumerate() {
+                    ck.check_buffer(cycle, r, p, v, buf);
+                }
+            }
+        }
+        let queued = self.queued_at_sources() as u64;
+        ck.check_global(cycle, &self.stats, self.inflight_count, queued);
+        self.checker = Some(ck);
     }
 
     /// Fault bookkeeping run once per cycle while a plan is installed:
@@ -588,6 +741,9 @@ impl<T: TrafficSource> Simulator<T> {
         self.inflight_count -= 1;
         self.period_lat_sum += latency;
         self.period_delivered += 1;
+        if let Some(ck) = &mut self.checker {
+            ck.on_delivered(cycle, &packet);
+        }
         self.traffic.on_delivered(&packet, cycle);
     }
 
@@ -819,6 +975,9 @@ impl<T: TrafficSource> Simulator<T> {
                 // transmission would, then returned after one link
                 // round-trip — stalled credit must not wedge the neighbour.
                 self.routers[next.index()].inputs[in_port][winner.vnet].reserve(len);
+                if let Some(ck) = &mut self.checker {
+                    ck.on_fault_reserve(next.index(), in_port, winner.vnet, len);
+                }
                 self.stats.fault_credits_reserved += len as u64;
                 self.active_mesh_tx += 1;
                 self.tx_ends.add(cycle + len as u64, 1);
@@ -879,6 +1038,9 @@ impl<T: TrafficSource> Simulator<T> {
                 .expect("granted mesh port must be connected");
             let in_port = self.topo.port_index(dir.opposite().expect("mesh dir"));
             self.routers[next.index()].inputs[in_port][pkt.vnet].reserve(len);
+            if let Some(ck) = &mut self.checker {
+                ck.on_reserve(next.index(), in_port, pkt.vnet, len);
+            }
             pkt.hop_count += 1;
             self.stats.flits_on_links += len as u64;
             self.active_mesh_tx += 1;
@@ -1304,5 +1466,113 @@ mod tests {
         assert_eq!(s.delivered, 0);
         assert!(s.watchdog_fires >= 1, "watchdog never fired: {s:?}");
         assert_eq!(s.wedged_ports, 1);
+    }
+
+    // ---- invariant checker ----------------------------------------------
+
+    fn uniform_sim(seed: u64, rate: f64) -> Simulator<SyntheticTraffic> {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let cfg = SimConfig::synthetic(4, 4);
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, rate, 3, seed);
+        Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap()
+    }
+
+    #[test]
+    fn checked_run_is_clean_and_bit_identical_to_unchecked() {
+        let mut plain = uniform_sim(33, 0.15);
+        plain.run(2_000);
+
+        let mut checked = uniform_sim(33, 0.15);
+        checked.enable_invariant_checker();
+        assert!(checked.invariants_enabled());
+        checked.run(2_000);
+
+        checked.check_invariants().expect("clean run must have no violations");
+        assert_eq!(
+            format!("{:?}", plain.stats()),
+            format!("{:?}", checked.stats()),
+            "the checker must not perturb the simulation"
+        );
+    }
+
+    #[test]
+    fn checked_run_with_faults_and_stats_reset_stays_clean() {
+        let mut sim = uniform_sim(12, 0.20);
+        sim.enable_invariant_checker();
+        sim.set_fault_plan(&FaultPlan::generate(
+            5,
+            1.0,
+            &Topology::uniform_mesh(4, 4).unwrap(),
+            3_000,
+        ));
+        sim.run(1_000);
+        sim.reset_stats(); // warmup-style reset must not confuse the books
+        sim.run(2_000);
+        assert_eq!(
+            sim.total_invariant_violations(),
+            0,
+            "violations: {:?}",
+            sim.invariant_violations()
+        );
+    }
+
+    #[test]
+    fn checker_stays_clean_under_adaptive_routing() {
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let mut cfg = SimConfig::synthetic(4, 4);
+        cfg.routing = RoutingKind::WestFirstAdaptive;
+        let traffic = SyntheticTraffic::new(&topo, Pattern::Transpose, 0.2, 3, 8);
+        let mut sim =
+            Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        sim.enable_invariant_checker();
+        sim.run(2_000);
+        assert_eq!(sim.total_invariant_violations(), 0);
+    }
+
+    #[test]
+    fn injected_credit_leak_is_caught_as_credit_mismatch() {
+        let mut sim = uniform_sim(42, 0.15);
+        sim.enable_invariant_checker();
+        sim.debug_inject_credit_leak(500);
+        sim.run(1_000);
+        let err = sim.check_invariants().expect_err("the leak must be caught");
+        let SimError::InvariantsViolated(vs) = err;
+        assert!(
+            vs.iter().any(|v| matches!(
+                v.kind,
+                crate::invariants::ViolationKind::CreditMismatch { .. }
+            )),
+            "expected a CreditMismatch, got: {vs:?}"
+        );
+        // Detection is immediate: the sweep at the leak cycle flags it.
+        assert_eq!(vs[0].cycle, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first step")]
+    fn enabling_the_checker_mid_run_panics() {
+        let mut sim = uniform_sim(1, 0.1);
+        sim.run(10);
+        sim.enable_invariant_checker();
+    }
+
+    #[test]
+    fn residual_counts_are_stamped_at_the_horizon() {
+        // Heavy load, short run: packets must still be in the network when
+        // the budget expires, and the stats must say so.
+        let mut sim = uniform_sim(3, 0.6);
+        sim.run(300);
+        let s = sim.stats();
+        assert!(s.in_flight_at_end > 0 || s.queued_at_end > 0);
+        assert_eq!(
+            s.created,
+            s.delivered + s.in_flight_at_end + s.queued_at_end,
+            "horizon residuals must close the conservation books"
+        );
+        // A drained run stamps zeros.
+        let mut done = single_packet_sim(0, 1, 1);
+        assert!(done.run_until_done(100));
+        assert_eq!(done.stats().in_flight_at_end, 0);
+        assert_eq!(done.stats().queued_at_end, 0);
     }
 }

@@ -64,6 +64,17 @@ pub struct SimStats {
     pub watchdog_fires: u64,
     /// Ports with a starving head packet at the most recent watchdog scan.
     pub wedged_ports: u64,
+    /// Packets still inside the network (injected, undelivered) when the
+    /// run ended — nonzero when the cycle budget expired before the drain
+    /// completed. Stamped by [`crate::Simulator::run`] and
+    /// [`crate::Simulator::run_until_done`] at their horizon so messages
+    /// cut off mid-flight stay visible in the accounting
+    /// (`created = delivered + in_flight_at_end + queued_at_end` for a
+    /// run without stats resets).
+    pub in_flight_at_end: u64,
+    /// Packets still waiting in source injection queues when the run
+    /// ended (see [`SimStats::in_flight_at_end`]).
+    pub queued_at_end: u64,
     /// Unidirectional mesh links in the simulated topology — stamped by the
     /// simulator from the [`crate::Topology`] so utilization reports cannot
     /// be skewed by a caller-supplied link count.

@@ -1,0 +1,103 @@
+//! Property-based tests on the runtime invariant checker.
+//!
+//! Two sides of the contract:
+//!
+//! * **Soundness of the simulator** — for arbitrary traffic seeds, rates,
+//!   patterns, and generated fault plans, a checked run reports *zero*
+//!   violations: the engine really conserves messages and credits.
+//! * **No observer effect** — enabling the checker never changes the
+//!   simulation: the full stats block is bit-identical with and without
+//!   it, under faults or not.
+//!
+//! A third test arms the deliberate test-only credit leak and asserts the
+//! checker catches it for any seed — the checker is not vacuously green.
+
+use proptest::prelude::*;
+
+use noc_sim::arbiters::FifoArbiter;
+use noc_sim::{
+    FaultPlan, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology, ViolationKind,
+};
+
+fn patterned_sim(seed: u64, rate: f64, pattern: Pattern) -> Simulator<SyntheticTraffic> {
+    let topo = Topology::uniform_mesh(4, 4).unwrap();
+    let cfg = SimConfig::synthetic(4, 4);
+    let traffic = SyntheticTraffic::new(&topo, pattern, rate, 3, seed);
+    Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap()
+}
+
+fn pattern_of(idx: u32) -> Pattern {
+    match idx % 4 {
+        0 => Pattern::UniformRandom,
+        1 => Pattern::Transpose,
+        2 => Pattern::BitComplement,
+        _ => Pattern::Tornado,
+    }
+}
+
+proptest! {
+    // Each case simulates a few thousand cycles; keep counts suite-friendly.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary (seed, rate, pattern, fault plan) scenarios run clean
+    /// under the checker.
+    #[test]
+    fn checked_runs_report_zero_violations(
+        traffic_seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        rate in 0.02f64..0.5,
+        pattern_idx in any::<u32>(),
+        intensity in 0.0f64..2.0,
+    ) {
+        let mut sim = patterned_sim(traffic_seed, rate, pattern_of(pattern_idx));
+        sim.enable_invariant_checker();
+        if intensity > 0.0 {
+            let topo = Topology::uniform_mesh(4, 4).unwrap();
+            sim.set_fault_plan(&FaultPlan::generate(plan_seed, intensity, &topo, 2_500));
+        }
+        sim.run(2_500);
+        prop_assert_eq!(
+            sim.total_invariant_violations(), 0,
+            "violations: {:?}", sim.invariant_violations()
+        );
+    }
+
+    /// The checker is a pure observer: stats are bit-identical with it
+    /// on and off.
+    #[test]
+    fn checker_never_perturbs_the_simulation(
+        traffic_seed in any::<u64>(),
+        rate in 0.02f64..0.4,
+        pattern_idx in any::<u32>(),
+    ) {
+        let mut plain = patterned_sim(traffic_seed, rate, pattern_of(pattern_idx));
+        plain.run(2_000);
+
+        let mut checked = patterned_sim(traffic_seed, rate, pattern_of(pattern_idx));
+        checked.enable_invariant_checker();
+        checked.run(2_000);
+
+        prop_assert_eq!(
+            format!("{:?}", plain.stats()),
+            format!("{:?}", checked.stats()),
+            "enabling the checker changed the simulation"
+        );
+    }
+
+    /// The deliberate credit leak is detected for any seed — the checker
+    /// has teeth.
+    #[test]
+    fn seeded_credit_leak_is_always_caught(traffic_seed in any::<u64>()) {
+        let mut sim = patterned_sim(traffic_seed, 0.15, Pattern::UniformRandom);
+        sim.enable_invariant_checker();
+        sim.debug_inject_credit_leak(200);
+        sim.run(1_000);
+        prop_assert!(
+            sim.invariant_violations().iter().any(
+                |v| matches!(v.kind, ViolationKind::CreditMismatch { .. })
+            ),
+            "leak went undetected; violations: {:?}",
+            sim.invariant_violations()
+        );
+    }
+}
