@@ -1,0 +1,62 @@
+//! Microbenchmark of the inference kernels behind the NN arbiter: scalar
+//! vs batched forward passes of the paper's two network shapes (synthetic
+//! 60→15→15 and APU 504→42→42), in f64 and through the INT8 fixed-point
+//! datapath. The batch dimension models one router's contended output
+//! ports in one cycle (2–5 on the synthetic mesh).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn_mlp::{Mlp, QuantScratch, QuantizedMlp, Scratch};
+
+fn inputs_for(net: &Mlp, rows: usize) -> Vec<f64> {
+    (0..rows * net.input_size())
+        .map(|i| ((i * 2654435761_usize) % 1000) as f64 / 1000.0)
+        .collect()
+}
+
+fn bench_shape(c: &mut Criterion, label: &str, net: &Mlp) {
+    let qnet = QuantizedMlp::from_mlp(net);
+    let mut group = c.benchmark_group(format!("inference_batched_{label}"));
+    for &rows in &[1_usize, 4, 8] {
+        let inputs = inputs_for(net, rows);
+        let w = net.input_size();
+        let mut scratch = Scratch::new();
+        group.bench_with_input(BenchmarkId::new("f32_scalar", rows), &rows, |b, &rows| {
+            b.iter(|| {
+                let mut sink = 0.0;
+                for r in 0..rows {
+                    let q = net.forward_into(&inputs[r * w..(r + 1) * w], &mut scratch);
+                    sink += q[0];
+                }
+                sink
+            })
+        });
+        let mut batch = Scratch::new();
+        group.bench_with_input(BenchmarkId::new("f32_batched", rows), &rows, |b, &rows| {
+            b.iter(|| net.forward_batch_into(&inputs, rows, &mut batch)[0])
+        });
+        let mut qscratch = QuantScratch::new();
+        group.bench_with_input(BenchmarkId::new("int8_scalar", rows), &rows, |b, &rows| {
+            b.iter(|| {
+                let mut sink = 0.0;
+                for r in 0..rows {
+                    let q = qnet.forward_into(&inputs[r * w..(r + 1) * w], &mut qscratch);
+                    sink += q[0];
+                }
+                sink
+            })
+        });
+        let mut qbatch = QuantScratch::new();
+        group.bench_with_input(BenchmarkId::new("int8_batched", rows), &rows, |b, &rows| {
+            b.iter(|| qnet.forward_batch_into(&inputs, rows, &mut qbatch)[0])
+        });
+    }
+    group.finish();
+}
+
+fn inference_batched(c: &mut Criterion) {
+    bench_shape(c, "synthetic_60_15_15", &Mlp::paper_agent(60, 15, 15, 42));
+    bench_shape(c, "apu_504_42_42", &Mlp::paper_agent(504, 42, 42, 42));
+}
+
+criterion_group!(benches, inference_batched);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmark of the SoA router hot path: one `step()` on a warmed-up
+//! 8×8 uniform-random mesh at rate 0.20 (the Fig. 5 operating point),
+//! under the policies that stress the two pass-1 shapes — global-age
+//! (`wants_features() == false`, lite candidates from the hot mirrors) and
+//! the frozen NN policy (full Table-2 candidates plus per-router batched
+//! inference). The structure-of-arrays state (`heads`/`hots`/`auxs`,
+//! credit books, occupancy bitmaps) keeps pass 1 on one cache line per
+//! occupied VC; in steady state this path performs no heap allocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nn_mlp::Mlp;
+use noc_arbiters::{make_arbiter, PolicyKind};
+use noc_sim::{
+    Arbiter, FeatureBounds, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology,
+};
+use rl_arb::{FeatureSet, InferenceMode, NnPolicyArbiter, StateEncoder};
+
+fn warmed_sim(arbiter: Box<dyn Arbiter>) -> Simulator<SyntheticTraffic> {
+    let topo = Topology::uniform_mesh(8, 8).unwrap();
+    let cfg = SimConfig::synthetic(8, 8);
+    let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.20, cfg.num_vnets, 42);
+    let mut sim = Simulator::new(topo, cfg, arbiter, traffic).unwrap();
+    sim.run(2_000); // reach steady-state occupancy before measuring
+    sim
+}
+
+fn nn_policy() -> NnPolicyArbiter {
+    let cfg = SimConfig::synthetic(8, 8);
+    let encoder = StateEncoder::new(
+        5,
+        cfg.num_vnets,
+        FeatureSet::synthetic(),
+        FeatureBounds::for_mesh(8, 8),
+    );
+    let net = Mlp::paper_agent(encoder.state_width(), 15, encoder.num_slots(), 42);
+    NnPolicyArbiter::new(net, encoder)
+}
+
+fn sim_step_soa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step_soa_8x8_rate020");
+    let mut sim = warmed_sim(make_arbiter(PolicyKind::GlobalAge, 42));
+    group.bench_function("global_age_lite", |b| b.iter(|| sim.step()));
+    let mut sim = warmed_sim(Box::new(nn_policy()));
+    group.bench_function("nn_f32_batched", |b| b.iter(|| sim.step()));
+    let mut sim = warmed_sim(Box::new(nn_policy().with_batched(false)));
+    group.bench_function("nn_f32_scalar", |b| b.iter(|| sim.step()));
+    let mut sim = warmed_sim(Box::new(nn_policy().with_inference(InferenceMode::Int8)));
+    group.bench_function("nn_int8_batched", |b| b.iter(|| sim.step()));
+    group.finish();
+}
+
+criterion_group!(benches, sim_step_soa);
+criterion_main!(benches);

@@ -1,7 +1,18 @@
-//! Wall-clock benchmark of the parallel sweep engine: runs the quick
-//! configuration of representative figure cores serially (`threads = 1`)
-//! and on the worker pool, and writes `BENCH_sweep.json` with both
-//! timings plus the simulator's raw cycles/sec throughput.
+//! Wall-clock benchmark of the parallel sweep engine and the simulator's
+//! raw throughput: runs the quick configuration of representative figure
+//! cores serially (`threads = 1`) and on the worker pool, measures
+//! cycles/sec on the Fig. 5 8×8 operating point under every inference
+//! datapath, and writes `BENCH_sweep.json` (schema v2).
+//!
+//! Schema v2 adds:
+//! - `sim_throughput.modes`: cycles/sec per arbitration datapath —
+//!   `global_age` (the scalar hot path), `nn_f32_scalar` /
+//!   `nn_f32_batched` (the frozen NN policy without/with per-router
+//!   batched inference) and `nn_int8` (the fixed-point datapath).
+//! - `history`: one entry per regeneration (tagged with `git describe`),
+//!   carried forward from the previous file, so throughput is tracked
+//!   across PRs. A fresh file is seeded with the pre-SoA baseline.
+//! - `host.physical_cores` next to the scheduler-visible thread count.
 //!
 //! The APU figures (9–11) share their sweep core with `apu_sweep_seeds`,
 //! so the `apu_sweep` entry below (one benchmark, all policies × seeds)
@@ -15,8 +26,16 @@ use apu_sim::NUM_QUADRANTS;
 use apu_workloads::Benchmark;
 use bench::sweep::default_threads;
 use bench::{apu_sweep_seeds, load_sweep_table, sweep_seeds, CliArgs, Fig05Params};
+use nn_mlp::Mlp;
 use noc_arbiters::{make_arbiter, PolicyKind};
-use noc_sim::{Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
+use noc_sim::{
+    Arbiter, FeatureBounds, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology,
+};
+use rl_arb::{FeatureSet, InferenceMode, NnPolicyArbiter, StateEncoder};
+
+/// The `global_age` throughput recorded before the SoA hot-path rework
+/// (scalar AoS router pipeline), used to seed a fresh history.
+const PRE_SOA_BASELINE_CPS: f64 = 16_770.0;
 
 fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
     let t0 = Instant::now();
@@ -24,21 +43,115 @@ fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
     (t0.elapsed().as_secs_f64(), r)
 }
 
-/// Simulated cycles per wall-second on the Fig. 5 8×8 operating point.
-fn cycles_per_sec(cycles: u64, seed: u64) -> f64 {
+/// One timed run on the Fig. 5 8×8 operating point: warm up, then measure
+/// `cycles` simulated cycles against the wall clock.
+fn one_rep(arbiter: Box<dyn Arbiter>, warmup: u64, cycles: u64, seed: u64) -> f64 {
     let topo = Topology::uniform_mesh(8, 8).unwrap();
     let cfg = SimConfig::synthetic(8, 8);
     let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.20, cfg.num_vnets, seed);
-    let mut sim = Simulator::new(
-        topo,
-        cfg,
-        make_arbiter(PolicyKind::GlobalAge, seed),
-        traffic,
-    )
-    .unwrap();
-    sim.run(1_000); // settle into steady state before timing
+    let mut sim = Simulator::new(topo, cfg, arbiter, traffic).unwrap();
+    sim.run(warmup); // settle into steady state before timing
     let (secs, _) = time(|| sim.run(cycles));
     cycles as f64 / secs
+}
+
+/// Best of `reps` runs — the least-interrupted sample is the one that
+/// reflects the code, not the host's background load.
+fn cycles_per_sec(
+    mk: &dyn Fn() -> Box<dyn Arbiter>,
+    reps: u32,
+    warmup: u64,
+    cycles: u64,
+    seed: u64,
+) -> f64 {
+    (0..reps)
+        .map(|_| one_rep(mk(), warmup, cycles, seed))
+        .fold(0.0, f64::max)
+}
+
+/// The frozen NN policy on the 8×8 operating point. The weights are
+/// untrained — throughput depends only on the network's shape and the
+/// datapath, not on the values — and ε is left at its deployment default
+/// so the measured path is the deployed one.
+fn nn_policy(seed: u64) -> NnPolicyArbiter {
+    let cfg = SimConfig::synthetic(8, 8);
+    let encoder = StateEncoder::new(
+        5,
+        cfg.num_vnets,
+        FeatureSet::synthetic(),
+        FeatureBounds::for_mesh(8, 8),
+    );
+    let net = Mlp::paper_agent(encoder.state_width(), 15, encoder.num_slots(), seed);
+    NnPolicyArbiter::new(net, encoder)
+}
+
+/// `git describe --always --dirty`, or `"unknown"` outside a git checkout.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo`, falling back to the scheduler-visible thread count on
+/// hosts without one (or with an uninformative one).
+fn physical_cores() -> usize {
+    if let Ok(s) = std::fs::read_to_string("/proc/cpuinfo") {
+        let mut pairs = std::collections::HashSet::new();
+        let (mut phys, mut core) = (None, None);
+        let field = |line: &str| {
+            line.split(':')
+                .nth(1)
+                .and_then(|v| v.trim().parse::<u32>().ok())
+        };
+        for line in s.lines() {
+            if line.trim().is_empty() {
+                if let (Some(p), Some(c)) = (phys, core) {
+                    pairs.insert((p, c));
+                }
+                phys = None;
+                core = None;
+            } else if line.starts_with("physical id") {
+                phys = field(line);
+            } else if line.starts_with("core id") {
+                core = field(line);
+            }
+        }
+        if let (Some(p), Some(c)) = (phys, core) {
+            pairs.insert((p, c));
+        }
+        if !pairs.is_empty() {
+            return pairs.len();
+        }
+    }
+    default_threads()
+}
+
+/// Carries the `history` entries of an existing `BENCH_sweep.json` forward.
+/// Entries are written one per line, so this is a line filter, not a JSON
+/// parser; a missing or pre-v2 file yields the empty history.
+fn prior_history() -> Vec<String> {
+    let Ok(s) = std::fs::read_to_string("BENCH_sweep.json") else {
+        return Vec::new();
+    };
+    let Some(start) = s.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let rest = &s[start..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{'))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .collect()
 }
 
 fn main() {
@@ -48,20 +161,21 @@ fn main() {
     let par_threads = args.threads.max(2);
     let mut entries: Vec<String> = Vec::new();
 
-    eprintln!("[1/4] fig05 core, serial ...");
-    let (fig05_serial, serial_tables) = time(|| bench::fig05_report(&Fig05Params::quick(args.seed, 1)));
-    eprintln!("[2/4] fig05 core, {par_threads} threads ...");
+    eprintln!("[1/5] fig05 core, serial ...");
+    let (fig05_serial, serial_tables) =
+        time(|| bench::fig05_report(&Fig05Params::quick(args.seed, 1)));
+    eprintln!("[2/5] fig05 core, {par_threads} threads ...");
     let (fig05_par, par_tables) =
         time(|| bench::fig05_report(&Fig05Params::quick(args.seed, par_threads)));
     assert_eq!(serial_tables, par_tables, "thread count changed the tables");
     entries.push(entry("fig05_synthetic", fig05_serial, fig05_par, par_threads));
 
-    eprintln!("[3/4] load_sweep core ...");
+    eprintln!("[3/5] load_sweep core ...");
     let (ls_serial, _) = time(|| load_sweep_table(true, args.seed, 1));
     let (ls_par, _) = time(|| load_sweep_table(true, args.seed, par_threads));
     entries.push(entry("load_sweep", ls_serial, ls_par, par_threads));
 
-    eprintln!("[4/4] apu sweep core (bfs, all policies x seeds) ...");
+    eprintln!("[4/5] apu sweep core (bfs, all policies x seeds) ...");
     let scale = 0.08; // the --quick APU workload scale
     let specs = vec![Benchmark::Bfs.spec_scaled(scale); NUM_QUADRANTS];
     let seeds = sweep_seeds(args.seed, true);
@@ -69,14 +183,99 @@ fn main() {
     let (apu_par, _) = time(|| apu_sweep_seeds(&specs, &seeds, 4_000_000, None, par_threads));
     entries.push(entry("apu_sweep_bfs", apu_serial, apu_par, par_threads));
 
-    let cps = cycles_per_sec(20_000, args.seed);
+    eprintln!("[5/5] simulator throughput per inference datapath ...");
+    let reps = 3;
+    // The NN datapaths run an MLP per contended output port per cycle and
+    // are 1–2 orders of magnitude slower than the scalar hot path, so they
+    // get a shorter timed window (still thousands of arbitrations).
+    let (ga_cycles, nn_cycles) = if args.quick { (4_000, 800) } else { (20_000, 4_000) };
+    let seed = args.seed;
+    let modes: Vec<(&str, u64, f64)> = vec![
+        (
+            "global_age",
+            ga_cycles,
+            cycles_per_sec(
+                &|| make_arbiter(PolicyKind::GlobalAge, seed),
+                reps,
+                1_000,
+                ga_cycles,
+                seed,
+            ),
+        ),
+        (
+            "nn_f32_scalar",
+            nn_cycles,
+            cycles_per_sec(
+                &|| Box::new(nn_policy(seed).with_batched(false)),
+                reps,
+                200,
+                nn_cycles,
+                seed,
+            ),
+        ),
+        (
+            "nn_f32_batched",
+            nn_cycles,
+            cycles_per_sec(&|| Box::new(nn_policy(seed)), reps, 200, nn_cycles, seed),
+        ),
+        (
+            "nn_int8",
+            nn_cycles,
+            cycles_per_sec(
+                &|| Box::new(nn_policy(seed).with_inference(InferenceMode::Int8)),
+                reps,
+                200,
+                nn_cycles,
+                seed,
+            ),
+        ),
+    ];
+    for (name, cycles, cps) in &modes {
+        eprintln!("  {name}: {cps:.0} cycles/sec ({cycles} timed cycles)");
+    }
+
+    let mode_entries: Vec<String> = modes
+        .iter()
+        .map(|(name, cycles, cps)| {
+            format!(
+                "      \"{name}\": {{ \"timed_cycles\": {cycles}, \"cycles_per_sec\": {cps:.0} }}"
+            )
+        })
+        .collect();
+
+    let mut history = prior_history();
+    if history.is_empty() {
+        history.push(format!(
+            "{{ \"git\": \"pre-soa-baseline\", \"global_age\": {PRE_SOA_BASELINE_CPS:.0}, \
+\"note\": \"scalar AoS hot path before the SoA rework\" }}"
+        ));
+    }
+    history.push(format!(
+        "{{ \"git\": \"{}\", {} }}",
+        git_describe(),
+        modes
+            .iter()
+            .map(|(name, _, cps)| format!("\"{name}\": {cps:.0}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    let history_lines: Vec<String> = history.iter().map(|h| format!("    {h}")).collect();
 
     let json = format!(
-        "{{\n  \"mode\": \"--quick\",\n  \"seed\": {},\n  \"host_threads\": {},\n  \"figures\": [\n{}\n  ],\n  \"sim_throughput\": {{\n    \"mesh\": \"8x8\",\n    \"pattern\": \"uniform_random\",\n    \"rate\": 0.20,\n    \"arbiter\": \"global_age\",\n    \"timed_cycles\": 20000,\n    \"cycles_per_sec\": {:.0}\n  }},\n  \"note\": \"serial_s is --threads 1; parallel_s uses the listed thread count. Speedups track the host's physical core count; a single-core host shows ~1.0x.\"\n}}\n",
-        args.seed,
-        default_threads(),
-        entries.join(",\n"),
-        cps,
+        "{{\n  \"schema_version\": 2,\n  \"mode\": \"{mode}\",\n  \"seed\": {seed},\n  \
+\"host\": {{ \"threads\": {threads}, \"physical_cores\": {cores} }},\n  \"figures\": [\n{figs}\n  ],\n  \
+\"sim_throughput\": {{\n    \"mesh\": \"8x8\",\n    \"pattern\": \"uniform_random\",\n    \
+\"rate\": 0.20,\n    \"arbiter\": \"global_age\",\n    \"reps\": {reps},\n    \"modes\": {{\n{modes}\n    }}\n  }},\n  \
+\"history\": [\n{history}\n  ],\n  \
+\"note\": \"serial_s is --threads 1; parallel_s uses the listed thread count. Speedups track the host's physical core count; a single-core host shows ~1.0x. cycles_per_sec is best-of-{reps} wall-clock; history carries one entry per regeneration.\"\n}}\n",
+        mode = if args.quick { "--quick" } else { "full" },
+        seed = args.seed,
+        threads = default_threads(),
+        cores = physical_cores(),
+        figs = entries.join(",\n"),
+        reps = reps,
+        modes = mode_entries.join(",\n"),
+        history = history_lines.join(",\n"),
     );
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     eprintln!("wrote BENCH_sweep.json");

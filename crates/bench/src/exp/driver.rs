@@ -348,6 +348,10 @@ pub fn run_matrix(
                 LineupEntry::NnSlot => {
                     let (policy, hash) =
                         nn.clone().expect("NN recipe produced no network");
+                    // `--inference` selects the NN datapath at run time; it
+                    // is not part of the training recipe, so the artifact
+                    // hash (and the trained weights) are mode-invariant.
+                    let policy = policy.with_inference(args.inference);
                     ("nn".into(), "NN".into(), PolicySpec::nn("NN", policy), Some(hash))
                 }
             })

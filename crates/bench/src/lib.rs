@@ -6,9 +6,11 @@
 //! helpers for the "NN" policy, and plain-text table/series rendering.
 //!
 //! All binaries accept `--quick` (shrink workloads for smoke runs),
-//! `--seed <n>`, and `--threads <n>` (worker count for the parallel sweep
+//! `--seed <n>`, `--threads <n>` (worker count for the parallel sweep
 //! engine in [`sweep`]; `--threads 1` reproduces the serial path
-//! bit-for-bit).
+//! bit-for-bit), and `--inference <f32|int8>` (numeric datapath for
+//! NN-policy inference; the `f32` default is bit-identical to the
+//! historical runs).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -24,7 +26,7 @@ use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter};
 /// The flag portion of every binary's usage line — there is exactly one
 /// flag grammar across the whole experiment layer.
 pub const USAGE_FLAGS: &str = "[--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>] \
-[--artifacts-dir <dir>] [--retrain] [--quiet]";
+[--artifacts-dir <dir>] [--retrain] [--quiet] [--inference <f32|int8>]";
 
 /// Command-line options shared by the `repro` driver and every figure shim.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +47,9 @@ pub struct CliArgs {
     pub retrain: bool,
     /// Suppress progress chatter on stderr (tables still print to stdout).
     pub quiet: bool,
+    /// Numeric datapath for NN-policy inference: full-precision float (the
+    /// default, bit-identical to the historical runs) or INT8 fixed-point.
+    pub inference: rl_arb::InferenceMode,
 }
 
 impl Default for CliArgs {
@@ -57,14 +62,15 @@ impl Default for CliArgs {
             artifacts_dir: "results/artifacts".into(),
             retrain: false,
             quiet: false,
+            inference: rl_arb::InferenceMode::F32,
         }
     }
 }
 
 impl CliArgs {
     /// Parses the shared flags (`--quick`, `--seed <n>`, `--threads <n>`,
-    /// `--out-dir <dir>`, `--artifacts-dir <dir>`, `--retrain`, `--quiet`)
-    /// from an argument iterator. Non-flag arguments are returned as
+    /// `--out-dir <dir>`, `--artifacts-dir <dir>`, `--retrain`, `--quiet`,
+    /// `--inference <f32|int8>`) from an argument iterator. Non-flag arguments are returned as
     /// positionals (the driver's figure name); unknown flags are errors —
     /// never silently ignored.
     pub fn parse_from(
@@ -100,6 +106,10 @@ impl CliArgs {
                 }
                 "--retrain" => out.retrain = true,
                 "--quiet" => out.quiet = true,
+                "--inference" => {
+                    let v = it.next().ok_or("--inference needs a value (f32 or int8)")?;
+                    out.inference = v.parse()?;
+                }
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag '{flag}'"));
                 }
@@ -663,6 +673,38 @@ mod tests {
             &[("a".into(), vec![1.0]), ("b".into(), vec![2.0, 3.0])],
         );
         assert!(out.contains('-'), "missing placeholder for ragged series");
+    }
+
+    #[test]
+    fn inference_flag_parses_both_modes_and_defaults_to_f32() {
+        let (args, _) = CliArgs::parse_from(std::iter::empty()).unwrap();
+        assert_eq!(args.inference, rl_arb::InferenceMode::F32);
+        let (args, _) = CliArgs::parse_from(
+            ["--inference".to_string(), "int8".to_string()].into_iter(),
+        )
+        .unwrap();
+        assert_eq!(args.inference, rl_arb::InferenceMode::Int8);
+        let (args, _) = CliArgs::parse_from(
+            ["--inference".to_string(), "f32".to_string()].into_iter(),
+        )
+        .unwrap();
+        assert_eq!(args.inference, rl_arb::InferenceMode::F32);
+    }
+
+    #[test]
+    fn inference_flag_rejects_unknown_modes() {
+        let err = CliArgs::parse_from(
+            ["--inference".to_string(), "fp16".to_string()].into_iter(),
+        )
+        .unwrap_err();
+        assert!(err.contains("fp16"), "unhelpful error: {err}");
+        let err = CliArgs::parse_from(["--inference".to_string()].into_iter()).unwrap_err();
+        assert!(err.contains("--inference"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn usage_lists_inference_flag() {
+        assert!(USAGE_FLAGS.contains("--inference <f32|int8>"));
     }
 
     #[test]

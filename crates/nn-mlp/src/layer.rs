@@ -133,6 +133,41 @@ impl DenseLayer {
         }
     }
 
+    /// Batched forward pass: `inputs` holds `rows` samples back to back
+    /// (row-major, `rows * self.inputs()` values) and `out` is filled with
+    /// the activations in the same layout (`rows * self.outputs()`).
+    ///
+    /// The loop runs output-neuron-major so one weight row is streamed
+    /// against every sample while it is hot in cache — the point of
+    /// batching — but each output element accumulates `bias + Σ wᵢ·xᵢ` in
+    /// exactly the order [`DenseLayer::forward_into`] uses, so every row of
+    /// the result is bit-identical to a scalar pass over that sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != rows * self.inputs()`.
+    pub fn forward_batch_into(&self, inputs: &[f64], rows: usize, out: &mut Vec<f64>) {
+        assert_eq!(
+            inputs.len(),
+            rows * self.inputs,
+            "batch input width mismatch"
+        );
+        out.clear();
+        out.resize(rows * self.outputs, 0.0);
+        for o in 0..self.outputs {
+            let wrow = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let bias = self.biases[o];
+            for r in 0..rows {
+                let x = &inputs[r * self.inputs..(r + 1) * self.inputs];
+                let mut acc = bias;
+                for (w, v) in wrow.iter().zip(x) {
+                    acc += w * v;
+                }
+                out[r * self.outputs + o] = self.activation.apply(acc);
+            }
+        }
+    }
+
     /// Backward pass for one sample.
     ///
     /// `output` must be the value returned by [`DenseLayer::forward`] for

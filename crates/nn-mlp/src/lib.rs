@@ -28,4 +28,4 @@ pub use activation::Activation;
 pub use io::{Checkpoint, ParseModelError, CHECKPOINT_SCHEMA_VERSION};
 pub use layer::DenseLayer;
 pub use network::{Mlp, Scratch};
-pub use quantize::{QuantizedLayer, QuantizedMlp};
+pub use quantize::{QuantScratch, QuantizedLayer, QuantizedMlp};

@@ -154,6 +154,48 @@ impl Mlp {
         cur
     }
 
+    /// Batched allocation-free forward pass: `inputs` holds `rows` samples
+    /// back to back (`rows * self.input_size()` values) and the returned
+    /// slice holds `rows * self.output_size()` Q-values in the same
+    /// row-major layout.
+    ///
+    /// Row `r` of the result is **bit-identical** to
+    /// `self.forward_into(&inputs[r*w..(r+1)*w], ..)` — the batched kernel
+    /// changes only the loop order across samples, never the per-element
+    /// accumulation order (see [`crate::DenseLayer::forward_batch_into`]).
+    /// The NoC arbiter relies on this to batch every contended output port
+    /// of a router into one network pass per cycle without perturbing a
+    /// single decision.
+    ///
+    /// The same [`Scratch`] type serves scalar and batched calls; buffers
+    /// grow to `rows × widest layer` on first use and are reused thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != rows * self.input_size()`.
+    pub fn forward_batch_into<'s>(
+        &self,
+        inputs: &[f64],
+        rows: usize,
+        scratch: &'s mut Scratch,
+    ) -> &'s [f64] {
+        assert_eq!(
+            inputs.len(),
+            rows * self.input_size(),
+            "batch input width mismatch"
+        );
+        let Scratch { ping, pong } = scratch;
+        let mut cur: &mut Vec<f64> = ping;
+        let mut next: &mut Vec<f64> = pong;
+        let (first, rest) = self.layers.split_first().expect("Mlp has at least one layer");
+        first.forward_batch_into(inputs, rows, cur);
+        for layer in rest {
+            layer.forward_batch_into(cur, rows, next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
     /// Forward pass keeping every layer's output (needed for backprop).
     fn forward_trace(&self, input: &[f64]) -> Vec<Vec<f64>> {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
@@ -285,6 +327,47 @@ mod tests {
         // Second call reuses the (now-sized) buffers.
         let y = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
         assert_eq!(net.forward_into(&y, &mut scratch), &net.forward(&y)[..]);
+    }
+
+    #[test]
+    fn forward_batch_rows_are_bitwise_identical_to_scalar() {
+        let net = Mlp::paper_agent(60, 15, 15, 7);
+        let rows = 5;
+        let inputs: Vec<f64> = (0..rows * 60)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.3)
+            .collect();
+        let mut batch = Scratch::new();
+        let q = net.forward_batch_into(&inputs, rows, &mut batch).to_vec();
+        assert_eq!(q.len(), rows * net.output_size());
+        let mut scalar = Scratch::new();
+        for r in 0..rows {
+            let row = net.forward_into(&inputs[r * 60..(r + 1) * 60], &mut scalar);
+            for (o, (&b, &s)) in q[r * 15..(r + 1) * 15].iter().zip(row).enumerate() {
+                assert_eq!(
+                    b.to_bits(),
+                    s.to_bits(),
+                    "row {r} output {o}: batched {b} != scalar {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_handles_single_row_and_empty_batch() {
+        let net = Mlp::paper_agent(6, 9, 4, 3);
+        let mut scratch = Scratch::new();
+        let x = [0.1, -0.3, 0.7, 0.0, 0.5, -0.9];
+        let one = net.forward_batch_into(&x, 1, &mut scratch).to_vec();
+        assert_eq!(one, net.forward(&x));
+        assert!(net.forward_batch_into(&[], 0, &mut scratch).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch input width mismatch")]
+    fn forward_batch_rejects_ragged_input() {
+        let net = Mlp::paper_agent(4, 3, 2, 0);
+        let mut scratch = Scratch::new();
+        net.forward_batch_into(&[0.0; 7], 2, &mut scratch);
     }
 
     #[test]

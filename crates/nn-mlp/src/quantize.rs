@@ -45,12 +45,60 @@ impl QuantizedLayer {
     pub fn macs(&self) -> usize {
         self.inputs * self.outputs
     }
+
+    /// One layer of the fixed-point datapath on caller-owned buffers:
+    /// quantize `input` against its own maximum into `xq`, accumulate in
+    /// `i32`, dequantize and activate into `out`. Numerically identical to
+    /// the corresponding layer step of [`QuantizedMlp::forward`].
+    fn forward_into(&self, input: &[f64], xq: &mut Vec<i8>, out: &mut Vec<f64>) {
+        assert_eq!(input.len(), self.inputs, "input width mismatch");
+        let in_max = input.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-12);
+        let in_scale = in_max / 127.0;
+        xq.clear();
+        xq.extend(
+            input
+                .iter()
+                .map(|v| (v / in_scale).round().clamp(-127.0, 127.0) as i8),
+        );
+        out.clear();
+        out.reserve(self.outputs);
+        for o in 0..self.outputs {
+            let row = &self.weights_q[o * self.inputs..(o + 1) * self.inputs];
+            let acc: i32 = row
+                .iter()
+                .zip(xq.iter())
+                .map(|(&w, &v)| w as i32 * v as i32)
+                .sum();
+            let deq = acc as f64 * self.scale * in_scale + self.biases[o];
+            out.push(self.activation.apply(deq));
+        }
+    }
 }
 
 /// An INT8-quantized MLP.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedMlp {
     layers: Vec<QuantizedLayer>,
+}
+
+/// Reusable buffers for [`QuantizedMlp::forward_into`] and
+/// [`QuantizedMlp::forward_batch_into`]: the per-layer INT8 input vector,
+/// the f64 activation ping-pong, and the batched-output accumulator. Sized
+/// lazily on first use and reused (allocation-free) thereafter — keep one
+/// per inference site, as with [`crate::Scratch`].
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    xq: Vec<i8>,
+    ping: Vec<f64>,
+    pong: Vec<f64>,
+    batch: Vec<f64>,
+}
+
+impl QuantScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        QuantScratch::default()
+    }
 }
 
 impl QuantizedMlp {
@@ -123,6 +171,76 @@ impl QuantizedMlp {
         }
         x
     }
+
+    /// Allocation-free [`QuantizedMlp::forward`]: the fixed-point datapath
+    /// on caller-owned buffers, returning a slice borrowing `scratch`.
+    /// Numerically identical to `forward` — same quantization, same `i32`
+    /// accumulation order, same dequantize-then-activate step.
+    pub fn forward_into<'s>(&self, input: &[f64], scratch: &'s mut QuantScratch) -> &'s [f64] {
+        let QuantScratch { xq, ping, pong, .. } = scratch;
+        Self::row_into(&self.layers, input, xq, ping, pong)
+    }
+
+    /// Batched [`QuantizedMlp::forward_into`]: `inputs` holds `rows`
+    /// samples back to back and the returned slice holds the outputs in the
+    /// same row-major layout. Each input row is quantized against **its
+    /// own** maximum — exactly as the scalar path quantizes it — so every
+    /// row of the result is bit-identical to a scalar
+    /// [`QuantizedMlp::forward_into`] call on that row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != rows * input width`.
+    pub fn forward_batch_into<'s>(
+        &self,
+        inputs: &[f64],
+        rows: usize,
+        scratch: &'s mut QuantScratch,
+    ) -> &'s [f64] {
+        let iw = self
+            .layers
+            .first()
+            .expect("QuantizedMlp has at least one layer")
+            .inputs;
+        assert_eq!(inputs.len(), rows * iw, "batch input width mismatch");
+        let ow = self.layers.last().unwrap().outputs;
+        let QuantScratch { xq, ping, pong, batch } = scratch;
+        batch.clear();
+        batch.reserve(rows * ow);
+        for r in 0..rows {
+            let y = Self::row_into(
+                &self.layers,
+                &inputs[r * iw..(r + 1) * iw],
+                xq,
+                &mut *ping,
+                &mut *pong,
+            );
+            batch.extend_from_slice(y);
+        }
+        batch
+    }
+
+    /// One sample through every layer on the given buffers; the returned
+    /// slice borrows whichever ping-pong buffer holds the output layer.
+    fn row_into<'a>(
+        layers: &[QuantizedLayer],
+        input: &[f64],
+        xq: &mut Vec<i8>,
+        ping: &'a mut Vec<f64>,
+        pong: &'a mut Vec<f64>,
+    ) -> &'a [f64] {
+        let mut cur: &mut Vec<f64> = ping;
+        let mut next: &mut Vec<f64> = pong;
+        let (first, rest) = layers
+            .split_first()
+            .expect("QuantizedMlp has at least one layer");
+        first.forward_into(input, xq, cur);
+        for layer in rest {
+            layer.forward_into(cur, xq, next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +256,42 @@ mod tests {
         let yq = q.forward(&input);
         for (a, b) in yf.iter().zip(&yq) {
             assert!((a - b).abs() < 0.05, "float {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn forward_into_is_bitwise_identical_to_forward() {
+        let net = Mlp::paper_agent(60, 15, 15, 9);
+        let q = QuantizedMlp::from_mlp(&net);
+        let mut scratch = QuantScratch::new();
+        for seed in 0..4_u64 {
+            let input: Vec<f64> = (0..60)
+                .map(|i| ((i as u64 * 31 + seed * 7919) % 997) as f64 / 997.0)
+                .collect();
+            let alloc = q.forward(&input);
+            let free = q.forward_into(&input, &mut scratch);
+            for (a, b) in alloc.iter().zip(free) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} != {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rows_are_bitwise_identical_to_scalar() {
+        let net = Mlp::paper_agent(60, 15, 15, 11);
+        let q = QuantizedMlp::from_mlp(&net);
+        let rows = 4;
+        let inputs: Vec<f64> = (0..rows * 60)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 / 1000.0)
+            .collect();
+        let mut scratch = QuantScratch::new();
+        let batched = q.forward_batch_into(&inputs, rows, &mut scratch).to_vec();
+        assert_eq!(batched.len(), rows * 15);
+        for r in 0..rows {
+            let scalar = q.forward(&inputs[r * 60..(r + 1) * 60]);
+            for (o, (&b, &s)) in batched[r * 15..(r + 1) * 15].iter().zip(&scalar).enumerate() {
+                assert_eq!(b.to_bits(), s.to_bits(), "row {r} output {o}: {b} != {s}");
+            }
         }
     }
 

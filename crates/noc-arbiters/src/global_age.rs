@@ -31,6 +31,10 @@ impl Arbiter for GlobalAgeArbiter {
     fn select(&mut self, ctx: &OutputCtx<'_>) -> Option<usize> {
         Some(ctx.oldest_global_index())
     }
+
+    fn wants_features(&self) -> bool {
+        false // orders by (create_cycle, packet_id) only
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 use crate::types::{DestType, MsgType, NodeId, RouterId};
 
 /// The message features visible to an arbitration policy (paper Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Features {
     /// Size of the message in flits.
     pub payload_size: u32,
@@ -155,9 +155,23 @@ pub trait Arbiter {
     fn select(&mut self, ctx: &OutputCtx<'_>) -> Option<usize>;
 
     /// Called once per router per cycle *before* any [`Arbiter::select`]
-    /// call for that router, with the full request matrix. Matching
-    /// allocators compute their matching here; the default does nothing.
+    /// call for that router, with the request matrix restricted to
+    /// *contended* outputs (two or more eligible candidates). Sole
+    /// requesters are granted directly by the simulator (paper §4.5) and
+    /// never appear here or in [`Arbiter::select`]. Matching allocators
+    /// compute their matching here; the default does nothing.
     fn plan_router(&mut self, _ctx: &RouterCtx<'_>) {}
+
+    /// Whether the policy reads the Table-2 feature vector (and the
+    /// source/destination fields) of its candidates. Policies that order
+    /// purely by age and id — e.g. global-age — return `false`, which lets
+    /// the simulator skip materialising those fields on the hot path. The
+    /// ordering keys (`create_cycle`, `packet_id`, `arrival_cycle`,
+    /// `features.payload_size`, `features.local_age`) and the port/vnet
+    /// coordinates are always populated.
+    fn wants_features(&self) -> bool {
+        true
+    }
 
     /// Called at the end of every simulated cycle. Learning arbiters use
     /// this to run training steps; the default does nothing.

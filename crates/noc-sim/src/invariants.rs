@@ -37,7 +37,7 @@
 
 use std::collections::HashMap;
 
-use crate::buffer::VcBuffer;
+use crate::buffer::VcView;
 use crate::packet::Packet;
 use crate::stats::SimStats;
 
@@ -369,7 +369,7 @@ impl InvariantChecker {
         router: usize,
         in_port: usize,
         vnet: usize,
-        buf: &VcBuffer,
+        buf: VcView<'_>,
     ) {
         let loc = || format!("router {router} in_port {in_port} vnet {vnet}");
         let used = buf.used_flits();
@@ -542,11 +542,11 @@ mod tests {
             b.reserve(5);
             b
         };
-        ck.check_buffer(0, 1, 2, 1, &buf);
+        ck.check_buffer(0, 1, 2, 1, buf.as_view());
         assert_eq!(ck.total_violations(), 0);
         // The same reservation checked against an *empty* buffer is a leak.
         let empty = crate::buffer::VcBuffer::new(8);
-        ck.check_buffer(1, 1, 2, 1, &empty);
+        ck.check_buffer(1, 1, 2, 1, empty.as_view());
         assert_eq!(ck.total_violations(), 1);
         assert!(matches!(
             ck.violations()[0].kind,

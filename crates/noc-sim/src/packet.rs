@@ -6,7 +6,7 @@ use crate::types::{DestType, MsgType, NodeId, RouterId};
 /// packet granularity: a packet of `len_flits` flits occupies its output port
 /// for `len_flits` cycles when it wins arbitration, and may only move when
 /// the downstream virtual-channel buffer has room for the whole packet.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Unique, monotonically increasing identifier.
     pub id: u64,
@@ -82,7 +82,7 @@ impl Packet {
 
 /// A packet sitting in an input virtual-channel buffer, together with its
 /// arrival time at the current router (the basis of the *local age* feature).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferedPacket {
     /// The buffered packet.
     pub packet: Packet,

@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 
 use crate::arbitration::{Arbiter, Candidate, Features, Grant, NetSnapshot, OutputCtx, RouterCtx};
-use crate::buffer::VcBuffer;
+use crate::buffer::VcBufArray;
 use crate::calendar::{CalendarCounter, CalendarQueue};
 use crate::config::SimConfig;
 use crate::error::ConfigError;
@@ -18,21 +18,12 @@ use crate::faults::{FaultPlan, FaultRuntime};
 use crate::invariants::{InvariantChecker, InvariantViolation, SimError};
 use crate::packet::{InjectionRequest, Packet};
 use crate::config::RoutingKind;
-use crate::routing::{route_west_first, route_xy_port, RouteStep};
+use crate::routing::{route_west_first, RouteStep};
 use crate::stats::SimStats;
 use crate::topology::Topology;
 use crate::trace::{PacketTrace, TraceEvent, TraceKind};
 use crate::traffic::TrafficSource;
-use crate::types::{PortDir, RouterId};
-
-/// Per-router microarchitectural state.
-#[derive(Debug, Clone)]
-struct RouterState {
-    /// `inputs[port][vnet]` — one VC buffer per (port, virtual network).
-    inputs: Vec<Vec<VcBuffer>>,
-    /// First cycle at which each output port is free again.
-    out_free_at: Vec<u64>,
-}
+use crate::types::{Coord, PortDir, RouterId, NodeId};
 
 /// A packet in flight between routers (or toward a destination node).
 #[derive(Debug, Clone)]
@@ -62,8 +53,9 @@ enum Arrival {
 }
 
 /// Reusable buffers for the per-cycle arbitration loop, so the steady-state
-/// step allocates nothing: candidate vectors are pooled in `spare` and the
-/// request matrix / availability list keep their capacity across cycles.
+/// step allocates nothing: candidate vectors are pooled in `spare`, the
+/// per-output collection buckets keep their capacity across routers, and
+/// the request matrix / availability list keep theirs across cycles.
 #[derive(Debug, Default)]
 struct ArbScratch {
     /// The request matrix being arbitrated: `(out_port, candidates)`.
@@ -72,6 +64,33 @@ struct ArbScratch {
     spare: Vec<Vec<Candidate>>,
     /// Per-output candidates still grantable this cycle.
     avail: Vec<Candidate>,
+    /// Per-output collection buckets, indexed by output port.
+    buckets: Vec<Vec<Candidate>>,
+    /// Pass-1 compact request records, in (in_port, vnet) order.
+    reqs: Vec<GrantReq>,
+    /// Requests per output port this router/cycle.
+    counts: Vec<u32>,
+    /// Index into `reqs` of the first request per output (`u32::MAX` =
+    /// none) — O(1) lookup for the sole-requester grant path.
+    first_req: Vec<u32>,
+}
+
+/// The subset of a winning [`Candidate`] the grant path needs — small
+/// enough to collect for every requesting VC in arbitration pass 1
+/// without materialising the full feature vector.
+#[derive(Debug, Clone, Copy)]
+struct GrantReq {
+    /// Head packet local age at the arbitration cycle.
+    local_age: u64,
+    /// Flat buffer index of the requesting VC.
+    bi: u32,
+    /// Head packet length in flits.
+    len: u32,
+    out_port: u8,
+    in_port: u8,
+    vnet: u8,
+    /// Flattened `in_port * vnets + vnet` occupancy-bitmap slot.
+    slot: u8,
 }
 
 /// The cycle-accurate NoC simulator.
@@ -98,9 +117,35 @@ pub struct Simulator<T: TrafficSource> {
     topo: Topology,
     arbiter: Box<dyn Arbiter>,
     traffic: T,
-    routers: Vec<RouterState>,
-    /// `inj_queues[node][vnet]` — unbounded source queues.
-    inj_queues: Vec<Vec<VecDeque<Packet>>>,
+    /// Every input VC buffer in the mesh, in one structure-of-arrays store
+    /// indexed by `(router * ports + port) * vnets + vnet`.
+    bufs: VcBufArray,
+    /// First cycle each output port is free again, flat `router*ports+port`.
+    out_free_at: Vec<u64>,
+    /// Per-router occupancy bitmaps (`occ_words` words per router): bit
+    /// `in_port * vnets + vnet` is set while that VC holds ≥ 1 packet, so
+    /// arbitration iterates only occupied buffers.
+    occ: Vec<u64>,
+    /// Bitmap words per router: `ceil(ports * vnets / 64)`.
+    occ_words: usize,
+    /// Cached [`Topology::ports_per_router`].
+    ports: usize,
+    /// Cached [`SimConfig::num_vnets`].
+    vnets: usize,
+    /// Cached [`Topology::num_locals`] (ports `< num_locals` are local).
+    num_locals: usize,
+    /// Precomputed router coordinates (no div/mod on the hot path).
+    coords: Vec<Coord>,
+    /// `links[router*ports+port]` = `(downstream router, its input port)`
+    /// for connected mesh ports; `None` for local ports and mesh edges.
+    links: Vec<Option<(usize, usize)>>,
+    /// `(router, local port)` for each node id, in node order.
+    node_ports: Vec<(usize, usize)>,
+    /// `inj_queues[node*vnets+vnet]` — unbounded source queues.
+    inj_queues: Vec<VecDeque<Packet>>,
+    /// Total packets across all injection queues (kept in sync so the
+    /// per-cycle conservation reads are O(1)).
+    queued_total: u64,
     /// Packets in flight on links, keyed by arrival cycle.
     arrivals: CalendarQueue<Arrival>,
     cycle: u64,
@@ -128,7 +173,27 @@ pub struct Simulator<T: TrafficSource> {
     /// Scratch for pulling this cycle's injections (capacity reused).
     inj_scratch: Vec<InjectionRequest>,
     /// Scratch for the arbitration request matrix (capacity reused).
-    arb: ArbScratch,
+    /// Boxed behind an `Option` so the per-router take/put-back moves a
+    /// pointer, not the whole scratch struct; always `Some` between steps.
+    arb: Option<Box<ArbScratch>>,
+    /// Cached routed output port of each buffer's head packet
+    /// (`u8::MAX` = unknown). Valid only under deterministic X-Y routing,
+    /// where the route is a pure function of the head packet; invalidated
+    /// whenever a buffer's head changes.
+    /// Flat downstream-buffer base per `(router, out_port)`:
+    /// `(next * ports + in_port) * vnets` for connected mesh ports,
+    /// `u32::MAX` for local/disconnected ports. A compact mirror of
+    /// `links` for the arbitration credit gate.
+    links_nbi: Vec<u32>,
+    /// Bitmap of non-empty injection queues, bit `node * vnets + vnet` —
+    /// lets the per-cycle injection scan visit only queued sources.
+    inj_occ: Vec<u64>,
+    /// Precomputed `!arbiter.wants_features()` (the arbiter never changes
+    /// after construction).
+    arb_lite: bool,
+    /// Whether the per-VC cached route may be consulted (X-Y routing and port
+    /// indices that fit in a `u8`).
+    route_cacheable: bool,
     /// Fault-injection runtime; `None` (the default) is the fault-free
     /// fast path and is bit-identical to a build without this subsystem.
     faults: Option<Box<FaultRuntime>>,
@@ -156,21 +221,31 @@ impl<T: TrafficSource> Simulator<T> {
     ) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let ports = topo.ports_per_router();
-        let routers = (0..topo.num_routers())
-            .map(|_| RouterState {
-                inputs: (0..ports)
-                    .map(|_| {
-                        (0..cfg.num_vnets)
-                            .map(|_| VcBuffer::new(cfg.vc_capacity_flits))
-                            .collect()
-                    })
-                    .collect(),
-                out_free_at: vec![0; ports],
-            })
+        let vnets = cfg.num_vnets;
+        let num_locals = topo.num_locals();
+        let n_routers = topo.num_routers();
+        let bufs = VcBufArray::new(n_routers * ports * vnets, cfg.vc_capacity_flits);
+        let occ_words = (ports * vnets).div_ceil(64);
+        let coords: Vec<Coord> = (0..n_routers).map(|r| topo.coord(RouterId(r))).collect();
+        let mut links = vec![None; n_routers * ports];
+        for r in 0..n_routers {
+            for p in 0..ports {
+                let dir = topo.port_dir(p);
+                if dir.is_local() {
+                    continue;
+                }
+                if let Some(next) = topo.neighbor(RouterId(r), dir) {
+                    let in_port = topo.port_index(dir.opposite().expect("mesh dir"));
+                    links[r * ports + p] = Some((next.index(), in_port));
+                }
+            }
+        }
+        let node_ports: Vec<(usize, usize)> = topo
+            .nodes()
+            .iter()
+            .map(|n| (n.router.index(), topo.port_index(PortDir::Local(n.slot))))
             .collect();
-        let inj_queues = (0..topo.num_nodes())
-            .map(|_| (0..cfg.num_vnets).map(|_| VecDeque::new()).collect())
-            .collect();
+        let inj_queues = (0..topo.num_nodes() * vnets).map(|_| VecDeque::new()).collect();
         let stats = SimStats::new(cfg.num_vnets, topo.num_nodes(), topo.num_mesh_links());
         let in_flight = vec![0; topo.num_routers()];
         // Every event lands within max_packet_flits + link + router latency
@@ -178,13 +253,36 @@ impl<T: TrafficSource> Simulator<T> {
         // queues on their O(1) ring path (overflow handles anything larger).
         let horizon =
             (cfg.max_packet_flits as u64 + cfg.link_latency + cfg.router_latency + 2) as usize;
+        let route_cacheable = matches!(cfg.routing, RoutingKind::XY) && ports < u8::MAX as usize;
+        let links_nbi: Vec<u32> = links
+            .iter()
+            .map(|l| match l {
+                Some((next, in_port)) => ((next * ports + in_port) * vnets) as u32,
+                None => u32::MAX,
+            })
+            .collect();
+        let arb_lite = !arbiter.wants_features();
+        let inj_occ_words = (topo.num_nodes() * vnets).div_ceil(64);
         Ok(Simulator {
             cfg,
             topo,
             arbiter,
             traffic,
-            routers,
+            bufs,
+            out_free_at: vec![0; n_routers * ports],
+            occ: vec![0; n_routers * occ_words],
+            occ_words,
+            ports,
+            vnets,
+            num_locals,
+            coords,
+            links,
+            links_nbi,
+            inj_occ: vec![0; inj_occ_words],
+            arb_lite,
+            node_ports,
             inj_queues,
+            queued_total: 0,
             arrivals: CalendarQueue::new(horizon),
             cycle: 0,
             next_packet_id: 0,
@@ -201,7 +299,8 @@ impl<T: TrafficSource> Simulator<T> {
             trace: None,
             arrival_scratch: Vec::new(),
             inj_scratch: Vec::new(),
-            arb: ArbScratch::default(),
+            arb: Some(Box::default()),
+            route_cacheable,
             faults: None,
             checker: None,
             leak_at: None,
@@ -405,25 +504,35 @@ impl<T: TrafficSource> Simulator<T> {
 
     /// Packets waiting in source injection queues.
     pub fn queued_at_sources(&self) -> usize {
-        self.inj_queues
-            .iter()
-            .flat_map(|qs| qs.iter())
-            .map(|q| q.len())
-            .sum()
+        self.queued_total as usize
+    }
+
+    /// Flat buffer index of `(router, port, vnet)` in the SoA store.
+    #[inline(always)]
+    fn bi(&self, router: usize, port: usize, vnet: usize) -> usize {
+        (router * self.ports + port) * self.vnets + vnet
+    }
+
+    /// Marks VC slot `in_port * vnets + vnet` of `router` occupied.
+    #[inline(always)]
+    fn occ_set(&mut self, router: usize, slot: usize) {
+        self.occ[router * self.occ_words + slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Marks VC slot `in_port * vnets + vnet` of `router` empty.
+    #[inline(always)]
+    fn occ_clear(&mut self, router: usize, slot: usize) {
+        self.occ[router * self.occ_words + slot / 64] &= !(1u64 << (slot % 64));
     }
 
     /// Counts buffered packets whose local age exceeds the configured
     /// starvation threshold, and records the result in the statistics.
     pub fn starving_packets(&mut self) -> u64 {
         let mut n = 0;
-        for r in &self.routers {
-            for port in &r.inputs {
-                for vc in port {
-                    for bp in vc.iter() {
-                        if bp.local_age(self.cycle) > self.cfg.starvation_threshold {
-                            n += 1;
-                        }
-                    }
+        for bi in 0..self.bufs.num_buffers() {
+            for bp in self.bufs.iter(bi) {
+                if bp.local_age(self.cycle) > self.cfg.starvation_threshold {
+                    n += 1;
                 }
             }
         }
@@ -499,8 +608,10 @@ impl<T: TrafficSource> Simulator<T> {
                     if let Some(ck) = &mut self.checker {
                         ck.on_arrival(router.index(), in_port, vnet, packet.len_flits);
                     }
-                    self.routers[router.index()].inputs[in_port][vnet]
-                        .push_arrival(packet, cycle);
+                    let r = router.index();
+                    let bi = self.bi(r, in_port, vnet);
+                    self.bufs.push_arrival(bi, packet, cycle);
+                    self.occ_set(r, in_port * self.vnets + vnet);
                 }
                 Arrival::Node { packet } => self.deliver(packet, cycle),
                 Arrival::CreditReturn {
@@ -512,7 +623,8 @@ impl<T: TrafficSource> Simulator<T> {
                     if let Some(ck) = &mut self.checker {
                         ck.on_credit_return(router.index(), in_port, vnet, len);
                     }
-                    self.routers[router.index()].inputs[in_port][vnet].unreserve(len);
+                    let bi = self.bi(router.index(), in_port, vnet);
+                    self.bufs.unreserve(bi, len);
                     self.stats.fault_credits_reconciled += len as u64;
                 }
             }
@@ -529,35 +641,49 @@ impl<T: TrafficSource> Simulator<T> {
                 ck.on_created();
             }
             self.trace_event(cycle, pkt.id, TraceKind::Created);
-            self.inj_queues[pkt.src.index()][pkt.vnet].push_back(pkt);
+            let qi = pkt.src.index() * self.vnets + pkt.vnet;
+            self.inj_queues[qi].push_back(pkt);
+            self.inj_occ[qi / 64] |= 1 << (qi % 64);
+            self.queued_total += 1;
         }
         self.inj_scratch = reqs;
 
         // Phase 3: drain injection queues into local input VCs (one packet
-        // per node per vnet per cycle).
-        for node_idx in 0..self.topo.num_nodes() {
-            let node = self.topo.node(crate::types::NodeId(node_idx));
-            let (node_id, node_router, node_slot) = (node.id, node.router, node.slot);
-            let r = node_router.index();
-            let port = self.topo.port_index(PortDir::Local(node_slot));
-            for vnet in 0..self.cfg.num_vnets {
-                let Some(front) = self.inj_queues[node_id.index()][vnet].front() else {
-                    continue;
-                };
-                let len = front.len_flits;
-                let buf = &mut self.routers[r].inputs[port][vnet];
-                if !buf.can_reserve(len) {
-                    continue;
+        // per node per vnet per cycle). Skipped outright when every source
+        // queue is empty — no observable state can change.
+        if self.queued_total > 0 {
+            // Walk only the queues the bitmap marks non-empty; bit order is
+            // `node * vnets + vnet` ascending, the same order as the full
+            // nested scan.
+            for w in 0..self.inj_occ.len() {
+                let mut word = self.inj_occ[w];
+                while word != 0 {
+                    let qi = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let node_idx = qi / self.vnets;
+                    let vnet = qi % self.vnets;
+                    let (r, port) = self.node_ports[node_idx];
+                    let front = self.inj_queues[qi].front().expect("bitmap tracks non-empty");
+                    let len = front.len_flits;
+                    let bi = self.bi(r, port, vnet);
+                    if !self.bufs.can_reserve(bi, len) {
+                        continue;
+                    }
+                    let mut pkt = self.inj_queues[qi].pop_front().unwrap();
+                    if self.inj_queues[qi].is_empty() {
+                        self.inj_occ[w] &= !(1 << (qi % 64));
+                    }
+                    self.queued_total -= 1;
+                    pkt.inject_cycle = cycle;
+                    self.stats.injected += 1;
+                    self.in_flight_per_router[pkt.src_router.index()] += 1;
+                    self.inflight_create_sum += pkt.create_cycle as u128;
+                    self.inflight_count += 1;
+                    let pkt_id = pkt.id;
+                    self.bufs.push_injection(bi, pkt, cycle);
+                    self.occ_set(r, port * self.vnets + vnet);
+                    self.trace_event(cycle, pkt_id, TraceKind::Injected { router: RouterId(r) });
                 }
-                let mut pkt = self.inj_queues[node_id.index()][vnet].pop_front().unwrap();
-                pkt.inject_cycle = cycle;
-                self.stats.injected += 1;
-                self.in_flight_per_router[pkt.src_router.index()] += 1;
-                self.inflight_create_sum += pkt.create_cycle as u128;
-                self.inflight_count += 1;
-                let pkt_id = pkt.id;
-                buf.push_injection(pkt, cycle);
-                self.trace_event(cycle, pkt_id, TraceKind::Injected { router: node_router });
             }
         }
 
@@ -580,7 +706,7 @@ impl<T: TrafficSource> Simulator<T> {
         // Phase 5: arbitrate each router (stalled routers sit the cycle
         // out; their buffered credit keeps neighbours back-pressured
         // rather than wedged).
-        for r in 0..self.routers.len() {
+        for r in 0..self.coords.len() {
             if self
                 .faults
                 .as_ref()
@@ -619,15 +745,13 @@ impl<T: TrafficSource> Simulator<T> {
     /// [`Simulator::debug_inject_credit_leak`]. Stays armed until a
     /// buffer with free space is found.
     fn apply_debug_leak(&mut self) {
-        for router in &mut self.routers {
-            for port in &mut router.inputs {
-                for vc in port {
-                    if vc.can_reserve(1) {
-                        vc.reserve(1);
-                        self.leak_at = None;
-                        return;
-                    }
-                }
+        // Flat index order is (router, port, vnet) ascending — the same
+        // walk as the old nested-struct layout.
+        for bi in 0..self.bufs.num_buffers() {
+            if self.bufs.can_reserve(bi, 1) {
+                self.bufs.reserve(bi, 1);
+                self.leak_at = None;
+                return;
             }
         }
     }
@@ -637,10 +761,11 @@ impl<T: TrafficSource> Simulator<T> {
     /// with reads of router buffers (same pattern as `fault_phase`).
     fn invariant_phase(&mut self, cycle: u64) {
         let Some(mut ck) = self.checker.take() else { return };
-        for (r, router) in self.routers.iter().enumerate() {
-            for (p, port) in router.inputs.iter().enumerate() {
-                for (v, buf) in port.iter().enumerate() {
-                    ck.check_buffer(cycle, r, p, v, buf);
+        for r in 0..self.coords.len() {
+            for p in 0..self.ports {
+                for v in 0..self.vnets {
+                    let bi = (r * self.ports + p) * self.vnets + v;
+                    ck.check_buffer(cycle, r, p, v, self.bufs.view(bi));
                 }
             }
         }
@@ -656,17 +781,21 @@ impl<T: TrafficSource> Simulator<T> {
     /// hanging silently.
     fn fault_phase(&mut self, cycle: u64) {
         let Some(fr) = self.faults.take() else { return };
+        let (ports, vnets) = (self.ports, self.vnets);
         fr.shrink_updates(cycle, |router, port, shrink| {
-            for vc in &mut self.routers[router].inputs[port] {
-                vc.set_shrink(shrink);
+            let base = (router * ports + port) * vnets;
+            for v in 0..vnets {
+                self.bufs.set_shrink(base + v, shrink);
             }
         });
         if fr.watchdog_due(cycle) {
             let mut wedged = 0;
-            for r in &self.routers {
-                for port in &r.inputs {
-                    let starving = port.iter().any(|vc| {
-                        vc.head()
+            for r in 0..self.coords.len() {
+                for p in 0..ports {
+                    let base = (r * ports + p) * vnets;
+                    let starving = (0..vnets).any(|v| {
+                        self.bufs
+                            .head(base + v)
                             .is_some_and(|bp| bp.local_age(cycle) > self.cfg.starvation_threshold)
                     });
                     if starving {
@@ -719,10 +848,8 @@ impl<T: TrafficSource> Simulator<T> {
             dst_router: dst_node.router,
             dst_slot: dst_node.slot,
             hop_count: 0,
-            distance: self
-                .topo
-                .coord(src_node.router)
-                .manhattan(self.topo.coord(dst_node.router)),
+            distance: self.coords[src_node.router.index()]
+                .manhattan(self.coords[dst_node.router.index()]),
             tag: req.tag,
         }
     }
@@ -749,76 +876,53 @@ impl<T: TrafficSource> Simulator<T> {
 
     /// Routes a head packet to its output port under the configured
     /// routing function.
+    #[inline]
     fn route_port(&self, router: RouterId, dst_router: RouterId, dst_slot: u8, vnet: usize) -> usize {
         match self.cfg.routing {
-            RoutingKind::XY => route_xy_port(&self.topo, router, dst_router, dst_slot),
+            RoutingKind::XY => {
+                // Inlined X-Y over the precomputed coordinate table — the
+                // same decision (and port numbering) as
+                // [`crate::routing::route_xy_port`] without per-call
+                // div/mod.
+                let c = self.coords[router.index()];
+                let d = self.coords[dst_router.index()];
+                if c.x < d.x {
+                    self.num_locals + 3 // East
+                } else if c.x > d.x {
+                    self.num_locals + 2 // West
+                } else if c.y < d.y {
+                    self.num_locals + 1 // South
+                } else if c.y > d.y {
+                    self.num_locals // North
+                } else {
+                    self.topo.port_index(PortDir::Local(dst_slot))
+                }
+            }
             RoutingKind::WestFirstAdaptive => {
                 // Congestion estimate: occupied + reserved flits in the
                 // downstream input VC of this vnet (more = worse).
-                let congestion = |dir: crate::types::PortDir| -> u32 {
-                    match self.topo.neighbor(router, dir) {
-                        Some(next) => {
-                            let in_port = self.topo.port_index(dir.opposite().expect("mesh dir"));
-                            let b = &self.routers[next.index()].inputs[in_port][vnet];
-                            b.capacity_flits() - b.free_flits()
+                let congestion = |dir: PortDir| -> u32 {
+                    let p = self.topo.port_index(dir);
+                    match self.links[router.index() * self.ports + p] {
+                        Some((next, in_port)) => {
+                            let bi = (next * self.ports + in_port) * self.vnets + vnet;
+                            self.bufs.capacity_flits() - self.bufs.free_flits(bi)
                         }
                         None => u32::MAX, // edge: never pick a missing link
                     }
                 };
                 match route_west_first(&self.topo, router, dst_router, dst_slot, congestion) {
                     RouteStep::Forward(dir) => self.topo.port_index(dir),
-                    RouteStep::Eject(slot) => {
-                        self.topo.port_index(crate::types::PortDir::Local(slot))
-                    }
+                    RouteStep::Eject(slot) => self.topo.port_index(PortDir::Local(slot)),
                 }
             }
         }
     }
 
-    /// Builds the candidate describing the head packet of `(in_port, vnet)`.
-    fn candidate_for(&self, router: RouterId, in_port: usize, vnet: usize, cycle: u64) -> Option<(Candidate, usize)> {
-        if self
-            .faults
-            .as_ref()
-            .is_some_and(|fr| fr.held(router, in_port, vnet, cycle))
-        {
-            return None; // transient-fault retry backoff: sit this cycle out
-        }
-        let buf = &self.routers[router.index()].inputs[in_port][vnet];
-        let bp = buf.head()?;
-        let out_port = self.route_port(router, bp.packet.dst_router, bp.packet.dst_slot, vnet);
-        let port_degraded = self
-            .faults
-            .as_ref()
-            .is_some_and(|fr| fr.link_degraded(router, out_port, cycle));
-        let local_age = bp.local_age(cycle);
-        let cand = Candidate {
-            in_port,
-            vnet,
-            slot: in_port * self.cfg.num_vnets + vnet,
-            features: Features {
-                payload_size: bp.packet.len_flits,
-                local_age,
-                distance: bp.packet.distance,
-                hop_count: bp.packet.hop_count,
-                in_flight_from_src: self.in_flight_per_router[bp.packet.src_router.index()],
-                inter_arrival: bp.inter_arrival,
-                msg_type: bp.packet.msg_type,
-                dst_type: bp.packet.dst_type,
-            },
-            packet_id: bp.packet.id,
-            create_cycle: bp.packet.create_cycle,
-            arrival_cycle: bp.arrival_cycle,
-            src: bp.packet.src,
-            dst: bp.packet.dst,
-            port_degraded,
-        };
-        Some((cand, out_port))
-    }
-
     /// True when a packet of `len` flits can be launched from `router`
     /// through `out_port` (downstream credit available and the link is not
     /// down).
+    #[inline]
     fn downstream_ready(
         &self,
         router: RouterId,
@@ -827,8 +931,7 @@ impl<T: TrafficSource> Simulator<T> {
         len: u32,
         cycle: u64,
     ) -> bool {
-        let dir = self.topo.port_dir(out_port);
-        if dir.is_local() {
+        if out_port < self.num_locals {
             return true; // ejection: nodes always sink
         }
         if self
@@ -838,97 +941,270 @@ impl<T: TrafficSource> Simulator<T> {
         {
             return false; // link down: no credit visible for the window
         }
-        let Some(next) = self.topo.neighbor(router, dir) else {
+        let nbi = self.links_nbi[router.index() * self.ports + out_port];
+        if nbi == u32::MAX {
             return false; // disconnected edge port; packets never route here
-        };
-        let in_port = self.topo.port_index(dir.opposite().expect("mesh dir"));
-        self.routers[next.index()].inputs[in_port][vnet].can_reserve(len)
+        }
+        self.bufs.can_reserve(nbi as usize + vnet, len)
     }
 
     fn arbitrate_router(&mut self, router: RouterId, cycle: u64) {
-        let ports = self.topo.ports_per_router();
-        // Build the request matrix for all free outputs into the reusable
-        // scratch (taken out of `self` so candidate_for/apply_grant can
-        // borrow the simulator while the matrix is alive).
-        let mut scratch = std::mem::take(&mut self.arb);
+        let r = router.index();
+        let occ_base = r * self.occ_words;
+        // Fast skip: a router with no buffered packets builds an empty
+        // request matrix, which the old layout early-returned on anyway.
+        let mut any_occ = 0u64;
+        for w in 0..self.occ_words {
+            any_occ |= self.occ[occ_base + w];
+        }
+        if any_occ == 0 {
+            return;
+        }
+        let ports = self.ports;
+        let vnets = self.vnets;
+        let out_base = r * ports;
+        let mut scratch = self.arb.take().expect("arb scratch is always restored");
         debug_assert!(scratch.outputs.is_empty());
-        for out_port in 0..ports {
-            if self.routers[router.index()].out_free_at[out_port] > cycle {
-                continue;
-            }
-            let mut cands = scratch.spare.pop().unwrap_or_default();
-            for in_port in 0..ports {
-                for vnet in 0..self.cfg.num_vnets {
-                    if let Some((cand, head_out)) = self.candidate_for(router, in_port, vnet, cycle)
-                    {
-                        if head_out == out_port
-                            && self.downstream_ready(
-                                router,
-                                out_port,
-                                vnet,
-                                cand.features.payload_size,
-                                cycle,
-                            )
-                        {
-                            self.stats.max_local_age =
-                                self.stats.max_local_age.max(cand.features.local_age);
-                            cands.push(cand);
-                        }
-                    }
+        if scratch.buckets.len() < ports {
+            scratch.buckets.resize_with(ports, Vec::new);
+        }
+        // Pass 1 over the occupied VCs in ascending (in_port, vnet) order:
+        // gate each head (fault hold, output busy, downstream credit) and
+        // collect a compact request record per eligible head. Nothing
+        // mutates while the request matrix is built, so each head's route
+        // is the same for every output port — compute it once. Full
+        // `Candidate`s (with the Table-2 feature vector) are only
+        // materialised in pass 2 for *contended* outputs; sole requesters
+        // are granted directly (paper §4.5) and never reach the policy.
+        scratch.reqs.clear();
+        scratch.counts.clear();
+        scratch.counts.resize(ports, 0);
+        scratch.first_req.clear();
+        scratch.first_req.resize(ports, u32::MAX);
+        let faulty = self.faults.is_some();
+        for w in 0..self.occ_words {
+            let mut word = self.occ[occ_base + w];
+            while word != 0 {
+                let slot = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let in_port = slot / vnets;
+                let vnet = slot % vnets;
+                if faulty
+                    && self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|fr| fr.held(router, in_port, vnet, cycle))
+                {
+                    continue; // transient-fault retry backoff: sit this cycle out
                 }
-            }
-            if cands.is_empty() {
-                scratch.spare.push(cands);
-            } else {
-                scratch.outputs.push((out_port, cands));
+                let bi = (r * ports + in_port) * vnets + vnet;
+                debug_assert!(self.bufs.head(bi).is_some(), "occupied VC has a head");
+                // The hot mirror carries exactly the head fields this scan
+                // needs (one cache line) — the full `BufferedPacket` is only
+                // touched again for contended outputs in pass 2.
+                let hot = self.bufs.hots[bi];
+                let len = hot.len_flits;
+                // Under X-Y routing the head's route is a pure function of
+                // the head packet, so it is cached in the hot entry and
+                // reset whenever the head changes; adaptive routing reads
+                // live congestion and always recomputes.
+                let out_port = if self.route_cacheable && hot.route != u8::MAX {
+                    hot.route as usize
+                } else {
+                    let p = self.route_port(
+                        router,
+                        RouterId(hot.dst_router as usize),
+                        hot.dst_slot,
+                        vnet,
+                    );
+                    if self.route_cacheable {
+                        self.bufs.hots[bi].route = p as u8;
+                    }
+                    p
+                };
+                if self.out_free_at[out_base + out_port] > cycle {
+                    continue;
+                }
+                if !self.downstream_ready(router, out_port, vnet, len, cycle) {
+                    continue;
+                }
+                let local_age = cycle.saturating_sub(hot.arrival_cycle);
+                self.stats.max_local_age = self.stats.max_local_age.max(local_age);
+                if scratch.counts[out_port] == 0 {
+                    scratch.first_req[out_port] = scratch.reqs.len() as u32;
+                }
+                scratch.counts[out_port] += 1;
+                scratch.reqs.push(GrantReq {
+                    local_age,
+                    bi: bi as u32,
+                    len,
+                    out_port: out_port as u8,
+                    in_port: in_port as u8,
+                    vnet: vnet as u8,
+                    slot: slot as u8,
+                });
             }
         }
-        if scratch.outputs.is_empty() {
-            self.arb = scratch;
+        if scratch.reqs.is_empty() {
+            self.arb = Some(scratch);
             return;
         }
 
-        self.arbiter.plan_router(&RouterCtx {
-            router,
-            cycle,
-            num_ports: ports,
-            num_vnets: self.cfg.num_vnets,
-            outputs: &scratch.outputs,
-            net: &self.net,
-        });
-
-        let mut granted_inputs: u64 = 0;
-        for idx in 0..scratch.outputs.len() {
-            let out_port = scratch.outputs[idx].0;
-            scratch.avail.clear();
-            for c in &scratch.outputs[idx].1 {
-                if granted_inputs & (1 << c.in_port) == 0 {
-                    scratch.avail.push(c.clone());
-                }
-            }
-            if scratch.avail.is_empty() {
+        // Pass 2: materialise the full request matrix for contended outputs
+        // only. Requests iterate in the pass-1 (in_port, vnet) order, so
+        // each bucket keeps the same candidate order the one-pass build
+        // produced.
+        let mut any_multi = false;
+        for qi in 0..scratch.reqs.len() {
+            let q = scratch.reqs[qi];
+            let q_out = q.out_port as usize;
+            if scratch.counts[q_out] < 2 {
                 continue;
             }
-            let choice = if scratch.avail.len() == 1 {
+            any_multi = true;
+            let port_degraded = faulty
+                && self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|fr| fr.link_degraded(router, q_out, cycle));
+            let cand = if self.arb_lite {
+                // The policy declared (via `Arbiter::wants_features`) that
+                // it only reads the ordering keys: fill those from the hot
+                // mirrors and leave the Table-2 feature vector zeroed
+                // rather than touching the full buffered packet.
+                let aux = self.bufs.auxs[q.bi as usize];
+                Candidate {
+                    in_port: q.in_port as usize,
+                    vnet: q.vnet as usize,
+                    slot: q.slot as usize,
+                    features: Features {
+                        payload_size: q.len,
+                        local_age: q.local_age,
+                        ..Features::default()
+                    },
+                    packet_id: aux.id,
+                    create_cycle: aux.create_cycle,
+                    arrival_cycle: cycle - q.local_age,
+                    src: NodeId(0),
+                    dst: NodeId(0),
+                    port_degraded,
+                }
+            } else {
+                let bp = self
+                    .bufs
+                    .head(q.bi as usize)
+                    .expect("requesting buffer has a head");
+                Candidate {
+                    in_port: q.in_port as usize,
+                    vnet: q.vnet as usize,
+                    slot: q.slot as usize,
+                    features: Features {
+                        payload_size: bp.packet.len_flits,
+                        local_age: q.local_age,
+                        distance: bp.packet.distance,
+                        hop_count: bp.packet.hop_count,
+                        in_flight_from_src: self.in_flight_per_router
+                            [bp.packet.src_router.index()],
+                        inter_arrival: bp.inter_arrival,
+                        msg_type: bp.packet.msg_type,
+                        dst_type: bp.packet.dst_type,
+                    },
+                    packet_id: bp.packet.id,
+                    create_cycle: bp.packet.create_cycle,
+                    arrival_cycle: bp.arrival_cycle,
+                    src: bp.packet.src,
+                    dst: bp.packet.dst,
+                    port_degraded,
+                }
+            };
+            scratch.buckets[q_out].push(cand);
+        }
+        if any_multi {
+            for (out_port, bucket) in scratch.buckets.iter_mut().enumerate().take(ports) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let fresh = scratch.spare.pop().unwrap_or_default();
+                scratch.outputs.push((out_port, std::mem::replace(bucket, fresh)));
+            }
+            self.arbiter.plan_router(&RouterCtx {
+                router,
+                cycle,
+                num_ports: ports,
+                num_vnets: self.cfg.num_vnets,
+                outputs: &scratch.outputs,
+                net: &self.net,
+            });
+        }
+
+        let mut granted_inputs: u64 = 0;
+        let mut out_idx = 0;
+        for out_port in 0..ports {
+            let cnt = scratch.counts[out_port];
+            if cnt == 0 {
+                continue;
+            }
+            let grant = if cnt == 1 {
                 // Single requester: grant directly without querying the
                 // policy (paper §4.5).
-                Some(0)
+                let q = scratch.reqs[scratch.first_req[out_port] as usize];
+                if granted_inputs & (1 << q.in_port) != 0 {
+                    continue; // its input was granted to an earlier output
+                }
+                q
             } else {
-                self.stats.arbiter_queries += 1;
-                let ctx = OutputCtx {
-                    router,
-                    out_port,
-                    cycle,
-                    num_ports: ports,
-                    num_vnets: self.cfg.num_vnets,
-                    candidates: &scratch.avail,
-                    net: &self.net,
+                let ArbScratch { outputs, avail, .. } = &mut *scratch;
+                debug_assert_eq!(outputs[out_idx].0, out_port);
+                let bucket = &outputs[out_idx].1;
+                out_idx += 1;
+                // Filtering out already-granted inputs usually removes
+                // nothing, so borrow the bucket in place and only copy when
+                // it does.
+                let cands: &[Candidate] = if granted_inputs != 0
+                    && bucket.iter().any(|c| granted_inputs & (1 << c.in_port) != 0)
+                {
+                    avail.clear();
+                    for c in bucket {
+                        if granted_inputs & (1 << c.in_port) == 0 {
+                            avail.push(c.clone());
+                        }
+                    }
+                    avail
+                } else {
+                    bucket
                 };
-                self.arbiter.select(&ctx).filter(|&i| i < scratch.avail.len())
+                if cands.is_empty() {
+                    continue;
+                }
+                let choice = if cands.len() == 1 {
+                    // Down to a sole requester after filtering: direct grant.
+                    Some(0)
+                } else {
+                    self.stats.arbiter_queries += 1;
+                    let ctx = OutputCtx {
+                        router,
+                        out_port,
+                        cycle,
+                        num_ports: ports,
+                        num_vnets: self.cfg.num_vnets,
+                        candidates: cands,
+                        net: &self.net,
+                    };
+                    self.arbiter.select(&ctx).filter(|&i| i < cands.len())
+                };
+                let Some(i) = choice else { continue };
+                let winner = &cands[i];
+                GrantReq {
+                    local_age: winner.features.local_age,
+                    bi: ((r * ports + winner.in_port) * vnets + winner.vnet) as u32,
+                    len: winner.features.payload_size,
+                    out_port: out_port as u8,
+                    in_port: winner.in_port as u8,
+                    vnet: winner.vnet as u8,
+                    slot: winner.slot as u8,
+                }
             };
-            let Some(i) = choice else { continue };
-            let winner = scratch.avail[i].clone();
-            granted_inputs |= 1 << winner.in_port;
+            granted_inputs |= 1 << grant.in_port;
             // A transient link fault corrupts the transmission: the grant
             // attempt consumes bandwidth and credit but the packet stays
             // queued for retry.
@@ -937,9 +1213,9 @@ impl<T: TrafficSource> Simulator<T> {
                 .as_ref()
                 .is_some_and(|fr| fr.transient_active(router, out_port, cycle))
             {
-                self.fail_grant(router, out_port, &winner, cycle);
+                self.fail_grant(router, out_port, grant, cycle);
             } else {
-                self.apply_grant(router, out_port, &winner, cycle);
+                self.apply_grant(router, out_port, grant, cycle);
             }
         }
 
@@ -948,7 +1224,7 @@ impl<T: TrafficSource> Simulator<T> {
             cands.clear();
             scratch.spare.push(cands);
         }
-        self.arb = scratch;
+        self.arb = Some(scratch);
     }
 
     /// A grant attempt hit a transiently faulty link: the flits leave the
@@ -958,73 +1234,83 @@ impl<T: TrafficSource> Simulator<T> {
     /// is recovered when the reconciliation message lands
     /// ([`Arrival::CreditReturn`]), and the buffer backs off with bounded
     /// exponential retry.
-    fn fail_grant(&mut self, router: RouterId, out_port: usize, winner: &Candidate, cycle: u64) {
-        let len = winner.features.payload_size;
+    fn fail_grant(&mut self, router: RouterId, out_port: usize, winner: GrantReq, cycle: u64) {
+        let len = winner.len;
         self.stats.link_fault_drops += 1;
-        self.routers[router.index()].out_free_at[out_port] = cycle + len as u64;
+        self.out_free_at[router.index() * self.ports + out_port] = cycle + len as u64;
+        // Off the hot path (transient faults only): read the id back from
+        // the still-buffered head rather than carrying it in every request.
+        let packet_id = self
+            .bufs
+            .head(winner.bi as usize)
+            .expect("failed grant leaves the packet buffered")
+            .packet
+            .id;
         self.trace_event(
             cycle,
-            winner.packet_id,
+            packet_id,
             TraceKind::FaultDropped { router, out_port },
         );
-        let dir = self.topo.port_dir(out_port);
-        if !dir.is_local() {
-            if let Some(next) = self.topo.neighbor(router, dir) {
-                let in_port = self.topo.port_index(dir.opposite().expect("mesh dir"));
-                // The downstream credit is consumed exactly as a healthy
-                // transmission would, then returned after one link
-                // round-trip — stalled credit must not wedge the neighbour.
-                self.routers[next.index()].inputs[in_port][winner.vnet].reserve(len);
-                if let Some(ck) = &mut self.checker {
-                    ck.on_fault_reserve(next.index(), in_port, winner.vnet, len);
-                }
-                self.stats.fault_credits_reserved += len as u64;
-                self.active_mesh_tx += 1;
-                self.tx_ends.add(cycle + len as u64, 1);
-                let at = cycle + (len as u64 - 1) + self.cfg.link_latency + self.cfg.router_latency;
-                self.arrivals.schedule(
-                    at.max(cycle + 1),
-                    Arrival::CreditReturn {
-                        router: next,
-                        in_port,
-                        vnet: winner.vnet,
-                        len,
-                    },
-                );
+        // `links` is `None` for both local ports and disconnected edges —
+        // the two cases the old layout skipped separately.
+        if let Some((next, in_port)) = self.links[router.index() * self.ports + out_port] {
+            // The downstream credit is consumed exactly as a healthy
+            // transmission would, then returned after one link
+            // round-trip — stalled credit must not wedge the neighbour.
+            self.bufs.reserve(self.bi(next, in_port, winner.vnet as usize), len);
+            if let Some(ck) = &mut self.checker {
+                ck.on_fault_reserve(next, in_port, winner.vnet as usize, len);
             }
+            self.stats.fault_credits_reserved += len as u64;
+            self.active_mesh_tx += 1;
+            self.tx_ends.add(cycle + len as u64, 1);
+            let at = cycle + (len as u64 - 1) + self.cfg.link_latency + self.cfg.router_latency;
+            self.arrivals.schedule(
+                at.max(cycle + 1),
+                Arrival::CreditReturn {
+                    router: RouterId(next),
+                    in_port,
+                    vnet: winner.vnet as usize,
+                    len,
+                },
+            );
         }
         if let Some(fr) = &mut self.faults {
-            fr.bump_retry(router, winner.in_port, winner.vnet, cycle);
+            fr.bump_retry(router, winner.in_port as usize, winner.vnet as usize, cycle);
         }
     }
 
-    fn apply_grant(&mut self, router: RouterId, out_port: usize, winner: &Candidate, cycle: u64) {
+    fn apply_grant(&mut self, router: RouterId, out_port: usize, winner: GrantReq, cycle: u64) {
         if let Some(fr) = &mut self.faults {
-            fr.clear_retry(router, winner.in_port, winner.vnet);
+            fr.clear_retry(router, winner.in_port as usize, winner.vnet as usize);
         }
-        let bp = self.routers[router.index()].inputs[winner.in_port][winner.vnet]
-            .pop()
+        let r = router.index();
+        let src_bi = winner.bi as usize;
+        let bp = self
+            .bufs
+            .pop(src_bi)
             .expect("granted buffer must be non-empty");
-        debug_assert_eq!(bp.packet.id, winner.packet_id, "head changed under grant");
+        if self.bufs.is_empty(src_bi) {
+            self.occ_clear(r, winner.slot as usize);
+        }
         let mut pkt = bp.packet;
         let len = pkt.len_flits;
         self.stats.grants += 1;
-        if winner.features.local_age > self.cfg.starvation_threshold {
+        if winner.local_age > self.cfg.starvation_threshold {
             self.stats.starved_grants += 1;
         }
-        self.routers[router.index()].out_free_at[out_port] = cycle + len as u64;
+        self.out_free_at[r * self.ports + out_port] = cycle + len as u64;
         if let Some(log) = &mut self.grant_log {
             log.push(Grant {
                 router,
                 out_port,
-                in_port: winner.in_port,
-                vnet: winner.vnet,
+                in_port: winner.in_port as usize,
+                vnet: winner.vnet as usize,
                 packet_id: pkt.id,
             });
         }
 
-        let dir = self.topo.port_dir(out_port);
-        if dir.is_local() {
+        if out_port < self.num_locals {
             // Ejection.
             self.trace_event(cycle, pkt.id, TraceKind::Delivered { router });
             let at = cycle + (len as u64 - 1) + self.cfg.link_latency;
@@ -1032,14 +1318,11 @@ impl<T: TrafficSource> Simulator<T> {
                 .schedule(at.max(cycle + 1), Arrival::Node { packet: pkt });
         } else {
             self.trace_event(cycle, pkt.id, TraceKind::Forwarded { router, out_port });
-            let next = self
-                .topo
-                .neighbor(router, dir)
+            let (next, in_port) = self.links[r * self.ports + out_port]
                 .expect("granted mesh port must be connected");
-            let in_port = self.topo.port_index(dir.opposite().expect("mesh dir"));
-            self.routers[next.index()].inputs[in_port][pkt.vnet].reserve(len);
+            self.bufs.reserve(self.bi(next, in_port, pkt.vnet), len);
             if let Some(ck) = &mut self.checker {
-                ck.on_reserve(next.index(), in_port, pkt.vnet, len);
+                ck.on_reserve(next, in_port, pkt.vnet, len);
             }
             pkt.hop_count += 1;
             self.stats.flits_on_links += len as u64;
@@ -1050,7 +1333,7 @@ impl<T: TrafficSource> Simulator<T> {
             self.arrivals.schedule(
                 at.max(cycle + 1),
                 Arrival::Router {
-                    router: next,
+                    router: RouterId(next),
                     in_port,
                     vnet,
                     packet: pkt,
@@ -1064,7 +1347,7 @@ impl<T: TrafficSource> std::fmt::Debug for Simulator<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("cycle", &self.cycle)
-            .field("routers", &self.routers.len())
+            .field("routers", &self.coords.len())
             .field("arbiter", &self.arbiter.name())
             .field("in_flight", &self.inflight_count)
             .finish()

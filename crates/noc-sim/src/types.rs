@@ -154,9 +154,10 @@ impl fmt::Display for PortDir {
 
 /// Coarse message type carried in every packet header (paper Table 2,
 /// one-hot encoded when fed to the agent).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MsgType {
     /// A request initiating a transaction (e.g. a cache-line read).
+    #[default]
     Request,
     /// A response completing a transaction (usually carries data).
     Response,
@@ -190,9 +191,10 @@ impl fmt::Display for MsgType {
 }
 
 /// Coarse class of a packet's destination node (paper Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DestType {
     /// A compute element (CPU core or GPU compute unit).
+    #[default]
     Core,
     /// A cache bank (L1I, GPU L2, CPU LLC, …).
     Cache,

@@ -4,8 +4,8 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use nn_mlp::Mlp;
-use noc_sim::{Arbiter, NetSnapshot, OutputCtx, RouterId};
+use nn_mlp::{Mlp, QuantScratch, QuantizedMlp};
+use noc_sim::{Arbiter, NetSnapshot, OutputCtx, RouterCtx, RouterId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -552,7 +552,14 @@ fn greedy_choice_with(
 ) -> usize {
     encoder.encode_into(ctx, &mut scratch.state);
     let q = net.forward_into(&scratch.state, &mut scratch.nn);
-    let slots = encoder.num_slots();
+    argmax_rotating(q, encoder.num_slots(), ctx)
+}
+
+/// The candidate argmax over a Q-value vector (one entry per action slot),
+/// with the rotating tie-break described on [`greedy_choice`]. Factored out
+/// so the scalar, batched and INT8 paths share one decision rule — given
+/// the same Q-values they pick the same candidate.
+fn argmax_rotating(q: &[f64], slots: usize, ctx: &OutputCtx<'_>) -> usize {
     let ptr = (ctx.cycle as usize).wrapping_mul(7) % slots;
     ctx.candidates
         .iter()
@@ -568,9 +575,55 @@ fn greedy_choice_with(
         .expect("select called with empty candidates")
 }
 
+/// Numeric datapath of the frozen policy's inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferenceMode {
+    /// Full-precision float inference (the default; the software model
+    /// computes in `f64`).
+    #[default]
+    F32,
+    /// INT8 fixed-point inference through [`QuantizedMlp`] — symmetric
+    /// per-layer weight quantization with `i32` accumulators, the paper's
+    /// Table 3 hardware datapath.
+    Int8,
+}
+
+impl InferenceMode {
+    /// The CLI spelling (`--inference <label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            InferenceMode::F32 => "f32",
+            InferenceMode::Int8 => "int8",
+        }
+    }
+}
+
+impl std::str::FromStr for InferenceMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(InferenceMode::F32),
+            "int8" => Ok(InferenceMode::Int8),
+            other => Err(format!(
+                "unknown inference mode '{other}' (expected 'f32' or 'int8')"
+            )),
+        }
+    }
+}
+
 /// The frozen inference-only policy — the paper's "NN" arbiter, which is
 /// too slow/large for real hardware (Table 3) but serves as the
 /// achievability bound the distilled policy is measured against.
+///
+/// Inference is batched per router: [`Arbiter::plan_router`] encodes every
+/// contended output port's state and runs **one** network pass over the
+/// whole batch, and [`Arbiter::select`] reads the precomputed Q-row. Each
+/// batch row is bit-identical to a scalar pass over the same state (see
+/// [`Mlp::forward_batch_into`]), so batching never changes a decision;
+/// when an earlier grant filtered an output's candidate list after the
+/// plan, `select` falls back to a scalar pass on the filtered state —
+/// exactly what the unbatched arbiter would have computed.
 #[derive(Debug, Clone)]
 pub struct NnPolicyArbiter {
     net: Mlp,
@@ -578,6 +631,21 @@ pub struct NnPolicyArbiter {
     epsilon: f64,
     rng: StdRng,
     scratch: InferenceScratch,
+    mode: InferenceMode,
+    /// Built lazily from `net` the first time INT8 inference runs.
+    qnet: Option<QuantizedMlp>,
+    qscratch: QuantScratch,
+    /// Per-router batching on/off (on by default; the scalar path exists
+    /// for the batched-equivalence property tests).
+    batched: bool,
+    /// `(out_port, candidate count)` per planned row, in batch order.
+    plan: Vec<(usize, usize)>,
+    plan_router: RouterId,
+    plan_cycle: u64,
+    /// Row-major Q-values for the planned rows (`num_slots()` per row).
+    q_rows: Vec<f64>,
+    batch_in: Vec<f64>,
+    batch_scratch: nn_mlp::Scratch,
 }
 
 impl NnPolicyArbiter {
@@ -601,6 +669,16 @@ impl NnPolicyArbiter {
             epsilon: 0.01,
             rng: StdRng::seed_from_u64(0x9e3779b97f4a7c15),
             scratch: InferenceScratch::default(),
+            mode: InferenceMode::F32,
+            qnet: None,
+            qscratch: QuantScratch::default(),
+            batched: true,
+            plan: Vec::new(),
+            plan_router: RouterId(usize::MAX),
+            plan_cycle: u64::MAX,
+            q_rows: Vec::new(),
+            batch_in: Vec::new(),
+            batch_scratch: nn_mlp::Scratch::default(),
         }
     }
 
@@ -608,6 +686,30 @@ impl NnPolicyArbiter {
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
         self.epsilon = epsilon;
         self
+    }
+
+    /// Selects the numeric inference datapath. [`InferenceMode::Int8`]
+    /// quantizes the trained network once (symmetric per-layer scales) and
+    /// runs every decision through the fixed-point model.
+    pub fn with_inference(mut self, mode: InferenceMode) -> Self {
+        self.mode = mode;
+        if mode == InferenceMode::Int8 && self.qnet.is_none() {
+            self.qnet = Some(QuantizedMlp::from_mlp(&self.net));
+        }
+        self
+    }
+
+    /// Enables or disables per-router batched inference. Batching is on by
+    /// default and decision-for-decision identical to the scalar path; the
+    /// off switch exists so equivalence tests can run both and compare.
+    pub fn with_batched(mut self, on: bool) -> Self {
+        self.batched = on;
+        self
+    }
+
+    /// The active inference datapath.
+    pub fn inference_mode(&self) -> InferenceMode {
+        self.mode
     }
 
     /// The underlying network (e.g. for interpretability analysis).
@@ -619,6 +721,29 @@ impl NnPolicyArbiter {
     pub fn encoder(&self) -> &StateEncoder {
         &self.encoder
     }
+
+    /// The INT8 network, if the arbiter was switched to
+    /// [`InferenceMode::Int8`].
+    pub fn quantized(&self) -> Option<&QuantizedMlp> {
+        self.qnet.as_ref()
+    }
+
+    /// Scalar (unbatched) greedy decision on the active datapath.
+    fn scalar_choice(&mut self, ctx: &OutputCtx<'_>) -> usize {
+        match self.mode {
+            InferenceMode::F32 => {
+                greedy_choice_with(&self.net, &self.encoder, ctx, &mut self.scratch)
+            }
+            InferenceMode::Int8 => {
+                let qnet = self
+                    .qnet
+                    .get_or_insert_with(|| QuantizedMlp::from_mlp(&self.net));
+                self.encoder.encode_into(ctx, &mut self.scratch.state);
+                let q = qnet.forward_into(&self.scratch.state, &mut self.qscratch);
+                argmax_rotating(q, self.encoder.num_slots(), ctx)
+            }
+        }
+    }
 }
 
 impl Arbiter for NnPolicyArbiter {
@@ -626,16 +751,70 @@ impl Arbiter for NnPolicyArbiter {
         "NN".into()
     }
 
+    fn plan_router(&mut self, ctx: &RouterCtx<'_>) {
+        self.plan.clear();
+        // Batching only pays when there is more than one contended output to
+        // amortize the network pass over: with a single output the eager plan
+        // would do exactly the work `select` does on demand, plus copies.
+        if !self.batched || ctx.outputs.len() < 2 {
+            return;
+        }
+        // Encode every contended output's state into one row-major batch …
+        self.batch_in.clear();
+        for &(out_port, ref cands) in ctx.outputs {
+            let octx = OutputCtx {
+                router: ctx.router,
+                out_port,
+                cycle: ctx.cycle,
+                num_ports: ctx.num_ports,
+                num_vnets: ctx.num_vnets,
+                candidates: cands,
+                net: ctx.net,
+            };
+            self.encoder.encode_append(&octx, &mut self.batch_in);
+            self.plan.push((out_port, cands.len()));
+        }
+        // … and run one network pass over the whole router.
+        let rows = self.plan.len();
+        self.q_rows.clear();
+        match self.mode {
+            InferenceMode::F32 => {
+                let q = self
+                    .net
+                    .forward_batch_into(&self.batch_in, rows, &mut self.batch_scratch);
+                self.q_rows.extend_from_slice(q);
+            }
+            InferenceMode::Int8 => {
+                let qnet = self
+                    .qnet
+                    .get_or_insert_with(|| QuantizedMlp::from_mlp(&self.net));
+                let q = qnet.forward_batch_into(&self.batch_in, rows, &mut self.qscratch);
+                self.q_rows.extend_from_slice(q);
+            }
+        }
+        self.plan_router = ctx.router;
+        self.plan_cycle = ctx.cycle;
+    }
+
     fn select(&mut self, ctx: &OutputCtx<'_>) -> Option<usize> {
         if self.epsilon > 0.0 && self.rng.gen::<f64>() < self.epsilon {
             return Some(self.rng.gen_range(0..ctx.candidates.len()));
         }
-        Some(greedy_choice_with(
-            &self.net,
-            &self.encoder,
-            ctx,
-            &mut self.scratch,
-        ))
+        // Batched fast path: reuse the Q-row computed in `plan_router`. The
+        // row is only valid if the candidate list is the one that was
+        // encoded — grants to earlier output ports of this router may have
+        // filtered it, which only ever *shrinks* the list, so an equal
+        // length means an identical list (and an identical encoded state).
+        if self.plan_router == ctx.router && self.plan_cycle == ctx.cycle {
+            if let Some(row) = self.plan.iter().position(|&(p, _)| p == ctx.out_port) {
+                if self.plan[row].1 == ctx.candidates.len() {
+                    let w = self.encoder.num_slots();
+                    let q = &self.q_rows[row * w..(row + 1) * w];
+                    return Some(argmax_rotating(q, w, ctx));
+                }
+            }
+        }
+        Some(self.scalar_choice(ctx))
     }
 }
 

@@ -324,11 +324,19 @@ impl StateEncoder {
     /// buffer across calls keeps per-decision encoding off the heap.
     pub fn encode_into(&self, ctx: &OutputCtx<'_>, out: &mut Vec<f64>) {
         out.clear();
-        out.resize(self.state_width(), 0.0);
+        self.encode_append(ctx, out);
+    }
+
+    /// Like [`StateEncoder::encode_into`] but appends the encoded row to
+    /// `out` instead of replacing it, so a row-major batch can be built
+    /// directly without a per-row staging copy.
+    pub fn encode_append(&self, ctx: &OutputCtx<'_>, out: &mut Vec<f64>) {
+        let base = out.len();
+        out.resize(base + self.state_width(), 0.0);
         let w = self.features.width_per_buffer();
         for c in ctx.candidates {
             debug_assert!(c.slot < self.num_slots(), "candidate slot out of range");
-            self.encode_candidate(c, out, c.slot * w);
+            self.encode_candidate(c, out, base + c.slot * w);
         }
     }
 }

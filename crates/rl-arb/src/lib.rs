@@ -44,7 +44,7 @@ mod reward;
 mod train;
 mod trainer;
 
-pub use agent::{AgentConfig, DqnAgent, NnPolicyArbiter, RlAgentArbiter, SharedAgent};
+pub use agent::{AgentConfig, DqnAgent, InferenceMode, NnPolicyArbiter, RlAgentArbiter, SharedAgent};
 pub use ckpt::{
     agent_config_from_checkpoint, checkpoint_from_outcome, distill_checkpoint,
     encoder_from_checkpoint, policy_from_checkpoint,
