@@ -13,6 +13,9 @@
 //!   carried forward from the previous file, so throughput is tracked
 //!   across PRs. A fresh file is seeded with the pre-SoA baseline.
 //! - `host.physical_cores` next to the scheduler-visible thread count.
+//! - `sim_throughput.topology`: the fabric family of the measured
+//!   operating point (always `"mesh"` today — the throughput pin tracks
+//!   the paper's configuration, not the torus/ring/degraded variants).
 //!
 //! The APU figures (9–11) share their sweep core with `apu_sweep_seeds`,
 //! so the `apu_sweep` entry below (one benchmark, all policies × seeds)
@@ -264,7 +267,7 @@ fn main() {
     let json = format!(
         "{{\n  \"schema_version\": 2,\n  \"mode\": \"{mode}\",\n  \"seed\": {seed},\n  \
 \"host\": {{ \"threads\": {threads}, \"physical_cores\": {cores} }},\n  \"figures\": [\n{figs}\n  ],\n  \
-\"sim_throughput\": {{\n    \"mesh\": \"8x8\",\n    \"pattern\": \"uniform_random\",\n    \
+\"sim_throughput\": {{\n    \"topology\": \"mesh\",\n    \"mesh\": \"8x8\",\n    \"pattern\": \"uniform_random\",\n    \
 \"rate\": 0.20,\n    \"arbiter\": \"global_age\",\n    \"reps\": {reps},\n    \"modes\": {{\n{modes}\n    }}\n  }},\n  \
 \"history\": [\n{history}\n  ],\n  \
 \"note\": \"serial_s is --threads 1; parallel_s uses the listed thread count. Speedups track the host's physical core count; a single-core host shows ~1.0x. cycles_per_sec is best-of-{reps} wall-clock; history carries one entry per regeneration.\"\n}}\n",

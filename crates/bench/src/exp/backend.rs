@@ -11,7 +11,7 @@
 use apu_sim::NUM_QUADRANTS;
 use apu_sim::WorkloadSpec;
 use apu_workloads::{mixed_scenario, Benchmark};
-use noc_sim::{FaultPlan, SimConfig, Simulator, SyntheticTraffic, Topology};
+use noc_sim::{FaultPlan, SimConfig, Simulator, SyntheticTraffic};
 
 use super::spec::{ScenarioSpec, TierParams};
 use crate::PolicySpec;
@@ -121,6 +121,7 @@ impl SimBackend for SyntheticBackend {
             height,
             pattern,
             rate,
+            topo,
             routing,
             starvation_threshold,
             ..
@@ -128,9 +129,13 @@ impl SimBackend for SyntheticBackend {
         else {
             panic!("synthetic backend got a non-synthetic scenario");
         };
-        let topo = Topology::uniform_mesh(*width, *height).expect("valid mesh");
+        let topo = topo.build(*width, *height).expect("valid topology");
         let mut cfg = SimConfig::synthetic(*width, *height);
         cfg.routing = *routing;
+        // Mesh scenarios keep their historical diameter-derived bounds
+        // bit-identically (`for_topology` ≡ `for_mesh` there); other graphs
+        // get bounds from their own diameter.
+        cfg.feature_bounds = noc_sim::FeatureBounds::for_topology(&topo);
         if let Some(t) = starvation_threshold {
             cfg.starvation_threshold = *t;
         }
@@ -235,6 +240,7 @@ pub fn benchmark_by_name(name: &str) -> Benchmark {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use super::super::spec::TopoSpec;
     use noc_arbiters::PolicyKind;
     use noc_sim::{Pattern, RoutingKind};
 
@@ -255,6 +261,7 @@ mod tests {
             height: 4,
             pattern: Pattern::UniformRandom,
             rate: 0.1,
+            topo: TopoSpec::Mesh,
             routing: RoutingKind::XY,
             starvation_threshold: None,
             lineup: None,
@@ -275,6 +282,46 @@ mod tests {
         assert_eq!(cell.policy, "fifo");
         assert!(cell.metric("avg_latency") > 0.0);
         assert!(cell.metric("delivered") > 0.0);
+    }
+
+    #[test]
+    fn synthetic_backend_runs_non_mesh_topologies() {
+        let cases = [
+            (TopoSpec::Torus, RoutingKind::TorusDimOrder, "torus"),
+            (TopoSpec::Ring, RoutingKind::RingShortest, "ring"),
+            (
+                TopoSpec::DegradedMesh { seed: 9, drop_percent: 25 },
+                RoutingKind::TableShortest,
+                "degraded",
+            ),
+        ];
+        let policy = PolicySpec::builtin("FIFO", PolicyKind::Fifo);
+        let params = tiny_params();
+        for (topo, routing, label) in cases {
+            let scenario = ScenarioSpec::Synthetic {
+                label: label.into(),
+                width: 4,
+                height: 4,
+                pattern: Pattern::UniformRandom,
+                rate: 0.1,
+                topo,
+                routing,
+                starvation_threshold: None,
+                lineup: None,
+            };
+            let cell = SyntheticBackend.run(&SpecInstance {
+                scenario: &scenario,
+                label,
+                policy_name: "fifo",
+                policy: &policy,
+                seed: 1,
+                base_seed: 1,
+                params: &params,
+                artifact: None,
+                faults: None,
+            });
+            assert!(cell.metric("delivered") > 0.0, "{label} delivered nothing");
+        }
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! `repro conformance` — the randomized invariant-checker conformance
 //! harness over both simulators.
 //!
-//! The figure draws seeded random scenarios — mesh size × traffic pattern
-//! × routing × every [`PolicyKind`] × fault intensity — runs each with the
+//! The figure draws seeded random scenarios — topology (mesh, torus,
+//! ring, degraded mesh) × size × traffic pattern × routing × every
+//! [`PolicyKind`] × fault intensity — runs each with the
 //! runtime invariant checker enabled ([`noc_sim::InvariantChecker`] on the
 //! synthetic mesh, plus the protocol-level engine checker on the APU
 //! chip), and reports any violation. A healthy tree reports zero: the
@@ -24,11 +25,13 @@ use apu_sim::{run_apu_checked, EngineConfig, NUM_QUADRANTS};
 use apu_workloads::Benchmark;
 use noc_arbiters::{make_arbiter, PolicyKind};
 use noc_sim::{
-    FaultPlan, Pattern, RoutingKind, SimConfig, Simulator, SplitMix64, SyntheticTraffic, Topology,
+    FaultPlan, FeatureBounds, Pattern, RoutingKind, SimConfig, Simulator, SplitMix64,
+    SyntheticTraffic,
 };
 
 use super::backend::CellRecord;
 use super::figures::CustomOutput;
+use super::spec::TopoSpec;
 use crate::{render_table, sweep, CliArgs};
 
 /// One fully determined conformance scenario — every field a plain
@@ -43,6 +46,8 @@ pub struct ConformanceCase {
     pub pattern: Pattern,
     /// Injection rate (packets/node/cycle).
     pub rate: f64,
+    /// Router graph (built at `width × height` scale).
+    pub topo: TopoSpec,
     /// Routing function.
     pub routing: RoutingKind,
     /// Arbitration policy under test.
@@ -63,9 +68,10 @@ impl ConformanceCase {
     /// Renders the case as a one-line replayable reproducer.
     pub fn reproducer(&self) -> String {
         format!(
-            "policy={} mesh={}x{} pattern={:?} rate={:.3} routing={:?} \
+            "policy={} topo={} mesh={}x{} pattern={:?} rate={:.3} routing={:?} \
              intensity={:.2} cycles={} seed={}",
             self.policy.as_str(),
+            self.topo.label(),
             self.width,
             self.height,
             self.pattern,
@@ -75,6 +81,13 @@ impl ConformanceCase {
             self.cycles,
             self.seed,
         )
+    }
+
+    /// True when the case's routing function can run on its topology.
+    /// Minimization steps may propose incompatible pairs; those are
+    /// rejected without being run.
+    pub fn is_valid(&self) -> bool {
+        self.routing.supports(self.topo.kind())
     }
 }
 
@@ -123,16 +136,40 @@ pub fn derive_case(
     // Larger meshes saturate at lower per-node rates; keep cases live.
     let max_rate = if width == 8 { 0.25 } else { 0.45 };
     let rate = 0.02 + rng.next_f64() * (max_rate - 0.02);
+    let seed = rng.next_u64();
+    // Topology draws are appended at the END of the stream so the
+    // historical mesh cases keep every field they had per base seed; a
+    // quarter of the cases move to a non-mesh graph with a compatible
+    // deterministic routing kind.
+    let (topo, routing) = if rng.chance(0.25) {
+        match rng.next_bounded(3) {
+            0 => (
+                TopoSpec::Torus,
+                if rng.chance(0.5) { RoutingKind::TorusDimOrder } else { RoutingKind::TableShortest },
+            ),
+            1 => (
+                TopoSpec::Ring,
+                if rng.chance(0.5) { RoutingKind::RingShortest } else { RoutingKind::TorusDimOrder },
+            ),
+            _ => (
+                TopoSpec::DegradedMesh { seed: seed ^ 0xD06, drop_percent: 20 },
+                RoutingKind::TableShortest,
+            ),
+        }
+    } else {
+        (TopoSpec::Mesh, routing)
+    };
     ConformanceCase {
         width,
         height,
         pattern,
         rate,
+        topo,
         routing,
         policy,
         intensity,
         cycles,
-        seed: rng.next_u64(),
+        seed,
         leak_at: None,
     }
 }
@@ -140,15 +177,16 @@ pub fn derive_case(
 /// Runs one case on the synthetic mesh with the invariant checker
 /// enabled and reports what the checker saw.
 pub fn run_case(case: &ConformanceCase) -> CaseOutcome {
-    let topo = Topology::uniform_mesh(case.width, case.height).expect("valid mesh");
+    let topo = case.topo.build(case.width, case.height).expect("valid topology");
     let mut cfg = SimConfig::synthetic(case.width, case.height);
     cfg.routing = case.routing;
+    cfg.feature_bounds = FeatureBounds::for_topology(&topo);
     let traffic = SyntheticTraffic::new(&topo, case.pattern, case.rate, cfg.num_vnets, case.seed);
     let arbiter = make_arbiter(case.policy, case.seed);
     let mut sim = Simulator::new(topo, cfg, arbiter, traffic).expect("valid sim");
     sim.enable_invariant_checker();
     if case.intensity > 0.0 {
-        let topo = Topology::uniform_mesh(case.width, case.height).expect("valid mesh");
+        let topo = case.topo.build(case.width, case.height).expect("valid topology");
         sim.set_fault_plan(&FaultPlan::generate(
             case.seed ^ 0xFAB7,
             case.intensity,
@@ -172,7 +210,9 @@ pub fn run_case(case: &ConformanceCase) -> CaseOutcome {
 /// small seeds — accepting each step only if the checker still reports a
 /// violation. Returns the input unchanged if it does not fail at all.
 pub fn minimize(case: ConformanceCase) -> ConformanceCase {
-    let fails = |c: &ConformanceCase| run_case(c).violations > 0;
+    // Invalid routing × topology candidates (a lone routing reset on a
+    // ring case, say) are rejected outright instead of being run.
+    let fails = |c: &ConformanceCase| c.is_valid() && run_case(c).violations > 0;
     if !fails(&case) {
         return case;
     }
@@ -188,10 +228,14 @@ pub fn minimize(case: ConformanceCase) -> ConformanceCase {
     }
     // Each step derives its candidate from the *current* shrunk case, so
     // accepted shrinks compose instead of overwriting one another.
-    let steps: [fn(&ConformanceCase) -> ConformanceCase; 4] = [
+    let steps: [fn(&ConformanceCase) -> ConformanceCase; 5] = [
         |c| ConformanceCase { width: 4, height: 4, ..*c },
         |c| ConformanceCase { intensity: 0.0, ..*c },
         |c| ConformanceCase { pattern: Pattern::UniformRandom, ..*c },
+        // Topology and routing reset together so the candidate stays a
+        // valid pair; the lone routing reset then cleans up cases that
+        // were already on a mesh/torus.
+        |c| ConformanceCase { topo: TopoSpec::Mesh, routing: RoutingKind::XY, ..*c },
         |c| ConformanceCase { routing: RoutingKind::XY, ..*c },
     ];
     for step in steps {

@@ -430,12 +430,13 @@ pub fn run_matrix(
     MatrixData { scenarios }
 }
 
-/// The mesh a scenario's fault plan is generated against (fault targets
-/// must name real routers/ports of the simulated topology).
+/// The router graph a scenario's fault plan is generated against (fault
+/// targets must name real routers/ports/links of the simulated topology,
+/// so the plan is drawn on the scenario's own [`super::spec::TopoSpec`]).
 fn fault_topology(scenario: &ScenarioSpec) -> Topology {
     match scenario {
-        ScenarioSpec::Synthetic { width, height, .. } => {
-            Topology::uniform_mesh(*width, *height).expect("valid mesh")
+        ScenarioSpec::Synthetic { width, height, topo, .. } => {
+            topo.build(*width, *height).expect("valid topology")
         }
         _ => apu_sim::ApuTopology::build().clone_topology(),
     }

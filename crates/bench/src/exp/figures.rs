@@ -23,7 +23,7 @@ use super::backend::CellRecord;
 use super::driver::MatrixData;
 use super::record::Table;
 use super::spec::{
-    ExperimentSpec, FaultAxis, Lineup, NnRecipe, Normalize, ScenarioSpec, TierParams,
+    ExperimentSpec, FaultAxis, Lineup, NnRecipe, Normalize, ScenarioSpec, TierParams, TopoSpec,
 };
 use crate::{geomean, render_series, render_table, train_apu_agent, CliArgs};
 
@@ -101,7 +101,7 @@ pub fn names() -> Vec<&'static str> {
     FIGURES.iter().map(|d| d.name).collect()
 }
 
-static FIGURES: [FigureDef; 18] = [
+static FIGURES: [FigureDef; 19] = [
     FigureDef {
         name: "fig04",
         legacy_bin: "fig04_heatmap",
@@ -230,6 +230,16 @@ static FIGURES: [FigureDef; 18] = [
         summary: "randomized invariant-checker conformance sweep over both simulators",
         kind: FigureKind::Custom(super::conformance::run),
     },
+    FigureDef {
+        name: "routing",
+        legacy_bin: "routing",
+        summary: "routing x topology x fault-intensity sweep (mesh/torus/ring/degraded)",
+        kind: FigureKind::Matrix {
+            spec: spec_routing,
+            render: render_routing,
+            csv: true,
+        },
+    },
 ];
 
 fn mk_table(headers: &[&str], rows: Vec<Vec<String>>) -> Table {
@@ -257,6 +267,7 @@ fn spec_fig05() -> ExperimentSpec {
                 height: 4,
                 pattern: Pattern::UniformRandom,
                 rate: 0.40,
+                topo: TopoSpec::Mesh,
                 routing: RoutingKind::XY,
                 starvation_threshold: None,
                 lineup: None,
@@ -267,6 +278,7 @@ fn spec_fig05() -> ExperimentSpec {
                 height: 8,
                 pattern: Pattern::UniformRandom,
                 rate: 0.20,
+                topo: TopoSpec::Mesh,
                 routing: RoutingKind::XY,
                 starvation_threshold: None,
                 // The distilled policy has a per-mesh variant (§3.2).
@@ -379,6 +391,7 @@ fn spec_load_sweep() -> ExperimentSpec {
                     height: 4,
                     pattern: Pattern::UniformRandom,
                     rate,
+                    topo: TopoSpec::Mesh,
                     routing: RoutingKind::XY,
                     starvation_threshold: None,
                     lineup: None,
@@ -420,6 +433,7 @@ fn spec_extended_policies() -> ExperimentSpec {
                 height: 4,
                 pattern: Pattern::UniformRandom,
                 rate: 0.42,
+                topo: TopoSpec::Mesh,
                 routing: RoutingKind::XY,
                 starvation_threshold: None,
                 lineup: None,
@@ -491,6 +505,7 @@ fn spec_ablation_routing() -> ExperimentSpec {
                 height: 4,
                 pattern,
                 rate,
+                topo: TopoSpec::Mesh,
                 routing,
                 starvation_threshold: None,
                 lineup: None,
@@ -527,6 +542,7 @@ fn spec_starvation_check() -> ExperimentSpec {
             // overload (see the legacy binary's derivation).
             pattern: Pattern::Hotspot { node: NodeId(27), fraction: 0.025 },
             rate: 0.18,
+            topo: TopoSpec::Mesh,
             routing: RoutingKind::XY,
             starvation_threshold: Some(1_000),
             lineup: None,
@@ -554,6 +570,7 @@ fn spec_resilience() -> ExperimentSpec {
             height: 4,
             pattern: Pattern::UniformRandom,
             rate: 0.30,
+            topo: TopoSpec::Mesh,
             routing: RoutingKind::XY,
             starvation_threshold: None,
             lineup: None,
@@ -561,6 +578,59 @@ fn spec_resilience() -> ExperimentSpec {
         // Intensity i generates round(i x num_mesh_links) fault events;
         // 0.0 is the fault-free reference row.
         faults: Some(FaultAxis { intensities: vec![0.0, 0.25, 0.5, 1.0] }),
+        quick: TierParams { warmup: 500, measure: 4_000, ..TierParams::zeroed() },
+        full: TierParams {
+            warmup: 3_000,
+            measure: 20_000,
+            seeds: 3,
+            ..TierParams::zeroed()
+        },
+        normalize: Normalize::None,
+    }
+}
+
+fn spec_routing() -> ExperimentSpec {
+    // One row group per (routing, topology) pair, all at 16 routers with
+    // one core each so rows are comparable. X-Y and table routing share
+    // the mesh rows as a baseline; the torus/ring rows show the wraparound
+    // gain; the degraded row exercises table routing around missing links.
+    let pairs: [(&str, TopoSpec, RoutingKind); 5] = [
+        ("xy@mesh", TopoSpec::Mesh, RoutingKind::XY),
+        ("table@mesh", TopoSpec::Mesh, RoutingKind::TableShortest),
+        ("torus@torus", TopoSpec::Torus, RoutingKind::TorusDimOrder),
+        ("ring@ring", TopoSpec::Ring, RoutingKind::RingShortest),
+        (
+            "table@degraded",
+            TopoSpec::DegradedMesh { seed: 9, drop_percent: 25 },
+            RoutingKind::TableShortest,
+        ),
+    ];
+    let scenarios = pairs
+        .into_iter()
+        .map(|(label, topo, routing)| ScenarioSpec::Synthetic {
+            label: label.into(),
+            width: 4,
+            height: 4,
+            pattern: Pattern::UniformRandom,
+            rate: 0.25,
+            topo,
+            routing,
+            starvation_threshold: None,
+            lineup: None,
+        })
+        .collect();
+    ExperimentSpec {
+        figure: "routing".into(),
+        output: "routing".into(),
+        title: "routing x topology x fault-intensity sweep".into(),
+        // No NN slot: classic policies only, so the quick smoke needs no
+        // training (same reasoning as the resilience figure).
+        lineup: Lineup::parse(&["round-robin", "fifo", "global-age"]),
+        nn: None,
+        scenarios,
+        // 0.0 is the fault-free reference; 0.5 stresses each graph with
+        // round(0.5 x num_links) fault events drawn on its own link set.
+        faults: Some(FaultAxis { intensities: vec![0.0, 0.5] }),
         quick: TierParams { warmup: 500, measure: 4_000, ..TierParams::zeroed() },
         full: TierParams {
             warmup: 3_000,
@@ -874,6 +944,45 @@ fn render_resilience(_spec: &ExperimentSpec, _params: &TierParams, data: &Matrix
     let mut text = String::from(
         "== resilience: graceful degradation under deterministic fault injection ==\n\n",
     );
+    for sc in &data.scenarios {
+        if let Some(hash) = &sc.fault_plan_hash {
+            text.push_str(&format!(
+                "{}: intensity {:.2}, fault plan {hash}\n",
+                sc.label, sc.fault_intensity
+            ));
+        } else {
+            text.push_str(&format!("{}: fault-free reference\n", sc.label));
+        }
+    }
+    text.push('\n');
+    text.push_str(&render_table(&headers, &rows));
+    text.push('\n');
+    Rendered { text, table: mk_table(&headers, rows) }
+}
+
+fn render_routing(_spec: &ExperimentSpec, _params: &TierParams, data: &MatrixData) -> Rendered {
+    let headers = [
+        "scenario", "policy", "avg lat", "p99 lat", "throughput", "jain", "delivered",
+        "drops", "wedged",
+    ];
+    let mut rows = Vec::new();
+    for sc in &data.scenarios {
+        for p in 0..sc.canonical.len() {
+            rows.push(vec![
+                sc.label.clone(),
+                sc.display[p].clone(),
+                format!("{:.1}", sc.mean(p, "avg_latency")),
+                format!("{:.0}", sc.mean(p, "p99_latency")),
+                format!("{:.4}", sc.mean(p, "throughput")),
+                format!("{:.3}", sc.mean(p, "jain_fairness")),
+                format!("{:.0}", sc.mean(p, "delivered")),
+                format!("{:.0}", sc.mean(p, "link_fault_drops")),
+                format!("{:.0}", sc.mean(p, "wedged_ports")),
+            ]);
+        }
+    }
+    let mut text =
+        String::from("== routing x topology x fault-intensity sweep ==\n\n");
     for sc in &data.scenarios {
         if let Some(hash) = &sc.fault_plan_hash {
             text.push_str(&format!(
@@ -1324,7 +1433,32 @@ mod tests {
             assert!(find(def.name).is_some());
             assert!(find(def.legacy_bin).is_some());
         }
-        assert_eq!(all().len(), 18);
+        assert_eq!(all().len(), 19);
+    }
+
+    /// Every (topology, routing) pair in the routing figure is mutually
+    /// compatible and builds a connected graph at its scenario scale.
+    #[test]
+    fn routing_figure_pairs_are_compatible() {
+        let FigureKind::Matrix { spec, .. } = &find("routing").unwrap().kind else {
+            panic!("routing should be a matrix figure")
+        };
+        let s = spec();
+        assert_eq!(s.scenarios.len(), 5);
+        for scenario in &s.scenarios {
+            let ScenarioSpec::Synthetic { width, height, topo, routing, .. } = scenario
+            else {
+                panic!("routing scenarios are synthetic")
+            };
+            let t = topo.build(*width, *height).expect("scenario topology builds");
+            assert!(
+                routing.supports(t.kind()),
+                "{} does not support {}",
+                routing.as_str(),
+                t.kind().as_str()
+            );
+            assert_eq!(t.num_nodes(), 16, "all rows must compare equal node counts");
+        }
     }
 
     #[test]

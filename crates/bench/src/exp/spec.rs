@@ -8,7 +8,7 @@
 //! to remote workers.
 
 use noc_arbiters::PolicyKind;
-use noc_sim::{Pattern, RoutingKind};
+use noc_sim::{ConfigError, Pattern, RoutingKind, Topology, TopologyKind};
 
 /// Experiment size tier: `--quick` smoke or the full paper configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +153,75 @@ pub enum NnRecipe {
     },
 }
 
+/// The router graph a synthetic scenario runs on — the topology axis of
+/// the run matrix. Every variant is built at the scenario's
+/// `width × height` scale so rows with different topologies keep the same
+/// node count ([`TopoSpec::Ring`] lays `width × height` routers out in a
+/// single cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// 2-D mesh — the paper's configuration and the default everywhere.
+    Mesh,
+    /// 2-D torus: every row and column wraps around.
+    Torus,
+    /// 1-D ring of `width × height` routers.
+    Ring,
+    /// Seeded degraded mesh: `drop_percent`% of the mesh links removed
+    /// (connectivity-preserving; see [`Topology::degraded_mesh`]).
+    DegradedMesh {
+        /// Removal-selection seed.
+        seed: u64,
+        /// Percentage of candidate links to drop (integer so the spec
+        /// stays `Eq` and hashes canonically).
+        drop_percent: u8,
+    },
+}
+
+impl TopoSpec {
+    /// Builds the topology at `width × height` scale with one core per
+    /// router.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`Topology`] constructor error (degenerate
+    /// dimensions, disconnecting removals).
+    pub fn build(self, width: u16, height: u16) -> Result<Topology, ConfigError> {
+        match self {
+            TopoSpec::Mesh => Topology::uniform_mesh(width, height),
+            TopoSpec::Torus => Topology::uniform_torus(width, height),
+            TopoSpec::Ring => Topology::uniform_ring(width * height),
+            TopoSpec::DegradedMesh { seed, drop_percent } => Topology::uniform_degraded_mesh(
+                width,
+                height,
+                seed,
+                f64::from(drop_percent) / 100.0,
+            ),
+        }
+    }
+
+    /// Stable lowercase name used in labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            TopoSpec::Mesh => "mesh",
+            TopoSpec::Torus => "torus",
+            TopoSpec::Ring => "ring",
+            TopoSpec::DegradedMesh { .. } => "degraded",
+        }
+    }
+
+    /// The [`TopologyKind`] [`Self::build`] produces, without building —
+    /// used to check routing compatibility ([`RoutingKind::supports`])
+    /// before constructing a simulator.
+    pub fn kind(self) -> TopologyKind {
+        match self {
+            TopoSpec::Mesh => TopologyKind::Mesh,
+            TopoSpec::Torus => TopologyKind::Torus,
+            TopoSpec::Ring => TopologyKind::Ring,
+            TopoSpec::DegradedMesh { .. } => TopologyKind::Degraded,
+        }
+    }
+}
+
 /// One scenario (row group) of the run matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioSpec {
@@ -168,6 +237,9 @@ pub enum ScenarioSpec {
         pattern: Pattern,
         /// Injection rate (packets/node/cycle).
         rate: f64,
+        /// Router graph the scenario runs on (built at `width × height`
+        /// scale).
+        topo: TopoSpec,
         /// Routing function.
         routing: RoutingKind,
         /// Override for `SimConfig::starvation_threshold`.
@@ -335,6 +407,22 @@ mod tests {
         let mut other = spec;
         other.quick.seeds = 7;
         assert_ne!(h1, other.hash_hex(), "hash must see budget changes");
+    }
+
+    #[test]
+    fn topo_specs_build_label_and_kind_agree() {
+        let specs = [
+            TopoSpec::Mesh,
+            TopoSpec::Torus,
+            TopoSpec::Ring,
+            TopoSpec::DegradedMesh { seed: 9, drop_percent: 25 },
+        ];
+        for t in specs {
+            let built = t.build(4, 4).unwrap();
+            assert_eq!(built.kind(), t.kind(), "{} built the wrong family", t.label());
+            assert_eq!(built.kind().as_str(), t.label());
+            assert_eq!(built.num_nodes(), 16, "one core per router at 4x4 scale");
+        }
     }
 
     #[test]

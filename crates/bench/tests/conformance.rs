@@ -14,8 +14,9 @@
 use proptest::prelude::*;
 
 use bench::exp::conformance::{derive_case, minimize, run_case, ConformanceCase};
+use bench::exp::spec::TopoSpec;
 use noc_arbiters::{make_arbiter, PolicyKind};
-use noc_sim::{Pattern, RoutingKind, SimConfig, Simulator, SyntheticTraffic, Topology};
+use noc_sim::{Pattern, RoutingKind, SimConfig, Simulator, SyntheticTraffic};
 
 /// A short leaky case: uniform 4×4 FIFO with the test-only credit-leak
 /// hook armed partway through.
@@ -25,6 +26,7 @@ fn leaky_case(seed: u64) -> ConformanceCase {
         height: 8,
         pattern: Pattern::Transpose,
         rate: 0.2,
+        topo: TopoSpec::Mesh,
         routing: RoutingKind::XY,
         policy: PolicyKind::Fifo,
         intensity: 0.0,
@@ -80,8 +82,9 @@ proptest! {
 fn checked_and_unchecked_stats_are_byte_identical() {
     let case = derive_case(42, PolicyKind::GlobalAge, 16, 0.5, 0, 1_500);
     let build = |checked: bool| {
-        let topo = Topology::uniform_mesh(case.width, case.height).unwrap();
-        let cfg = SimConfig::synthetic(case.width, case.height);
+        let topo = case.topo.build(case.width, case.height).unwrap();
+        let mut cfg = SimConfig::synthetic(case.width, case.height);
+        cfg.routing = case.routing;
         let traffic =
             SyntheticTraffic::new(&topo, case.pattern, case.rate, cfg.num_vnets, case.seed);
         let mut sim =
@@ -89,7 +92,7 @@ fn checked_and_unchecked_stats_are_byte_identical() {
         if checked {
             sim.enable_invariant_checker();
         }
-        let topo = Topology::uniform_mesh(case.width, case.height).unwrap();
+        let topo = case.topo.build(case.width, case.height).unwrap();
         sim.set_fault_plan(&noc_sim::FaultPlan::generate(
             case.seed ^ 0xFAB7,
             case.intensity,

@@ -1,6 +1,7 @@
 //! Simulator configuration.
 
 use crate::error::ConfigError;
+use crate::topology::{Topology, TopologyKind};
 
 /// Normalization caps used when encoding features into `[0, 1]` for a
 /// neural agent (paper §6.2). Raw features are clamped at the cap and then
@@ -36,6 +37,22 @@ impl FeatureBounds {
         }
     }
 
+    /// Bounds derived from an arbitrary topology: distances and hop counts
+    /// are capped at the graph diameter. On a mesh this is bit-identical to
+    /// [`FeatureBounds::for_mesh`] (the mesh diameter *is* the graph
+    /// diameter), so threading the topology through changes nothing there.
+    pub fn for_topology(topo: &Topology) -> Self {
+        let diameter = topo.diameter();
+        FeatureBounds {
+            max_payload: 8,
+            max_local_age: 64,
+            max_distance: diameter.max(1),
+            max_hop_count: diameter.max(1),
+            max_in_flight: 64,
+            max_inter_arrival: 64,
+        }
+    }
+
     /// Normalizes a raw value against a cap into `[0, 1]`.
     pub fn norm_u64(value: u64, cap: u64) -> f64 {
         if cap == 0 {
@@ -61,6 +78,59 @@ pub enum RoutingKind {
     /// congestion using downstream credit occupancy, within the
     /// deadlock-free west-first turn model.
     WestFirstAdaptive,
+    /// Dimension-order routing with wraparound on a torus: each dimension
+    /// is corrected the short way around its ring (ties go East/South).
+    /// Deterministic and minimal; packets never change vnet in flight, so
+    /// the existing VC/vnet split keeps message classes separated exactly
+    /// as on the mesh.
+    TorusDimOrder,
+    /// Shortest-way-around traversal on a ring (ties go East).
+    RingShortest,
+    /// Precomputed shortest-path next-hop table
+    /// ([`crate::Topology::next_hop_port`]): deterministic routing on any
+    /// connected graph, the only kind that handles degraded topologies.
+    TableShortest,
+}
+
+impl RoutingKind {
+    /// True when the routing function is a pure function of
+    /// `(router, destination)` — same packet, same path, every time.
+    /// Deterministic routing is what makes per-VC route caching sound and
+    /// per-flow in-order delivery checkable (adaptive routing may
+    /// legitimately reorder a flow).
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, RoutingKind::WestFirstAdaptive)
+    }
+
+    /// True when this routing function can run on the given topology
+    /// family. Checked at [`crate::Simulator::new`].
+    pub fn supports(self, kind: TopologyKind) -> bool {
+        match self {
+            // Coordinate-order routing needs every in-grid link present;
+            // on a torus it simply never uses the wraparound links.
+            RoutingKind::XY | RoutingKind::WestFirstAdaptive => {
+                matches!(kind, TopologyKind::Mesh | TopologyKind::Torus)
+            }
+            // Needs wraparound in every dimension it corrects; a ring is a
+            // one-row torus as far as dimension-order routing is concerned.
+            RoutingKind::TorusDimOrder => {
+                matches!(kind, TopologyKind::Torus | TopologyKind::Ring)
+            }
+            RoutingKind::RingShortest => matches!(kind, TopologyKind::Ring),
+            RoutingKind::TableShortest => true,
+        }
+    }
+
+    /// Stable lowercase name used in labels and error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RoutingKind::XY => "xy",
+            RoutingKind::WestFirstAdaptive => "west-first-adaptive",
+            RoutingKind::TorusDimOrder => "torus-dim-order",
+            RoutingKind::RingShortest => "ring-shortest",
+            RoutingKind::TableShortest => "table-shortest",
+        }
+    }
 }
 
 /// Static configuration of a [`crate::Simulator`].
@@ -192,5 +262,46 @@ mod tests {
         let large = FeatureBounds::for_mesh(8, 8);
         assert_eq!(small.max_distance, 6);
         assert_eq!(large.max_distance, 14);
+    }
+
+    /// `for_topology` on a mesh is bit-identical to `for_mesh` — the
+    /// guarantee that lets callers thread the topology through without
+    /// perturbing mesh results.
+    #[test]
+    fn topology_bounds_match_mesh_bounds_on_meshes() {
+        for (w, h) in [(4u16, 4u16), (8, 8), (5, 3)] {
+            let topo = Topology::uniform_mesh(w, h).unwrap();
+            assert_eq!(FeatureBounds::for_topology(&topo), FeatureBounds::for_mesh(w, h));
+        }
+        // And on a torus the wraparound halves the diameter cap.
+        let torus = Topology::uniform_torus(8, 8).unwrap();
+        assert_eq!(FeatureBounds::for_topology(&torus).max_distance, 8);
+    }
+
+    #[test]
+    fn determinism_classification() {
+        assert!(RoutingKind::XY.is_deterministic());
+        assert!(RoutingKind::TorusDimOrder.is_deterministic());
+        assert!(RoutingKind::RingShortest.is_deterministic());
+        assert!(RoutingKind::TableShortest.is_deterministic());
+        assert!(!RoutingKind::WestFirstAdaptive.is_deterministic());
+    }
+
+    #[test]
+    fn routing_topology_support_matrix() {
+        use TopologyKind::*;
+        assert!(RoutingKind::XY.supports(Mesh));
+        assert!(RoutingKind::XY.supports(Torus));
+        assert!(!RoutingKind::XY.supports(Ring));
+        assert!(!RoutingKind::XY.supports(Degraded));
+        assert!(!RoutingKind::WestFirstAdaptive.supports(Degraded));
+        assert!(RoutingKind::TorusDimOrder.supports(Torus));
+        assert!(RoutingKind::TorusDimOrder.supports(Ring));
+        assert!(!RoutingKind::TorusDimOrder.supports(Mesh));
+        assert!(RoutingKind::RingShortest.supports(Ring));
+        assert!(!RoutingKind::RingShortest.supports(Torus));
+        for k in [Mesh, Torus, Ring, Degraded] {
+            assert!(RoutingKind::TableShortest.supports(k));
+        }
     }
 }

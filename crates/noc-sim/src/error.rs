@@ -42,6 +42,33 @@ pub enum ConfigError {
     },
     /// An injection request referenced an unknown node or vnet.
     InvalidInjection(String),
+    /// A topology constructor was given a dimension below its minimum
+    /// (e.g. a 1-wide torus would self-loop).
+    TopologyTooSmall {
+        /// Topology family being constructed (`"torus"`, `"ring"`).
+        kind: &'static str,
+        /// The offending dimension value.
+        dim: u16,
+        /// Smallest legal value.
+        min: u16,
+    },
+    /// A degraded-graph constructor referenced a link that does not exist
+    /// at the named router (local port, edge port, or already removed).
+    NoSuchLink {
+        /// Router the bad removal named.
+        router: usize,
+    },
+    /// Link removals (or a hand-built adjacency) left some router
+    /// unreachable; every topology must be connected.
+    DisconnectedTopology,
+    /// The configured routing function cannot run on the topology (e.g.
+    /// torus dimension-order routing on a mesh without wraparound links).
+    RoutingUnsupported {
+        /// Name of the routing function ([`crate::RoutingKind::as_str`]).
+        routing: &'static str,
+        /// Name of the topology family ([`crate::TopologyKind::as_str`]).
+        topology: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -68,6 +95,18 @@ impl fmt::Display for ConfigError {
                 "vc capacity of {capacity_flits} flits cannot hold a {max_packet_flits}-flit packet"
             ),
             ConfigError::InvalidInjection(msg) => write!(f, "invalid injection request: {msg}"),
+            ConfigError::TopologyTooSmall { kind, dim, min } => {
+                write!(f, "{kind} dimension {dim} is below the minimum of {min}")
+            }
+            ConfigError::NoSuchLink { router } => {
+                write!(f, "link removal referenced a nonexistent link at router {router}")
+            }
+            ConfigError::DisconnectedTopology => {
+                write!(f, "topology is disconnected: some router pair has no path")
+            }
+            ConfigError::RoutingUnsupported { routing, topology } => {
+                write!(f, "routing '{routing}' does not support '{topology}' topologies")
+            }
         }
     }
 }
@@ -89,6 +128,10 @@ mod tests {
             ConfigError::DuplicateAttachment { router: 1, slot: 0 },
             ConfigError::BufferTooSmall { capacity_flits: 2, max_packet_flits: 5 },
             ConfigError::InvalidInjection("bad".into()),
+            ConfigError::TopologyTooSmall { kind: "ring", dim: 2, min: 3 },
+            ConfigError::NoSuchLink { router: 5 },
+            ConfigError::DisconnectedTopology,
+            ConfigError::RoutingUnsupported { routing: "ring-shortest", topology: "mesh" },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

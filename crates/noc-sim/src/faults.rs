@@ -138,20 +138,22 @@ impl FaultPlan {
 
     /// Draws a random plan for `topo` from a seed and an intensity knob in
     /// `[0, 1]`: the number of faults scales with
-    /// `intensity × num_mesh_links`, onsets land in the first half of
+    /// `intensity × topo.num_links()`, onsets land in the first half of
     /// `horizon`, and durations are fractions of `horizon`. Intensity `0.0`
     /// yields an empty plan. Fully deterministic in `(seed, intensity,
-    /// topo, horizon)`.
+    /// topo, horizon)`. Faults are drawn against the topology's real link
+    /// set — on a torus the wraparound links are eligible, and on a
+    /// degraded mesh removed links are never drawn.
     pub fn generate(seed: u64, intensity: f64, topo: &Topology, horizon: u64) -> Self {
         let intensity = intensity.clamp(0.0, 1.0);
-        let n = (intensity * topo.num_mesh_links() as f64).round() as usize;
+        let n = (intensity * topo.num_links() as f64).round() as usize;
         let horizon = horizon.max(64);
         let mut rng = SplitMix64::new(seed ^ 0xFAB1_7CA5_E5EE_D000);
         let dirs = [PortDir::North, PortDir::South, PortDir::West, PortDir::East];
         let mut events = Vec::with_capacity(n);
         for _ in 0..n {
-            // Pick a connected mesh link (every router in a >1-router mesh
-            // has at least one neighbour, so this terminates).
+            // Pick a connected link (every router in a connected >1-router
+            // graph has at least one neighbour, so this terminates).
             let (router, port) = loop {
                 let r = RouterId(rng.next_bounded(topo.num_routers() as u64) as usize);
                 let d = dirs[rng.next_bounded(4) as usize];
@@ -200,7 +202,8 @@ impl FaultPlan {
     }
 
     /// Checks every event against a topology: routers and ports in range,
-    /// link faults on mesh (non-local) ports only.
+    /// link faults on directional ports only, and only on links the graph
+    /// actually has (a removed or edge port has no link to fault).
     ///
     /// # Errors
     ///
@@ -223,11 +226,20 @@ impl FaultPlan {
             }
             let link_fault =
                 matches!(ev.kind, FaultKind::TransientLink | FaultKind::LinkDown);
-            if link_fault && topo.port_dir(ev.port).is_local() {
-                return Err(format!(
-                    "fault event {i}: link fault on local port {}",
-                    ev.port
-                ));
+            if link_fault {
+                let dir = topo.port_dir(ev.port);
+                if dir.is_local() {
+                    return Err(format!(
+                        "fault event {i}: link fault on local port {}",
+                        ev.port
+                    ));
+                }
+                if topo.neighbor(RouterId(ev.router), dir).is_none() {
+                    return Err(format!(
+                        "fault event {i}: link fault on disconnected port {} of router {}",
+                        ev.port, ev.router
+                    ));
+                }
             }
         }
         Ok(())
@@ -715,11 +727,32 @@ mod tests {
         let a = FaultPlan::generate(11, 0.5, &topo, 10_000);
         let b = FaultPlan::generate(11, 0.5, &topo, 10_000);
         assert_eq!(a, b);
-        assert_eq!(a.events.len(), (0.5 * topo.num_mesh_links() as f64).round() as usize);
+        assert_eq!(a.events.len(), (0.5 * topo.num_links() as f64).round() as usize);
         assert!(FaultPlan::generate(11, 0.0, &topo, 10_000).is_empty());
         let full = FaultPlan::generate(11, 1.0, &topo, 10_000);
-        assert_eq!(full.events.len(), topo.num_mesh_links());
+        assert_eq!(full.events.len(), topo.num_links());
         full.validate(&topo).unwrap();
+    }
+
+    /// Plans drawn against non-mesh graphs stay inside the real link set:
+    /// torus plans may fault wraparound links, degraded-mesh plans never
+    /// fault a removed link, and both validate cleanly.
+    #[test]
+    fn generation_respects_the_graph_link_set() {
+        let torus = Topology::uniform_torus(4, 4).unwrap();
+        let plan = FaultPlan::generate(3, 1.0, &torus, 10_000);
+        assert_eq!(plan.events.len(), torus.num_links());
+        plan.validate(&torus).unwrap();
+
+        let degraded = Topology::uniform_degraded_mesh(4, 4, 9, 0.25).unwrap();
+        let plan = FaultPlan::generate(3, 1.0, &degraded, 10_000);
+        assert_eq!(plan.events.len(), degraded.num_links());
+        plan.validate(&degraded).unwrap();
+        // A degraded plan is NOT valid against its own link removals being
+        // undone the other way: faulting a port the graph dropped fails.
+        let mesh = Topology::uniform_mesh(4, 4).unwrap();
+        let mesh_plan = FaultPlan::generate(3, 1.0, &mesh, 10_000);
+        assert!(mesh_plan.validate(&degraded).is_err());
     }
 
     #[test]

@@ -25,10 +25,11 @@
 //!   reservations the checker observed (grants + fault reserves − arrivals
 //!   − reconciliations) for that exact buffer.
 //! * **No duplicate delivery** — a packet id is delivered at most once.
-//! * **Per-flow in-order delivery** — under deterministic X-Y routing,
+//! * **Per-flow in-order delivery** — under any deterministic routing kind
+//!   (X-Y, torus dimension-order, ring traversal, shortest-path table),
 //!   packets of the same (source, destination, vnet) flow are delivered in
 //!   creation order (adaptive routing may legitimately reorder, so the
-//!   check is keyed off [`crate::RoutingKind`]).
+//!   check is keyed off [`crate::RoutingKind::is_deterministic`]).
 //! * **Occupancy bounds** — `used + reserved ≤ capacity` even while a
 //!   VC-shrink fault squeezes the advertised credit, and `used_flits`
 //!   equals the flits of the packets actually queued.

@@ -2,8 +2,9 @@
 //!
 //! This crate is the simulation substrate for the reproduction of
 //! *"Experiences with ML-Driven Design: A NoC Case Study"* (HPCA 2020).
-//! It models input-buffered virtual-channel routers on 2-D meshes with
-//! deterministic X-Y routing, credit-based virtual cut-through flow control,
+//! It models input-buffered virtual-channel routers on arbitrary router
+//! graphs — 2-D meshes, tori, rings, and degraded (link-removed) meshes —
+//! with pluggable routing, credit-based virtual cut-through flow control,
 //! and — crucially for the paper — a pluggable per-output-port arbitration
 //! interface that exposes exactly the message features the paper's
 //! reinforcement-learning agent observes (Table 2: payload size, local age,
@@ -29,7 +30,10 @@
 //!
 //! ## Crate layout
 //!
-//! * [`Topology`] / [`route_xy`] — mesh construction and dimension-order routing.
+//! * [`Topology`] / [`TopologyKind`] — router-graph construction (mesh,
+//!   torus, ring, degraded) over a shared adjacency representation.
+//! * [`RoutingKind`] / [`route_xy`] / [`route_torus`] / [`route_table`] —
+//!   pluggable routing (dimension-order, wraparound, shortest-path table).
 //! * [`Simulator`] — the cycle-driven engine (paper Algorithm 1 decision shell).
 //! * [`Arbiter`] — the policy interface; reference baselines in [`arbiters`].
 //! * [`TrafficSource`] — open-loop synthetic patterns ([`SyntheticTraffic`])
@@ -75,10 +79,13 @@ pub use invariants::{InvariantChecker, InvariantViolation, SimError, ViolationKi
 pub use packet::{BufferedPacket, InjectionRequest, Packet};
 pub use report::format_report;
 pub use rng::SplitMix64;
-pub use routing::{route_west_first, route_xy, route_xy_port, xy_path, RouteStep};
+pub use routing::{
+    route_deterministic, route_path, route_ring, route_table, route_torus, route_west_first,
+    route_xy, route_xy_port, xy_path, RouteStep,
+};
 pub use sim::Simulator;
 pub use stats::SimStats;
-pub use topology::{Node, Topology};
+pub use topology::{Node, Topology, TopologyKind};
 pub use trace::{PacketTrace, TraceEvent, TraceKind};
 pub use traffic::{Pattern, SyntheticTraffic, TraceTraffic, TrafficSource};
 pub use types::{Coord, DestType, MsgType, NodeId, PortDir, RouterId};

@@ -36,8 +36,10 @@ pub struct Packet {
     pub dst_slot: u8,
     /// Number of routers the message has been forwarded through so far.
     pub hop_count: u32,
-    /// Total hops from source router to destination router (fixed at
-    /// creation; under X-Y routing this equals the Manhattan distance).
+    /// Shortest-path hop count from source router to destination router on
+    /// the configured topology graph (fixed at creation). On a mesh this
+    /// equals the Manhattan distance; on tori and rings the wraparound
+    /// links shorten it, and on degraded graphs it routes around the holes.
     pub distance: u32,
     /// Opaque tag available to closed-loop traffic models to correlate a
     /// delivered packet with the transaction that produced it.

@@ -18,7 +18,7 @@ use crate::faults::{FaultPlan, FaultRuntime};
 use crate::invariants::{InvariantChecker, InvariantViolation, SimError};
 use crate::packet::{InjectionRequest, Packet};
 use crate::config::RoutingKind;
-use crate::routing::{route_west_first, RouteStep};
+use crate::routing::{route_deterministic, route_west_first, RouteStep};
 use crate::stats::SimStats;
 use crate::topology::Topology;
 use crate::trace::{PacketTrace, TraceEvent, TraceKind};
@@ -191,8 +191,8 @@ pub struct Simulator<T: TrafficSource> {
     /// Precomputed `!arbiter.wants_features()` (the arbiter never changes
     /// after construction).
     arb_lite: bool,
-    /// Whether the per-VC cached route may be consulted (X-Y routing and port
-    /// indices that fit in a `u8`).
+    /// Whether the per-VC cached route may be consulted (deterministic
+    /// routing and port indices that fit in a `u8`).
     route_cacheable: bool,
     /// Fault-injection runtime; `None` (the default) is the fault-free
     /// fast path and is bit-identical to a build without this subsystem.
@@ -220,6 +220,12 @@ impl<T: TrafficSource> Simulator<T> {
         traffic: T,
     ) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        if !cfg.routing.supports(topo.kind()) {
+            return Err(ConfigError::RoutingUnsupported {
+                routing: cfg.routing.as_str(),
+                topology: topo.kind().as_str(),
+            });
+        }
         let ports = topo.ports_per_router();
         let vnets = cfg.num_vnets;
         let num_locals = topo.num_locals();
@@ -246,14 +252,14 @@ impl<T: TrafficSource> Simulator<T> {
             .map(|n| (n.router.index(), topo.port_index(PortDir::Local(n.slot))))
             .collect();
         let inj_queues = (0..topo.num_nodes() * vnets).map(|_| VecDeque::new()).collect();
-        let stats = SimStats::new(cfg.num_vnets, topo.num_nodes(), topo.num_mesh_links());
+        let stats = SimStats::new(cfg.num_vnets, topo.num_nodes(), topo.num_links());
         let in_flight = vec![0; topo.num_routers()];
         // Every event lands within max_packet_flits + link + router latency
         // cycles of its scheduling cycle, so this horizon keeps the calendar
         // queues on their O(1) ring path (overflow handles anything larger).
         let horizon =
             (cfg.max_packet_flits as u64 + cfg.link_latency + cfg.router_latency + 2) as usize;
-        let route_cacheable = matches!(cfg.routing, RoutingKind::XY) && ports < u8::MAX as usize;
+        let route_cacheable = cfg.routing.is_deterministic() && ports < u8::MAX as usize;
         let links_nbi: Vec<u32> = links
             .iter()
             .map(|l| match l {
@@ -364,7 +370,7 @@ impl<T: TrafficSource> Simulator<T> {
         self.stats = SimStats::new(
             self.cfg.num_vnets,
             self.topo.num_nodes(),
-            self.topo.num_mesh_links(),
+            self.topo.num_links(),
         );
         if let Some(ck) = &mut self.checker {
             ck.on_reset_stats();
@@ -405,8 +411,9 @@ impl<T: TrafficSource> Simulator<T> {
     /// simulation: a checked run produces bit-identical statistics to an
     /// unchecked one.
     ///
-    /// The per-flow in-order delivery check is only armed under
-    /// deterministic [`RoutingKind::XY`] routing — adaptive routing may
+    /// The per-flow in-order delivery check is only armed when the
+    /// configured routing is deterministic
+    /// ([`RoutingKind::is_deterministic`]) — adaptive routing may
     /// legitimately reorder a flow.
     ///
     /// # Panics
@@ -418,7 +425,7 @@ impl<T: TrafficSource> Simulator<T> {
             self.cycle, 0,
             "enable the invariant checker before the first step"
         );
-        let check_order = matches!(self.cfg.routing, RoutingKind::XY);
+        let check_order = self.cfg.routing.is_deterministic();
         self.checker = Some(Box::new(InvariantChecker::new(
             self.topo.num_routers(),
             self.topo.ports_per_router(),
@@ -734,7 +741,7 @@ impl<T: TrafficSource> Simulator<T> {
         // Phase 6: close out the cycle.
         self.stats.link_busy_cycles += self.active_mesh_tx as u64;
         self.net.link_utilization_prev =
-            self.active_mesh_tx as f64 / self.topo.num_mesh_links().max(1) as f64;
+            self.active_mesh_tx as f64 / self.topo.num_links().max(1) as f64;
         self.arbiter.end_cycle(&self.net);
         self.stats.cycles += 1;
         self.cycle += 1;
@@ -848,8 +855,7 @@ impl<T: TrafficSource> Simulator<T> {
             dst_router: dst_node.router,
             dst_slot: dst_node.slot,
             hop_count: 0,
-            distance: self.coords[src_node.router.index()]
-                .manhattan(self.coords[dst_node.router.index()]),
+            distance: self.topo.hop_distance(src_node.router, dst_node.router),
             tag: req.tag,
         }
     }
@@ -912,6 +918,14 @@ impl<T: TrafficSource> Simulator<T> {
                     }
                 };
                 match route_west_first(&self.topo, router, dst_router, dst_slot, congestion) {
+                    RouteStep::Forward(dir) => self.topo.port_index(dir),
+                    RouteStep::Eject(slot) => self.topo.port_index(PortDir::Local(slot)),
+                }
+            }
+            kind @ (RoutingKind::TorusDimOrder
+            | RoutingKind::RingShortest
+            | RoutingKind::TableShortest) => {
+                match route_deterministic(kind, &self.topo, router, dst_router, dst_slot) {
                     RouteStep::Forward(dir) => self.topo.port_index(dir),
                     RouteStep::Eject(slot) => self.topo.port_index(PortDir::Local(slot)),
                 }
@@ -1004,10 +1018,10 @@ impl<T: TrafficSource> Simulator<T> {
                 // touched again for contended outputs in pass 2.
                 let hot = self.bufs.hots[bi];
                 let len = hot.len_flits;
-                // Under X-Y routing the head's route is a pure function of
-                // the head packet, so it is cached in the hot entry and
-                // reset whenever the head changes; adaptive routing reads
-                // live congestion and always recomputes.
+                // Under deterministic routing the head's route is a pure
+                // function of the head packet, so it is cached in the hot
+                // entry and reset whenever the head changes; adaptive
+                // routing reads live congestion and always recomputes.
                 let out_port = if self.route_cacheable && hot.route != u8::MAX {
                     hot.route as usize
                 } else {
@@ -1810,6 +1824,101 @@ mod tests {
         sim.enable_invariant_checker();
         sim.run(2_000);
         assert_eq!(sim.total_invariant_violations(), 0);
+    }
+
+    /// Runs a checked uniform-random sweep on `topo` under `routing` and
+    /// asserts the run delivers traffic with zero invariant violations.
+    /// The in-order gate is armed for every deterministic routing kind, so
+    /// this exercises the per-flow ordering books off the mesh too.
+    fn run_checked(topo: Topology, routing: RoutingKind, seed: u64) {
+        let mut cfg = SimConfig::synthetic(topo.width(), topo.height());
+        cfg.routing = routing;
+        cfg.feature_bounds = crate::FeatureBounds::for_topology(&topo);
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.2, 3, seed);
+        let mut sim =
+            Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+        sim.enable_invariant_checker();
+        sim.run(2_000);
+        assert!(sim.stats().delivered > 0, "no traffic delivered");
+        assert_eq!(
+            sim.total_invariant_violations(),
+            0,
+            "violations: {:?}",
+            sim.invariant_violations()
+        );
+    }
+
+    #[test]
+    fn checker_stays_clean_on_torus_dim_order() {
+        run_checked(
+            Topology::uniform_torus(4, 4).unwrap(),
+            RoutingKind::TorusDimOrder,
+            21,
+        );
+    }
+
+    #[test]
+    fn checker_stays_clean_on_ring_shortest() {
+        run_checked(
+            Topology::uniform_ring(8).unwrap(),
+            RoutingKind::RingShortest,
+            22,
+        );
+    }
+
+    #[test]
+    fn checker_stays_clean_on_degraded_mesh_table_routing() {
+        run_checked(
+            Topology::uniform_degraded_mesh(4, 4, 9, 0.25).unwrap(),
+            RoutingKind::TableShortest,
+            23,
+        );
+    }
+
+    #[test]
+    fn checker_stays_clean_on_mesh_table_routing() {
+        run_checked(
+            Topology::uniform_mesh(4, 4).unwrap(),
+            RoutingKind::TableShortest,
+            24,
+        );
+    }
+
+    #[test]
+    fn unsupported_routing_topology_pair_is_rejected() {
+        let topo = Topology::uniform_ring(6).unwrap();
+        let mut cfg = SimConfig::synthetic(6, 1);
+        cfg.routing = RoutingKind::XY;
+        let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.1, 3, 1);
+        let err = Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic)
+            .expect_err("x-y routing must be rejected on a ring");
+        assert_eq!(
+            err,
+            ConfigError::RoutingUnsupported { routing: "xy", topology: "ring" }
+        );
+    }
+
+    /// Transpose traffic crosses the grid; the torus wraparound shortens
+    /// those paths, so dim-order-on-torus must beat X-Y-on-mesh.
+    #[test]
+    fn torus_beats_mesh_on_wrap_heavy_traffic() {
+        let mesh = Topology::uniform_mesh(4, 4).unwrap();
+        let t = Topology::uniform_torus(4, 4).unwrap();
+        let mk = |topo: Topology, routing| {
+            let mut cfg = SimConfig::synthetic(4, 4);
+            cfg.routing = routing;
+            let traffic = SyntheticTraffic::new(&topo, Pattern::Transpose, 0.1, 3, 5);
+            let mut sim =
+                Simulator::new(topo, cfg, Box::new(FifoArbiter::new()), traffic).unwrap();
+            sim.run(3_000);
+            sim.stats().avg_latency()
+        };
+        let mesh_lat = mk(mesh, RoutingKind::XY);
+        let torus_lat = mk(t, RoutingKind::TorusDimOrder);
+        assert!(
+            torus_lat < mesh_lat,
+            "wraparound should cut latency: torus {torus_lat:.2} vs mesh {mesh_lat:.2}"
+        );
     }
 
     #[test]

@@ -27,8 +27,9 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// Identifier of a router in the topology. Routers are laid out row-major in
-/// a 2-D mesh: `id = y * width + x`.
+/// Identifier of a router in the topology. Grid-derived topologies (mesh,
+/// torus, degraded mesh) lay routers out row-major: `id = y * width + x`; a
+/// ring is a one-row grid, so `id` is the position around the ring.
 ///
 /// ```
 /// use noc_sim::RouterId;
@@ -65,8 +66,10 @@ impl Coord {
         Coord { x, y }
     }
 
-    /// Manhattan distance between two coordinates — the number of mesh hops
-    /// an X-Y-routed packet takes between the two routers.
+    /// Manhattan distance between two coordinates — the number of hops an
+    /// X-Y-routed packet takes between the two routers on a (non-wrapping)
+    /// mesh. For the graph-aware hop count on any topology, use
+    /// [`crate::Topology::hop_distance`].
     ///
     /// ```
     /// use noc_sim::Coord;

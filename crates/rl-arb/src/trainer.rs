@@ -125,11 +125,14 @@ mod tests {
                 "flat".into()
             }
             fn encoder(&self) -> crate::StateEncoder {
+                // Geometry from the topology, not hardcoded: 5 ports and a
+                // diameter-6 bound on a 1-local 4×4 mesh, same as before.
+                let topo = noc_sim::Topology::uniform_mesh(4, 4).unwrap();
                 crate::StateEncoder::new(
-                    5,
+                    topo.ports_per_router(),
                     3,
                     crate::FeatureSet::synthetic(),
-                    noc_sim::FeatureBounds::for_mesh(4, 4),
+                    noc_sim::FeatureBounds::for_topology(&topo),
                 )
             }
             fn num_epochs(&self) -> usize {
