@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p bench --bin repro -- list
 //! cargo run --release -p bench --bin repro -- fig09 [--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>]
+//! cargo run --release -p bench --bin repro -- queue fig05 fig09 [--cache-dir <dir>] [--cache-stats]
 //! cargo run --release -p bench --bin repro -- train fig09 [--retrain] [--artifacts-dir <dir>]
 //! ```
 //!
@@ -14,6 +15,14 @@
 //! byte-identical output. `train <figure>` resolves (training if needed)
 //! a figure's artifacts without running its matrix; `--retrain` ignores
 //! the cache.
+//!
+//! Simulation cells themselves resolve through the content-addressed
+//! result cache (`--cache-dir`, default `results/cache/`): every cell is
+//! keyed by its content hash, so a warm cache re-answers a figure with
+//! zero simulated cycles. `queue <figure>...` batches several figures
+//! through one shared job queue and cache, deduplicating cells and NN
+//! training that figures share; `--cache-stats` prints a one-line
+//! hit/miss summary after the run.
 //!
 //! Figure names resolve through the registry in `bench::exp::figures`;
 //! legacy binary names (`fig09_avg_exec`, …) are accepted as aliases.
@@ -52,6 +61,14 @@ fn main() {
                 std::process::exit(1);
             }
         },
+        [cmd, figs @ ..] if cmd == "queue" && !figs.is_empty() => {
+            let names: Vec<&str> = figs.iter().map(String::as_str).collect();
+            if let Err(e) = driver::run_figures_queued(&names, &args) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        [cmd] if cmd == "queue" => usage("error: queue needs at least one figure name"),
         [figure] => {
             if let Err(e) = driver::run_figure(figure, &args) {
                 eprintln!("error: {e}");
@@ -65,6 +82,6 @@ fn main() {
 
 fn usage(err: &str) -> ! {
     eprintln!("{err}");
-    eprintln!("usage: repro <figure|train <figure>|list> {USAGE_FLAGS}");
+    eprintln!("usage: repro <figure|queue <figure>...|train <figure>|list> {USAGE_FLAGS}");
     std::process::exit(2);
 }

@@ -59,6 +59,14 @@ pub struct CellRecord {
     /// Hash of the fault plan this cell ran under (`None` for fault-free
     /// cells; see [`noc_sim::FaultPlan::hash_hex`]).
     pub fault_plan: Option<String>,
+    /// Content hash of the cell's job identity in the result cache
+    /// (`None` for cells that never went through the cache, e.g. custom
+    /// figures; see `super::cache`).
+    pub cell_hash: Option<String>,
+    /// Result-cache provenance: `"hit"` (loaded from the on-disk cache)
+    /// or `"miss"` (simulated this run). `None` when the run bypassed the
+    /// cache entirely.
+    pub cache: Option<String>,
     /// Named metric values, in a stable order.
     pub metrics: Vec<(String, f64)>,
 }
@@ -158,6 +166,8 @@ impl SimBackend for SyntheticBackend {
             seed: inst.seed,
             artifact: inst.artifact.map(String::from),
             fault_plan: inst.faults.map(FaultPlan::hash_hex),
+            cell_hash: None,
+            cache: None,
             metrics: vec![
                 ("avg_latency".into(), s.avg_latency()),
                 ("p99_latency".into(), s.latency_percentile(99.0) as f64),
@@ -200,6 +210,8 @@ impl SimBackend for ApuBackend {
             seed: inst.seed,
             artifact: inst.artifact.map(String::from),
             fault_plan: inst.faults.map(FaultPlan::hash_hex),
+            cell_hash: None,
+            cache: None,
             metrics: vec![
                 ("avg_exec".into(), r.avg_exec),
                 ("tail_exec".into(), r.tail_exec as f64),

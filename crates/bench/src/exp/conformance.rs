@@ -369,6 +369,8 @@ pub fn run(args: &CliArgs) -> CustomOutput {
             seed: args.seed,
             artifact: None,
             fault_plan: None,
+            cell_hash: None,
+            cache: None,
             metrics: vec![
                 ("runs".into(), runs as f64),
                 ("violations".into(), violations as f64),
@@ -395,6 +397,8 @@ pub fn run(args: &CliArgs) -> CustomOutput {
             seed: args.seed,
             artifact: None,
             fault_plan: None,
+            cell_hash: None,
+            cache: None,
             metrics: vec![
                 ("runs".into(), 1.0),
                 ("violations".into(), outcome.violations as f64),

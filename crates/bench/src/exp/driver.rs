@@ -1,33 +1,44 @@
 //! The experiment driver: figure name in, text table + `RunRecord` out.
 //!
-//! [`run_figure`] resolves a figure through the [`super::figures`]
-//! registry, executes its run matrix (or custom procedure), prints the
-//! same text the legacy per-figure binary printed, and writes the
-//! structured [`RunRecord`] JSON (plus CSV where the legacy binary wrote
-//! one) into `--out-dir`. All I/O errors propagate to the caller — no
-//! silently swallowed writes.
+//! [`run_figure`] (and the batched [`run_figures_queued`] behind
+//! `repro queue`) resolves figures through the [`super::figures`]
+//! registry, plans every run-matrix cell as a job in a
+//! [`super::queue::JobQueue`] (training jobs ahead of the simulation
+//! cells that depend on them), probes the content-addressed
+//! [`super::cache::ResultCache`] so previously-computed cells never
+//! re-simulate, drains the queue, then prints the same text the legacy
+//! per-figure binary printed and writes the structured [`RunRecord`] JSON
+//! (plus CSV where the legacy binary wrote one) into `--out-dir`. All I/O
+//! errors propagate to the caller — no silently swallowed writes.
 //!
 //! ## Determinism
 //!
-//! Cells dispatch scenario-major, then seed-major, then policy-minor, and
-//! [`crate::sweep::run_parallel`] returns results in submission order.
-//! Per-policy seed averages therefore accumulate in increasing-seed order
-//! — exactly the summation order of the historical serial loops (e.g.
-//! [`crate::apu_sweep_seeds`]) — so every rendered value is bit-identical
-//! to the pre-refactor binaries for any `--threads` count. The
-//! `driver_equivalence` integration test pins this.
+//! A cell's value is a pure function of its [`super::cache::CellJob`]
+//! identity, and assembly collects results by job id — scenario-major,
+//! then seed-major, then policy-minor. Per-policy seed averages therefore
+//! accumulate in increasing-seed order — exactly the summation order of
+//! the historical serial loops (e.g. [`crate::apu_sweep_seeds`]) — so
+//! every rendered value is bit-identical to the pre-refactor binaries for
+//! any `--threads` count, and cache hits are byte-identical to fresh
+//! simulations (modulo the `cache` provenance field). The
+//! `driver_equivalence` and `result_cache` integration tests pin this.
 
+use std::collections::HashMap;
+
+use noc_arbiters::PolicyKind;
 use noc_sim::{FaultPlan, Topology};
 use rl_arb::{progress, ApuTrainSpec, NnPolicyArbiter, TrainRecipe, TrainSpec};
 
 use super::artifacts::{ArtifactStore, ResolvedArtifact};
 use super::backend::{apu_specs_for, backend_for, CellRecord, SpecInstance};
+use super::cache::{CacheStats, CellJob, ResultCache};
 use super::figures::{self, FigureDef, FigureKind};
+use super::queue::{JobId, JobQueue};
 use super::record::{git_describe, RunRecord};
 use super::spec::{
     ExperimentSpec, Lineup, LineupEntry, NnRecipe, ScenarioSpec, Tier, TierParams,
 };
-use crate::{sweep, write_csv, CliArgs, PolicySpec};
+use crate::{write_csv, CliArgs, PolicySpec};
 
 /// The collected cells of one scenario, seed-major / policy-minor.
 #[derive(Debug)]
@@ -89,76 +100,141 @@ impl MatrixData {
     }
 }
 
-/// Runs a figure end-to-end: resolve, execute, print the text report,
-/// write the `RunRecord` JSON (and CSV when the figure historically wrote
-/// one) into `args.out_dir`. Returns the record for in-process callers
-/// (tests, future tooling).
+/// Runs a figure end-to-end: resolve, execute through the shared
+/// queue + result cache, print the text report, write the `RunRecord`
+/// JSON (and CSV when the figure historically wrote one) into
+/// `args.out_dir`. Returns the record for in-process callers (tests,
+/// future tooling).
 pub fn run_figure(name: &str, args: &CliArgs) -> Result<RunRecord, String> {
+    let mut records = run_figures_queued(&[name], args)?;
+    Ok(records.pop().expect("one figure in, one record out"))
+}
+
+/// Runs several figures through one shared job queue and result cache —
+/// the `repro queue` subcommand (and, with one name, `repro <figure>`).
+///
+/// All matrix figures are planned together before anything runs:
+/// identical cells across figures collapse into one queued job (fig09 and
+/// fig10 share their entire sweep), training jobs are enqueued once per
+/// distinct recipe with the dependent cells behind them, and cells
+/// already in the result cache are not queued at all. The queue then
+/// drains once, and each figure renders, prints and writes its
+/// `RunRecord` in list order; custom figures run inline at their list
+/// position. With `--cache-stats` a final summary line reports
+/// cells / hits / misses / simulated cycles.
+pub fn run_figures_queued(names: &[&str], args: &CliArgs) -> Result<Vec<RunRecord>, String> {
     rl_arb::set_quiet(args.quiet);
-    let def = figures::find(name).ok_or_else(|| {
-        format!("unknown figure '{name}' (try: {})", figures::names().join(", "))
-    })?;
     let tier = if args.quick { Tier::Quick } else { Tier::Full };
-    let record = match &def.kind {
-        FigureKind::Matrix { spec, render, csv } => {
-            let spec = spec();
-            let params = *spec.params(tier);
-            let seeds = spec.seed_list(args.seed, tier);
-            let data = run_matrix(&spec, &params, &seeds, args);
-            let rendered = render(&spec, &params, &data);
-            print!("{}", rendered.text);
-            let record = RunRecord {
-                schema_version: super::record::RUN_RECORD_SCHEMA_VERSION,
-                figure: spec.figure.clone(),
-                title: spec.title.clone(),
-                tier: tier.as_str().into(),
-                backend: backend_label(&spec),
-                base_seed: args.seed,
-                seeds,
-                threads: args.threads as u64,
-                git_describe: git_describe(),
-                spec_hash: spec.hash_hex(),
-                normalization: spec.normalization_policy(),
-                cells: data.all_cells(),
-                table: rendered.table,
-            };
-            if *csv {
-                let headers: Vec<&str> =
-                    record.table.headers.iter().map(String::as_str).collect();
-                let path = write_csv(
-                    args.out_dir.join(format!("{}.csv", spec.output)),
-                    &headers,
-                    &record.table.rows,
-                )
-                .map_err(|e| format!("writing {} csv: {e}", spec.output))?;
-                progress!("csv written to {}", path.display());
+    // Resolve every name before any work, so one typo fails the whole
+    // batch fast.
+    let defs: Vec<&FigureDef> = names
+        .iter()
+        .map(|name| {
+            figures::find(name).ok_or_else(|| {
+                format!("unknown figure '{name}' (try: {})", figures::names().join(", "))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let cache = ResultCache::from_args(args);
+    let sim_before = noc_sim::simulated_cycles();
+    let mut batch = MatrixBatch::new(args, Some(&cache));
+    // Plan phase: matrix figures share the queue; custom figures (which
+    // train and simulate inline) run during assembly instead.
+    type PlannedFigure = (Box<ExperimentSpec>, TierParams, Vec<u64>, usize);
+    let planned: Vec<Option<PlannedFigure>> = defs
+        .iter()
+        .map(|def| match &def.kind {
+            FigureKind::Matrix { spec, .. } => {
+                let spec = spec();
+                let params = *spec.params(tier);
+                let seeds = spec.seed_list(args.seed, tier);
+                let idx = batch.add_spec(&spec, &params, &seeds);
+                Some((Box::new(spec), params, seeds, idx))
             }
-            write_record(&record, args, &spec.output)?;
-            record
-        }
-        FigureKind::Custom(f) => {
-            let out = f(args);
-            print!("{}", out.text);
-            let record = RunRecord {
-                schema_version: super::record::RUN_RECORD_SCHEMA_VERSION,
-                figure: def.name.into(),
-                title: def.summary.into(),
-                tier: tier.as_str().into(),
-                backend: out.backend.into(),
-                base_seed: args.seed,
-                seeds: vec![args.seed],
-                threads: args.threads as u64,
-                git_describe: git_describe(),
-                spec_hash: String::new(),
-                normalization: None,
-                cells: out.cells,
-                table: out.table,
-            };
-            write_record(&record, args, def.legacy_bin)?;
-            record
-        }
-    };
-    Ok(record)
+            FigureKind::Custom(_) => None,
+        })
+        .collect();
+    let drained = batch.drain();
+
+    // Assembly phase, in list order.
+    let mut records = Vec::with_capacity(defs.len());
+    for (def, plan) in defs.iter().zip(planned) {
+        let record = match (&def.kind, plan) {
+            (FigureKind::Matrix { render, csv, .. }, Some((spec, params, seeds, idx))) => {
+                let data = drained.matrix(idx);
+                let rendered = render(&spec, &params, &data);
+                print!("{}", rendered.text);
+                let record = RunRecord {
+                    schema_version: super::record::RUN_RECORD_SCHEMA_VERSION,
+                    figure: spec.figure.clone(),
+                    title: spec.title.clone(),
+                    tier: tier.as_str().into(),
+                    backend: backend_label(&spec),
+                    base_seed: args.seed,
+                    seeds,
+                    threads: args.threads as u64,
+                    git_describe: git_describe(),
+                    spec_hash: spec.hash_hex(),
+                    normalization: spec.normalization_policy(),
+                    cells: data.all_cells(),
+                    table: rendered.table,
+                };
+                if *csv {
+                    let headers: Vec<&str> =
+                        record.table.headers.iter().map(String::as_str).collect();
+                    let path = write_csv(
+                        args.out_dir.join(format!("{}.csv", spec.output)),
+                        &headers,
+                        &record.table.rows,
+                    )
+                    .map_err(|e| format!("writing {} csv: {e}", spec.output))?;
+                    progress!("csv written to {}", path.display());
+                }
+                write_record(&record, args, &spec.output)?;
+                record
+            }
+            (FigureKind::Custom(f), None) => {
+                let out = f(args);
+                print!("{}", out.text);
+                let record = RunRecord {
+                    schema_version: super::record::RUN_RECORD_SCHEMA_VERSION,
+                    figure: def.name.into(),
+                    title: def.summary.into(),
+                    tier: tier.as_str().into(),
+                    backend: out.backend.into(),
+                    base_seed: args.seed,
+                    seeds: vec![args.seed],
+                    threads: args.threads as u64,
+                    git_describe: git_describe(),
+                    spec_hash: custom_spec_hash(def),
+                    normalization: None,
+                    cells: out.cells,
+                    table: out.table,
+                };
+                write_record(&record, args, def.legacy_bin)?;
+                record
+            }
+            _ => unreachable!("plan kind follows def kind"),
+        };
+        records.push(record);
+    }
+    let mut stats = drained.stats;
+    stats.simulated_cycles = noc_sim::simulated_cycles() - sim_before;
+    if args.cache_stats {
+        println!("{}", stats.summary());
+    }
+    Ok(records)
+}
+
+/// Content hash of a custom figure's identity. Custom figures have no
+/// `ExperimentSpec` to hash, but every `RunRecord` must carry a real,
+/// non-empty `spec_hash`, so they hash their registry identity instead.
+fn custom_spec_hash(def: &FigureDef) -> String {
+    format!(
+        "{:016x}",
+        super::spec::fnv1a64(format!("custom:{}:{}", def.name, def.summary).as_bytes())
+    )
 }
 
 /// Entry point shared by the thin per-figure shim binaries: parse the
@@ -285,78 +361,154 @@ pub fn train_figure(name: &str, args: &CliArgs) -> Result<Vec<ResolvedArtifact>,
     Ok(out)
 }
 
-/// Executes a spec's full run matrix.
-///
-/// Scenarios run in order; within a scenario all `seeds × policies` cells
-/// are independent and dispatch through [`sweep::run_parallel`] on
-/// `args.threads` workers. NN slots resolve through the artifact store on
-/// the main thread — training (cold store only) uses the same arguments,
-/// seed and call order as the legacy binaries, and a warm store rebuilds
-/// a bit-identical policy with zero training steps.
-pub fn run_matrix(
-    spec: &ExperimentSpec,
-    params: &TierParams,
-    seeds: &[u64],
-    args: &CliArgs,
-) -> MatrixData {
-    let store = ArtifactStore::from_args(args);
-    let needs_nn = spec
-        .scenarios
-        .iter()
-        .any(|s| lineup_for(spec, s).has_nn_slot());
-    // The APU recipe trains one network shared by every scenario.
-    let shared_nn: Option<(NnPolicyArbiter, String)> = match &spec.nn {
-        Some(NnRecipe::ApuBenchmark { benchmark }) if needs_nn => {
-            progress!(
-                "resolving NN policy for {benchmark} (the paper derives its policy from {benchmark} training) ..."
-            );
-            Some(resolve_nn(&store, &apu_recipe(benchmark, params, args.seed)))
-        }
-        _ => None,
-    };
+/// Priority of NN-training jobs: trains dispatch ahead of independent
+/// cells so the longest-running work starts first.
+const TRAIN_PRIORITY: i64 = 100;
+/// Priority of simulation-cell jobs.
+const CELL_PRIORITY: i64 = 0;
 
-    let mut scenarios = Vec::with_capacity(spec.scenarios.len());
+/// How one line-up slot's policy is built inside a worker.
+#[derive(Debug, Clone)]
+enum CellPolicy {
+    /// A registry policy.
+    Builtin(PolicyKind),
+    /// The frozen NN policy resolved from the artifact store. Cell jobs
+    /// depend on an [`ExpJob::Train`] job for the same recipe, so by the
+    /// time a worker resolves it the checkpoint is warm and the load is
+    /// bit-identical to the freshly trained network.
+    Nn(Box<TrainRecipe>),
+}
+
+/// One unit of work in the experiment queue.
+#[derive(Debug)]
+enum ExpJob {
+    /// Resolve (training only on a cold store, honoring `--retrain`) one
+    /// NN artifact.
+    Train(Box<TrainRecipe>),
+    /// Simulate one cell.
+    Cell(Box<CellRun>),
+}
+
+/// Payload of a cell job: the cell's identity plus the materials needed
+/// to run it.
+#[derive(Debug)]
+struct CellRun {
+    job: CellJob,
+    build: CellPolicy,
+    plan: Option<FaultPlan>,
+}
+
+/// Result of one queue job.
+#[derive(Debug, Clone)]
+enum ExpOut {
+    /// A train job completed; the artifact is now warm in the store.
+    Trained,
+    /// A simulated cell.
+    Cell(CellRecord),
+}
+
+/// Runs one queue job inside a worker thread.
+fn execute(store: &ArtifactStore, job: ExpJob) -> ExpOut {
+    match job {
+        ExpJob::Train(recipe) => {
+            resolve_nn(store, &recipe);
+            ExpOut::Trained
+        }
+        ExpJob::Cell(run) => {
+            let policy = match &run.build {
+                CellPolicy::Builtin(kind) => PolicySpec::builtin(kind.display_name(), *kind),
+                CellPolicy::Nn(recipe) => {
+                    // Load through a never-retraining view of the store:
+                    // only the Train dependency honors `--retrain`, so a
+                    // retrain run still trains each recipe exactly once.
+                    let loader = ArtifactStore::new(store.dir(), false);
+                    let (policy, _) = resolve_nn(&loader, recipe);
+                    // `--inference` selects the NN datapath at run time;
+                    // it is not part of the training recipe, so the
+                    // artifact hash (and the trained weights) are
+                    // mode-invariant.
+                    PolicySpec::nn("NN", policy.with_inference(run.job.inference))
+                }
+            };
+            let backend = backend_for(&run.job.scenario);
+            ExpOut::Cell(backend.run(&SpecInstance {
+                scenario: &run.job.scenario,
+                label: &run.job.label,
+                policy_name: &run.job.policy,
+                policy: &policy,
+                seed: run.job.seed,
+                base_seed: run.job.base_seed,
+                params: &run.job.params,
+                artifact: run.job.artifact.as_deref(),
+                faults: run.plan.as_ref(),
+            }))
+        }
+    }
+}
+
+/// One planned row group (scenario × fault intensity) of a run matrix.
+#[derive(Debug)]
+struct PlannedRow {
+    scenario: ScenarioSpec,
+    label: String,
+    intensity: f64,
+    plan: Option<FaultPlan>,
+    slots: Vec<PlannedSlot>,
+}
+
+/// One line-up slot of a planned row.
+#[derive(Debug, Clone)]
+struct PlannedSlot {
+    canonical: String,
+    display: String,
+    build: CellPolicy,
+    artifact: Option<String>,
+}
+
+/// Expands a spec into its planned rows — pure planning, no training and
+/// no simulation. NN slots carry their training recipe; the recipe hash
+/// *is* the artifact name and needs no training to compute, which is what
+/// lets a fully warm cache answer a figure with zero work.
+fn plan_rows(spec: &ExperimentSpec, params: &TierParams, args: &CliArgs) -> Vec<PlannedRow> {
+    let mut rows = Vec::new();
     for scenario in &spec.scenarios {
         let lineup = lineup_for(spec, scenario);
-        let nn: Option<(NnPolicyArbiter, String)> = if lineup.has_nn_slot() {
-            match &spec.nn {
+        let nn_recipe: Option<TrainRecipe> = if lineup.has_nn_slot() {
+            Some(match &spec.nn {
                 Some(NnRecipe::SyntheticPerScenario) => {
-                    let ScenarioSpec::Synthetic { label, rate, .. } = scenario else {
-                        panic!("synthetic NN recipe on a non-synthetic scenario")
-                    };
-                    progress!("resolving NN policy for {label} at rate {rate} ...");
-                    Some(resolve_nn(&store, &synthetic_recipe(scenario, params, args.seed)))
+                    synthetic_recipe(scenario, params, args.seed)
                 }
-                Some(NnRecipe::ApuBenchmark { .. }) => shared_nn.clone(),
+                // The APU recipe trains one network shared by every
+                // scenario (same recipe → same hash → one Train job).
+                Some(NnRecipe::ApuBenchmark { benchmark }) => {
+                    apu_recipe(benchmark, params, args.seed)
+                }
                 None => panic!("line-up has an NN slot but the spec has no NN recipe"),
-            }
+            })
         } else {
             None
         };
-        // (canonical name, display name, buildable recipe, artifact hash)
-        // per slot.
-        let policies: Vec<(String, String, PolicySpec, Option<String>)> = lineup
+        let nn_hash = nn_recipe.as_ref().map(TrainRecipe::hash_hex);
+        let slots: Vec<PlannedSlot> = lineup
             .entries
             .iter()
             .map(|e| match e {
-                LineupEntry::Policy(kind) => (
-                    kind.as_str().to_string(),
-                    kind.display_name().to_string(),
-                    PolicySpec::builtin(kind.display_name(), *kind),
-                    None,
-                ),
-                LineupEntry::NnSlot => {
-                    let (policy, hash) =
-                        nn.clone().expect("NN recipe produced no network");
-                    // `--inference` selects the NN datapath at run time; it
-                    // is not part of the training recipe, so the artifact
-                    // hash (and the trained weights) are mode-invariant.
-                    let policy = policy.with_inference(args.inference);
-                    ("nn".into(), "NN".into(), PolicySpec::nn("NN", policy), Some(hash))
-                }
+                LineupEntry::Policy(kind) => PlannedSlot {
+                    canonical: kind.as_str().to_string(),
+                    display: kind.display_name().to_string(),
+                    build: CellPolicy::Builtin(*kind),
+                    artifact: None,
+                },
+                LineupEntry::NnSlot => PlannedSlot {
+                    canonical: "nn".into(),
+                    display: "NN".into(),
+                    build: CellPolicy::Nn(Box::new(
+                        nn_recipe.clone().expect("NN slot implies a recipe"),
+                    )),
+                    artifact: nn_hash.clone(),
+                },
             })
             .collect();
-        let backend = backend_for(scenario);
         // With no fault axis this is a single fault-free pass — the
         // historical dispatch, cell for cell.
         let intensities: Vec<f64> = match &spec.faults {
@@ -388,46 +540,266 @@ pub fn run_matrix(
                 Some(_) => format!("{}@f{intensity:.2}", scenario.label()),
                 None => scenario.label(),
             };
-            progress!(
-                "running {} under {} policies x {} seed(s) ...",
+            rows.push(PlannedRow {
+                scenario: scenario.clone(),
                 label,
-                policies.len(),
-                seeds.len()
-            );
-            if matches!(scenario, ScenarioSpec::ApuMix { .. }) {
-                let specs = apu_specs_for(scenario, args.seed, params.apu_scale);
-                let apps: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
-                progress!("  quadrants: {apps:?}");
-            }
-            let jobs: Vec<(u64, usize)> = seeds
-                .iter()
-                .flat_map(|&seed| (0..policies.len()).map(move |p| (seed, p)))
-                .collect();
-            let cells = sweep::run_parallel(jobs, args.threads, |(seed, p)| {
-                backend.run(&SpecInstance {
-                    scenario,
-                    label: &label,
-                    policy_name: &policies[p].0,
-                    policy: &policies[p].2,
-                    seed,
-                    base_seed: args.seed,
-                    params,
-                    artifact: policies[p].3.as_deref(),
-                    faults: plan.as_ref(),
-                })
-            });
-            scenarios.push(ScenarioData {
-                label,
-                fault_intensity: intensity,
-                fault_plan_hash: plan.as_ref().map(FaultPlan::hash_hex),
-                canonical: policies.iter().map(|p| p.0.clone()).collect(),
-                display: policies.iter().map(|p| p.1.clone()).collect(),
-                seeds: seeds.to_vec(),
-                cells,
+                intensity,
+                plan,
+                slots: slots.clone(),
             });
         }
     }
-    MatrixData { scenarios }
+    rows
+}
+
+/// Where one assembled cell comes from.
+#[derive(Debug)]
+enum Source {
+    /// Loaded from the result cache.
+    Hit(Box<CellRecord>),
+    /// Produced by a queued job (possibly shared with other figures in
+    /// the batch).
+    Job(JobId),
+}
+
+/// One spec's planned matrix inside a batch: its rows plus, per cell (in
+/// seed-major, policy-minor order), the content hash (when a cache is
+/// active) and the cell's source.
+#[derive(Debug)]
+struct SpecPlan {
+    rows: Vec<PlannedRow>,
+    cells: Vec<Vec<(Option<String>, Source)>>,
+    seeds: Vec<u64>,
+}
+
+/// A batch of run matrices sharing one job queue, artifact store and
+/// result cache — the experiment service core. Plan any number of specs,
+/// [`MatrixBatch::drain`] once, then assemble each spec's [`MatrixData`].
+#[derive(Debug)]
+struct MatrixBatch<'a> {
+    args: &'a CliArgs,
+    cache: Option<&'a ResultCache>,
+    store: ArtifactStore,
+    queue: JobQueue<ExpJob>,
+    /// Train job per distinct recipe hash.
+    train_ids: HashMap<String, JobId>,
+    /// Cell job per distinct cell hash (cross-figure dedupe).
+    cell_ids: HashMap<String, JobId>,
+    plans: Vec<SpecPlan>,
+    stats: CacheStats,
+}
+
+impl<'a> MatrixBatch<'a> {
+    fn new(args: &'a CliArgs, cache: Option<&'a ResultCache>) -> Self {
+        MatrixBatch {
+            args,
+            cache,
+            store: ArtifactStore::from_args(args),
+            queue: JobQueue::new(),
+            train_ids: HashMap::new(),
+            cell_ids: HashMap::new(),
+            plans: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Plans one spec's cells into the shared queue — probing the result
+    /// cache first, deduping against cells other specs already queued —
+    /// and returns the plan's index for assembly after the drain.
+    fn add_spec(&mut self, spec: &ExperimentSpec, params: &TierParams, seeds: &[u64]) -> usize {
+        let rows = plan_rows(spec, params, self.args);
+        let mut row_cells = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let plan_hash = row.plan.as_ref().map(FaultPlan::hash_hex);
+            progress!(
+                "planning {} under {} policies x {} seed(s) ...",
+                row.label,
+                row.slots.len(),
+                seeds.len()
+            );
+            if matches!(row.scenario, ScenarioSpec::ApuMix { .. }) {
+                let specs = apu_specs_for(&row.scenario, self.args.seed, params.apu_scale);
+                let apps: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+                progress!("  quadrants: {apps:?}");
+            }
+            let mut cells = Vec::with_capacity(seeds.len() * row.slots.len());
+            for &seed in seeds {
+                for slot in &row.slots {
+                    let job = CellJob {
+                        scenario: row.scenario.clone(),
+                        label: row.label.clone(),
+                        policy: slot.canonical.clone(),
+                        seed,
+                        base_seed: self.args.seed,
+                        params: *params,
+                        artifact: slot.artifact.clone(),
+                        fault_plan: plan_hash.clone(),
+                        inference: self.args.inference,
+                    };
+                    let hash = self.cache.map(|_| job.hash_hex());
+                    self.stats.cells += 1;
+                    if let (Some(cache), Some(h)) = (self.cache, &hash) {
+                        if let Some(cell) = cache.load(h) {
+                            self.stats.hits += 1;
+                            cells.push((hash, Source::Hit(Box::new(cell))));
+                            continue;
+                        }
+                        if let Some(&id) = self.cell_ids.get(h) {
+                            // Another figure in the batch already queued
+                            // this exact cell; share the one job. Both
+                            // figures report it as a miss — it simulates
+                            // once, this run.
+                            self.stats.misses += 1;
+                            cells.push((hash, Source::Job(id)));
+                            continue;
+                        }
+                    }
+                    self.stats.misses += 1;
+                    let dep = match &slot.build {
+                        CellPolicy::Nn(recipe) => {
+                            let queue = &mut self.queue;
+                            Some(*self.train_ids.entry(recipe.hash_hex()).or_insert_with(
+                                || queue.enqueue(ExpJob::Train(recipe.clone()), TRAIN_PRIORITY),
+                            ))
+                        }
+                        CellPolicy::Builtin(_) => None,
+                    };
+                    let id = self.queue.enqueue(
+                        ExpJob::Cell(Box::new(CellRun {
+                            job,
+                            build: slot.build.clone(),
+                            plan: row.plan.clone(),
+                        })),
+                        CELL_PRIORITY,
+                    );
+                    if let Some(dep) = dep {
+                        self.queue.add_dependency(id, dep);
+                    }
+                    if let Some(h) = &hash {
+                        self.cell_ids.insert(h.clone(), id);
+                    }
+                    cells.push((hash, Source::Job(id)));
+                }
+            }
+            row_cells.push(cells);
+        }
+        self.plans.push(SpecPlan { rows, cells: row_cells, seeds: seeds.to_vec() });
+        self.plans.len() - 1
+    }
+
+    /// Drains the queue on `args.threads` workers and stores every
+    /// freshly simulated cell into the cache. Call once, after every spec
+    /// is planned.
+    fn drain(self) -> DrainedBatch {
+        let MatrixBatch { args, cache, store, queue, cell_ids, plans, stats, .. } = self;
+        let results = queue.drain(args.threads, |job| execute(&store, job));
+        if let Some(cache) = cache {
+            // Each distinct simulated cell is stored exactly once, no
+            // matter how many figures assemble it.
+            for (hash, id) in &cell_ids {
+                if let Some(ExpOut::Cell(cell)) = &results[id.index()] {
+                    if let Err(e) = cache.store(hash, cell) {
+                        eprintln!("warning: result cache store failed for {hash}: {e}");
+                    }
+                }
+            }
+        }
+        DrainedBatch { cached: cache.is_some(), results, plans, stats }
+    }
+}
+
+/// The results of a drained [`MatrixBatch`], ready for per-spec assembly.
+#[derive(Debug)]
+struct DrainedBatch {
+    cached: bool,
+    results: Vec<Option<ExpOut>>,
+    plans: Vec<SpecPlan>,
+    stats: CacheStats,
+}
+
+impl DrainedBatch {
+    /// Assembles plan `idx` into its [`MatrixData`], stamping cache
+    /// provenance (`cell_hash` plus `"hit"`/`"miss"`) on every cell when
+    /// a cache was active.
+    fn matrix(&self, idx: usize) -> MatrixData {
+        let plan = &self.plans[idx];
+        let mut scenarios = Vec::with_capacity(plan.rows.len());
+        for (row, sources) in plan.rows.iter().zip(&plan.cells) {
+            let mut cells = Vec::with_capacity(sources.len());
+            for (hash, source) in sources {
+                let mut cell = match source {
+                    Source::Hit(cell) => {
+                        let mut cell = (**cell).clone();
+                        cell.cache = Some("hit".into());
+                        cell
+                    }
+                    Source::Job(id) => {
+                        let Some(ExpOut::Cell(cell)) = &self.results[id.index()] else {
+                            panic!("cell job {} produced no record", id.index());
+                        };
+                        let mut cell = cell.clone();
+                        if self.cached {
+                            cell.cache = Some("miss".into());
+                        }
+                        cell
+                    }
+                };
+                cell.cell_hash = hash.clone();
+                cells.push(cell);
+            }
+            scenarios.push(ScenarioData {
+                label: row.label.clone(),
+                fault_intensity: row.intensity,
+                fault_plan_hash: row.plan.as_ref().map(FaultPlan::hash_hex),
+                canonical: row.slots.iter().map(|s| s.canonical.clone()).collect(),
+                display: row.slots.iter().map(|s| s.display.clone()).collect(),
+                seeds: plan.seeds.clone(),
+                cells,
+            });
+        }
+        MatrixData { scenarios }
+    }
+}
+
+/// Executes a spec's full run matrix, cache-free: every cell simulates,
+/// and the returned cells carry no cache provenance (`cell_hash` and
+/// `cache` both `None`) — the historical contract, bit for bit.
+///
+/// Scenarios run in order; all `seeds × policies` cells are independent
+/// jobs in a [`JobQueue`] drained through [`crate::sweep::run_parallel`]
+/// on `args.threads` workers, with NN training enqueued ahead of the
+/// cells that depend on it. Training (cold store only) uses the same
+/// arguments and seeds as the legacy binaries, and a warm store rebuilds
+/// a bit-identical policy with zero training steps.
+pub fn run_matrix(
+    spec: &ExperimentSpec,
+    params: &TierParams,
+    seeds: &[u64],
+    args: &CliArgs,
+) -> MatrixData {
+    let mut batch = MatrixBatch::new(args, None);
+    let idx = batch.add_spec(spec, params, seeds);
+    batch.drain().matrix(idx)
+}
+
+/// Like [`run_matrix`], but routed through the content-addressed result
+/// cache: cached cells load with zero simulation, misses simulate and are
+/// stored for the next run. Hit/miss accounting accumulates into `stats`
+/// (simulated-cycle accounting is the caller's, via
+/// [`noc_sim::simulated_cycles`]).
+pub fn run_matrix_cached(
+    spec: &ExperimentSpec,
+    params: &TierParams,
+    seeds: &[u64],
+    args: &CliArgs,
+    cache: &ResultCache,
+    stats: &mut CacheStats,
+) -> MatrixData {
+    let mut batch = MatrixBatch::new(args, Some(cache));
+    let idx = batch.add_spec(spec, params, seeds);
+    let drained = batch.drain();
+    stats.absorb(drained.stats);
+    drained.matrix(idx)
 }
 
 /// The router graph a scenario's fault plan is generated against (fault

@@ -1035,6 +1035,8 @@ fn fig04(args: &CliArgs) -> CustomOutput {
             seed: args.seed,
             artifact: None,
             fault_plan: None,
+            cell_hash: None,
+            cache: None,
             metrics: vec![("mean_abs_weight".into(), mean)],
         });
     }
@@ -1075,6 +1077,8 @@ fn fig07(args: &CliArgs) -> CustomOutput {
             seed: args.seed,
             artifact: None,
             fault_plan: None,
+            cell_hash: None,
+            cache: None,
             metrics: vec![("mean_abs_weight".into(), mean)],
         });
     }
@@ -1120,6 +1124,8 @@ fn fig12(args: &CliArgs) -> CustomOutput {
             seed: args.seed,
             artifact: None,
             fault_plan: None,
+            cell_hash: None,
+            cache: None,
             metrics: vec![
                 ("final_latency".into(), out.final_latency()),
                 ("best_latency".into(), out.best_latency()),
@@ -1166,6 +1172,8 @@ fn fig13(args: &CliArgs) -> CustomOutput {
             seed: args.seed,
             artifact: None,
             fault_plan: None,
+            cell_hash: None,
+            cache: None,
             metrics: vec![
                 ("final_latency".into(), out.final_latency()),
                 ("best_latency".into(), out.best_latency()),
@@ -1217,6 +1225,8 @@ fn table3_figure(_args: &CliArgs) -> CustomOutput {
                 seed: 0,
                 artifact: None,
                 fault_plan: None,
+                cell_hash: None,
+                cache: None,
                 metrics: vec![
                     ("latency_ns".into(), r.report.latency_ns),
                     ("area_mm2".into(), r.report.area_mm2),
@@ -1305,6 +1315,8 @@ fn ablation_hparams(args: &CliArgs) -> CustomOutput {
             seed: args.seed,
             artifact: None,
             fault_plan: None,
+            cell_hash: None,
+            cache: None,
             metrics: vec![
                 ("settled_latency".into(), settled),
                 ("best_epoch_latency".into(), out.best_latency()),
@@ -1368,6 +1380,8 @@ fn ablation_multi_agent(args: &CliArgs) -> CustomOutput {
         seed: args.seed,
         artifact: None,
         fault_plan: None,
+        cell_hash: None,
+        cache: None,
         metrics: vec![
             ("decisions".into(), single_agent.decisions() as f64),
             ("oracle_accuracy".into(), single_acc),
@@ -1386,6 +1400,8 @@ fn ablation_multi_agent(args: &CliArgs) -> CustomOutput {
             seed: args.seed,
             artifact: None,
             fault_plan: None,
+            cell_hash: None,
+            cache: None,
             metrics: vec![
                 ("decisions".into(), a.decisions() as f64),
                 ("oracle_accuracy".into(), acc),

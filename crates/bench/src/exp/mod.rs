@@ -20,12 +20,22 @@
 //!   store: NN slots resolve to checkpoints named by training-recipe hash
 //!   (`results/artifacts/<hash>.ckpt.json`), so a warm store re-runs a
 //!   figure with zero training steps and byte-identical output.
+//! * [`cache::ResultCache`] — the content-addressed *result* cache
+//!   generalizing the artifact store to whole simulation cells: every
+//!   cell is keyed by its [`cache::CellJob`] content hash
+//!   (`results/cache/<hash>.cell.json`), so a warm cache reproduces any
+//!   previously-run figure with zero simulated cycles.
+//! * [`queue::JobQueue`] — the scheduler: a priority queue with
+//!   dependency edges (train-before-simulate) and transitive
+//!   cancellation, draining in waves through
+//!   [`crate::sweep::run_parallel`].
 //! * [`figures`] — the registry mapping figure names (`fig05`, `fig09`,
 //!   `table3`, …) to their specs and renderers.
-//! * [`driver`] — resolves a figure name, dispatches all independent
-//!   cells through [`crate::sweep::run_parallel`], prints the text table
-//!   and writes the `RunRecord` (plus CSV where the legacy binary wrote
-//!   one) into `--out-dir`.
+//! * [`driver`] — resolves figure names, plans their cells into the
+//!   queue, probes the result cache, drains the queue through
+//!   [`crate::sweep::run_parallel`], prints the text table and writes
+//!   the `RunRecord` (plus CSV where the legacy binary wrote one) into
+//!   `--out-dir`.
 //!
 //! Determinism: a cell's value is a pure function of its `(scenario,
 //! policy, seed, budget)` instance, and results are collected in
@@ -35,13 +45,17 @@
 
 pub mod artifacts;
 pub mod backend;
+pub mod cache;
 pub mod conformance;
 pub mod driver;
 pub mod figures;
+pub mod queue;
 pub mod record;
 pub mod spec;
 
 pub use artifacts::{ArtifactStore, ResolvedArtifact};
 pub use backend::{ApuBackend, CellRecord, SimBackend, SpecInstance, SyntheticBackend};
+pub use cache::{CacheStats, CellJob, ResultCache, CACHE_SCHEMA_VERSION};
+pub use queue::{JobId, JobQueue};
 pub use record::{RunRecord, Table, RUN_RECORD_SCHEMA_VERSION};
 pub use spec::{ExperimentSpec, Lineup, LineupEntry, NnRecipe, Normalize, ScenarioSpec, Tier, TierParams};

@@ -26,7 +26,12 @@ use super::backend::CellRecord;
 ///   [`noc_sim::FaultPlan::hash_hex`] of the plan the cell ran under).
 ///   Fault-free cells omit the key, so v1 documents remain parseable by
 ///   the v2 reader (`tests/run_record.rs` pins this).
-pub const RUN_RECORD_SCHEMA_VERSION: u64 = 2;
+/// * **v3** — cells may carry optional `"cell_hash"` (the result-cache
+///   content hash of the cell's job identity) and `"cache"` (`"hit"` /
+///   `"miss"` provenance) keys. Cells that bypassed the cache omit both,
+///   so v1/v2 documents remain parseable (`tests/run_record.rs` pins
+///   both frozen goldens).
+pub const RUN_RECORD_SCHEMA_VERSION: u64 = 3;
 
 /// A rendered table: header row plus data rows, all strings.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -92,31 +97,7 @@ impl RunRecord {
         }
         s.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
-            let metrics: Vec<String> = c
-                .metrics
-                .iter()
-                .map(|(k, v)| format!("{}: {}", json_str(k), json_num(*v)))
-                .collect();
-            // The artifact key appears only on cells that carry one, so
-            // artifact-free records keep their exact pre-store shape.
-            let artifact = match &c.artifact {
-                Some(a) => format!(", \"artifact\": {}", json_str(a)),
-                None => String::new(),
-            };
-            // Like artifact: the fault_plan key appears only on cells that
-            // ran under a plan, so fault-free records keep the v1 shape.
-            let fault_plan = match &c.fault_plan {
-                Some(h) => format!(", \"fault_plan\": {}", json_str(h)),
-                None => String::new(),
-            };
-            let _ = write!(
-                s,
-                "    {{\"scenario\": {}, \"policy\": {}, \"seed\": {}{artifact}{fault_plan}, \"metrics\": {{{}}}}}",
-                json_str(&c.scenario),
-                json_str(&c.policy),
-                c.seed,
-                metrics.join(", ")
-            );
+            let _ = write!(s, "    {}", cell_to_json(c));
             s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
         }
         s.push_str("  ],\n");
@@ -142,28 +123,7 @@ impl RunRecord {
         let cells_json = obj.get("cells").ok_or("missing 'cells'")?.as_array()?;
         let mut cells = Vec::with_capacity(cells_json.len());
         for c in cells_json {
-            let co = c.as_object()?;
-            let metrics_obj = co.get("metrics").ok_or("missing cell 'metrics'")?.as_object()?;
-            let mut metrics = Vec::with_capacity(metrics_obj.len());
-            for (k, v) in metrics_obj {
-                metrics.push((k.clone(), v.as_f64()?));
-            }
-            let artifact = match co.get("artifact") {
-                None | Some(Json::Null) => None,
-                Some(v) => Some(v.as_str()?),
-            };
-            let fault_plan = match co.get("fault_plan") {
-                None | Some(Json::Null) => None,
-                Some(v) => Some(v.as_str()?),
-            };
-            cells.push(CellRecord {
-                scenario: co.get("scenario").ok_or("missing cell 'scenario'")?.as_str()?,
-                policy: co.get("policy").ok_or("missing cell 'policy'")?.as_str()?,
-                seed: co.get("seed").ok_or("missing cell 'seed'")?.as_u64()?,
-                artifact,
-                fault_plan,
-                metrics,
-            });
+            cells.push(cell_from_json(c)?);
         }
         let table_obj = obj.get("table").ok_or("missing 'table'")?.as_object()?;
         let headers = table_obj
@@ -239,8 +199,62 @@ pub fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+/// Serializes one cell as a single-line JSON object. Shared by the
+/// record emitter and the result cache so a cell's byte shape is
+/// identical in both stores. Optional keys (`artifact`, `fault_plan`,
+/// `cell_hash`, `cache`) appear only when present, so older-shape
+/// documents keep their exact bytes.
+pub(crate) fn cell_to_json(c: &CellRecord) -> String {
+    let metrics: Vec<String> = c
+        .metrics
+        .iter()
+        .map(|(k, v)| format!("{}: {}", json_str(k), json_num(*v)))
+        .collect();
+    let opt = |key: &str, v: &Option<String>| match v {
+        Some(s) => format!(", {}: {}", json_str(key), json_str(s)),
+        None => String::new(),
+    };
+    format!(
+        "{{\"scenario\": {}, \"policy\": {}, \"seed\": {}{}{}{}{}, \"metrics\": {{{}}}}}",
+        json_str(&c.scenario),
+        json_str(&c.policy),
+        c.seed,
+        opt("artifact", &c.artifact),
+        opt("fault_plan", &c.fault_plan),
+        opt("cell_hash", &c.cell_hash),
+        opt("cache", &c.cache),
+        metrics.join(", ")
+    )
+}
+
+/// Parses one cell from its JSON value (inverse of [`cell_to_json`]).
+pub(crate) fn cell_from_json(c: &Json) -> Result<CellRecord, String> {
+    let co = c.as_object()?;
+    let metrics_obj = co.get("metrics").ok_or("missing cell 'metrics'")?.as_object()?;
+    let mut metrics = Vec::with_capacity(metrics_obj.len());
+    for (k, v) in metrics_obj {
+        metrics.push((k.clone(), v.as_f64()?));
+    }
+    let opt = |key: &str| -> Result<Option<String>, String> {
+        match co.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => Ok(Some(v.as_str()?)),
+        }
+    };
+    Ok(CellRecord {
+        scenario: co.get("scenario").ok_or("missing cell 'scenario'")?.as_str()?,
+        policy: co.get("policy").ok_or("missing cell 'policy'")?.as_str()?,
+        seed: co.get("seed").ok_or("missing cell 'seed'")?.as_u64()?,
+        artifact: opt("artifact")?,
+        fault_plan: opt("fault_plan")?,
+        cell_hash: opt("cell_hash")?,
+        cache: opt("cache")?,
+        metrics,
+    })
+}
+
 /// Escapes a string for JSON.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -300,7 +314,7 @@ impl Json {
         Ok(v)
     }
 
-    fn as_object(&self) -> Result<&Vec<(String, Json)>, String> {
+    pub(crate) fn as_object(&self) -> Result<&Vec<(String, Json)>, String> {
         match self {
             Json::Obj(m) => Ok(m),
             other => Err(format!("expected object, got {other:?}")),
@@ -314,14 +328,14 @@ impl Json {
         }
     }
 
-    fn as_str(&self) -> Result<String, String> {
+    pub(crate) fn as_str(&self) -> Result<String, String> {
         match self {
             Json::Str(s) => Ok(s.clone()),
             other => Err(format!("expected string, got {other:?}")),
         }
     }
 
-    fn as_u64(&self) -> Result<u64, String> {
+    pub(crate) fn as_u64(&self) -> Result<u64, String> {
         match self {
             Json::Num(n) => n.parse().map_err(|_| format!("expected u64, got {n}")),
             other => Err(format!("expected number, got {other:?}")),
@@ -338,7 +352,8 @@ impl Json {
 }
 
 /// Helper for object field lookup on the insertion-ordered pairs.
-trait ObjExt {
+pub(crate) trait ObjExt {
+    /// Looks up `key`, returning the first match.
     fn get(&self, key: &str) -> Option<&Json>;
 }
 
@@ -519,6 +534,8 @@ mod tests {
                 seed: 42,
                 artifact: None,
                 fault_plan: None,
+                cell_hash: None,
+                cache: None,
                 metrics: vec![("avg_exec".into(), 1234.5), ("tail_exec".into(), 2000.0)],
             }],
             table: Table {
@@ -566,6 +583,23 @@ mod tests {
         rec.cells[0].fault_plan = None;
         let json = rec.to_json();
         assert!(!json.contains("fault_plan"), "no key for fault-free cells");
+        assert_eq!(RunRecord::from_json(&json).unwrap(), rec);
+    }
+
+    #[test]
+    fn cell_cache_provenance_round_trips_and_absent_ones_stay_absent() {
+        let mut rec = sample();
+        rec.cells[0].cell_hash = Some("0011223344556677".into());
+        rec.cells[0].cache = Some("hit".into());
+        let json = rec.to_json();
+        assert!(json.contains("\"cell_hash\": \"0011223344556677\""));
+        assert!(json.contains("\"cache\": \"hit\""));
+        assert_eq!(RunRecord::from_json(&json).unwrap(), rec);
+        rec.cells[0].cell_hash = None;
+        rec.cells[0].cache = None;
+        let json = rec.to_json();
+        assert!(!json.contains("cell_hash"), "no key for uncached cells");
+        assert!(!json.contains("\"cache\""), "no key for uncached cells");
         assert_eq!(RunRecord::from_json(&json).unwrap(), rec);
     }
 

@@ -26,7 +26,8 @@ use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter};
 /// The flag portion of every binary's usage line — there is exactly one
 /// flag grammar across the whole experiment layer.
 pub const USAGE_FLAGS: &str = "[--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>] \
-[--artifacts-dir <dir>] [--retrain] [--quiet] [--inference <f32|int8>]";
+[--artifacts-dir <dir>] [--cache-dir <dir>] [--cache-stats] [--retrain] [--quiet] \
+[--inference <f32|int8>]";
 
 /// Command-line options shared by the `repro` driver and every figure shim.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +44,12 @@ pub struct CliArgs {
     /// The content-addressed trained-artifact store (checkpoints named by
     /// recipe hash; see `exp::artifacts`).
     pub artifacts_dir: std::path::PathBuf,
+    /// The content-addressed result cache (cells named by job hash; see
+    /// `exp::cache`).
+    pub cache_dir: std::path::PathBuf,
+    /// Print the end-of-run cache summary line (cells / hits / misses /
+    /// simulated cycles).
+    pub cache_stats: bool,
     /// Ignore cached artifacts and train fresh ones.
     pub retrain: bool,
     /// Suppress progress chatter on stderr (tables still print to stdout).
@@ -60,6 +67,8 @@ impl Default for CliArgs {
             threads: sweep::default_threads(),
             out_dir: "results".into(),
             artifacts_dir: "results/artifacts".into(),
+            cache_dir: "results/cache".into(),
+            cache_stats: false,
             retrain: false,
             quiet: false,
             inference: rl_arb::InferenceMode::F32,
@@ -69,7 +78,8 @@ impl Default for CliArgs {
 
 impl CliArgs {
     /// Parses the shared flags (`--quick`, `--seed <n>`, `--threads <n>`,
-    /// `--out-dir <dir>`, `--artifacts-dir <dir>`, `--retrain`, `--quiet`,
+    /// `--out-dir <dir>`, `--artifacts-dir <dir>`, `--cache-dir <dir>`,
+    /// `--cache-stats`, `--retrain`, `--quiet`,
     /// `--inference <f32|int8>`) from an argument iterator. Non-flag arguments are returned as
     /// positionals (the driver's figure name); unknown flags are errors —
     /// never silently ignored.
@@ -104,6 +114,10 @@ impl CliArgs {
                     out.artifacts_dir =
                         it.next().ok_or("--artifacts-dir needs a value")?.into();
                 }
+                "--cache-dir" => {
+                    out.cache_dir = it.next().ok_or("--cache-dir needs a value")?.into();
+                }
+                "--cache-stats" => out.cache_stats = true,
                 "--retrain" => out.retrain = true,
                 "--quiet" => out.quiet = true,
                 "--inference" => {

@@ -4,8 +4,9 @@
 //! To regenerate the golden after an intentional schema bump:
 //! `BLESS=1 cargo test -p bench --test run_record`.
 //!
-//! The previous schema's golden (`run_record_v1.json`) is kept as a
-//! frozen compatibility fixture: the current reader must keep parsing it.
+//! The previous schemas' goldens (`run_record_v1.json`,
+//! `run_record_v2.json`) are kept as frozen compatibility fixtures: the
+//! current reader must keep parsing them.
 
 use bench::exp::backend::CellRecord;
 use bench::exp::record::{RunRecord, Table, RUN_RECORD_SCHEMA_VERSION};
@@ -24,12 +25,15 @@ fn sample_record() -> RunRecord {
         spec_hash: "00ff00ff00ff00ff".into(),
         normalization: Some("global-age".into()),
         cells: vec![
+            // A cached cell (v3): carries its content hash and provenance.
             CellRecord {
                 scenario: "bfs".into(),
                 policy: "round-robin".into(),
                 seed: 42,
                 artifact: None,
                 fault_plan: None,
+                cell_hash: Some("1234567890abcdef".into()),
+                cache: Some("hit".into()),
                 metrics: vec![
                     ("avg_exec".into(), 123456.75),
                     ("tail_exec".into(), 130000.0),
@@ -43,14 +47,19 @@ fn sample_record() -> RunRecord {
                 metrics: vec![("avg \"exec\"\n".into(), 0.1)],
                 artifact: None,
                 fault_plan: None,
+                cell_hash: Some("fedcba0987654321".into()),
+                cache: Some("miss".into()),
             },
-            // An NN cell carrying its trained artifact's recipe hash.
+            // An NN cell carrying its trained artifact's recipe hash,
+            // run cache-free: no cell_hash/cache keys at all.
             CellRecord {
                 scenario: "bfs".into(),
                 policy: "nn".into(),
                 seed: 42,
                 artifact: Some("a1b2c3d4e5f60718".into()),
                 fault_plan: None,
+                cell_hash: None,
+                cache: None,
                 metrics: vec![("avg_exec".into(), 119000.5)],
             },
             // A fault-injected cell (v2): carries its fault plan's hash.
@@ -60,6 +69,8 @@ fn sample_record() -> RunRecord {
                 seed: 42,
                 artifact: None,
                 fault_plan: Some("0f1e2d3c4b5a6978".into()),
+                cell_hash: None,
+                cache: None,
                 metrics: vec![("avg_exec".into(), 131072.25)],
             },
         ],
@@ -72,12 +83,17 @@ fn sample_record() -> RunRecord {
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
-    "/tests/golden/run_record_v2.json"
+    "/tests/golden/run_record_v3.json"
 );
 
 const GOLDEN_V1_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/run_record_v1.json"
+);
+
+const GOLDEN_V2_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/run_record_v2.json"
 );
 
 /// The serialized form matches the checked-in golden byte-for-byte, and
@@ -114,18 +130,18 @@ fn run_record_serialization_is_a_fixpoint() {
 #[test]
 fn schema_version_is_stamped_and_preserved() {
     let json = sample_record().to_json();
-    assert!(json.starts_with("{\n  \"schema_version\": 2,"));
+    assert!(json.starts_with("{\n  \"schema_version\": 3,"));
     let parsed = RunRecord::from_json(&json).unwrap();
     assert_eq!(parsed.schema_version, RUN_RECORD_SCHEMA_VERSION);
 }
 
 /// v1 documents (no `fault_plan` keys anywhere) must keep parsing under
-/// the v2 reader — the compatibility guarantee EXPERIMENTS.md documents.
-/// The v1 golden is frozen; it is never re-blessed.
+/// the current reader — the compatibility guarantee EXPERIMENTS.md
+/// documents. The v1 golden is frozen; it is never re-blessed.
 #[test]
 fn v1_documents_still_parse() {
     let golden = std::fs::read_to_string(GOLDEN_V1_PATH).expect("frozen v1 golden missing");
-    let parsed = RunRecord::from_json(&golden).expect("v1 golden parses under the v2 reader");
+    let parsed = RunRecord::from_json(&golden).expect("v1 golden parses under the current reader");
     assert_eq!(parsed.schema_version, 1, "fixture must stay a v1 document");
     assert!(
         parsed.cells.iter().all(|c| c.fault_plan.is_none()),
@@ -137,4 +153,28 @@ fn v1_documents_still_parse() {
     assert_eq!(parsed.cells[2].artifact.as_deref(), Some("a1b2c3d4e5f60718"));
     // A v1 document re-serializes without inventing fault_plan keys.
     assert!(!parsed.to_json().contains("fault_plan"));
+}
+
+/// v2 documents (fault plans, but no cache provenance keys) must keep
+/// parsing under the v3 reader. The v2 golden is frozen; it is never
+/// re-blessed.
+#[test]
+fn v2_documents_still_parse() {
+    let golden = std::fs::read_to_string(GOLDEN_V2_PATH).expect("frozen v2 golden missing");
+    let parsed = RunRecord::from_json(&golden).expect("v2 golden parses under the v3 reader");
+    assert_eq!(parsed.schema_version, 2, "fixture must stay a v2 document");
+    assert!(
+        parsed
+            .cells
+            .iter()
+            .all(|c| c.cell_hash.is_none() && c.cache.is_none()),
+        "v2 cells parse with cell_hash = None and cache = None"
+    );
+    // Everything else survives as under the v2 reader.
+    assert_eq!(parsed.figure, "fig09");
+    assert_eq!(parsed.cells.len(), 4);
+    assert_eq!(parsed.cells[3].fault_plan.as_deref(), Some("0f1e2d3c4b5a6978"));
+    // A v2 document re-serializes without inventing cache keys.
+    let rejson = parsed.to_json();
+    assert!(!rejson.contains("cell_hash") && !rejson.contains("\"cache\""));
 }

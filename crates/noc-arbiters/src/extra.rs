@@ -96,6 +96,36 @@ impl Arbiter for WavefrontArbiter {
             _ => None,
         }
     }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        // The matching plan is transient (cycle-guarded in `select`); only
+        // the rotating diagonal offsets survive a cycle boundary.
+        let mut entries: Vec<_> = self.offsets.iter().map(|(&r, &o)| (r.0, o)).collect();
+        entries.sort_unstable();
+        Some(
+            entries
+                .iter()
+                .map(|(r, o)| format!("{r}:{o}"))
+                .collect::<Vec<_>>()
+                .join(";"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        self.offsets.clear();
+        self.plan.clear();
+        for entry in state.split(';').filter(|e| !e.is_empty()) {
+            let mut it = entry.split(':');
+            let parse = |v: Option<&str>| -> Result<usize, String> {
+                v.and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad wavefront offset entry {entry:?}"))
+            };
+            let r = parse(it.next())?;
+            let o = parse(it.next())?;
+            self.offsets.insert(RouterId(r), o);
+        }
+        Ok(())
+    }
 }
 
 /// Ping-pong arbitration (Chao, Lam & Guo, GLOBECOM 1999 \[31\]): a binary
@@ -161,6 +191,42 @@ impl Arbiter for PingPongArbiter {
         }
         let n = present.len();
         self.resolve((ctx.router, ctx.out_port), 0, &present, 0, n)
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        let mut entries: Vec<_> = self
+            .toggles
+            .iter()
+            .map(|(&(r, out, node), &flag)| (r.0, out, node, flag as usize))
+            .collect();
+        entries.sort_unstable();
+        Some(
+            entries
+                .iter()
+                .map(|(r, out, node, flag)| format!("{r}:{out}:{node}:{flag}"))
+                .collect::<Vec<_>>()
+                .join(";"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        self.toggles.clear();
+        for entry in state.split(';').filter(|e| !e.is_empty()) {
+            let mut it = entry.split(':');
+            let parse = |v: Option<&str>| -> Result<usize, String> {
+                v.and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad ping-pong toggle entry {entry:?}"))
+            };
+            let r = parse(it.next())?;
+            let out = parse(it.next())?;
+            let node = parse(it.next())?;
+            let flag = parse(it.next())?;
+            if flag > 1 {
+                return Err(format!("bad ping-pong toggle entry {entry:?}"));
+            }
+            self.toggles.insert((RouterId(r), out, node), flag == 1);
+        }
+        Ok(())
     }
 }
 

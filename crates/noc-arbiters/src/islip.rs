@@ -142,6 +142,54 @@ impl Arbiter for IslipArbiter {
             _ => None,
         }
     }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        // The per-cycle matching plan is transient (cycle-guarded in
+        // `select`); only the rotating grant/accept pointers survive a
+        // cycle boundary. Entries are sorted so the encoding is
+        // deterministic regardless of map iteration order.
+        fn section(ptrs: &std::collections::HashMap<(RouterId, usize), usize>) -> String {
+            let mut entries: Vec<_> = ptrs.iter().map(|(&(r, p), &v)| (r.0, p, v)).collect();
+            entries.sort_unstable();
+            entries
+                .iter()
+                .map(|(r, p, v)| format!("{r}:{p}:{v}"))
+                .collect::<Vec<_>>()
+                .join(";")
+        }
+        Some(format!(
+            "{}|{}",
+            section(&self.grant_ptrs),
+            section(&self.accept_ptrs)
+        ))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        fn section(
+            text: &str,
+        ) -> Result<std::collections::HashMap<(RouterId, usize), usize>, String> {
+            let mut ptrs = std::collections::HashMap::new();
+            for entry in text.split(';').filter(|e| !e.is_empty()) {
+                let mut it = entry.split(':');
+                let parse = |v: Option<&str>| -> Result<usize, String> {
+                    v.and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("bad iSLIP pointer entry {entry:?}"))
+                };
+                let r = parse(it.next())?;
+                let p = parse(it.next())?;
+                let v = parse(it.next())?;
+                ptrs.insert((RouterId(r), p), v);
+            }
+            Ok(ptrs)
+        }
+        let (grants, accepts) = state
+            .split_once('|')
+            .ok_or_else(|| format!("bad iSLIP state {state:?}"))?;
+        self.grant_ptrs = section(grants)?;
+        self.accept_ptrs = section(accepts)?;
+        self.plan.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

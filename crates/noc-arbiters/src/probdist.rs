@@ -70,6 +70,20 @@ impl Arbiter for ProbDistArbiter {
         }
         Some(ctx.candidates.len() - 1)
     }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        // The weighting function is a constructor parameter; the RNG
+        // stream is the only mutable state.
+        Some(self.rng.state().to_string())
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let s: u64 = state
+            .parse()
+            .map_err(|_| format!("bad prob-dist rng state {state:?}"))?;
+        self.rng = SplitMix64::new(s);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

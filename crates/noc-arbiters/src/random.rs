@@ -29,6 +29,19 @@ impl Arbiter for RandomArbiter {
         }
         Some(self.rng.next_bounded(ctx.candidates.len() as u64) as usize)
     }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        // The RNG stream is the only mutable state.
+        Some(self.rng.state().to_string())
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let s: u64 = state
+            .parse()
+            .map_err(|_| format!("bad random-arbiter rng state {state:?}"))?;
+        self.rng = SplitMix64::new(s);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

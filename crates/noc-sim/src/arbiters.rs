@@ -87,6 +87,38 @@ impl Arbiter for RoundRobinArbiter {
         *ptr = (ctx.candidates[chosen].slot + 1) % slots;
         Some(chosen)
     }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        let mut entries: Vec<_> = self
+            .pointers
+            .iter()
+            .map(|(&(r, out), &ptr)| (r.0, out, ptr))
+            .collect();
+        entries.sort_unstable();
+        Some(
+            entries
+                .iter()
+                .map(|(r, out, ptr)| format!("{r}:{out}:{ptr}"))
+                .collect::<Vec<_>>()
+                .join(";"),
+        )
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        self.pointers.clear();
+        for entry in state.split(';').filter(|e| !e.is_empty()) {
+            let mut it = entry.split(':');
+            let parse = |v: Option<&str>| -> Result<usize, String> {
+                v.and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad round-robin pointer entry {entry:?}"))
+            };
+            let r = parse(it.next())?;
+            let out = parse(it.next())?;
+            let ptr = parse(it.next())?;
+            self.pointers.insert((RouterId(r), out), ptr);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

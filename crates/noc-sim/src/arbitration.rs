@@ -176,6 +176,35 @@ pub trait Arbiter {
     /// Called at the end of every simulated cycle. Learning arbiters use
     /// this to run training steps; the default does nothing.
     fn end_cycle(&mut self, _net: &NetSnapshot) {}
+
+    /// Serializes the policy's mutable decision state for a simulator
+    /// checkpoint (see [`crate::SimCheckpoint`]).
+    ///
+    /// Returns `Some(state)` — an opaque, escape-free string a later
+    /// [`Arbiter::restore_state`] on a freshly constructed instance of the
+    /// same policy accepts — or `None` when the policy cannot be
+    /// checkpointed (e.g. a training agent whose state is not practically
+    /// serializable). The default, `Some("")`, is correct for *stateless*
+    /// policies only; any arbiter with cross-cycle mutable state (pointers,
+    /// RNGs, toggles) must override both methods or checkpointed runs will
+    /// silently diverge from uninterrupted ones.
+    fn checkpoint_state(&self) -> Option<String> {
+        Some(String::new())
+    }
+
+    /// Restores state produced by [`Arbiter::checkpoint_state`] on an
+    /// equally configured, freshly constructed policy. The default accepts
+    /// only the stateless empty string.
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "arbiter '{}' has no state to restore, got {state:?}",
+                self.name()
+            ))
+        }
+    }
 }
 
 /// A grant produced by the simulator after arbitration.

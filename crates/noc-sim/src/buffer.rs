@@ -487,6 +487,56 @@ impl VcBufArray {
         self.heads[bi].iter().chain(self.tails[bi].iter())
     }
 
+    /// The credit book of buffer `bi` as `(used, reserved, shrink)` flits —
+    /// the mutable counters a checkpoint must carry.
+    pub(crate) fn book_state(&self, bi: usize) -> (u32, u32, u32) {
+        let b = self.books[bi];
+        (b.used, b.reserved, b.shrink)
+    }
+
+    /// Cycle of the most recent arrival at buffer `bi` (`u64::MAX` =
+    /// never), the inter-arrival baseline a checkpoint must carry.
+    pub(crate) fn last_arrival(&self, bi: usize) -> u64 {
+        self.last_arrival[bi]
+    }
+
+    /// Overwrites buffer `bi` with checkpointed state: the exact packet
+    /// list (head first, preserving the stored `arrival_cycle` /
+    /// `inter_arrival` stamps), credit book, and inter-arrival baseline.
+    /// The hot head mirror is rebuilt with an uncomputed route
+    /// (`u8::MAX`), which is bit-safe: routes are only cached under
+    /// deterministic routing, where recomputation gives the same answer.
+    pub(crate) fn restore_buffer(
+        &mut self,
+        bi: usize,
+        mut packets: std::collections::VecDeque<BufferedPacket>,
+        book: (u32, u32, u32),
+        last_arrival: u64,
+    ) {
+        let (used, reserved, shrink) = book;
+        self.books[bi] = CreditBook {
+            used,
+            reserved,
+            shrink,
+        };
+        self.last_arrival[bi] = last_arrival;
+        match packets.pop_front() {
+            Some(head) => {
+                self.hots[bi] = HotHead::of(&head);
+                self.auxs[bi] = HotAux {
+                    create_cycle: head.packet.create_cycle,
+                    id: head.packet.id,
+                };
+                self.heads[bi] = Some(head);
+            }
+            None => {
+                self.heads[bi] = None;
+                self.hots[bi].route = u8::MAX;
+            }
+        }
+        self.tails[bi] = packets;
+    }
+
     /// A read-only snapshot of buffer `bi`'s books (see [`VcView`]).
     pub fn view(&self, bi: usize) -> VcView<'_> {
         VcView {

@@ -74,6 +74,52 @@ impl<T> CalendarQueue<T> {
         }
     }
 
+    /// The drain cursor: the lowest cycle that may still hold events.
+    pub(crate) fn cursor(&self) -> u64 {
+        self.next_due
+    }
+
+    /// The ring horizon this queue was built with.
+    pub(crate) fn horizon(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enumerates every pending event as `(due, item)` in drain order: cycle
+    /// ascending, insertion order within a cycle (ring slots first, then
+    /// overflow — matching [`CalendarQueue::drain_due_into`]).
+    pub(crate) fn pending(&self) -> Vec<(u64, &T)> {
+        let horizon = self.slots.len() as u64;
+        let mut out = Vec::with_capacity(self.len);
+        for c in self.next_due..self.next_due + horizon {
+            for item in &self.slots[(c % horizon) as usize] {
+                out.push((c, item));
+            }
+            if let Some(v) = self.overflow.get(&c) {
+                out.extend(v.iter().map(|item| (c, item)));
+            }
+        }
+        for (&c, v) in self.overflow.range(self.next_due + horizon..) {
+            out.extend(v.iter().map(|item| (c, item)));
+        }
+        out
+    }
+
+    /// Rebuilds a queue from a checkpoint: an empty ring with the drain
+    /// cursor at `cursor`, then every `(due, item)` pair rescheduled in the
+    /// order [`CalendarQueue::pending`] produced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero or any item is due before `cursor`.
+    pub(crate) fn restore(horizon: usize, cursor: u64, items: Vec<(u64, T)>) -> Self {
+        let mut q = CalendarQueue::new(horizon);
+        q.next_due = cursor;
+        for (due, item) in items {
+            q.schedule(due, item);
+        }
+        q
+    }
+
     /// Moves every event due at or before `cycle` into `out` (appending) and
     /// advances the drain cursor past `cycle`. Within one due cycle, events
     /// come out in insertion order.
@@ -137,6 +183,51 @@ impl CalendarCounter {
         } else {
             *self.overflow.entry(due).or_default() += n;
         }
+    }
+
+    /// The drain cursor: the lowest cycle that may still hold counts.
+    pub(crate) fn cursor(&self) -> u64 {
+        self.next_due
+    }
+
+    /// The ring horizon this counter was built with.
+    pub(crate) fn horizon(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enumerates every pending nonzero counter as `(due, count)`, cycle
+    /// ascending.
+    pub(crate) fn pending(&self) -> Vec<(u64, u32)> {
+        let horizon = self.slots.len() as u64;
+        let mut out = Vec::new();
+        for c in self.next_due..self.next_due + horizon {
+            let n = self.slots[(c % horizon) as usize]
+                + self.overflow.get(&c).copied().unwrap_or(0);
+            if n > 0 {
+                out.push((c, n));
+            }
+        }
+        for (&c, &n) in self.overflow.range(self.next_due + horizon..) {
+            if n > 0 {
+                out.push((c, n));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a counter ring from a checkpoint (see
+    /// [`CalendarQueue::restore`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero or any count is due before `cursor`.
+    pub(crate) fn restore(horizon: usize, cursor: u64, items: Vec<(u64, u32)>) -> Self {
+        let mut q = CalendarCounter::new(horizon);
+        q.next_due = cursor;
+        for (due, n) in items {
+            q.add(due, n);
+        }
+        q
     }
 
     /// Returns the summed counters due at or before `cycle` and advances the

@@ -1,0 +1,271 @@
+//! Simulator checkpoints: versioned, content-hashed snapshots of every
+//! piece of mutable simulator state, so a run can be split at any cycle
+//! boundary — including across process restarts — and continue
+//! bit-identically to the unsplit run.
+//!
+//! A [`SimCheckpoint`] is a canonical JSON document in the same minimal
+//! dialect the fault-plan codec reads ([`crate::faults::json`]): objects,
+//! arrays, escape-free strings, and unsigned integers. Everything that is
+//! not naturally an unsigned integer is mapped onto one — `f64` fields
+//! travel as their IEEE-754 bit patterns, signed counters as two's
+//! complement casts, and the one `u128` accumulator as a (hi, lo) pair —
+//! so the codec stays lossless without growing a float/negative-number
+//! grammar.
+//!
+//! The document captures only *mutable* state. Construction-time inputs
+//! (topology, configuration, the arbiter and traffic-source objects)
+//! are re-supplied by the caller to [`crate::Simulator::restore`], which
+//! cross-checks their shape against the checkpoint before applying it.
+
+use crate::faults::json::Value;
+use crate::packet::{BufferedPacket, Packet};
+use crate::types::{DestType, MsgType, NodeId, RouterId};
+
+/// Checkpoint document schema version. Bumped whenever the layout
+/// changes incompatibly; [`SimCheckpoint::from_json`] rejects documents
+/// written by a different version instead of misinterpreting them.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// A serialized simulator snapshot (see the module docs for the format).
+///
+/// Produced by [`crate::Simulator::checkpoint`] and consumed by
+/// [`crate::Simulator::restore`]. The canonical JSON text is the value:
+/// it can be written to disk, moved between machines, and identified by
+/// its [`SimCheckpoint::content_hash`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimCheckpoint {
+    text: String,
+}
+
+impl SimCheckpoint {
+    /// Wraps freshly serialized checkpoint text (crate-internal; external
+    /// callers go through [`SimCheckpoint::from_json`], which validates).
+    pub(crate) fn from_text(text: String) -> Self {
+        SimCheckpoint { text }
+    }
+
+    /// The canonical JSON document.
+    pub fn to_json(&self) -> &str {
+        &self.text
+    }
+
+    /// Parses checkpoint text (e.g. read back from disk).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem, or a version
+    /// mismatch against [`CHECKPOINT_VERSION`]. Field-level validation
+    /// happens later, in [`crate::Simulator::restore`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = crate::faults::json::parse(text)?;
+        let obj = v.as_obj("checkpoint")?;
+        let version = crate::faults::json::get(obj, "version")?.as_u64("version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {version} not supported (expected {CHECKPOINT_VERSION})"
+            ));
+        }
+        Ok(SimCheckpoint {
+            text: text.to_string(),
+        })
+    }
+
+    /// 64-bit FNV-1a content hash of the canonical text, as 16 hex
+    /// digits. Two checkpoints with the same hash hold byte-identical
+    /// simulator state.
+    pub fn content_hash(&self) -> String {
+        format!("{:016x}", fnv1a64(self.text.as_bytes()))
+    }
+}
+
+/// 64-bit FNV-1a over raw bytes (the same constants the fault-plan and
+/// experiment-spec hashes use).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Number of integers a [`Packet`] flattens to.
+pub(crate) const PACKET_NUMS: usize = 15;
+
+/// Number of integers a [`BufferedPacket`] flattens to.
+pub(crate) const BUFFERED_NUMS: usize = PACKET_NUMS + 2;
+
+/// Flattens a packet to its canonical integer tuple. Enum tags travel as
+/// their one-hot indices so the mapping is pinned by the same tables the
+/// feature encoder uses ([`MsgType::ALL`] / [`DestType::ALL`]).
+pub(crate) fn packet_nums(p: &Packet) -> [u64; PACKET_NUMS] {
+    [
+        p.id,
+        p.src.index() as u64,
+        p.dst.index() as u64,
+        p.vnet as u64,
+        p.msg_type.one_hot_index() as u64,
+        p.dst_type.one_hot_index() as u64,
+        p.len_flits as u64,
+        p.create_cycle,
+        p.inject_cycle,
+        p.src_router.index() as u64,
+        p.dst_router.index() as u64,
+        p.dst_slot as u64,
+        p.hop_count as u64,
+        p.distance as u64,
+        p.tag,
+    ]
+}
+
+/// Inverse of [`packet_nums`].
+pub(crate) fn packet_from_nums(n: &[u64]) -> Result<Packet, String> {
+    if n.len() != PACKET_NUMS {
+        return Err(format!(
+            "packet record has {} fields, expected {PACKET_NUMS}",
+            n.len()
+        ));
+    }
+    let enum3 = |idx: u64, what: &str| -> Result<usize, String> {
+        if idx < 3 {
+            Ok(idx as usize)
+        } else {
+            Err(format!("{what} tag {idx} out of range"))
+        }
+    };
+    Ok(Packet {
+        id: n[0],
+        src: NodeId(n[1] as usize),
+        dst: NodeId(n[2] as usize),
+        vnet: n[3] as usize,
+        msg_type: MsgType::ALL[enum3(n[4], "msg_type")?],
+        dst_type: DestType::ALL[enum3(n[5], "dst_type")?],
+        len_flits: n[6] as u32,
+        create_cycle: n[7],
+        inject_cycle: n[8],
+        src_router: RouterId(n[9] as usize),
+        dst_router: RouterId(n[10] as usize),
+        dst_slot: n[11] as u8,
+        hop_count: n[12] as u32,
+        distance: n[13] as u32,
+        tag: n[14],
+    })
+}
+
+/// Flattens a buffered packet: the packet tuple plus its per-buffer
+/// arrival bookkeeping.
+pub(crate) fn buffered_nums(bp: &BufferedPacket, out: &mut Vec<u64>) {
+    out.extend_from_slice(&packet_nums(&bp.packet));
+    out.push(bp.arrival_cycle);
+    out.push(bp.inter_arrival);
+}
+
+/// Inverse of [`buffered_nums`].
+pub(crate) fn buffered_from_nums(n: &[u64]) -> Result<BufferedPacket, String> {
+    if n.len() != BUFFERED_NUMS {
+        return Err(format!(
+            "buffered-packet record has {} fields, expected {BUFFERED_NUMS}",
+            n.len()
+        ));
+    }
+    Ok(BufferedPacket {
+        packet: packet_from_nums(&n[..PACKET_NUMS])?,
+        arrival_cycle: n[PACKET_NUMS],
+        inter_arrival: n[PACKET_NUMS + 1],
+    })
+}
+
+/// Emits a JSON array of unsigned integers: `[1,2,3]`.
+pub(crate) fn push_num_arr(out: &mut String, vals: impl IntoIterator<Item = u64>) {
+    out.push('[');
+    for (i, v) in vals.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+/// Reads a parsed value as a flat `u64` array.
+pub(crate) fn num_arr(v: &Value, what: &str) -> Result<Vec<u64>, String> {
+    v.as_arr(what)?
+        .iter()
+        .map(|item| item.as_u64(what))
+        .collect()
+}
+
+/// Rejects state strings the escape-free codec cannot carry. Opaque
+/// arbiter/traffic state is formatted by this crate and its policy
+/// crates from integers and `:;|` separators, so a quote, backslash or
+/// control character here is a bug in a `checkpoint_state`
+/// implementation — better to refuse than to emit an unreadable
+/// document.
+pub(crate) fn check_clean_str(s: &str, what: &str) -> Result<(), String> {
+    if s.chars().any(|c| c == '"' || c == '\\' || c.is_control()) {
+        return Err(format!(
+            "{what} state contains characters the checkpoint codec cannot carry: {s:?}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_round_trips_through_nums() {
+        let mut p = Packet::test_packet();
+        p.id = 918;
+        p.msg_type = MsgType::Coherence;
+        p.dst_type = DestType::Memory;
+        p.tag = u64::MAX;
+        p.create_cycle = 123_456;
+        let back = packet_from_nums(&packet_nums(&p)).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn buffered_packet_round_trips() {
+        let bp = BufferedPacket {
+            packet: Packet::test_packet(),
+            arrival_cycle: 77,
+            inter_arrival: 5,
+        };
+        let mut nums = Vec::new();
+        buffered_nums(&bp, &mut nums);
+        assert_eq!(buffered_from_nums(&nums).unwrap(), bp);
+    }
+
+    #[test]
+    fn bad_enum_tags_are_rejected() {
+        let mut nums = packet_nums(&Packet::test_packet()).to_vec();
+        nums[4] = 3;
+        assert!(packet_from_nums(&nums).unwrap_err().contains("msg_type"));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let err = SimCheckpoint::from_json("{\"version\": 999}").unwrap_err();
+        assert!(err.contains("999"), "{err}");
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_text_sensitive(){
+        let a = SimCheckpoint::from_text("{\"version\": 1}".into());
+        let b = SimCheckpoint::from_text("{\"version\": 1}".into());
+        let c = SimCheckpoint::from_text("{\"version\": 1} ".into());
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
+        assert_eq!(a.content_hash().len(), 16);
+    }
+
+    #[test]
+    fn dirty_state_strings_are_refused() {
+        assert!(check_clean_str("12:3;4", "arbiter").is_ok());
+        assert!(check_clean_str("a\"b", "arbiter").is_err());
+        assert!(check_clean_str("a\\b", "traffic").is_err());
+        assert!(check_clean_str("a\nb", "traffic").is_err());
+    }
+}

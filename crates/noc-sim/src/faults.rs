@@ -301,7 +301,13 @@ impl FaultPlan {
     ///
     /// Returns a description of the first syntax or schema problem.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        let v = json::parse(text)?;
+        Self::from_value(&json::parse(text)?)
+    }
+
+    /// Parses a plan from an already-parsed JSON value — the simulator
+    /// checkpoint embeds the plan as a nested object inside its own
+    /// document, so the codec must not have to re-serialize it first.
+    pub(crate) fn from_value(v: &json::Value) -> Result<Self, String> {
         let obj = v.as_obj("plan")?;
         let seed = json::get(obj, "seed")?.as_u64("seed")?;
         let mut events = Vec::new();
@@ -331,9 +337,10 @@ impl FaultPlan {
 
 /// Minimal JSON reader for the fault-plan dialect: objects, arrays,
 /// strings without escapes, and unsigned integers — exactly what
-/// [`FaultPlan::to_json`] emits.
-mod json {
-    pub(super) enum Value {
+/// [`FaultPlan::to_json`] emits. Crate-visible because the simulator
+/// checkpoint codec (`crate::checkpoint`) speaks the same dialect.
+pub(crate) mod json {
+    pub(crate) enum Value {
         Num(u64),
         Str(String),
         Arr(Vec<Value>),
@@ -341,28 +348,28 @@ mod json {
     }
 
     impl Value {
-        pub(super) fn as_u64(&self, what: &str) -> Result<u64, String> {
+        pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
             match self {
                 Value::Num(n) => Ok(*n),
                 _ => Err(format!("\"{what}\" must be an unsigned integer")),
             }
         }
 
-        pub(super) fn as_str(&self, what: &str) -> Result<&str, String> {
+        pub(crate) fn as_str(&self, what: &str) -> Result<&str, String> {
             match self {
                 Value::Str(s) => Ok(s),
                 _ => Err(format!("\"{what}\" must be a string")),
             }
         }
 
-        pub(super) fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+        pub(crate) fn as_arr(&self, what: &str) -> Result<&[Value], String> {
             match self {
                 Value::Arr(a) => Ok(a),
                 _ => Err(format!("\"{what}\" must be an array")),
             }
         }
 
-        pub(super) fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
+        pub(crate) fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
             match self {
                 Value::Obj(o) => Ok(o),
                 _ => Err(format!("{what} must be an object")),
@@ -370,7 +377,7 @@ mod json {
         }
     }
 
-    pub(super) fn get<'a>(
+    pub(crate) fn get<'a>(
         obj: &'a [(String, Value)],
         key: &str,
     ) -> Result<&'a Value, String> {
@@ -380,7 +387,7 @@ mod json {
             .ok_or_else(|| format!("missing key \"{key}\""))
     }
 
-    pub(super) fn parse(text: &str) -> Result<Value, String> {
+    pub(crate) fn parse(text: &str) -> Result<Value, String> {
         let b = text.as_bytes();
         let mut pos = 0;
         let v = value(b, &mut pos)?;
@@ -543,6 +550,39 @@ impl FaultRuntime {
             ports,
             vnets: num_vnets,
         }
+    }
+
+    /// The plan the runtime was built from (for checkpointing: the
+    /// timeline tables are pure functions of the plan and are rebuilt on
+    /// restore).
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The mutable retry state as `(hold_until, retry_count)` slices, in
+    /// buffer-slot order.
+    pub(crate) fn retry_state(&self) -> (&[u64], &[u32]) {
+        (&self.hold_until, &self.retry_count)
+    }
+
+    /// Overwrites the mutable retry state from a checkpoint.
+    pub(crate) fn restore_retry_state(
+        &mut self,
+        hold_until: Vec<u64>,
+        retry_count: Vec<u32>,
+    ) -> Result<(), String> {
+        if hold_until.len() != self.hold_until.len() || retry_count.len() != self.retry_count.len()
+        {
+            return Err(format!(
+                "fault retry state shape mismatch: got {}/{} slots, runtime has {}",
+                hold_until.len(),
+                retry_count.len(),
+                self.hold_until.len()
+            ));
+        }
+        self.hold_until = hold_until;
+        self.retry_count = retry_count;
+        Ok(())
     }
 
     fn active(windows: &[(u64, u64)], cycle: u64) -> bool {

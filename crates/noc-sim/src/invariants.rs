@@ -200,6 +200,26 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// The mutable portion of an [`InvariantChecker`], lifted out for simulator
+/// checkpoints. Field order mirrors the checker itself; `last_in_flow` is a
+/// sorted vector so the snapshot (and therefore the checkpoint hash) is
+/// deterministic regardless of `HashMap` iteration order.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CheckerSnapshot {
+    pub(crate) created: u64,
+    pub(crate) delivered: u64,
+    pub(crate) created_at_reset: u64,
+    pub(crate) delivered_at_reset: u64,
+    pub(crate) fault_reserved: u64,
+    pub(crate) fault_reconciled: u64,
+    pub(crate) fault_reserved_at_reset: u64,
+    pub(crate) fault_reconciled_at_reset: u64,
+    pub(crate) delivered_ids: Vec<u64>,
+    pub(crate) last_in_flow: Vec<(u64, u64, u64, u64)>,
+    pub(crate) expected_reserved: Vec<i64>,
+    pub(crate) total_violations: u64,
+}
+
 /// The redundant bookkeeper. Owned by [`crate::Simulator`] behind an
 /// `Option`; every method is a no-op cost when the option is `None`
 /// because the simulator never calls in.
@@ -283,6 +303,63 @@ impl InvariantChecker {
     /// Every violation detected, including those past the recording cap.
     pub fn total_violations(&self) -> u64 {
         self.total_violations
+    }
+
+    /// Snapshots the checker's mutable state for a simulator checkpoint.
+    /// The recorded violation list is not carried (checkpointing a
+    /// violated run is refused upstream), only the running counters and
+    /// cross-cycle tables needed to keep checking seamlessly after a
+    /// restore.
+    pub(crate) fn snapshot(&self) -> CheckerSnapshot {
+        let mut flows: Vec<(u64, u64, u64, u64)> = self
+            .last_in_flow
+            .iter()
+            .map(|(&(s, d, v), &id)| (s as u64, d as u64, v as u64, id))
+            .collect();
+        flows.sort_unstable();
+        CheckerSnapshot {
+            created: self.created,
+            delivered: self.delivered,
+            created_at_reset: self.created_at_reset,
+            delivered_at_reset: self.delivered_at_reset,
+            fault_reserved: self.fault_reserved,
+            fault_reconciled: self.fault_reconciled,
+            fault_reserved_at_reset: self.fault_reserved_at_reset,
+            fault_reconciled_at_reset: self.fault_reconciled_at_reset,
+            delivered_ids: self.delivered_ids.clone(),
+            last_in_flow: flows,
+            expected_reserved: self.expected_reserved.clone(),
+            total_violations: self.total_violations,
+        }
+    }
+
+    /// Overwrites the checker's mutable state from a checkpoint snapshot.
+    pub(crate) fn restore_snapshot(&mut self, s: CheckerSnapshot) -> Result<(), String> {
+        if s.expected_reserved.len() != self.expected_reserved.len() {
+            return Err(format!(
+                "checker state shape mismatch: {} reserved slots in checkpoint, {} configured",
+                s.expected_reserved.len(),
+                self.expected_reserved.len()
+            ));
+        }
+        self.created = s.created;
+        self.delivered = s.delivered;
+        self.created_at_reset = s.created_at_reset;
+        self.delivered_at_reset = s.delivered_at_reset;
+        self.fault_reserved = s.fault_reserved;
+        self.fault_reconciled = s.fault_reconciled;
+        self.fault_reserved_at_reset = s.fault_reserved_at_reset;
+        self.fault_reconciled_at_reset = s.fault_reconciled_at_reset;
+        self.delivered_ids = s.delivered_ids;
+        self.last_in_flow = s
+            .last_in_flow
+            .into_iter()
+            .map(|(src, dst, vnet, id)| ((src as usize, dst as usize, vnet as usize), id))
+            .collect();
+        self.expected_reserved = s.expected_reserved;
+        self.violations.clear();
+        self.total_violations = s.total_violations;
+        Ok(())
     }
 
     /// A packet was created by the traffic source.

@@ -48,6 +48,7 @@
 mod arbitration;
 mod buffer;
 mod calendar;
+mod checkpoint;
 mod config;
 mod error;
 mod faults;
@@ -83,7 +84,8 @@ pub use routing::{
     route_deterministic, route_path, route_ring, route_table, route_torus, route_west_first,
     route_xy, route_xy_port, xy_path, RouteStep,
 };
-pub use sim::Simulator;
+pub use checkpoint::{SimCheckpoint, CHECKPOINT_VERSION};
+pub use sim::{simulated_cycles, Simulator};
 pub use stats::SimStats;
 pub use topology::{Node, Topology, TopologyKind};
 pub use trace::{PacketTrace, TraceEvent, TraceKind};

@@ -23,6 +23,12 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state, for checkpointing. Feeding it back into
+    /// [`SplitMix64::new`] resumes the stream exactly where it left off.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

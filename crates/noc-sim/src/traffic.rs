@@ -34,6 +34,22 @@ pub trait TrafficSource {
     fn is_done(&self, _cycle: u64) -> bool {
         false
     }
+
+    /// Serializes the source's mutable state for a simulator checkpoint
+    /// (see [`crate::SimCheckpoint`]), or `None` when the source cannot be
+    /// checkpointed. Unlike [`crate::Arbiter::checkpoint_state`] the default
+    /// is `None`: traffic sources are almost always stateful (RNG streams,
+    /// replay cursors, closed-loop protocol state), so opting *in* is the
+    /// safe direction.
+    fn checkpoint_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state produced by [`TrafficSource::checkpoint_state`] on an
+    /// equally configured, freshly constructed source.
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        Err(format!("this traffic source cannot restore state {state:?}"))
+    }
 }
 
 /// Destination selection rule for [`SyntheticTraffic`].
@@ -194,6 +210,20 @@ impl TrafficSource for SyntheticTraffic {
             });
         }
     }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        // The constructor parameters are immutable; the RNG stream is the
+        // only mutable state.
+        Some(self.rng.state().to_string())
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let s: u64 = state
+            .parse()
+            .map_err(|_| format!("bad SyntheticTraffic rng state {state:?}"))?;
+        self.rng = SplitMix64::new(s);
+        Ok(())
+    }
 }
 
 /// A fixed, replayable list of `(cycle, request)` injections — useful for
@@ -235,6 +265,26 @@ impl TrafficSource for TraceTraffic {
 
     fn is_done(&self, _cycle: u64) -> bool {
         self.next >= self.events.len()
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        // The event list is a constructor parameter; only the replay cursor
+        // is mutable state.
+        Some(self.next.to_string())
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let next: usize = state
+            .parse()
+            .map_err(|_| format!("bad TraceTraffic cursor {state:?}"))?;
+        if next > self.events.len() {
+            return Err(format!(
+                "TraceTraffic cursor {next} past the {}-event trace",
+                self.events.len()
+            ));
+        }
+        self.next = next;
+        Ok(())
     }
 }
 

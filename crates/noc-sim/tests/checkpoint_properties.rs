@@ -1,0 +1,217 @@
+//! Property-based tests for simulator checkpoint/restore.
+//!
+//! The contract under test: a run split at *any* cycle boundary through
+//! `checkpoint()` → JSON text → `SimCheckpoint::from_json` → `restore()`
+//! (i.e. surviving a process restart) is bit-identical to the unsplit
+//! run — same statistics (including the delivery-ordered latency list),
+//! and the same *complete* simulator state, pinned by comparing the
+//! content hash of a second checkpoint taken at the horizon.
+
+use proptest::prelude::*;
+
+use noc_sim::arbiters::{FifoArbiter, RoundRobinArbiter};
+use noc_sim::{
+    Arbiter, FaultPlan, Pattern, SimCheckpoint, SimConfig, Simulator, SyntheticTraffic, Topology,
+};
+
+fn mesh_sim(seed: u64, rate: f64, arbiter: Box<dyn Arbiter>) -> Simulator<SyntheticTraffic> {
+    let topo = Topology::uniform_mesh(4, 4).unwrap();
+    let cfg = SimConfig::synthetic(4, 4);
+    let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, rate, cfg.num_vnets, seed);
+    Simulator::new(topo, cfg, arbiter, traffic).unwrap()
+}
+
+fn restore_sim(seed: u64, arbiter: Box<dyn Arbiter>, ck: &SimCheckpoint) -> Simulator<SyntheticTraffic> {
+    let topo = Topology::uniform_mesh(4, 4).unwrap();
+    let cfg = SimConfig::synthetic(4, 4);
+    let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.15, cfg.num_vnets, seed);
+    Simulator::restore(topo, cfg, arbiter, traffic, ck).unwrap()
+}
+
+/// Runs `horizon` cycles split at `split`, round-tripping the checkpoint
+/// through its JSON text (as a file on disk would), and returns the final
+/// stats debug string plus the content hash of a checkpoint at the end.
+fn split_run(
+    seed: u64,
+    split: u64,
+    horizon: u64,
+    make_arb: &dyn Fn() -> Box<dyn Arbiter>,
+    plan: Option<&FaultPlan>,
+    checker: bool,
+) -> (String, String) {
+    let mut sim = mesh_sim(seed, 0.15, make_arb());
+    if let Some(p) = plan {
+        sim.set_fault_plan(p);
+    }
+    if checker {
+        sim.enable_invariant_checker();
+    }
+    sim.run(split);
+    let ck = sim.checkpoint().unwrap();
+    // Simulate a process restart: only the serialized text survives.
+    let text = ck.to_json().to_string();
+    drop(sim);
+    let ck = SimCheckpoint::from_json(&text).unwrap();
+    let mut sim = restore_sim(seed, make_arb(), &ck);
+    assert_eq!(sim.cycle(), split);
+    sim.run(horizon - split);
+    if checker {
+        assert!(
+            sim.check_invariants().is_ok(),
+            "restored run must stay invariant-clean"
+        );
+    }
+    let final_ck = sim.checkpoint().unwrap();
+    (format!("{:?}", sim.stats()), final_ck.content_hash())
+}
+
+fn unsplit_run(
+    seed: u64,
+    horizon: u64,
+    make_arb: &dyn Fn() -> Box<dyn Arbiter>,
+    plan: Option<&FaultPlan>,
+    checker: bool,
+) -> (String, String) {
+    let mut sim = mesh_sim(seed, 0.15, make_arb());
+    if let Some(p) = plan {
+        sim.set_fault_plan(p);
+    }
+    if checker {
+        sim.enable_invariant_checker();
+    }
+    sim.run(horizon);
+    if checker {
+        assert!(sim.check_invariants().is_ok());
+    }
+    let ck = sim.checkpoint().unwrap();
+    (format!("{:?}", sim.stats()), ck.content_hash())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Splitting a fault-free run at a random cycle boundary is
+    /// bit-identical to not splitting, for both a stateless (FIFO) and a
+    /// stateful (round-robin pointer) arbiter.
+    #[test]
+    fn split_run_is_bit_identical(seed in any::<u64>(), split in 0u64..1_501) {
+        let horizon = 1_500u64;
+        let fifo: Box<dyn Fn() -> Box<dyn Arbiter>> = Box::new(|| Box::new(FifoArbiter::new()));
+        let rr: Box<dyn Fn() -> Box<dyn Arbiter>> = Box::new(|| Box::new(RoundRobinArbiter::new()));
+        for make_arb in [&*fifo, &*rr] {
+            let (stats_a, hash_a) = split_run(seed, split, horizon, make_arb, None, false);
+            let (stats_b, hash_b) = unsplit_run(seed, horizon, make_arb, None, false);
+            prop_assert_eq!(stats_a, stats_b);
+            prop_assert_eq!(hash_a, hash_b);
+        }
+    }
+
+    /// The same split identity holds with an active fault runtime (retry
+    /// backoff state, credit reconciliation in flight) and the runtime
+    /// invariant checker armed on both sides of the split.
+    #[test]
+    fn split_with_faults_and_checker_is_bit_identical(
+        seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        split in 0u64..2_001,
+        intensity in 0.5f64..3.0,
+    ) {
+        let horizon = 2_000u64;
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let plan = FaultPlan::generate(plan_seed, intensity, &topo, horizon);
+        let rr: Box<dyn Fn() -> Box<dyn Arbiter>> = Box::new(|| Box::new(RoundRobinArbiter::new()));
+        let (stats_a, hash_a) = split_run(seed, split, horizon, &*rr, Some(&plan), true);
+        let (stats_b, hash_b) = unsplit_run(seed, horizon, &*rr, Some(&plan), true);
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(hash_a, hash_b);
+    }
+
+    /// A double split (checkpoint, resume, checkpoint again later) also
+    /// matches — resumability composes.
+    #[test]
+    fn double_split_composes(seed in any::<u64>(), a in 0u64..601, b in 0u64..601) {
+        let (first, second) = (a.min(b), a.max(b));
+        let horizon = 1_200u64;
+        let rr: Box<dyn Fn() -> Box<dyn Arbiter>> = Box::new(|| Box::new(RoundRobinArbiter::new()));
+
+        let mut sim = mesh_sim(seed, 0.15, Box::new(RoundRobinArbiter::new()));
+        sim.run(first);
+        let ck = SimCheckpoint::from_json(sim.checkpoint().unwrap().to_json()).unwrap();
+        let mut sim = restore_sim(seed, Box::new(RoundRobinArbiter::new()), &ck);
+        sim.run(second - first);
+        let ck = SimCheckpoint::from_json(sim.checkpoint().unwrap().to_json()).unwrap();
+        let mut sim = restore_sim(seed, Box::new(RoundRobinArbiter::new()), &ck);
+        sim.run(horizon - second);
+        let twice = (format!("{:?}", sim.stats()), sim.checkpoint().unwrap().content_hash());
+
+        let straight = unsplit_run(seed, horizon, &*rr, None, false);
+        prop_assert_eq!(twice, straight);
+    }
+}
+
+#[test]
+fn checkpoint_refuses_diagnostic_state() {
+    let mut sim = mesh_sim(7, 0.15, Box::new(FifoArbiter::new()));
+    sim.enable_grant_log();
+    assert!(sim.checkpoint().unwrap_err().contains("grant log"));
+
+    let mut sim = mesh_sim(7, 0.15, Box::new(FifoArbiter::new()));
+    sim.enable_packet_trace(64);
+    assert!(sim.checkpoint().unwrap_err().contains("trac"));
+}
+
+#[test]
+fn restore_rejects_mismatched_shapes() {
+    let mut sim = mesh_sim(3, 0.15, Box::new(FifoArbiter::new()));
+    sim.run(100);
+    let ck = sim.checkpoint().unwrap();
+
+    // Wrong arbiter type.
+    let topo = Topology::uniform_mesh(4, 4).unwrap();
+    let cfg = SimConfig::synthetic(4, 4);
+    let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.15, cfg.num_vnets, 3);
+    let err = Simulator::restore(topo, cfg, Box::new(RoundRobinArbiter::new()), traffic, &ck)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(err.contains("arbiter"), "{err}");
+
+    // Wrong topology shape.
+    let topo = Topology::uniform_mesh(3, 3).unwrap();
+    let cfg = SimConfig::synthetic(3, 3);
+    let traffic = SyntheticTraffic::new(&topo, Pattern::UniformRandom, 0.15, cfg.num_vnets, 3);
+    let err = Simulator::restore(topo, cfg, Box::new(FifoArbiter::new()), traffic, &ck)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(err.contains("mismatch"), "{err}");
+}
+
+#[test]
+fn checkpoint_hash_is_content_addressed() {
+    let mut a = mesh_sim(11, 0.15, Box::new(FifoArbiter::new()));
+    let mut b = mesh_sim(11, 0.15, Box::new(FifoArbiter::new()));
+    a.run(500);
+    b.run(500);
+    assert_eq!(
+        a.checkpoint().unwrap().content_hash(),
+        b.checkpoint().unwrap().content_hash(),
+        "identical runs must checkpoint to identical hashes"
+    );
+    b.run(1);
+    assert_ne!(
+        a.checkpoint().unwrap().content_hash(),
+        b.checkpoint().unwrap().content_hash(),
+        "different states must hash differently"
+    );
+}
+
+#[test]
+fn simulated_cycles_counter_advances_with_run() {
+    let before = noc_sim::simulated_cycles();
+    let mut sim = mesh_sim(5, 0.10, Box::new(FifoArbiter::new()));
+    sim.run(123);
+    let after = noc_sim::simulated_cycles();
+    assert!(
+        after >= before + 123,
+        "counter must advance by at least the cycles run ({before} -> {after})"
+    );
+}

@@ -519,6 +519,13 @@ impl Arbiter for RlAgentArbiter {
             self.agent.borrow_mut().train_tick();
         }
     }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        // The shared DQN agent mutates its replay buffer, exploration RNG,
+        // and network weights mid-run (and the frozen path still shares the
+        // agent handle); none of that has a stable serialization here.
+        None
+    }
 }
 
 /// Greedy argmax over candidate slots given a Q-network.
@@ -815,6 +822,26 @@ impl Arbiter for NnPolicyArbiter {
             }
         }
         Some(self.scalar_choice(ctx))
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        // Greedy inference (ε == 0) is a pure function of the frozen
+        // weights and the cycle-guarded batch plan — stateless across a
+        // cycle boundary. ε > 0 draws from an exploration RNG whose stream
+        // position we do not serialize.
+        if self.epsilon == 0.0 {
+            Some(String::new())
+        } else {
+            None
+        }
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        if self.epsilon == 0.0 && state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("bad NN arbiter state {state:?}"))
+        }
     }
 }
 

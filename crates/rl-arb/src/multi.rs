@@ -125,6 +125,12 @@ impl Arbiter for MultiAgentArbiter {
             h.end_cycle(net);
         }
     }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        // Training arbiters mutate their shared agents mid-run; see
+        // `RlAgentArbiter::checkpoint_state`.
+        None
+    }
 }
 
 #[cfg(test)]
