@@ -6,6 +6,7 @@
 //! cargo run --release -p bench --bin repro -- fig09 [--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>]
 //! cargo run --release -p bench --bin repro -- queue fig05 fig09 [--cache-dir <dir>] [--cache-stats]
 //! cargo run --release -p bench --bin repro -- train fig09 [--retrain] [--artifacts-dir <dir>]
+//! cargo run --release -p bench --bin repro -- search --quick [--driver hc|evo|random] [--budget <n>]
 //! ```
 //!
 //! Figures with an NN slot resolve their trained policy through the
@@ -22,7 +23,9 @@
 //! zero simulated cycles. `queue <figure>...` batches several figures
 //! through one shared job queue and cache, deduplicating cells and NN
 //! training that figures share; `--cache-stats` prints a one-line
-//! hit/miss summary after the run.
+//! hit/miss summary after the run. `search` explores the design space
+//! with a pluggable driver through the same queue and cache (see
+//! `bench::exp::search`).
 //!
 //! Figure names resolve through the registry in `bench::exp::figures`;
 //! legacy binary names (`fig09_avg_exec`, …) are accepted as aliases.
@@ -30,12 +33,20 @@
 //! the pre-driver binaries) and writes a versioned `RunRecord` JSON with
 //! the per-cell values, seeds, normalization reference and provenance
 //! stamps into `--out-dir` (default `results/`).
+//!
+//! The flag grammar, this help text and the usage line are all generated
+//! from `bench::FLAG_REGISTRY`, so they cannot drift from the parser.
 
 use bench::exp::{driver, figures};
-use bench::{CliArgs, USAGE_FLAGS};
+use bench::{usage_flags, CliArgs, FLAG_REGISTRY};
 
 fn main() {
-    let (args, positionals) = match CliArgs::parse_from(std::env::args().skip(1)) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", help_text());
+        return;
+    }
+    let (args, positionals) = match CliArgs::parse_from(raw.into_iter()) {
         Ok(parsed) => parsed,
         Err(e) => usage(&format!("error: {e}")),
     };
@@ -80,8 +91,35 @@ fn main() {
     }
 }
 
+/// The `--help` text: subcommands, then the flag table and figure list,
+/// both generated from their registries.
+fn help_text() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("usage: repro {} {}\n\n", SUBCOMMANDS, usage_flags()));
+    out.push_str("subcommands:\n");
+    out.push_str("  <figure>              run one figure end-to-end\n");
+    out.push_str("  queue <figure>...     batch figures through one shared queue + cache\n");
+    out.push_str("  train <figure>        resolve a figure's NN artifacts without running it\n");
+    out.push_str("  list                  list every registered figure\n\n");
+    out.push_str("flags:\n");
+    for f in FLAG_REGISTRY {
+        let lhs = match f.value {
+            Some(v) => format!("{} {v}", f.flag),
+            None => f.flag.to_string(),
+        };
+        out.push_str(&format!("  {lhs:<24}{}\n", f.help));
+    }
+    out.push_str("\nfigures:\n");
+    for def in figures::all() {
+        out.push_str(&format!("  {:<22}{}\n", def.name, def.summary));
+    }
+    out
+}
+
+const SUBCOMMANDS: &str = "<figure|queue <figure>...|train <figure>|list>";
+
 fn usage(err: &str) -> ! {
     eprintln!("{err}");
-    eprintln!("usage: repro <figure|queue <figure>...|train <figure>|list> {USAGE_FLAGS}");
+    eprintln!("usage: repro {} {}", SUBCOMMANDS, usage_flags());
     std::process::exit(2);
 }

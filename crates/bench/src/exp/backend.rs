@@ -132,6 +132,7 @@ impl SimBackend for SyntheticBackend {
             topo,
             routing,
             starvation_threshold,
+            noc,
             ..
         } = inst.scenario
         else {
@@ -140,6 +141,10 @@ impl SimBackend for SyntheticBackend {
         let topo = topo.build(*width, *height).expect("valid topology");
         let mut cfg = SimConfig::synthetic(*width, *height);
         cfg.routing = *routing;
+        if let Some(n) = noc {
+            cfg.num_vnets = n.vnets;
+            cfg.vc_capacity_flits = n.vc_capacity_flits;
+        }
         // Mesh scenarios keep their historical diameter-derived bounds
         // bit-identically (`for_topology` ≡ `for_mesh` there); other graphs
         // get bounds from their own diameter.
@@ -276,6 +281,7 @@ mod tests {
             topo: TopoSpec::Mesh,
             routing: RoutingKind::XY,
             starvation_threshold: None,
+            noc: None,
             lineup: None,
         };
         let policy = PolicySpec::builtin("FIFO", PolicyKind::Fifo);
@@ -319,6 +325,7 @@ mod tests {
                 topo,
                 routing,
                 starvation_threshold: None,
+                noc: None,
                 lineup: None,
             };
             let cell = SyntheticBackend.run(&SpecInstance {

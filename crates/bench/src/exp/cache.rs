@@ -26,7 +26,8 @@ use crate::CliArgs;
 /// Version stamp of the on-disk cache-entry schema *and* of the
 /// [`CellJob`] canonical hash input. Bump on any change to either — old
 /// entries then simply miss and re-simulate; no migration is needed.
-pub const CACHE_SCHEMA_VERSION: u64 = 1;
+/// (v2: `ScenarioSpec::Synthetic` gained the `noc` fabric-sizing field.)
+pub const CACHE_SCHEMA_VERSION: u64 = 2;
 
 /// The identity of one simulation cell: everything that determines the
 /// cell's result bits, as pure data. Hashing a `CellJob` needs no
@@ -217,6 +218,7 @@ mod tests {
                 topo: TopoSpec::Mesh,
                 routing: RoutingKind::XY,
                 starvation_threshold: None,
+                noc: None,
                 lineup: None,
             },
             label: "4x4".into(),
@@ -272,6 +274,11 @@ mod tests {
         let mut c = job(7);
         c.fault_plan = Some("0123456789abcdef".into());
         assert_ne!(a.hash_hex(), c.hash_hex(), "fault plan must change the key");
+        let mut d = job(7);
+        if let ScenarioSpec::Synthetic { noc, .. } = &mut d.scenario {
+            *noc = Some(super::super::spec::NocParams { vnets: 2, vc_capacity_flits: 5 });
+        }
+        assert_ne!(a.hash_hex(), d.hash_hex(), "fabric sizing must change the key");
     }
 
     #[test]

@@ -290,13 +290,35 @@ fn apu_recipe(benchmark: &str, params: &TierParams, seed: u64) -> TrainRecipe {
 /// The training recipe behind a synthetic scenario's NN slot (the exact
 /// arguments of the legacy inline `train_synthetic_nn` call).
 fn synthetic_recipe(scenario: &ScenarioSpec, params: &TierParams, seed: u64) -> TrainRecipe {
-    let ScenarioSpec::Synthetic { width, height, rate, .. } = scenario else {
+    let ScenarioSpec::Synthetic { width, height, rate, noc, .. } = scenario else {
         panic!("synthetic NN recipe on a non-synthetic scenario")
     };
     let mut spec = TrainSpec::tuned_synthetic(*width, *rate, seed);
     spec.height = *height;
     spec.epochs = params.nn_epochs;
     spec.cycles_per_epoch = params.nn_epoch_cycles;
+    // The encoder is sized `ports × vnets × features`, so training must
+    // see the same vnet count the evaluation fabric runs with.
+    spec.vnets = noc.map(|n| n.vnets);
+    TrainRecipe::Synthetic(spec)
+}
+
+/// The design-space search's recipe: [`synthetic_recipe`] with the
+/// searched agent hyperparameters overriding the tuned defaults.
+fn synthetic_tuned_recipe(
+    scenario: &ScenarioSpec,
+    params: &TierParams,
+    seed: u64,
+    gamma_pct: u8,
+    lr_e4: u32,
+    reward: rl_arb::RewardKind,
+) -> TrainRecipe {
+    let TrainRecipe::Synthetic(mut spec) = synthetic_recipe(scenario, params, seed) else {
+        unreachable!("synthetic_recipe returns a synthetic recipe")
+    };
+    spec.agent.gamma = f64::from(gamma_pct) / 100.0;
+    spec.agent.lr = f64::from(lr_e4) / 1e4;
+    spec.agent.reward = reward;
     TrainRecipe::Synthetic(spec)
 }
 
@@ -344,6 +366,9 @@ pub fn train_figure(name: &str, args: &CliArgs) -> Result<Vec<ResolvedArtifact>,
             }
             Some(NnRecipe::ApuBenchmark { benchmark }) => {
                 apu_recipe(benchmark, &params, args.seed)
+            }
+            Some(NnRecipe::SyntheticTuned { gamma_pct, lr_e4, reward }) => {
+                synthetic_tuned_recipe(scenario, &params, args.seed, *gamma_pct, *lr_e4, *reward)
             }
             None => {
                 return Err(format!(
@@ -483,6 +508,11 @@ fn plan_rows(spec: &ExperimentSpec, params: &TierParams, args: &CliArgs) -> Vec<
                 Some(NnRecipe::ApuBenchmark { benchmark }) => {
                     apu_recipe(benchmark, params, args.seed)
                 }
+                Some(NnRecipe::SyntheticTuned { gamma_pct, lr_e4, reward }) => {
+                    synthetic_tuned_recipe(
+                        scenario, params, args.seed, *gamma_pct, *lr_e4, *reward,
+                    )
+                }
                 None => panic!("line-up has an NN slot but the spec has no NN recipe"),
             })
         } else {
@@ -576,7 +606,7 @@ struct SpecPlan {
 /// result cache — the experiment service core. Plan any number of specs,
 /// [`MatrixBatch::drain`] once, then assemble each spec's [`MatrixData`].
 #[derive(Debug)]
-struct MatrixBatch<'a> {
+pub(crate) struct MatrixBatch<'a> {
     args: &'a CliArgs,
     cache: Option<&'a ResultCache>,
     store: ArtifactStore,
@@ -590,7 +620,7 @@ struct MatrixBatch<'a> {
 }
 
 impl<'a> MatrixBatch<'a> {
-    fn new(args: &'a CliArgs, cache: Option<&'a ResultCache>) -> Self {
+    pub(crate) fn new(args: &'a CliArgs, cache: Option<&'a ResultCache>) -> Self {
         MatrixBatch {
             args,
             cache,
@@ -606,7 +636,12 @@ impl<'a> MatrixBatch<'a> {
     /// Plans one spec's cells into the shared queue — probing the result
     /// cache first, deduping against cells other specs already queued —
     /// and returns the plan's index for assembly after the drain.
-    fn add_spec(&mut self, spec: &ExperimentSpec, params: &TierParams, seeds: &[u64]) -> usize {
+    pub(crate) fn add_spec(
+        &mut self,
+        spec: &ExperimentSpec,
+        params: &TierParams,
+        seeds: &[u64],
+    ) -> usize {
         let rows = plan_rows(spec, params, self.args);
         let mut row_cells = Vec::with_capacity(rows.len());
         for row in &rows {
@@ -690,7 +725,7 @@ impl<'a> MatrixBatch<'a> {
     /// Drains the queue on `args.threads` workers and stores every
     /// freshly simulated cell into the cache. Call once, after every spec
     /// is planned.
-    fn drain(self) -> DrainedBatch {
+    pub(crate) fn drain(self) -> DrainedBatch {
         let MatrixBatch { args, cache, store, queue, cell_ids, plans, stats, .. } = self;
         let results = queue.drain(args.threads, |job| execute(&store, job));
         if let Some(cache) = cache {
@@ -710,18 +745,18 @@ impl<'a> MatrixBatch<'a> {
 
 /// The results of a drained [`MatrixBatch`], ready for per-spec assembly.
 #[derive(Debug)]
-struct DrainedBatch {
+pub(crate) struct DrainedBatch {
     cached: bool,
     results: Vec<Option<ExpOut>>,
     plans: Vec<SpecPlan>,
-    stats: CacheStats,
+    pub(crate) stats: CacheStats,
 }
 
 impl DrainedBatch {
     /// Assembles plan `idx` into its [`MatrixData`], stamping cache
     /// provenance (`cell_hash` plus `"hit"`/`"miss"`) on every cell when
     /// a cache was active.
-    fn matrix(&self, idx: usize) -> MatrixData {
+    pub(crate) fn matrix(&self, idx: usize) -> MatrixData {
         let plan = &self.plans[idx];
         let mut scenarios = Vec::with_capacity(plan.rows.len());
         for (row, sources) in plan.rows.iter().zip(&plan.cells) {

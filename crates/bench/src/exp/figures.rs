@@ -101,7 +101,7 @@ pub fn names() -> Vec<&'static str> {
     FIGURES.iter().map(|d| d.name).collect()
 }
 
-static FIGURES: [FigureDef; 19] = [
+static FIGURES: [FigureDef; 20] = [
     FigureDef {
         name: "fig04",
         legacy_bin: "fig04_heatmap",
@@ -240,6 +240,12 @@ static FIGURES: [FigureDef; 19] = [
             csv: true,
         },
     },
+    FigureDef {
+        name: "search",
+        legacy_bin: "search",
+        summary: "design-space search (--driver hc|evo|random, --budget N): pareto front",
+        kind: FigureKind::Custom(super::search::search_figure),
+    },
 ];
 
 fn mk_table(headers: &[&str], rows: Vec<Vec<String>>) -> Table {
@@ -270,6 +276,7 @@ fn spec_fig05() -> ExperimentSpec {
                 topo: TopoSpec::Mesh,
                 routing: RoutingKind::XY,
                 starvation_threshold: None,
+                noc: None,
                 lineup: None,
             },
             ScenarioSpec::Synthetic {
@@ -281,6 +288,7 @@ fn spec_fig05() -> ExperimentSpec {
                 topo: TopoSpec::Mesh,
                 routing: RoutingKind::XY,
                 starvation_threshold: None,
+                noc: None,
                 // The distilled policy has a per-mesh variant (§3.2).
                 lineup: Some(Lineup::parse(&["fifo", "rl-synth-8x8", "nn", "global-age"])),
             },
@@ -394,6 +402,7 @@ fn spec_load_sweep() -> ExperimentSpec {
                     topo: TopoSpec::Mesh,
                     routing: RoutingKind::XY,
                     starvation_threshold: None,
+                    noc: None,
                     lineup: None,
                 }
             })
@@ -436,6 +445,7 @@ fn spec_extended_policies() -> ExperimentSpec {
                 topo: TopoSpec::Mesh,
                 routing: RoutingKind::XY,
                 starvation_threshold: None,
+                noc: None,
                 lineup: None,
             },
             ScenarioSpec::ApuWorkload { benchmark: "spmv".into() },
@@ -508,6 +518,7 @@ fn spec_ablation_routing() -> ExperimentSpec {
                 topo: TopoSpec::Mesh,
                 routing,
                 starvation_threshold: None,
+                noc: None,
                 lineup: None,
             });
         }
@@ -545,6 +556,7 @@ fn spec_starvation_check() -> ExperimentSpec {
             topo: TopoSpec::Mesh,
             routing: RoutingKind::XY,
             starvation_threshold: Some(1_000),
+            noc: None,
             lineup: None,
         }],
         // warmup 0: measure from cycle zero, ages accumulate unreset.
@@ -573,6 +585,7 @@ fn spec_resilience() -> ExperimentSpec {
             topo: TopoSpec::Mesh,
             routing: RoutingKind::XY,
             starvation_threshold: None,
+            noc: None,
             lineup: None,
         }],
         // Intensity i generates round(i x num_mesh_links) fault events;
@@ -616,6 +629,7 @@ fn spec_routing() -> ExperimentSpec {
             topo,
             routing,
             starvation_threshold: None,
+            noc: None,
             lineup: None,
         })
         .collect();
@@ -1449,7 +1463,7 @@ mod tests {
             assert!(find(def.name).is_some());
             assert!(find(def.legacy_bin).is_some());
         }
-        assert_eq!(all().len(), 19);
+        assert_eq!(all().len(), 20);
     }
 
     /// Every (topology, routing) pair in the routing figure is mutually

@@ -29,6 +29,14 @@
 //!   dependency edges (train-before-simulate) and transitive
 //!   cancellation, draining in waves through
 //!   [`crate::sweep::run_parallel`].
+//! * [`search`] — the design-space exploration harness: a
+//!   [`search::SearchSpace`] of tunable axes over the spec, pluggable
+//!   drivers (random / hill-climb / evolutionary) behind one
+//!   [`search::SearchDriver`] trait, an objective folding simulated
+//!   latency/throughput with analytical gate cost, and a versioned
+//!   [`search::SearchRecord`] trace plus Pareto CSV — every candidate
+//!   evaluated through the shared queue and result cache, so revisits
+//!   and resumed searches cost zero simulation.
 //! * [`figures`] — the registry mapping figure names (`fig05`, `fig09`,
 //!   `table3`, …) to their specs and renderers.
 //! * [`driver`] — resolves figure names, plans their cells into the
@@ -51,6 +59,7 @@ pub mod driver;
 pub mod figures;
 pub mod queue;
 pub mod record;
+pub mod search;
 pub mod spec;
 
 pub use artifacts::{ArtifactStore, ResolvedArtifact};
@@ -58,4 +67,8 @@ pub use backend::{ApuBackend, CellRecord, SimBackend, SpecInstance, SyntheticBac
 pub use cache::{CacheStats, CellJob, ResultCache, CACHE_SCHEMA_VERSION};
 pub use queue::{JobId, JobQueue};
 pub use record::{RunRecord, Table, RUN_RECORD_SCHEMA_VERSION};
-pub use spec::{ExperimentSpec, Lineup, LineupEntry, NnRecipe, Normalize, ScenarioSpec, Tier, TierParams};
+pub use search::{SearchDriver, SearchRecord, SearchSpace, SEARCH_SCHEMA_VERSION};
+pub use spec::{
+    ExperimentSpec, Lineup, LineupEntry, NnRecipe, NocParams, Normalize, ScenarioSpec, Tier,
+    TierParams,
+};

@@ -276,7 +276,7 @@ pub(crate) fn json_str(s: &str) -> String {
 
 /// Formats a finite f64 so it parses back to the same bits (`{:?}` is
 /// Rust's shortest round-trip float form); non-finite values become null.
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:?}")
     } else {
@@ -321,7 +321,7 @@ impl Json {
         }
     }
 
-    fn as_array(&self) -> Result<&Vec<Json>, String> {
+    pub(crate) fn as_array(&self) -> Result<&Vec<Json>, String> {
         match self {
             Json::Arr(a) => Ok(a),
             other => Err(format!("expected array, got {other:?}")),
@@ -342,7 +342,7 @@ impl Json {
         }
     }
 
-    fn as_f64(&self) -> Result<f64, String> {
+    pub(crate) fn as_f64(&self) -> Result<f64, String> {
         match self {
             Json::Num(n) => n.parse().map_err(|_| format!("bad number {n}")),
             Json::Null => Ok(f64::NAN),

@@ -1,0 +1,367 @@
+//! Pluggable search drivers behind one [`SearchDriver`] trait.
+//!
+//! A driver is a pure proposal strategy: given the evaluated history it
+//! returns the next batch of design points; the runner owns evaluation,
+//! caching and the record. All stochastic choices draw from the runner's
+//! single main-thread [`SplitMix64`] stream, so a driver's proposal
+//! sequence is a pure function of `(seed, history)` — which is what makes
+//! a killed search replayable and `--threads` invisible.
+
+use std::cmp::Ordering;
+
+use noc_sim::SplitMix64;
+
+use super::objective::ObjectiveVector;
+use super::space::{SearchPoint, SearchSpace};
+
+/// One evaluated design point, as drivers see it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated {
+    /// The point's per-axis ordinals.
+    pub point: SearchPoint,
+    /// Its objective vector.
+    pub objective: ObjectiveVector,
+}
+
+/// One proposed design point, with the driver's provenance note.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proposal {
+    /// The point to evaluate.
+    pub point: SearchPoint,
+    /// How the driver derived it (`"init"`, `"neighbor(size)"`,
+    /// `"mutate(2)"`, `"random"` …) — recorded per point.
+    pub op: String,
+}
+
+/// A design-space search strategy.
+///
+/// Drivers never simulate: they only turn history into proposals. The
+/// runner evaluates each proposal through the shared job queue and result
+/// cache, appends the outcome to `history`, and calls back for the next
+/// round until the budget is spent or the driver returns no proposals
+/// (convergence).
+///
+/// # Examples
+///
+/// ```
+/// use bench::exp::search::{driver_by_name, SearchSpace};
+/// use noc_sim::SplitMix64;
+///
+/// let space = SearchSpace::paper_noc();
+/// let mut driver = driver_by_name("hc").unwrap();
+/// let mut rng = SplitMix64::new(42);
+/// // An empty history yields the opening proposals (the baseline point
+/// // for hill climbing).
+/// let opening = driver.propose(&space, &[], &mut rng, 8);
+/// assert_eq!(opening.len(), 1);
+/// assert_eq!(opening[0].point, space.default_point());
+/// ```
+pub trait SearchDriver {
+    /// The driver's stable name (`"hc"`, `"evo"`, `"random"`), used in
+    /// output filenames and the `SearchRecord`.
+    fn name(&self) -> &'static str;
+
+    /// Proposes the next round of points (at most `remaining`). An empty
+    /// return means the driver has converged and the search stops.
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        history: &[Evaluated],
+        rng: &mut SplitMix64,
+        remaining: usize,
+    ) -> Vec<Proposal>;
+}
+
+/// Resolves a driver by its CLI name.
+///
+/// # Errors
+///
+/// Unknown names are reported with the accepted list.
+pub fn driver_by_name(name: &str) -> Result<Box<dyn SearchDriver>, String> {
+    match name {
+        "hc" => Ok(Box::new(HillClimbDriver { center: None })),
+        "evo" => Ok(Box::new(EvoDriver)),
+        "random" => Ok(Box::new(RandomDriver)),
+        other => Err(format!("unknown search driver '{other}' (try: hc, evo, random)")),
+    }
+}
+
+/// Index of the history entry with the best (lowest) score; ties keep the
+/// earliest entry, so the choice is replay-stable.
+fn best_index(history: &[Evaluated]) -> usize {
+    history
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.objective
+                .score
+                .partial_cmp(&b.objective.score)
+                .unwrap_or(Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .expect("best_index on non-empty history")
+}
+
+/// Pure random search: a uniform sample of the space each round. The
+/// baseline every smarter driver has to beat.
+#[derive(Debug)]
+pub struct RandomDriver;
+
+/// Points a random round proposes (capped by the remaining budget).
+const RANDOM_ROUND: usize = 8;
+
+impl SearchDriver for RandomDriver {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        _history: &[Evaluated],
+        rng: &mut SplitMix64,
+        remaining: usize,
+    ) -> Vec<Proposal> {
+        (0..RANDOM_ROUND.min(remaining))
+            .map(|_| Proposal { point: space.random_point(rng), op: "random".into() })
+            .collect()
+    }
+}
+
+/// Greedy hill climbing over the axes — the generalization of the
+/// feature-selection climb (`rl_arb::greedy_climb`) from feature subsets
+/// to the full design space.
+///
+/// Starts at the space's baseline point, expands every unvisited
+/// single-axis neighbor of the incumbent best point, re-centers on the
+/// best evaluation so far, and stops when the best point's whole
+/// neighborhood has been visited without finding an improvement.
+#[derive(Debug)]
+pub struct HillClimbDriver {
+    /// The point whose neighborhood was last expanded.
+    center: Option<SearchPoint>,
+}
+
+impl SearchDriver for HillClimbDriver {
+    fn name(&self) -> &'static str {
+        "hc"
+    }
+
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        history: &[Evaluated],
+        _rng: &mut SplitMix64,
+        remaining: usize,
+    ) -> Vec<Proposal> {
+        if history.is_empty() {
+            return vec![Proposal { point: space.default_point(), op: "init".into() }];
+        }
+        let best = &history[best_index(history)].point;
+        if self.center.as_ref() == Some(best) {
+            // The whole neighborhood of the incumbent has been evaluated
+            // and nothing beat it: a local optimum.
+            return Vec::new();
+        }
+        self.center = Some(best.clone());
+        let mut proposals: Vec<Proposal> = space
+            .neighbors(best)
+            .into_iter()
+            .filter(|n| history.iter().all(|e| &e.point != n))
+            .map(|n| {
+                let axis = (0..n.len())
+                    .find(|&i| n[i] != best[i])
+                    .expect("neighbor differs in one axis");
+                Proposal { point: n, op: format!("neighbor({})", space.axes[axis].name) }
+            })
+            .collect();
+        proposals.truncate(remaining);
+        proposals
+    }
+}
+
+/// (µ+λ) evolutionary search: µ = `EVO_PARENTS` survivors by score,
+/// λ = `EVO_OFFSPRING` mutated offspring per generation.
+#[derive(Debug)]
+pub struct EvoDriver;
+
+/// Survivors kept as parents each generation.
+const EVO_PARENTS: usize = 4;
+/// Offspring proposed each generation (and the size of the random
+/// opening generation).
+const EVO_OFFSPRING: usize = 8;
+
+impl SearchDriver for EvoDriver {
+    fn name(&self) -> &'static str {
+        "evo"
+    }
+
+    fn propose(
+        &mut self,
+        space: &SearchSpace,
+        history: &[Evaluated],
+        rng: &mut SplitMix64,
+        remaining: usize,
+    ) -> Vec<Proposal> {
+        if history.is_empty() {
+            return (0..EVO_OFFSPRING.min(remaining))
+                .map(|_| Proposal { point: space.random_point(rng), op: "init".into() })
+                .collect();
+        }
+        // Parents: the best-scoring history entries, earliest-first on
+        // ties (sort_by is stable, so replay cannot reorder them).
+        let mut ranked: Vec<usize> = (0..history.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            history[a]
+                .objective
+                .score
+                .partial_cmp(&history[b].objective.score)
+                .unwrap_or(Ordering::Equal)
+        });
+        let parents = &ranked[..EVO_PARENTS.min(ranked.len())];
+        (0..EVO_OFFSPRING.min(remaining))
+            .map(|_| {
+                let parent = parents[rng.next_bounded(parents.len() as u64) as usize];
+                let mut point = history[parent].point.clone();
+                let mutations = 1 + rng.next_bounded(2);
+                for _ in 0..mutations {
+                    space.mutate(&mut point, rng);
+                }
+                Proposal { point, op: format!("mutate({parent})") }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evaluated(point: SearchPoint, score: f64) -> Evaluated {
+        Evaluated {
+            point,
+            objective: ObjectiveVector {
+                latency: score,
+                throughput: 1.0,
+                gates: 1.0,
+                score,
+            },
+        }
+    }
+
+    #[test]
+    fn unknown_driver_names_error_with_the_list() {
+        let Err(err) = driver_by_name("anneal") else {
+            panic!("unknown driver must not resolve")
+        };
+        assert!(err.contains("hc, evo, random"), "got: {err}");
+        for name in ["hc", "evo", "random"] {
+            assert_eq!(driver_by_name(name).unwrap().name(), name);
+        }
+    }
+
+    #[test]
+    fn hill_climb_opens_at_the_baseline_then_expands_neighbors() {
+        let space = SearchSpace::paper_noc();
+        let mut driver = HillClimbDriver { center: None };
+        let mut rng = SplitMix64::new(1);
+        let opening = driver.propose(&space, &[], &mut rng, 100);
+        assert_eq!(opening.len(), 1);
+        assert_eq!(opening[0].point, space.default_point());
+        assert_eq!(opening[0].op, "init");
+
+        let history = vec![evaluated(space.default_point(), 10.0)];
+        let round2 = driver.propose(&space, &history, &mut rng, 100);
+        assert_eq!(round2.len(), space.neighbors(&space.default_point()).len());
+        assert!(round2.iter().all(|p| p.op.starts_with("neighbor(")));
+    }
+
+    #[test]
+    fn hill_climb_converges_when_the_center_stays_best() {
+        let space = SearchSpace::paper_noc();
+        let mut driver = HillClimbDriver { center: None };
+        let mut rng = SplitMix64::new(1);
+        let mut history = vec![evaluated(space.default_point(), 10.0)];
+        let neighbors = driver.propose(&space, &history, &mut rng, 100);
+        // Every neighbor evaluates worse than the center.
+        for p in &neighbors {
+            history.push(evaluated(p.point.clone(), 20.0));
+        }
+        assert!(
+            driver.propose(&space, &history, &mut rng, 100).is_empty(),
+            "no improvement anywhere in the neighborhood means convergence"
+        );
+    }
+
+    #[test]
+    fn hill_climb_recenters_on_an_improving_neighbor() {
+        let space = SearchSpace::paper_noc();
+        let mut driver = HillClimbDriver { center: None };
+        let mut rng = SplitMix64::new(1);
+        let mut history = vec![evaluated(space.default_point(), 10.0)];
+        let neighbors = driver.propose(&space, &history, &mut rng, 100);
+        let winner = neighbors[0].point.clone();
+        for (i, p) in neighbors.iter().enumerate() {
+            history.push(evaluated(p.point.clone(), if i == 0 { 5.0 } else { 20.0 }));
+        }
+        let round3 = driver.propose(&space, &history, &mut rng, 100);
+        assert!(!round3.is_empty(), "an improving neighbor re-centers the climb");
+        // The new round expands the winner's neighborhood, minus what has
+        // already been visited.
+        for p in &round3 {
+            assert!(space.neighbors(&winner).contains(&p.point));
+            assert!(history.iter().all(|e| e.point != p.point));
+        }
+    }
+
+    #[test]
+    fn evo_seeds_randomly_then_mutates_parents() {
+        let space = SearchSpace::paper_noc();
+        let mut driver = EvoDriver;
+        let mut rng = SplitMix64::new(3);
+        let opening = driver.propose(&space, &[], &mut rng, 100);
+        assert_eq!(opening.len(), EVO_OFFSPRING);
+        assert!(opening.iter().all(|p| p.op == "init"));
+
+        let history: Vec<Evaluated> = opening
+            .iter()
+            .enumerate()
+            .map(|(i, p)| evaluated(p.point.clone(), i as f64))
+            .collect();
+        let gen2 = driver.propose(&space, &history, &mut rng, 100);
+        assert_eq!(gen2.len(), EVO_OFFSPRING);
+        for p in &gen2 {
+            let parent: usize = p
+                .op
+                .strip_prefix("mutate(")
+                .and_then(|s| s.strip_suffix(')'))
+                .and_then(|s| s.parse().ok())
+                .expect("offspring op names its parent");
+            assert!(parent < EVO_PARENTS, "parents are the best {EVO_PARENTS}");
+            assert_ne!(p.point, history[parent].point, "offspring must mutate");
+        }
+    }
+
+    #[test]
+    fn proposals_respect_the_remaining_budget() {
+        let space = SearchSpace::paper_noc();
+        let mut rng = SplitMix64::new(5);
+        for name in ["hc", "evo", "random"] {
+            let mut driver = driver_by_name(name).unwrap();
+            assert!(driver.propose(&space, &[], &mut rng, 1).len() <= 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn proposal_streams_are_seed_deterministic() {
+        let space = SearchSpace::paper_noc();
+        for name in ["evo", "random"] {
+            let run = |seed: u64| {
+                let mut driver = driver_by_name(name).unwrap();
+                let mut rng = SplitMix64::new(seed);
+                driver.propose(&space, &[], &mut rng, 100)
+            };
+            assert_eq!(run(9), run(9), "{name} must be a pure function of the seed");
+        }
+    }
+}

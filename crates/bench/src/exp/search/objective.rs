@@ -1,0 +1,137 @@
+//! The search objective: simulated latency/throughput folded with the
+//! analytical hardware cost of the point's inference engine.
+//!
+//! Latency and throughput come from the point's run matrix (seed-mean of
+//! the NN policy's cells, the same accumulation order as every figure, so
+//! values are thread-invariant). Hardware cost comes from
+//! [`hw_cost::cost_agent_inference`] on the agent the point actually
+//! trains, expressed as NAND2 gate-equivalents of the whole engine (MAC
+//! array logic plus weight SRAM — the SRAM is what scales with network
+//! shape, since the MAC array is a fixed 128 lanes). The synthetic
+//! training fabric is always a mesh (5 router ports), so the network
+//! shape is `5 × vnets × 4` inputs, 15 hidden neurons, `5 × vnets`
+//! actions — the vnets axis scales the hardware, the fabric axis does
+//! not.
+
+use hw_cost::TechNode;
+
+use super::super::driver::MatrixData;
+use super::space::{SearchPoint, SearchSpace};
+
+/// Hidden-layer width of the synthetic agent (§3.2).
+const HIDDEN: usize = 15;
+/// Per-buffer feature count of the synthetic feature set.
+const FEATURES: usize = 4;
+/// Router ports on the (always-mesh) training fabric.
+const PORTS: usize = 5;
+/// MAC-array width of the costed inference engine.
+const PARALLEL_MACS: usize = 128;
+
+/// One evaluated point's objective vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveVector {
+    /// Mean NN-policy message latency over the point's seeds (cycles).
+    pub latency: f64,
+    /// Mean NN-policy throughput over the point's seeds (flits/cycle).
+    pub throughput: f64,
+    /// Gate-equivalent count of the point's INT8 inference engine
+    /// (32 nm; NAND2-equivalents of logic + weight SRAM).
+    pub gates: f64,
+    /// Scalar ranking score, lower is better:
+    /// `latency × gates / throughput`.
+    pub score: f64,
+}
+
+/// Computes the objective of one point from its drained run matrix.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty — search specs always carry exactly one
+/// scenario.
+pub fn evaluate(space: &SearchSpace, point: &SearchPoint, data: &MatrixData) -> ObjectiveVector {
+    let scenario = data.scenarios.first().expect("search spec has one scenario");
+    // The line-up is ["nn"], so policy index 0 is the trained agent.
+    let latency = scenario.mean(0, "avg_latency");
+    let throughput = scenario.mean(0, "throughput");
+    let gates = gate_cost(space.vnets_of(point));
+    let score = latency * gates / throughput.max(1e-9);
+    ObjectiveVector { latency, throughput, gates, score }
+}
+
+/// Gate-equivalent count of the inference engine for a `vnets`-sized
+/// agent: the engine's total area (MAC logic + weight SRAM) divided by
+/// the NAND2 cell area, so the number scales with the encoder the way a
+/// synthesized macro would.
+pub fn gate_cost(vnets: usize) -> f64 {
+    let tech = TechNode::nm32();
+    let report = hw_cost::cost_agent_inference(
+        PORTS * vnets * FEATURES,
+        HIDDEN,
+        PORTS * vnets,
+        PARALLEL_MACS,
+        &tech,
+    );
+    report.area_mm2 * 1e6 / tech.gate_area_um2
+}
+
+/// The Pareto-optimal indices of `objectives` (minimize latency, maximize
+/// throughput, minimize gates), in input order.
+///
+/// A point is dominated when another point is at least as good on every
+/// criterion and strictly better on one. Duplicate objective vectors keep
+/// their first occurrence only, so a memo-replayed revisit never pads the
+/// front.
+pub fn pareto_front(objectives: &[ObjectiveVector]) -> Vec<usize> {
+    let dominates = |a: &ObjectiveVector, b: &ObjectiveVector| {
+        let ge = a.latency <= b.latency && a.throughput >= b.throughput && a.gates <= b.gates;
+        let gt = a.latency < b.latency || a.throughput > b.throughput || a.gates < b.gates;
+        ge && gt
+    };
+    let same = |a: &ObjectiveVector, b: &ObjectiveVector| {
+        a.latency == b.latency && a.throughput == b.throughput && a.gates == b.gates
+    };
+    (0..objectives.len())
+        .filter(|&i| {
+            let earlier_duplicate =
+                objectives[..i].iter().any(|o| same(o, &objectives[i]));
+            let dominated = objectives
+                .iter()
+                .any(|o| dominates(o, &objectives[i]));
+            !earlier_duplicate && !dominated
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(latency: f64, throughput: f64, gates: f64) -> ObjectiveVector {
+        ObjectiveVector { latency, throughput, gates, score: latency * gates / throughput }
+    }
+
+    #[test]
+    fn dominated_points_fall_off_the_front() {
+        let objs = vec![
+            obj(10.0, 1.0, 100.0), // on the front
+            obj(12.0, 0.9, 120.0), // dominated by the first
+            obj(8.0, 0.5, 90.0),   // trades throughput for latency: on the front
+        ];
+        assert_eq!(pareto_front(&objs), vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicates_keep_first_occurrence() {
+        let objs = vec![obj(10.0, 1.0, 100.0), obj(10.0, 1.0, 100.0)];
+        assert_eq!(pareto_front(&objs), vec![0]);
+    }
+
+    #[test]
+    fn gate_cost_grows_with_vnets() {
+        assert!(gate_cost(2) > 0.0);
+        assert!(
+            gate_cost(4) > gate_cost(2),
+            "more vnets means a wider encoder and more hardware"
+        );
+    }
+}

@@ -151,6 +151,19 @@ pub enum NnRecipe {
         /// Benchmark name (see [`apu_workloads::Benchmark::name`]).
         benchmark: String,
     },
+    /// The design-space search's recipe: the tuned synthetic procedure
+    /// ([`rl_arb::TrainSpec::tuned_synthetic`]) with the agent
+    /// hyperparameters the search is exploring overriding the tuned
+    /// defaults. Hyperparameters are integer-scaled so the recipe stays
+    /// `Eq` and hashes canonically.
+    SyntheticTuned {
+        /// Discount factor γ as a percentage (`20` ⇒ `0.20`).
+        gamma_pct: u8,
+        /// Learning rate in units of 1e-4 (`500` ⇒ `0.05`).
+        lr_e4: u32,
+        /// Reward formulation the agent trains against.
+        reward: rl_arb::RewardKind,
+    },
 }
 
 /// The router graph a synthetic scenario runs on — the topology axis of
@@ -222,6 +235,19 @@ impl TopoSpec {
     }
 }
 
+/// Fabric sizing knobs a synthetic scenario may override — the VC-count
+/// and buffer-depth axes of the design-space search. `None` on the
+/// scenario keeps [`noc_sim::SimConfig::synthetic`]'s defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocParams {
+    /// Virtual networks (message classes) per port. The NN encoder is
+    /// sized `ports × vnets × features`, so NN line-ups must train with a
+    /// matching [`rl_arb::TrainSpec::vnets`] override.
+    pub vnets: usize,
+    /// Per-VC buffer capacity in flits.
+    pub vc_capacity_flits: u32,
+}
+
 /// One scenario (row group) of the run matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioSpec {
@@ -244,6 +270,9 @@ pub enum ScenarioSpec {
         routing: RoutingKind,
         /// Override for `SimConfig::starvation_threshold`.
         starvation_threshold: Option<u64>,
+        /// Fabric sizing overrides (VC count, buffer depth); `None` keeps
+        /// the simulator defaults.
+        noc: Option<NocParams>,
         /// Per-scenario line-up override (Fig. 5 swaps the distilled
         /// policy variant per mesh size).
         lineup: Option<Lineup>,

@@ -23,11 +23,99 @@ use noc_arbiters::{make_arbiter, PolicyKind};
 use noc_sim::{Arbiter, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
 use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter};
 
-/// The flag portion of every binary's usage line — there is exactly one
-/// flag grammar across the whole experiment layer.
-pub const USAGE_FLAGS: &str = "[--quick] [--seed <n>] [--threads <n>] [--out-dir <dir>] \
-[--artifacts-dir <dir>] [--cache-dir <dir>] [--cache-stats] [--retrain] [--quiet] \
-[--inference <f32|int8>]";
+/// One entry of the shared flag grammar.
+///
+/// The registry is the single source the usage line ([`usage_flags`]),
+/// `repro --help` and the parser-sync test are generated from, so a flag
+/// added to [`CliArgs::parse_from`] cannot drift out of the help text (and
+/// vice versa) without a test failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlagSpec {
+    /// The flag itself, e.g. `"--seed"`.
+    pub flag: &'static str,
+    /// Value placeholder for value-taking flags (`None` for booleans).
+    pub value: Option<&'static str>,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// Every flag the experiment layer accepts — there is exactly one flag
+/// grammar across the whole layer.
+pub const FLAG_REGISTRY: &[FlagSpec] = &[
+    FlagSpec {
+        flag: "--quick",
+        value: None,
+        help: "shrink workloads/epochs for a fast smoke run",
+    },
+    FlagSpec {
+        flag: "--seed",
+        value: Some("<n>"),
+        help: "base seed for all stochastic components (default 42)",
+    },
+    FlagSpec {
+        flag: "--threads",
+        value: Some("<n>"),
+        help: "worker threads for independent-simulation sweeps (1 = serial)",
+    },
+    FlagSpec {
+        flag: "--out-dir",
+        value: Some("<dir>"),
+        help: "directory for structured outputs (default results/)",
+    },
+    FlagSpec {
+        flag: "--artifacts-dir",
+        value: Some("<dir>"),
+        help: "content-addressed trained-artifact store (default results/artifacts/)",
+    },
+    FlagSpec {
+        flag: "--cache-dir",
+        value: Some("<dir>"),
+        help: "content-addressed result cache (default results/cache/)",
+    },
+    FlagSpec {
+        flag: "--cache-stats",
+        value: None,
+        help: "print the end-of-run cells/hits/misses/cycles summary",
+    },
+    FlagSpec {
+        flag: "--retrain",
+        value: None,
+        help: "ignore cached artifacts and train fresh ones",
+    },
+    FlagSpec {
+        flag: "--quiet",
+        value: None,
+        help: "suppress progress chatter on stderr",
+    },
+    FlagSpec {
+        flag: "--inference",
+        value: Some("<f32|int8>"),
+        help: "numeric datapath for NN-policy inference (default f32)",
+    },
+    FlagSpec {
+        flag: "--driver",
+        value: Some("<hc|evo|random>"),
+        help: "search driver for `repro search` (default hc)",
+    },
+    FlagSpec {
+        flag: "--budget",
+        value: Some("<n>"),
+        help: "evaluation budget for `repro search` (default 32)",
+    },
+];
+
+/// The flag portion of every binary's usage line, generated from
+/// [`FLAG_REGISTRY`].
+pub fn usage_flags() -> String {
+    FLAG_REGISTRY
+        .iter()
+        .map(|f| match f.value {
+            Some(v) => format!("[{} {v}]", f.flag),
+            None => format!("[{}]", f.flag),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
 
 /// Command-line options shared by the `repro` driver and every figure shim.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +145,12 @@ pub struct CliArgs {
     /// Numeric datapath for NN-policy inference: full-precision float (the
     /// default, bit-identical to the historical runs) or INT8 fixed-point.
     pub inference: rl_arb::InferenceMode,
+    /// Search driver for `repro search` (`hc`, `evo` or `random`; only
+    /// consulted by the search figure).
+    pub driver: String,
+    /// Evaluation budget for `repro search`: the maximum number of design
+    /// points the driver may evaluate.
+    pub budget: usize,
 }
 
 impl Default for CliArgs {
@@ -72,15 +166,15 @@ impl Default for CliArgs {
             retrain: false,
             quiet: false,
             inference: rl_arb::InferenceMode::F32,
+            driver: "hc".into(),
+            budget: 32,
         }
     }
 }
 
 impl CliArgs {
-    /// Parses the shared flags (`--quick`, `--seed <n>`, `--threads <n>`,
-    /// `--out-dir <dir>`, `--artifacts-dir <dir>`, `--cache-dir <dir>`,
-    /// `--cache-stats`, `--retrain`, `--quiet`,
-    /// `--inference <f32|int8>`) from an argument iterator. Non-flag arguments are returned as
+    /// Parses the shared flags (exactly the [`FLAG_REGISTRY`] grammar)
+    /// from an argument iterator. Non-flag arguments are returned as
     /// positionals (the driver's figure name); unknown flags are errors —
     /// never silently ignored.
     pub fn parse_from(
@@ -123,6 +217,22 @@ impl CliArgs {
                 "--inference" => {
                     let v = it.next().ok_or("--inference needs a value (f32 or int8)")?;
                     out.inference = v.parse()?;
+                }
+                "--driver" => {
+                    let v = it.next().ok_or("--driver needs a value (hc, evo or random)")?;
+                    if !matches!(v.as_str(), "hc" | "evo" | "random") {
+                        return Err(format!("--driver must be hc, evo or random, got '{v}'"));
+                    }
+                    out.driver = v;
+                }
+                "--budget" => {
+                    let v = it.next().ok_or("--budget needs a value")?;
+                    out.budget = v
+                        .parse()
+                        .map_err(|_| format!("--budget needs an integer, got '{v}'"))?;
+                    if out.budget == 0 {
+                        return Err("--budget needs a positive integer".into());
+                    }
                 }
                 flag if flag.starts_with('-') => {
                     return Err(format!("unknown flag '{flag}'"));
@@ -170,7 +280,7 @@ fn usage_exit(err: &str) -> ! {
         })
         .unwrap_or_else(|| "bench".into());
     eprintln!("error: {err}");
-    eprintln!("usage: {bin} {USAGE_FLAGS}");
+    eprintln!("usage: {bin} {}", usage_flags());
     std::process::exit(2);
 }
 
@@ -718,7 +828,44 @@ mod tests {
 
     #[test]
     fn usage_lists_inference_flag() {
-        assert!(USAGE_FLAGS.contains("--inference <f32|int8>"));
+        assert!(usage_flags().contains("--inference <f32|int8>"));
+        assert!(usage_flags().contains("--driver <hc|evo|random>"));
+        assert!(usage_flags().contains("--budget <n>"));
+    }
+
+    #[test]
+    fn every_registry_flag_parses() {
+        // The registry and the parser must agree: every registered flag —
+        // with a plausible value when it takes one — must be accepted by
+        // `parse_from`. A flag added to one side but not the other fails
+        // here instead of silently drifting out of the help text.
+        for f in FLAG_REGISTRY {
+            let value = f.value.map(|v| match v {
+                "<n>" => "3",
+                "<dir>" => "tmp",
+                "<f32|int8>" => "int8",
+                "<hc|evo|random>" => "random",
+                other => panic!("unknown placeholder {other} — extend this test"),
+            });
+            let args = std::iter::once(f.flag.to_string()).chain(value.map(String::from));
+            let (_, positionals) =
+                CliArgs::parse_from(args).unwrap_or_else(|e| panic!("{} rejected: {e}", f.flag));
+            assert!(positionals.is_empty(), "{} left positionals behind", f.flag);
+        }
+    }
+
+    #[test]
+    fn search_flags_parse_and_validate() {
+        let (args, _) = CliArgs::parse_from(
+            ["--driver", "evo", "--budget", "8"].iter().map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(args.driver, "evo");
+        assert_eq!(args.budget, 8);
+        assert!(CliArgs::parse_from(
+            ["--budget", "0"].iter().map(|s| s.to_string())
+        )
+        .is_err());
     }
 
     #[test]

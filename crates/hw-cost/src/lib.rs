@@ -178,6 +178,36 @@ pub fn cost_nn_inference(net: &QuantizedMlp, parallel_macs: usize, tech: &TechNo
     report
 }
 
+/// Cost of the INT8 inference engine for an `inputs → hidden → actions`
+/// agent network, built from the architecture alone — the design-space
+/// search's hardware objective. Weights are irrelevant to synthesis cost
+/// (gate count and SRAM size depend only on the layer shapes), so the
+/// network is instantiated with a fixed seed and handed to
+/// [`cost_nn_inference`].
+///
+/// ```
+/// use hw_cost::{cost_agent_inference, TechNode};
+/// let small = cost_agent_inference(60, 15, 15, 128, &TechNode::nm32());
+/// let large = cost_agent_inference(100, 15, 25, 128, &TechNode::nm32());
+/// assert!(large.gates >= small.gates);
+/// assert!(large.area_mm2 > small.area_mm2); // more weights ⇒ more SRAM
+/// ```
+///
+/// # Panics
+///
+/// Panics if any layer dimension or `parallel_macs` is zero.
+pub fn cost_agent_inference(
+    inputs: usize,
+    hidden: usize,
+    actions: usize,
+    parallel_macs: usize,
+    tech: &TechNode,
+) -> CostReport {
+    assert!(inputs > 0 && hidden > 0 && actions > 0, "degenerate network shape");
+    let net = QuantizedMlp::from_mlp(&nn_mlp::Mlp::paper_agent(inputs, hidden, actions, 0));
+    cost_nn_inference(&net, parallel_macs, tech)
+}
+
 fn finish(
     gates: f64,
     extra_area_mm2: f64,

@@ -75,6 +75,10 @@ impl SyntheticEnv {
         if let Some(bounds) = spec.feature_bounds {
             cfg.feature_bounds = bounds;
         }
+        if let Some(vnets) = spec.vnets {
+            assert!(vnets > 0, "vnets override must be positive");
+            cfg.num_vnets = vnets;
+        }
         let mut stages = spec.curriculum.clone();
         stages.push((spec.injection_rate, spec.epochs));
         SyntheticEnv {

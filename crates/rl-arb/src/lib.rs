@@ -51,7 +51,9 @@ pub use ckpt::{
 };
 pub use env::{ApuEnv, ApuTrainSpec, SyntheticEnv, TrainEnv, TrainRecipe};
 pub use features::{Feature, FeatureSet, StateEncoder};
-pub use hillclimb::{hill_climb, Evaluation, HillClimbResult};
+pub use hillclimb::{
+    greedy_climb, hill_climb, ClimbOutcome, ClimbStep, Evaluation, HillClimbResult,
+};
 pub use interpret::{weight_heatmap, Heatmap};
 pub use multi::{MultiAgentArbiter, PartitionedAgents};
 pub use progress::{is_quiet, set_quiet};

@@ -48,6 +48,11 @@ pub struct TrainSpec {
     /// Overrides the simulator's feature-normalization caps (e.g. a wider
     /// local-age cap so congested ages do not alias).
     pub feature_bounds: Option<FeatureBounds>,
+    /// Overrides the training fabric's virtual-network count (`None` keeps
+    /// the simulator default). The agent's input encoder is sized
+    /// `ports × vnets × features`, so an agent must be evaluated on a
+    /// fabric with the same vnet count it trained with.
+    pub vnets: Option<usize>,
 }
 
 impl TrainSpec {
@@ -66,6 +71,7 @@ impl TrainSpec {
             traffic_seed: seed.wrapping_add(101),
             curriculum: Vec::new(),
             feature_bounds: None,
+            vnets: None,
         }
     }
 
@@ -88,6 +94,7 @@ impl TrainSpec {
             traffic_seed: seed.wrapping_add(101),
             curriculum: vec![(rate * 0.8, 30)],
             feature_bounds: Some(bounds),
+            vnets: None,
         }
     }
 
