@@ -155,6 +155,9 @@ impl SimBackend for SyntheticBackend {
         let traffic = SyntheticTraffic::new(&topo, *pattern, *rate, cfg.num_vnets, inst.seed);
         let mut sim = Simulator::new(topo, cfg, inst.policy.build(inst.seed), traffic)
             .expect("valid sim");
+        if let Some(ctl) = inst.policy.build_controller(inst.seed) {
+            sim.set_buffer_controller(ctl);
+        }
         if let Some(plan) = inst.faults {
             sim.set_fault_plan(plan);
         }
@@ -185,6 +188,13 @@ impl SimBackend for SyntheticBackend {
                 ("throughput".into(), s.throughput()),
                 ("link_fault_drops".into(), s.link_fault_drops as f64),
                 ("wedged_ports".into(), s.wedged_ports as f64),
+                // Self-healing metrics: unrecovered fault episodes are
+                // charged the full measurement window, so "never came
+                // back" reads as the worst possible recovery time.
+                ("fault_onsets".into(), s.fault_onsets as f64),
+                ("recoveries".into(), s.recoveries as f64),
+                ("recovery_time".into(), s.avg_recovery_cycles(inst.params.measure)),
+                ("post_fault_latency".into(), s.post_fault_avg_latency()),
             ],
         }
     }

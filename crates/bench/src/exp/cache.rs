@@ -26,8 +26,10 @@ use crate::CliArgs;
 /// Version stamp of the on-disk cache-entry schema *and* of the
 /// [`CellJob`] canonical hash input. Bump on any change to either — old
 /// entries then simply miss and re-simulate; no migration is needed.
-/// (v2: `ScenarioSpec::Synthetic` gained the `noc` fabric-sizing field.)
-pub const CACHE_SCHEMA_VERSION: u64 = 2;
+/// (v2: `ScenarioSpec::Synthetic` gained the `noc` fabric-sizing field.
+/// v3: the synthetic backend emits the self-healing recovery metrics, so
+/// pre-v3 cells lack columns the selfheal renderer reads.)
+pub const CACHE_SCHEMA_VERSION: u64 = 3;
 
 /// The identity of one simulation cell: everything that determines the
 /// cell's result bits, as pure data. Hashing a `CellJob` needs no

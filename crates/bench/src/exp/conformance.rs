@@ -62,12 +62,29 @@ pub struct ConformanceCase {
     /// every real sweep; set by the self-test that proves the harness
     /// catches and shrinks a seeded bug).
     pub leak_at: Option<u64>,
+    /// Replace the arbiter under test with an online-learning DQN policy
+    /// ([`rl_arb::OnlinePolicy`], cold-started at this case's seed).
+    /// Drawn for a fraction of mesh cases — the checker must hold while
+    /// the arbitration policy is *changing under live traffic*.
+    pub online: bool,
+    /// Attach the learned per-VC buffer controller
+    /// ([`rl_arb::RlVcController`]): the occupancy/credit invariants must
+    /// hold while credit budgets are being reallocated every epoch.
+    pub vc_ctl: bool,
+    /// Control epoch of the attached buffer controller (cycles).
+    pub ctl_epoch: u64,
+    /// Replay-ring capacity of the online policy.
+    pub replay_cap: usize,
+    /// Cycle at which to arm the test-only misbehaving-controller hook
+    /// (`None` in every real sweep; the self-test proves the occupancy
+    /// invariant catches a controller that corrupts the books).
+    pub misbehave_at: Option<u64>,
 }
 
 impl ConformanceCase {
     /// Renders the case as a one-line replayable reproducer.
     pub fn reproducer(&self) -> String {
-        format!(
+        let mut s = format!(
             "policy={} topo={} mesh={}x{} pattern={:?} rate={:.3} routing={:?} \
              intensity={:.2} cycles={} seed={}",
             self.policy.as_str(),
@@ -80,7 +97,17 @@ impl ConformanceCase {
             self.intensity,
             self.cycles,
             self.seed,
-        )
+        );
+        if self.online || self.vc_ctl {
+            s.push_str(&format!(
+                " online={} vcctl={} ctl_epoch={} replay_cap={}",
+                u8::from(self.online),
+                u8::from(self.vc_ctl),
+                self.ctl_epoch,
+                self.replay_cap,
+            ));
+        }
+        s
     }
 
     /// True when the case's routing function can run on its topology.
@@ -159,6 +186,30 @@ pub fn derive_case(
     } else {
         (TopoSpec::Mesh, routing)
     };
+    // Self-healing draws are appended at the END of the stream so every
+    // historical case keeps its fields per base seed. ~20% of cases
+    // exercise the learned decision points: online-learning arbitration
+    // (mesh only — the encoder is sized for the mesh port count) and/or
+    // the learned VC buffer controller (topology-agnostic).
+    let mut online = false;
+    let mut vc_ctl = false;
+    let mut ctl_epoch: u64 = 64;
+    let mut replay_cap: usize = 256;
+    if rng.chance(0.2) {
+        match rng.next_bounded(3) {
+            0 => online = true,
+            1 => vc_ctl = true,
+            _ => {
+                online = true;
+                vc_ctl = true;
+            }
+        }
+        ctl_epoch = 16 << rng.next_bounded(3);
+        replay_cap = 64 << rng.next_bounded(3) as usize;
+        if !matches!(topo, TopoSpec::Mesh) {
+            online = false;
+        }
+    }
     ConformanceCase {
         width,
         height,
@@ -171,6 +222,11 @@ pub fn derive_case(
         cycles,
         seed,
         leak_at: None,
+        online,
+        vc_ctl,
+        ctl_epoch,
+        replay_cap,
+        misbehave_at: None,
     }
 }
 
@@ -181,9 +237,41 @@ pub fn run_case(case: &ConformanceCase) -> CaseOutcome {
     let mut cfg = SimConfig::synthetic(case.width, case.height);
     cfg.routing = case.routing;
     cfg.feature_bounds = FeatureBounds::for_topology(&topo);
+    let arbiter: Box<dyn noc_sim::Arbiter> = if case.online {
+        // Cold-started online learner: random initial weights, live
+        // training — the harshest policy the checker can face, since
+        // every decision distribution drifts as the run progresses.
+        let encoder = rl_arb::StateEncoder::new(
+            5,
+            cfg.num_vnets,
+            rl_arb::FeatureSet::synthetic(),
+            cfg.feature_bounds,
+        );
+        let agent_cfg = rl_arb::AgentConfig {
+            replay_capacity: case.replay_cap,
+            ..rl_arb::AgentConfig::tuned_synthetic(case.seed)
+        };
+        let net = nn_mlp::Mlp::paper_agent(
+            encoder.state_width(),
+            agent_cfg.hidden,
+            encoder.num_slots(),
+            case.seed,
+        );
+        Box::new(rl_arb::OnlinePolicy::new(net, encoder, agent_cfg))
+    } else {
+        make_arbiter(case.policy, case.seed)
+    };
     let traffic = SyntheticTraffic::new(&topo, case.pattern, case.rate, cfg.num_vnets, case.seed);
-    let arbiter = make_arbiter(case.policy, case.seed);
     let mut sim = Simulator::new(topo, cfg, arbiter, traffic).expect("valid sim");
+    if case.vc_ctl {
+        sim.set_buffer_controller(Box::new(rl_arb::RlVcController::new(
+            case.ctl_epoch.max(1),
+            2,
+            0.05,
+            0.2,
+            case.seed ^ 0xBC_0571,
+        )));
+    }
     sim.enable_invariant_checker();
     if case.intensity > 0.0 {
         let topo = case.topo.build(case.width, case.height).expect("valid topology");
@@ -196,6 +284,9 @@ pub fn run_case(case: &ConformanceCase) -> CaseOutcome {
     }
     if let Some(at) = case.leak_at {
         sim.debug_inject_credit_leak(at);
+    }
+    if let Some(at) = case.misbehave_at {
+        sim.debug_misbehaving_controller(at);
     }
     sim.run(case.cycles);
     CaseOutcome {
@@ -228,7 +319,7 @@ pub fn minimize(case: ConformanceCase) -> ConformanceCase {
     }
     // Each step derives its candidate from the *current* shrunk case, so
     // accepted shrinks compose instead of overwriting one another.
-    let steps: [fn(&ConformanceCase) -> ConformanceCase; 5] = [
+    let steps: [fn(&ConformanceCase) -> ConformanceCase; 7] = [
         |c| ConformanceCase { width: 4, height: 4, ..*c },
         |c| ConformanceCase { intensity: 0.0, ..*c },
         |c| ConformanceCase { pattern: Pattern::UniformRandom, ..*c },
@@ -237,11 +328,34 @@ pub fn minimize(case: ConformanceCase) -> ConformanceCase {
         // were already on a mesh/torus.
         |c| ConformanceCase { topo: TopoSpec::Mesh, routing: RoutingKind::XY, ..*c },
         |c| ConformanceCase { routing: RoutingKind::XY, ..*c },
+        // Learned components off: a failure that survives these shrinks
+        // was never the online learner's (or controller's) doing.
+        |c| ConformanceCase { online: false, ..*c },
+        |c| ConformanceCase { vc_ctl: false, ..*c },
     ];
     for step in steps {
         let candidate = step(&cur);
         if candidate != cur && fails(&candidate) {
             cur = candidate;
+        }
+    }
+    // Learned-case knobs shrink toward a one-line reproducer: a tighter
+    // control epoch replays faster, a smaller replay buffer narrows which
+    // experiences could have mattered.
+    while cur.vc_ctl && cur.ctl_epoch > 1 {
+        let candidate = ConformanceCase { ctl_epoch: cur.ctl_epoch / 2, ..cur };
+        if fails(&candidate) {
+            cur = candidate;
+        } else {
+            break;
+        }
+    }
+    while cur.online && cur.replay_cap > 4 {
+        let candidate = ConformanceCase { replay_cap: cur.replay_cap / 2, ..cur };
+        if fails(&candidate) {
+            cur = candidate;
+        } else {
+            break;
         }
     }
     while cur.rate > 0.04 {

@@ -402,6 +402,24 @@ enum CellPolicy {
     /// time a worker resolves it the checkpoint is warm and the load is
     /// bit-identical to the freshly trained network.
     Nn(Box<TrainRecipe>),
+    /// A self-healing slot: the artifact warm-starts an online-learning
+    /// arbiter (`online`) and/or attaches a learned per-VC buffer
+    /// controller (`vc_ctl`). Shares the frozen slot's Train dependency.
+    SelfHeal {
+        recipe: Box<TrainRecipe>,
+        online: bool,
+        vc_ctl: bool,
+    },
+}
+
+impl CellPolicy {
+    /// The training recipe this slot resolves through, if any.
+    fn recipe(&self) -> Option<&TrainRecipe> {
+        match self {
+            CellPolicy::Builtin(_) => None,
+            CellPolicy::Nn(r) | CellPolicy::SelfHeal { recipe: r, .. } => Some(r),
+        }
+    }
 }
 
 /// One unit of work in the experiment queue.
@@ -453,6 +471,28 @@ fn execute(store: &ArtifactStore, job: ExpJob) -> ExpOut {
                     // artifact hash (and the trained weights) are
                     // mode-invariant.
                     PolicySpec::nn("NN", policy.with_inference(run.job.inference))
+                }
+                CellPolicy::SelfHeal { recipe, online, vc_ctl } => {
+                    let loader = ArtifactStore::new(store.dir(), false);
+                    let (frozen, _) = resolve_nn(&loader, recipe);
+                    let mut spec = if *online {
+                        // Warm-start online learning from the trained
+                        // artifact. The per-job seed re-keys exploration
+                        // and replay sampling inside `PolicySpec::build`.
+                        let cfg = rl_arb::AgentConfig::tuned_online(run.job.seed);
+                        let proto = rl_arb::OnlinePolicy::new(
+                            frozen.network().clone(),
+                            frozen.encoder().clone(),
+                            cfg,
+                        );
+                        PolicySpec::nn_online("NN-online", proto)
+                    } else {
+                        PolicySpec::nn("NN", frozen.with_inference(run.job.inference))
+                    };
+                    if *vc_ctl {
+                        spec = spec.with_vc_ctl(crate::VcCtlConfig::default());
+                    }
+                    spec
                 }
             };
             let backend = backend_for(&run.job.scenario);
@@ -537,6 +577,18 @@ fn plan_rows(spec: &ExperimentSpec, params: &TierParams, args: &CliArgs) -> Vec<
                     )),
                     artifact: nn_hash.clone(),
                 },
+                LineupEntry::SelfHeal { online, vc_ctl } => PlannedSlot {
+                    canonical: e.canonical_name().into(),
+                    display: e.display_name().into(),
+                    build: CellPolicy::SelfHeal {
+                        recipe: Box::new(
+                            nn_recipe.clone().expect("self-heal slot implies a recipe"),
+                        ),
+                        online: *online,
+                        vc_ctl: *vc_ctl,
+                    },
+                    artifact: nn_hash.clone(),
+                },
             })
             .collect();
         // With no fault axis this is a single fault-free pass — the
@@ -545,6 +597,8 @@ fn plan_rows(spec: &ExperimentSpec, params: &TierParams, args: &CliArgs) -> Vec<
             Some(axis) => axis.intensities.clone(),
             None => vec![0.0],
         };
+        let quiet_tail = spec.faults.as_ref().map_or(0.0, |a| a.quiet_tail);
+        let post_warmup = spec.faults.as_ref().is_some_and(|a| a.post_warmup);
         for &intensity in &intensities {
             // Plans are generated here on the main thread, so every
             // worker-thread cell of this row group shares one plan and the
@@ -556,12 +610,20 @@ fn plan_rows(spec: &ExperimentSpec, params: &TierParams, args: &CliArgs) -> Vec<
                 let plan_seed = args.seed ^ super::spec::fnv1a64(
                     format!("{}@f{intensity:.2}", scenario.label()).as_bytes(),
                 );
+                // A positive quiet tail shortens the plan horizon so all
+                // events end before the window does; `post_warmup` then
+                // pushes onsets past the warm-up so episodes open against
+                // a converged latency baseline (see `FaultAxis`).
+                let warmup = if post_warmup && !scenario.is_apu() { params.warmup } else { 0 };
+                let horizon = fault_horizon(scenario, params) - warmup;
+                let horizon = (horizon as f64 * (1.0 - quiet_tail.clamp(0.0, 0.9))) as u64;
                 let plan = FaultPlan::generate(
                     plan_seed,
                     intensity,
                     &fault_topology(scenario),
-                    fault_horizon(scenario, params),
-                );
+                    horizon,
+                )
+                .delayed(warmup);
                 Some(plan)
             } else {
                 None
@@ -690,15 +752,15 @@ impl<'a> MatrixBatch<'a> {
                         }
                     }
                     self.stats.misses += 1;
-                    let dep = match &slot.build {
-                        CellPolicy::Nn(recipe) => {
-                            let queue = &mut self.queue;
-                            Some(*self.train_ids.entry(recipe.hash_hex()).or_insert_with(
-                                || queue.enqueue(ExpJob::Train(recipe.clone()), TRAIN_PRIORITY),
-                            ))
-                        }
-                        CellPolicy::Builtin(_) => None,
-                    };
+                    let dep = slot.build.recipe().map(|recipe| {
+                        let queue = &mut self.queue;
+                        *self.train_ids.entry(recipe.hash_hex()).or_insert_with(|| {
+                            queue.enqueue(
+                                ExpJob::Train(Box::new(recipe.clone())),
+                                TRAIN_PRIORITY,
+                            )
+                        })
+                    });
                     let id = self.queue.enqueue(
                         ExpJob::Cell(Box::new(CellRun {
                             job,

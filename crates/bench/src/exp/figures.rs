@@ -101,7 +101,7 @@ pub fn names() -> Vec<&'static str> {
     FIGURES.iter().map(|d| d.name).collect()
 }
 
-static FIGURES: [FigureDef; 20] = [
+static FIGURES: [FigureDef; 21] = [
     FigureDef {
         name: "fig04",
         legacy_bin: "fig04_heatmap",
@@ -221,6 +221,16 @@ static FIGURES: [FigureDef; 20] = [
         kind: FigureKind::Matrix {
             spec: spec_resilience,
             render: render_resilience,
+            csv: true,
+        },
+    },
+    FigureDef {
+        name: "selfheal",
+        legacy_bin: "selfheal",
+        summary: "self-healing: frozen vs online arbitration x static vs learned buffers x fault intensity",
+        kind: FigureKind::Matrix {
+            spec: spec_selfheal,
+            render: render_selfheal,
             csv: true,
         },
     },
@@ -590,12 +600,71 @@ fn spec_resilience() -> ExperimentSpec {
         }],
         // Intensity i generates round(i x num_mesh_links) fault events;
         // 0.0 is the fault-free reference row.
-        faults: Some(FaultAxis { intensities: vec![0.0, 0.25, 0.5, 1.0] }),
+        faults: Some(FaultAxis { intensities: vec![0.0, 0.25, 0.5, 1.0], quiet_tail: 0.0, post_warmup: false }),
         quick: TierParams { warmup: 500, measure: 4_000, ..TierParams::zeroed() },
         full: TierParams {
             warmup: 3_000,
             measure: 20_000,
             seeds: 3,
+            ..TierParams::zeroed()
+        },
+        normalize: Normalize::None,
+    }
+}
+
+fn spec_selfheal() -> ExperimentSpec {
+    ExperimentSpec {
+        figure: "selfheal".into(),
+        output: "selfheal".into(),
+        title: "self-healing: online learning and learned VC buffer control under faults"
+            .into(),
+        // The 2x2 of the two learned decision points, all warm-started
+        // from one trained artifact: frozen vs online arbitration x
+        // static vs learned buffers. The frozen "nn" column is the
+        // zero-learning baseline the recovery columns are read against.
+        lineup: Lineup::parse(&["nn", "nn-online", "nn-vcctl", "nn-online-vcctl"]),
+        nn: Some(NnRecipe::SyntheticPerScenario),
+        scenarios: vec![ScenarioSpec::Synthetic {
+            label: "4x4".into(),
+            width: 4,
+            height: 4,
+            pattern: Pattern::UniformRandom,
+            // Below saturation: under faults the network must still be
+            // able to drain, or no policy can ever recover (the latency
+            // EMA sits pinned at its congested plateau and the recovery
+            // column saturates at the unrecovered penalty).
+            rate: 0.15,
+            topo: TopoSpec::Mesh,
+            routing: RoutingKind::XY,
+            starvation_threshold: None,
+            noc: None,
+            lineup: None,
+        }],
+        // Intensity i generates round(i x num_mesh_links) fault events;
+        // 0.0 is the fault-free sanity row (online learning should not
+        // hurt a healthy network).
+        faults: Some(FaultAxis {
+            intensities: vec![0.0, 0.3, 0.6],
+            quiet_tail: 0.5,
+            post_warmup: true,
+        }),
+        quick: TierParams {
+            warmup: 500,
+            measure: 4_000,
+            // Online-vs-frozen recovery deltas are ~1-2% of the window;
+            // a single seed's fluctuation is the same order, so even the
+            // quick tier averages three seeds per cell.
+            seeds: 3,
+            nn_epochs: 8,
+            nn_epoch_cycles: 1_000,
+            ..TierParams::zeroed()
+        },
+        full: TierParams {
+            warmup: 3_000,
+            measure: 20_000,
+            seeds: 3,
+            nn_epochs: 60,
+            nn_epoch_cycles: 2_000,
             ..TierParams::zeroed()
         },
         normalize: Normalize::None,
@@ -644,7 +713,7 @@ fn spec_routing() -> ExperimentSpec {
         scenarios,
         // 0.0 is the fault-free reference; 0.5 stresses each graph with
         // round(0.5 x num_links) fault events drawn on its own link set.
-        faults: Some(FaultAxis { intensities: vec![0.0, 0.5] }),
+        faults: Some(FaultAxis { intensities: vec![0.0, 0.5], quiet_tail: 0.0, post_warmup: false }),
         quick: TierParams { warmup: 500, measure: 4_000, ..TierParams::zeroed() },
         full: TierParams {
             warmup: 3_000,
@@ -971,6 +1040,49 @@ fn render_resilience(_spec: &ExperimentSpec, _params: &TierParams, data: &Matrix
     text.push('\n');
     text.push_str(&render_table(&headers, &rows));
     text.push('\n');
+    Rendered { text, table: mk_table(&headers, rows) }
+}
+
+fn render_selfheal(_spec: &ExperimentSpec, params: &TierParams, data: &MatrixData) -> Rendered {
+    let headers = [
+        "scenario", "policy", "avg lat", "p99 lat", "recovery (cyc)", "post-fault lat",
+        "onsets", "recovered", "delivered",
+    ];
+    let mut rows = Vec::new();
+    for sc in &data.scenarios {
+        for p in 0..sc.canonical.len() {
+            rows.push(vec![
+                sc.label.clone(),
+                sc.display[p].clone(),
+                format!("{:.1}", sc.mean(p, "avg_latency")),
+                format!("{:.0}", sc.mean(p, "p99_latency")),
+                format!("{:.0}", sc.mean(p, "recovery_time")),
+                format!("{:.1}", sc.mean(p, "post_fault_latency")),
+                format!("{:.1}", sc.mean(p, "fault_onsets")),
+                format!("{:.1}", sc.mean(p, "recoveries")),
+                format!("{:.0}", sc.mean(p, "delivered")),
+            ]);
+        }
+    }
+    let mut text = String::from(
+        "== self-healing: online learning and learned VC buffer control under faults ==\n\n",
+    );
+    for sc in &data.scenarios {
+        if let Some(hash) = &sc.fault_plan_hash {
+            text.push_str(&format!(
+                "{}: intensity {:.2}, fault plan {hash}\n",
+                sc.label, sc.fault_intensity
+            ));
+        } else {
+            text.push_str(&format!("{}: fault-free reference\n", sc.label));
+        }
+    }
+    text.push('\n');
+    text.push_str(&render_table(&headers, &rows));
+    text.push_str(&format!(
+        "\nrecovery (cyc): mean cycles from fault onset until the latency EMA\nreturns to within 12.5% (plus an 8-cycle absolute slack) of its\npre-onset baseline; unrecovered onsets are charged the full {}-cycle\nmeasurement window. Lower is better; read online vs frozen within one\nintensity row group.\n",
+        params.measure
+    ));
     Rendered { text, table: mk_table(&headers, rows) }
 }
 
@@ -1463,7 +1575,7 @@ mod tests {
             assert!(find(def.name).is_some());
             assert!(find(def.legacy_bin).is_some());
         }
-        assert_eq!(all().len(), 20);
+        assert_eq!(all().len(), 21);
     }
 
     /// Every (topology, routing) pair in the routing figure is mutually

@@ -77,14 +77,34 @@ pub enum LineupEntry {
     /// The trained-artifact slot: filled with a frozen NN policy produced
     /// by the spec's [`NnRecipe`] before the sweep dispatches.
     NnSlot,
+    /// The self-healing slot: the trained artifact warm-starts an
+    /// [`rl_arb::OnlinePolicy`] that keeps learning during the measured
+    /// run (`online`), and/or a learned per-VC credit-budget controller
+    /// ([`rl_arb::RlVcController`]) runs beside it (`vc_ctl`). With both
+    /// flags false this would be the frozen [`LineupEntry::NnSlot`], so
+    /// the parser never produces that combination.
+    SelfHeal {
+        /// Arbitration learns online (vs. frozen at the artifact weights).
+        online: bool,
+        /// A learned VC buffer controller reallocates credit budgets.
+        vc_ctl: bool,
+    },
 }
 
 impl LineupEntry {
-    /// Parses a line-up name: `"nn"` is the trained-artifact slot, any
-    /// other name must resolve in the policy registry.
+    /// Parses a line-up name: `"nn"` is the trained-artifact slot,
+    /// `"nn-online"` / `"nn-vcctl"` / `"nn-online-vcctl"` are its
+    /// self-healing variants, any other name must resolve in the policy
+    /// registry.
     pub fn parse(name: &str) -> Result<Self, String> {
-        if name == "nn" {
-            return Ok(LineupEntry::NnSlot);
+        match name {
+            "nn" => return Ok(LineupEntry::NnSlot),
+            "nn-online" => return Ok(LineupEntry::SelfHeal { online: true, vc_ctl: false }),
+            "nn-vcctl" => return Ok(LineupEntry::SelfHeal { online: false, vc_ctl: true }),
+            "nn-online-vcctl" => {
+                return Ok(LineupEntry::SelfHeal { online: true, vc_ctl: true })
+            }
+            _ => {}
         }
         name.parse::<PolicyKind>()
             .map(LineupEntry::Policy)
@@ -96,6 +116,12 @@ impl LineupEntry {
         match self {
             LineupEntry::Policy(kind) => kind.as_str(),
             LineupEntry::NnSlot => "nn",
+            LineupEntry::SelfHeal { online: true, vc_ctl: false } => "nn-online",
+            LineupEntry::SelfHeal { online: false, vc_ctl: true } => "nn-vcctl",
+            LineupEntry::SelfHeal { online: true, vc_ctl: true } => "nn-online-vcctl",
+            LineupEntry::SelfHeal { online: false, vc_ctl: false } => {
+                unreachable!("parser never produces the degenerate self-heal slot")
+            }
         }
     }
 
@@ -104,7 +130,19 @@ impl LineupEntry {
         match self {
             LineupEntry::Policy(kind) => kind.display_name(),
             LineupEntry::NnSlot => "NN",
+            LineupEntry::SelfHeal { online: true, vc_ctl: false } => "NN-online",
+            LineupEntry::SelfHeal { online: false, vc_ctl: true } => "NN+VCctl",
+            LineupEntry::SelfHeal { online: true, vc_ctl: true } => "NN-online+VCctl",
+            LineupEntry::SelfHeal { online: false, vc_ctl: false } => {
+                unreachable!("parser never produces the degenerate self-heal slot")
+            }
         }
+    }
+
+    /// Whether this slot is filled from the trained NN artifact (the
+    /// frozen slot and every self-healing variant warm-start from it).
+    pub fn uses_artifact(self) -> bool {
+        matches!(self, LineupEntry::NnSlot | LineupEntry::SelfHeal { .. })
     }
 }
 
@@ -131,9 +169,10 @@ impl Lineup {
         Lineup { entries }
     }
 
-    /// Whether the line-up contains the trained-artifact slot.
+    /// Whether the line-up contains any slot that needs the trained
+    /// artifact (the frozen NN slot or a self-healing variant).
     pub fn has_nn_slot(&self) -> bool {
-        self.entries.contains(&LineupEntry::NnSlot)
+        self.entries.iter().any(|e| e.uses_artifact())
     }
 }
 
@@ -319,6 +358,22 @@ impl ScenarioSpec {
 pub struct FaultAxis {
     /// Fault intensities, in presentation order. `0.0` means "no plan".
     pub intensities: Vec<f64>,
+    /// Fraction of the run window (`warmup + measure`) kept fault-free at
+    /// the *end*: plans are generated over `(1 - quiet_tail)` of the
+    /// window, so every event has ended by then. `0.0` (the usual
+    /// setting) scales plans to the whole window; the self-healing figure
+    /// uses a positive tail so all policies get a guaranteed drain period
+    /// in which recovery time is measurable rather than saturating at the
+    /// unrecovered penalty.
+    pub quiet_tail: f64,
+    /// When true, fault onsets are shifted past the warm-up period (the
+    /// plan is generated over the post-warmup portion of the window and
+    /// then delayed by `warmup` cycles). Recovery episodes then open
+    /// against a *converged* latency baseline: an onset landing in the
+    /// first few hundred cycles of a cold network would snapshot a
+    /// still-climbing EMA as "healthy", setting a recovery bar below what
+    /// the healed network can actually reach.
+    pub post_warmup: bool,
 }
 
 /// Which policy a row is normalized to (the "normalization reference"
@@ -410,11 +465,29 @@ mod tests {
 
     #[test]
     fn lineup_entries_round_trip() {
-        for name in ["round-robin", "nn", "global-age", "rl-apu"] {
+        for name in [
+            "round-robin",
+            "nn",
+            "global-age",
+            "rl-apu",
+            "nn-online",
+            "nn-vcctl",
+            "nn-online-vcctl",
+        ] {
             let entry = LineupEntry::parse(name).unwrap();
             assert_eq!(entry.canonical_name(), name);
         }
         assert!(LineupEntry::parse("no-such-policy").is_err());
+    }
+
+    #[test]
+    fn self_heal_slots_use_the_trained_artifact() {
+        for name in ["nn", "nn-online", "nn-vcctl", "nn-online-vcctl"] {
+            assert!(LineupEntry::parse(name).unwrap().uses_artifact(), "{name}");
+            assert!(Lineup::parse(&["fifo", name]).has_nn_slot(), "{name}");
+        }
+        assert!(!LineupEntry::parse("fifo").unwrap().uses_artifact());
+        assert!(!Lineup::parse(&["fifo", "global-age"]).has_nn_slot());
     }
 
     #[test]

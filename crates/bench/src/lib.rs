@@ -21,7 +21,8 @@ pub mod sweep;
 use apu_sim::{run_apu, ApuRunResult, EngineConfig, WorkloadSpec};
 use noc_arbiters::{make_arbiter, PolicyKind};
 use noc_sim::{Arbiter, Pattern, SimConfig, Simulator, SyntheticTraffic, Topology};
-use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter};
+use noc_sim::BufferController;
+use rl_arb::{AgentConfig, DqnAgent, FeatureSet, NnPolicyArbiter, OnlinePolicy, RlVcController};
 
 /// One entry of the shared flag grammar.
 ///
@@ -433,6 +434,7 @@ pub struct PolicySpec {
     /// Display name for tables/CSV headers.
     pub name: String,
     kind: PolicySpecKind,
+    vc_ctl: Option<VcCtlConfig>,
 }
 
 #[derive(Debug, Clone)]
@@ -440,6 +442,30 @@ enum PolicySpecKind {
     Builtin(PolicyKind),
     // Boxed: the trained network dwarfs the registry tag.
     Nn(Box<NnPolicyArbiter>),
+    // Online learning: the prototype (artifact warm start) is re-seeded
+    // per run so each sweep seed gets its own exploration stream.
+    NnOnline(Box<OnlinePolicy>),
+}
+
+/// Configuration of the learned per-VC buffer controller a [`PolicySpec`]
+/// can attach (see [`rl_arb::RlVcController`] for the knob semantics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcCtlConfig {
+    /// Cycles between reallocation decisions.
+    pub epoch: u64,
+    /// Credits withheld per VC when the withhold arm wins.
+    pub withhold_flits: u32,
+    /// Bandit exploration rate.
+    pub epsilon: f64,
+    /// Bandit learning rate (EMA step toward the observed reward).
+    pub lr: f64,
+}
+
+impl Default for VcCtlConfig {
+    fn default() -> Self {
+        // Mirrors `RlVcController::paper_default`.
+        VcCtlConfig { epoch: 64, withhold_flits: 2, epsilon: 0.05, lr: 0.2 }
+    }
 }
 
 impl PolicySpec {
@@ -448,6 +474,7 @@ impl PolicySpec {
         PolicySpec {
             name: name.into(),
             kind: PolicySpecKind::Builtin(kind),
+            vc_ctl: None,
         }
     }
 
@@ -456,7 +483,25 @@ impl PolicySpec {
         PolicySpec {
             name: name.into(),
             kind: PolicySpecKind::Nn(Box::new(nn)),
+            vc_ctl: None,
         }
+    }
+
+    /// A spec for an online-learning policy ("NN-online" column). The
+    /// prototype's network/encoder/hyperparameters are kept; its RNG is
+    /// re-keyed with the job seed at [`Self::build`] time.
+    pub fn nn_online(name: impl Into<String>, proto: OnlinePolicy) -> Self {
+        PolicySpec {
+            name: name.into(),
+            kind: PolicySpecKind::NnOnline(Box::new(proto)),
+            vc_ctl: None,
+        }
+    }
+
+    /// Attaches a learned per-VC buffer controller to this policy's runs.
+    pub fn with_vc_ctl(mut self, cfg: VcCtlConfig) -> Self {
+        self.vc_ctl = Some(cfg);
+        self
     }
 
     /// Instantiates the arbiter for one run.
@@ -464,7 +509,30 @@ impl PolicySpec {
         match &self.kind {
             PolicySpecKind::Builtin(kind) => make_arbiter(*kind, seed),
             PolicySpecKind::Nn(nn) => Box::new((**nn).clone()),
+            PolicySpecKind::NnOnline(proto) => {
+                let cfg = AgentConfig { seed, ..proto.config().clone() };
+                Box::new(OnlinePolicy::new(
+                    proto.network().clone(),
+                    proto.encoder().clone(),
+                    cfg,
+                ))
+            }
         }
+    }
+
+    /// Instantiates the attached buffer controller for one run, if any.
+    /// The controller seed is decorrelated from the traffic/arbiter seed
+    /// so the two learned decision points draw independent streams.
+    pub fn build_controller(&self, seed: u64) -> Option<Box<dyn BufferController>> {
+        self.vc_ctl.map(|c| {
+            Box::new(RlVcController::new(
+                c.epoch,
+                c.withhold_flits,
+                c.epsilon,
+                c.lr,
+                seed ^ 0xBC_0571,
+            )) as Box<dyn BufferController>
+        })
     }
 }
 

@@ -33,6 +33,36 @@ fn leaky_case(seed: u64) -> ConformanceCase {
         cycles: 2_000,
         seed,
         leak_at: Some(300),
+        online: false,
+        vc_ctl: false,
+        ctl_epoch: 64,
+        replay_cap: 256,
+        misbehave_at: None,
+    }
+}
+
+/// A case with the learned buffer controller installed and the test-only
+/// misbehaving-controller hook armed: the controller path is live, and a
+/// direct write to the credit books (bypassing the withhold interface)
+/// must be flagged by the occupancy sweep.
+fn misbehaving_controller_case(seed: u64) -> ConformanceCase {
+    ConformanceCase {
+        width: 8,
+        height: 8,
+        pattern: Pattern::Transpose,
+        rate: 0.2,
+        topo: TopoSpec::Mesh,
+        routing: RoutingKind::XY,
+        policy: PolicyKind::Fifo,
+        intensity: 0.0,
+        cycles: 2_000,
+        seed,
+        leak_at: None,
+        online: false,
+        vc_ctl: true,
+        ctl_epoch: 64,
+        replay_cap: 256,
+        misbehave_at: Some(300),
     }
 }
 
@@ -74,6 +104,31 @@ proptest! {
         // Bisection bottoms out at 500: the leak arms at cycle 300, so a
         // 250-cycle run can no longer reproduce it.
         prop_assert!(minimal.cycles <= 500, "cycles not bisected: {}", minimal.reproducer());
+    }
+
+    /// A buffer controller that corrupts the credit books directly is
+    /// caught by the occupancy invariant, and the shrunk reproducer both
+    /// still fails and has tightened the learned-case knobs.
+    #[test]
+    fn misbehaving_controller_is_caught_and_shrunk(seed in any::<u64>()) {
+        let case = misbehaving_controller_case(seed);
+        let out = run_case(&case);
+        prop_assert!(
+            out.violations > 0,
+            "misbehaving controller went undetected: {}", case.reproducer()
+        );
+        prop_assert!(
+            out.first.as_deref().is_some_and(|v| v.contains("OccupancyMismatch")),
+            "wrong violation class: {:?}", out.first
+        );
+
+        let minimal = minimize(case);
+        prop_assert!(run_case(&minimal).violations > 0, "shrunk case no longer fails");
+        prop_assert!(minimal.cycles <= case.cycles);
+        // The corruption hook fires whether or not a controller is
+        // installed, so shrinking must discover the controller itself is
+        // not needed to reproduce — and shed it.
+        prop_assert!(!minimal.vc_ctl, "controller not shed: {}", minimal.reproducer());
     }
 }
 

@@ -86,7 +86,7 @@ fn zero_fault_axis_reproduces_fig05_exactly() {
 
     let plain = run_matrix(&spec, &params, &seeds, &a);
     let mut zero_spec = spec.clone();
-    zero_spec.faults = Some(FaultAxis { intensities: vec![0.0] });
+    zero_spec.faults = Some(FaultAxis { intensities: vec![0.0], quiet_tail: 0.0, post_warmup: false });
     // Same artifact store: the second run resolves the NN warm, which the
     // store guarantees is bit-identical to the cold-trained policy.
     let zeroed = run_matrix(&zero_spec, &params, &seeds, &a);

@@ -500,6 +500,16 @@ impl VcBufArray {
         self.last_arrival[bi]
     }
 
+    /// Deliberately corrupts the credit book of buffer `bi` by counting
+    /// one phantom used flit, desynchronizing `used` from the packets
+    /// actually stored. Test-only: drives the
+    /// [`crate::Simulator::debug_misbehaving_controller`] fault-injection
+    /// hook that proves the occupancy-integrity invariant would catch a
+    /// buffer controller that touched the books directly.
+    pub(crate) fn debug_corrupt_used(&mut self, bi: usize) {
+        self.books[bi].used += 1;
+    }
+
     /// Overwrites buffer `bi` with checkpointed state: the exact packet
     /// list (head first, preserving the stored `arrival_cycle` /
     /// `inter_arrival` stamps), credit book, and inter-arrival baseline.

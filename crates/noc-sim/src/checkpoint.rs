@@ -24,7 +24,7 @@ use crate::types::{DestType, MsgType, NodeId, RouterId};
 /// Checkpoint document schema version. Bumped whenever the layout
 /// changes incompatibly; [`SimCheckpoint::from_json`] rejects documents
 /// written by a different version instead of misinterpreting them.
-pub const CHECKPOINT_VERSION: u64 = 1;
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// A serialized simulator snapshot (see the module docs for the format).
 ///

@@ -201,6 +201,19 @@ impl FaultPlan {
         FaultPlan { seed, events }
     }
 
+    /// Returns the plan with every onset shifted `delta` cycles later
+    /// (saturating). Used by experiment drivers that generate a plan over
+    /// a measurement window and then push it past a warm-up period, so
+    /// fault episodes begin only after the latency baseline has
+    /// converged.
+    #[must_use]
+    pub fn delayed(mut self, delta: u64) -> Self {
+        for ev in &mut self.events {
+            ev.onset = ev.onset.saturating_add(delta);
+        }
+        self
+    }
+
     /// Checks every event against a topology: routers and ports in range,
     /// link faults on directional ports only, and only on links the graph
     /// actually has (a removed or edge port has no link to fault).
@@ -655,6 +668,13 @@ impl FaultRuntime {
     /// Whether the starvation watchdog scan is due at `cycle`.
     pub(crate) fn watchdog_due(&self, cycle: u64) -> bool {
         cycle > 0 && cycle.is_multiple_of(WATCHDOG_PERIOD)
+    }
+
+    /// Whether any planned fault event (of any kind) is active at `cycle`.
+    /// Drives the recovery-episode accounting in the simulator: a rising
+    /// edge is a fault onset, a falling edge starts the recovery clock.
+    pub(crate) fn any_active(&self, cycle: u64) -> bool {
+        self.plan.events.iter().any(|ev| ev.active(cycle))
     }
 }
 

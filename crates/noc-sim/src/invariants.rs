@@ -30,9 +30,12 @@
 //!   packets of the same (source, destination, vnet) flow are delivered in
 //!   creation order (adaptive routing may legitimately reorder, so the
 //!   check is keyed off [`crate::RoutingKind::is_deterministic`]).
-//! * **Occupancy bounds** — `used + reserved ≤ capacity` even while a
-//!   VC-shrink fault squeezes the advertised credit, and `used_flits`
-//!   equals the flits of the packets actually queued.
+//! * **Occupancy bounds** — `used + reserved ≤ capacity` against the *raw*
+//!   buffer capacity, even while the advertised credit is squeezed by a
+//!   VC-shrink fault or a [`crate::BufferController`] withhold (both
+//!   learned decision points — arbitration and buffer control — are
+//!   audited by the same books), and `used_flits` equals the flits of the
+//!   packets actually queued.
 //! * **Age monotonicity** — arrival cycles are non-decreasing from head to
 //!   tail of every VC (FIFO order), and never in the future.
 

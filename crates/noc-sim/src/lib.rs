@@ -35,7 +35,10 @@
 //! * [`RoutingKind`] / [`route_xy`] / [`route_torus`] / [`route_table`] —
 //!   pluggable routing (dimension-order, wraparound, shortest-path table).
 //! * [`Simulator`] — the cycle-driven engine (paper Algorithm 1 decision shell).
-//! * [`Arbiter`] — the policy interface; reference baselines in [`arbiters`].
+//! * [`Arbiter`] — the arbitration policy interface; reference baselines in
+//!   [`arbiters`].
+//! * [`BufferController`] — the second learned decision point: per-VC
+//!   credit-budget reallocation each control epoch.
 //! * [`TrafficSource`] — open-loop synthetic patterns ([`SyntheticTraffic`])
 //!   and the hook closed-loop workload engines implement.
 //! * [`SimStats`] — latency/throughput/fairness/starvation accounting.
@@ -64,6 +67,7 @@ mod topology;
 mod trace;
 mod traffic;
 mod types;
+mod vc_control;
 
 pub mod arbiters;
 
@@ -91,3 +95,4 @@ pub use topology::{Node, Topology, TopologyKind};
 pub use trace::{PacketTrace, TraceEvent, TraceKind};
 pub use traffic::{Pattern, SyntheticTraffic, TraceTraffic, TrafficSource};
 pub use types::{Coord, DestType, MsgType, NodeId, PortDir, RouterId};
+pub use vc_control::{BufferController, VcUsage};

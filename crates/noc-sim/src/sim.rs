@@ -27,6 +27,7 @@ use crate::topology::Topology;
 use crate::trace::{PacketTrace, TraceEvent, TraceKind};
 use crate::traffic::TrafficSource;
 use crate::types::{Coord, PortDir, RouterId, NodeId};
+use crate::vc_control::{clamp_withhold, BufferController, VcUsage};
 
 /// Process-wide count of cycles executed by [`Simulator::run`] and
 /// [`Simulator::run_until_done`] across every simulator instance and
@@ -90,6 +91,28 @@ struct ArbScratch {
     /// Index into `reqs` of the first request per output (`u32::MAX` =
     /// none) — O(1) lookup for the sole-requester grant path.
     first_req: Vec<u32>,
+}
+
+/// Runtime state of an installed [`BufferController`]: the controller
+/// object plus the simulator-owned actuation books. The simulator — never
+/// the controller — owns the composition of fault shrink and controller
+/// withhold, so the clamp in [`crate::vc_control::clamp_withhold`] is
+/// enforced on every path that touches `set_shrink`.
+struct CtlRuntime {
+    ctl: Box<dyn BufferController>,
+    /// Clamped withhold currently actuated per flat buffer.
+    withhold: Vec<u32>,
+    /// Mirror of the fault plan's current shrink per flat buffer, so the
+    /// combined `fault_shrink + withhold` can be recomposed when either
+    /// side changes.
+    fault_shrink: Vec<u32>,
+    /// Scratch telemetry handed to the controller (capacity reused).
+    usage: Vec<VcUsage>,
+    /// Scratch proposal filled by the controller (capacity reused).
+    proposal: Vec<u32>,
+    /// Control epochs executed so far (checkpointed; also the "zero
+    /// training epochs" witness for warm-cache tests).
+    epochs_run: u64,
 }
 
 /// The subset of a winning [`Candidate`] the grant path needs — small
@@ -193,10 +216,6 @@ pub struct Simulator<T: TrafficSource> {
     /// Boxed behind an `Option` so the per-router take/put-back moves a
     /// pointer, not the whole scratch struct; always `Some` between steps.
     arb: Option<Box<ArbScratch>>,
-    /// Cached routed output port of each buffer's head packet
-    /// (`u8::MAX` = unknown). Valid only under deterministic X-Y routing,
-    /// where the route is a pure function of the head packet; invalidated
-    /// whenever a buffer's head changes.
     /// Flat downstream-buffer base per `(router, out_port)`:
     /// `(next * ports + in_port) * vnets` for connected mesh ports,
     /// `u32::MAX` for local/disconnected ports. A compact mirror of
@@ -222,6 +241,29 @@ pub struct Simulator<T: TrafficSource> {
     /// reserving it behind the checker's back (see
     /// [`Simulator::debug_inject_credit_leak`]).
     leak_at: Option<u64>,
+    /// VC buffer-control runtime; `None` (the default) is the static
+    /// fast path and is bit-identical to a build without this subsystem
+    /// (same pattern as `faults` / `checker`).
+    vc_ctl: Option<Box<CtlRuntime>>,
+    /// Test-only fault seed: at this cycle, corrupt one credit book as a
+    /// misbehaving buffer controller would (see
+    /// [`Simulator::debug_misbehaving_controller`]).
+    misbehave_at: Option<u64>,
+    /// Q48.16 exponential moving average of delivered end-to-end latency
+    /// (integer-only so the recovery accounting stays bit-deterministic).
+    lat_ema_q16: u64,
+    /// EMA snapshot taken at the current episode's fault onset — the
+    /// "healthy" baseline recovery is measured against.
+    recov_baseline_q16: u64,
+    /// Onset cycle of the episode currently awaiting recovery.
+    recov_onset_cycle: u64,
+    /// A fault episode has onset but not yet recovered.
+    recov_pending: bool,
+    /// Cycle of the first fault onset ever (`u64::MAX` = none yet);
+    /// deliveries at or after it feed the post-fault latency counters.
+    first_onset_cycle: u64,
+    /// Whether any fault event was active last cycle (edge detector).
+    fault_active_prev: bool,
 }
 
 impl<T: TrafficSource> Simulator<T> {
@@ -327,6 +369,14 @@ impl<T: TrafficSource> Simulator<T> {
             faults: None,
             checker: None,
             leak_at: None,
+            vc_ctl: None,
+            misbehave_at: None,
+            lat_ema_q16: 0,
+            recov_baseline_q16: 0,
+            recov_onset_cycle: 0,
+            recov_pending: false,
+            first_onset_cycle: u64::MAX,
+            fault_active_prev: false,
         })
     }
 
@@ -382,13 +432,28 @@ impl<T: TrafficSource> Simulator<T> {
     }
 
     /// Clears statistics (e.g. after a warm-up phase). Does not disturb
-    /// in-flight packets or buffers.
+    /// in-flight packets or buffers. Recovery-episode tracking is
+    /// re-scoped to the new window: an episode *in flight* at the reset
+    /// (faults already active — the common case when a plan's onsets land
+    /// during warm-up) is re-opened as of the reset cycle, counting as
+    /// one onset in the fresh window while keeping the healthy latency
+    /// baseline snapshotted at its true onset. A recovery closing inside
+    /// the window therefore always has a matching onset, and its duration
+    /// is charged only from the window start. (The latency EMA and the
+    /// fault-activity edge detector carry across, since they describe the
+    /// network, not the window.)
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::new(
             self.cfg.num_vnets,
             self.topo.num_nodes(),
             self.topo.num_links(),
         );
+        self.first_onset_cycle = u64::MAX;
+        if self.recov_pending {
+            self.stats.fault_onsets = 1;
+            self.recov_onset_cycle = self.cycle;
+            self.first_onset_cycle = self.cycle;
+        }
         if let Some(ck) = &mut self.checker {
             ck.on_reset_stats();
         }
@@ -487,6 +552,67 @@ impl<T: TrafficSource> Simulator<T> {
     #[doc(hidden)]
     pub fn debug_inject_credit_leak(&mut self, cycle: u64) {
         self.leak_at = Some(cycle);
+    }
+
+    /// Test-only bug seed: at `cycle`, corrupt one credit book the way a
+    /// buffer controller that bypassed the withhold interface and wrote
+    /// the books directly would — the occupancy-integrity invariant
+    /// (`OccupancyMismatch`) must catch it the same cycle. Kept in the
+    /// public API (hidden from docs) so out-of-crate conformance tests
+    /// can arm it (see [`Simulator::debug_inject_credit_leak`]).
+    #[doc(hidden)]
+    pub fn debug_misbehaving_controller(&mut self, cycle: u64) {
+        self.misbehave_at = Some(cycle);
+    }
+
+    /// Installs a [`BufferController`] — the second learned decision
+    /// point, reallocating per-VC credit budgets each control epoch
+    /// through the VC-shrink actuation path. `None`-like removal is not
+    /// supported; construct a fresh simulator instead.
+    ///
+    /// The controller's proposals are clamped by the simulator so the
+    /// combined fault-plus-controller squeeze always leaves
+    /// `max_packet_flits` of advertiseable capacity beyond what the
+    /// fault plan takes (see the [`crate::vc_control`] module docs for
+    /// the safety argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already advanced past cycle 0.
+    pub fn set_buffer_controller(&mut self, ctl: Box<dyn BufferController>) {
+        assert_eq!(
+            self.cycle, 0,
+            "install the buffer controller before the first step"
+        );
+        let n = self.bufs.num_buffers();
+        self.vc_ctl = Some(Box::new(CtlRuntime {
+            ctl,
+            withhold: vec![0; n],
+            fault_shrink: vec![0; n],
+            usage: Vec::new(),
+            proposal: Vec::new(),
+            epochs_run: 0,
+        }));
+    }
+
+    /// True when a buffer controller is installed.
+    pub fn buffer_controller_enabled(&self) -> bool {
+        self.vc_ctl.is_some()
+    }
+
+    /// Recovery-detector internals `(latency EMA, episode baseline,
+    /// episode pending)`, latency values in Q48.16 cycles. Diagnostic
+    /// hook for tests and threshold tuning; not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_recovery_state(&self) -> (u64, u64, bool) {
+        (self.lat_ema_q16, self.recov_baseline_q16, self.recov_pending)
+    }
+
+    /// Control epochs the installed buffer controller has executed (0
+    /// when none is installed). Cache-assertion hook: a warm-cache run
+    /// must show zero epochs because nothing was simulated.
+    pub fn buffer_control_epochs(&self) -> u64 {
+        self.vc_ctl.as_ref().map_or(0, |c| c.epochs_run)
     }
 
     /// Starts recording every grant; used by tests and analysis tools.
@@ -624,6 +750,13 @@ impl<T: TrafficSource> Simulator<T> {
             self.fault_phase(cycle);
         }
 
+        // Phase 0c (buffer controller only): at control-epoch boundaries,
+        // let the installed controller propose per-VC credit withholds and
+        // actuate the clamped result through the shrink machinery.
+        if self.vc_ctl.is_some() {
+            self.control_phase(cycle);
+        }
+
         // Phase 1: land packets that arrive this cycle.
         let mut list = std::mem::take(&mut self.arrival_scratch);
         self.arrivals.drain_due_into(cycle, &mut list);
@@ -754,6 +887,9 @@ impl<T: TrafficSource> Simulator<T> {
         if self.leak_at.is_some_and(|at| at <= cycle) {
             self.apply_debug_leak();
         }
+        if self.misbehave_at.is_some_and(|at| at <= cycle) {
+            self.apply_debug_misbehave();
+        }
 
         // Invariant sweep (checker only): cross-check every buffer and the
         // global conservation books after the cycle's state changes.
@@ -786,6 +922,53 @@ impl<T: TrafficSource> Simulator<T> {
         }
     }
 
+    /// Counts one phantom used flit on the first buffer's credit book —
+    /// the deliberate accounting corruption armed by
+    /// [`Simulator::debug_misbehaving_controller`], modelling a buffer
+    /// controller that wrote the books directly instead of going through
+    /// the withhold interface. The checker's occupancy sweep must flag
+    /// the buffer as an `OccupancyMismatch` this same cycle.
+    fn apply_debug_misbehave(&mut self) {
+        self.bufs.debug_corrupt_used(0);
+        self.misbehave_at = None;
+    }
+
+    /// Buffer-control bookkeeping run once per cycle while a controller is
+    /// installed: at control-epoch boundaries the controller sees fresh
+    /// per-VC telemetry and proposes withholds, which are clamped
+    /// ([`clamp_withhold`]) and composed with the fault plan's current
+    /// shrink before actuation. The take/put-back dance mirrors
+    /// `fault_phase`.
+    fn control_phase(&mut self, cycle: u64) {
+        let Some(mut c) = self.vc_ctl.take() else { return };
+        let epoch = c.ctl.control_epoch().max(1);
+        if cycle.is_multiple_of(epoch) {
+            let n = self.bufs.num_buffers();
+            let cap = self.bufs.capacity_flits();
+            c.usage.clear();
+            for bi in 0..n {
+                let (used, reserved, _) = self.bufs.book_state(bi);
+                c.usage.push(VcUsage {
+                    used,
+                    reserved,
+                    fault_shrink: c.fault_shrink[bi],
+                    capacity: cap,
+                });
+            }
+            c.proposal.clear();
+            c.proposal.resize(n, 0);
+            c.ctl.reallocate(cycle, &c.usage, &mut c.proposal);
+            c.epochs_run += 1;
+            let max_flits = self.cfg.max_packet_flits;
+            for bi in 0..n {
+                c.withhold[bi] =
+                    clamp_withhold(c.proposal[bi], c.fault_shrink[bi], cap, max_flits);
+                self.bufs.set_shrink(bi, c.fault_shrink[bi] + c.withhold[bi]);
+            }
+        }
+        self.vc_ctl = Some(c);
+    }
+
     /// Invariant bookkeeping run once per cycle while the checker is
     /// enabled. The take/put-back dance lets the checker borrow coexist
     /// with reads of router buffers (same pattern as `fault_phase`).
@@ -811,13 +994,29 @@ impl<T: TrafficSource> Simulator<T> {
     /// hanging silently.
     fn fault_phase(&mut self, cycle: u64) {
         let Some(fr) = self.faults.take() else { return };
+        let mut ctl = self.vc_ctl.take();
         let (ports, vnets) = (self.ports, self.vnets);
+        let (cap, max_flits) = (self.bufs.capacity_flits(), self.cfg.max_packet_flits);
         fr.shrink_updates(cycle, |router, port, shrink| {
             let base = (router * ports + port) * vnets;
             for v in 0..vnets {
-                self.bufs.set_shrink(base + v, shrink);
+                let bi = base + v;
+                match &mut ctl {
+                    // With a controller installed the actuated shrink is
+                    // the composition of both squeezes; a fault change
+                    // re-clamps the standing withhold so the headroom
+                    // guarantee survives the new fault state.
+                    Some(c) => {
+                        c.fault_shrink[bi] = shrink;
+                        c.withhold[bi] =
+                            clamp_withhold(c.withhold[bi], shrink, cap, max_flits);
+                        self.bufs.set_shrink(bi, shrink + c.withhold[bi]);
+                    }
+                    None => self.bufs.set_shrink(bi, shrink),
+                }
             }
         });
+        self.vc_ctl = ctl;
         if fr.watchdog_due(cycle) {
             let mut wedged = 0;
             for r in 0..self.coords.len() {
@@ -838,6 +1037,37 @@ impl<T: TrafficSource> Simulator<T> {
                 self.stats.watchdog_fires += 1;
             }
         }
+        // Recovery-episode accounting: a rising edge of "any fault event
+        // active" opens an episode and snapshots the latency EMA as the
+        // healthy baseline; once every event has ended, the episode closes
+        // (counts as recovered) when the EMA returns to within 12.5% of
+        // that baseline, plus an absolute slack of 8 cycles. The slack
+        // matters when the onset lands early in a run: the EMA has not
+        // yet converged up to its steady-state value, and a purely
+        // multiplicative threshold around that too-low snapshot would sit
+        // *below* the healthy network's own latency, making recovery
+        // unreachable no matter how completely the network heals.
+        // Integer-only Q48.16 arithmetic keeps this bit-deterministic.
+        let active = fr.any_active(cycle);
+        if active && !self.fault_active_prev && !self.recov_pending {
+            self.stats.fault_onsets += 1;
+            self.recov_pending = true;
+            self.recov_onset_cycle = cycle;
+            // A zero EMA (nothing delivered yet) would make recovery
+            // unreachable; floor the baseline at one cycle of latency.
+            self.recov_baseline_q16 = self.lat_ema_q16.max(1 << 16);
+            self.first_onset_cycle = self.first_onset_cycle.min(cycle);
+        }
+        if self.recov_pending
+            && !active
+            && self.lat_ema_q16
+                <= self.recov_baseline_q16 + self.recov_baseline_q16 / 8 + (8 << 16)
+        {
+            self.stats.recoveries += 1;
+            self.stats.recovery_cycles_total += cycle - self.recov_onset_cycle;
+            self.recov_pending = false;
+        }
+        self.fault_active_prev = active;
         self.faults = Some(fr);
     }
 
@@ -897,6 +1127,15 @@ impl<T: TrafficSource> Simulator<T> {
         self.inflight_count -= 1;
         self.period_lat_sum += latency;
         self.period_delivered += 1;
+        // Latency EMA (α = 1/16) feeding the recovery detector; updated
+        // unconditionally so the pre-onset baseline is already warm when a
+        // fault fires. Q48.16 fixed point: overflow-safe for any
+        // realistic latency (< 2^43 cycles).
+        self.lat_ema_q16 = (self.lat_ema_q16 * 15 + (latency << 16)) / 16;
+        if cycle >= self.first_onset_cycle {
+            self.stats.post_fault_delivered += 1;
+            self.stats.post_fault_latency_total += latency;
+        }
         if let Some(ck) = &mut self.checker {
             ck.on_delivered(cycle, &packet);
         }
@@ -1410,6 +1649,9 @@ impl<T: TrafficSource> Simulator<T> {
         if self.leak_at.is_some() {
             return Err("cannot checkpoint with a debug credit leak armed".into());
         }
+        if self.misbehave_at.is_some() {
+            return Err("cannot checkpoint with a debug controller corruption armed".into());
+        }
         if let Some(ck) = &self.checker {
             if ck.total_violations() > 0 {
                 return Err(
@@ -1431,6 +1673,21 @@ impl<T: TrafficSource> Simulator<T> {
         ckpt::check_clean_str(&traffic_state, "traffic")?;
         let arbiter_name = self.arbiter.name();
         ckpt::check_clean_str(&arbiter_name, "arbiter name")?;
+        let ctl_block = match &self.vc_ctl {
+            None => None,
+            Some(c) => {
+                let state = c.ctl.checkpoint_state().ok_or_else(|| {
+                    format!(
+                        "buffer controller '{}' does not support checkpointing",
+                        c.ctl.name()
+                    )
+                })?;
+                ckpt::check_clean_str(&state, "buffer controller")?;
+                let name = c.ctl.name();
+                ckpt::check_clean_str(&name, "buffer controller name")?;
+                Some((name, state))
+            }
+        };
 
         fn fnum(key: &str, v: u64) -> String {
             format!("\"{key}\": {v}")
@@ -1487,6 +1744,12 @@ impl<T: TrafficSource> Simulator<T> {
             self.net.avg_accumulated_latency.to_bits(),
         ));
         fields.push(fnum("net_in_flight", self.net.in_flight_packets as u64));
+        fields.push(fnum("lat_ema_q16", self.lat_ema_q16));
+        fields.push(fnum("recov_baseline_q16", self.recov_baseline_q16));
+        fields.push(fnum("recov_onset_cycle", self.recov_onset_cycle));
+        fields.push(fnum("recov_pending", self.recov_pending as u64));
+        fields.push(fnum("first_onset_cycle", self.first_onset_cycle));
+        fields.push(fnum("fault_active_prev", self.fault_active_prev as u64));
 
         let s = &self.stats;
         let stat_fields = vec![
@@ -1513,6 +1776,11 @@ impl<T: TrafficSource> Simulator<T> {
             fnum("stalled_router_cycles", s.stalled_router_cycles),
             fnum("watchdog_fires", s.watchdog_fires),
             fnum("wedged_ports", s.wedged_ports),
+            fnum("fault_onsets", s.fault_onsets),
+            fnum("recoveries", s.recoveries),
+            fnum("recovery_cycles_total", s.recovery_cycles_total),
+            fnum("post_fault_delivered", s.post_fault_delivered),
+            fnum("post_fault_latency_total", s.post_fault_latency_total),
             fnum("in_flight_at_end", s.in_flight_at_end),
             fnum("queued_at_end", s.queued_at_end),
             fnum("num_mesh_links", s.num_mesh_links as u64),
@@ -1649,6 +1917,17 @@ impl<T: TrafficSource> Simulator<T> {
             fields.push(format!("\"checker\": {{ {} }}", ck_fields.join(", ")));
         }
 
+        if let (Some(c), Some((name, state))) = (&self.vc_ctl, &ctl_block) {
+            let ctl_fields = vec![
+                fstr("name", name),
+                farr("withhold", c.withhold.iter().map(|&n| n as u64)),
+                farr("fault_shrink", c.fault_shrink.iter().map(|&n| n as u64)),
+                fnum("epochs_run", c.epochs_run),
+                fstr("state", state),
+            ];
+            fields.push(format!("\"vc_ctl\": {{ {} }}", ctl_fields.join(", ")));
+        }
+
         fields.push(fstr("traffic", &traffic_state));
         fields.push(fstr("arbiter", &arbiter_state));
         let text = format!("{{\n{}\n}}\n", fields.join(",\n"));
@@ -1681,6 +1960,34 @@ impl<T: TrafficSource> Simulator<T> {
         let mut sim = Simulator::new(topo, cfg, arbiter, traffic).map_err(|e| e.to_string())?;
         sim.apply_checkpoint(checkpoint)?;
         Ok(sim)
+    }
+
+    /// Applies a checkpoint to a freshly constructed simulator in place —
+    /// the variant of [`Simulator::restore`] for runs with a
+    /// [`BufferController`] installed, where the controller object (a
+    /// construction-time input, like the arbiter) must be supplied via
+    /// [`Simulator::set_buffer_controller`] *before* the checkpoint is
+    /// applied:
+    ///
+    /// ```text
+    /// let mut sim = Simulator::new(topo, cfg, arbiter, traffic)?;
+    /// sim.set_buffer_controller(ctl);
+    /// sim.restore_checkpoint(&checkpoint)?;
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::restore`], plus a mismatch between
+    /// the installed controller (or its absence) and the checkpoint's
+    /// `vc_ctl` block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already stepped: checkpoints overwrite
+    /// a *fresh* simulator only.
+    pub fn restore_checkpoint(&mut self, checkpoint: &SimCheckpoint) -> Result<(), String> {
+        assert_eq!(self.cycle, 0, "restore onto a freshly constructed simulator");
+        self.apply_checkpoint(checkpoint)
     }
 
     /// Overwrites a freshly constructed simulator's state from a parsed
@@ -1775,6 +2082,11 @@ impl<T: TrafficSource> Simulator<T> {
             stalled_router_cycles: snum("stalled_router_cycles")?,
             watchdog_fires: snum("watchdog_fires")?,
             wedged_ports: snum("wedged_ports")?,
+            fault_onsets: snum("fault_onsets")?,
+            recoveries: snum("recoveries")?,
+            recovery_cycles_total: snum("recovery_cycles_total")?,
+            post_fault_delivered: snum("post_fault_delivered")?,
+            post_fault_latency_total: snum("post_fault_latency_total")?,
             in_flight_at_end: snum("in_flight_at_end")?,
             queued_at_end: snum("queued_at_end")?,
             num_mesh_links,
@@ -1795,6 +2107,12 @@ impl<T: TrafficSource> Simulator<T> {
         self.inflight_count = num("inflight_count")?;
         self.period_lat_sum = num("period_lat_sum")?;
         self.period_delivered = num("period_delivered")?;
+        self.lat_ema_q16 = num("lat_ema_q16")?;
+        self.recov_baseline_q16 = num("recov_baseline_q16")?;
+        self.recov_onset_cycle = num("recov_onset_cycle")?;
+        self.recov_pending = num("recov_pending")? != 0;
+        self.first_onset_cycle = num("first_onset_cycle")?;
+        self.fault_active_prev = num("fault_active_prev")? != 0;
 
         let out_free_at = arr("out_free_at")?;
         if out_free_at.len() != self.out_free_at.len() {
@@ -1969,6 +2287,57 @@ impl<T: TrafficSource> Simulator<T> {
             );
             checker.restore_snapshot(snap)?;
             self.checker = Some(Box::new(checker));
+        }
+
+        // Buffer controller: like the arbiter, the controller *object* is
+        // a construction-time input (installed on the fresh simulator via
+        // `set_buffer_controller` before `restore_checkpoint`); only its
+        // mutable state and the simulator-owned actuation books travel in
+        // the checkpoint. Presence and name must match on both sides.
+        match (maybe("vc_ctl"), &mut self.vc_ctl) {
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(
+                    "checkpoint carries buffer-controller state but none is installed; \
+                     call set_buffer_controller before restoring"
+                        .into(),
+                );
+            }
+            (None, Some(_)) => {
+                return Err(
+                    "a buffer controller is installed but the checkpoint carries no \
+                     controller state"
+                        .into(),
+                );
+            }
+            (Some(cv), Some(c)) => {
+                let cobj = cv.as_obj("vc_ctl")?;
+                let name = json::get(cobj, "name")?.as_str("name")?;
+                if name != c.ctl.name() {
+                    return Err(format!(
+                        "checkpoint buffer controller \"{name}\" does not match installed \"{}\"",
+                        c.ctl.name()
+                    ));
+                }
+                let n = c.withhold.len();
+                let withhold = ckpt::num_arr(json::get(cobj, "withhold")?, "withhold")?;
+                let fault_shrink =
+                    ckpt::num_arr(json::get(cobj, "fault_shrink")?, "fault_shrink")?;
+                if withhold.len() != n || fault_shrink.len() != n {
+                    return Err("checkpoint \"vc_ctl\" vector shapes do not match".into());
+                }
+                c.withhold = withhold
+                    .iter()
+                    .map(|&v| to_u32(v, "withhold"))
+                    .collect::<Result<_, _>>()?;
+                c.fault_shrink = fault_shrink
+                    .iter()
+                    .map(|&v| to_u32(v, "fault_shrink"))
+                    .collect::<Result<_, _>>()?;
+                c.epochs_run = json::get(cobj, "epochs_run")?.as_u64("epochs_run")?;
+                c.ctl
+                    .restore_state(json::get(cobj, "state")?.as_str("state")?)?;
+            }
         }
 
         // Opaque policy and traffic state, last: everything structural is

@@ -64,6 +64,22 @@ pub struct SimStats {
     pub watchdog_fires: u64,
     /// Ports with a starving head packet at the most recent watchdog scan.
     pub wedged_ports: u64,
+    /// Fault episodes observed: rising edges where the fault plan went
+    /// from fully idle to having at least one active event.
+    pub fault_onsets: u64,
+    /// Fault episodes that *recovered*: after the episode's events all
+    /// ended, the delivered-latency EMA returned to within 12.5% of its
+    /// pre-onset baseline. Trails [`SimStats::fault_onsets`] by episodes
+    /// still open (or never recovering) when the run ends.
+    pub recoveries: u64,
+    /// Total cycles from fault onset to recovery, summed over recovered
+    /// episodes (see [`SimStats::avg_recovery_cycles`]).
+    pub recovery_cycles_total: u64,
+    /// Messages delivered at or after the first fault onset of the run.
+    pub post_fault_delivered: u64,
+    /// Summed end-to-end latency of [`SimStats::post_fault_delivered`]
+    /// messages (see [`SimStats::post_fault_avg_latency`]).
+    pub post_fault_latency_total: u64,
     /// Packets still inside the network (injected, undelivered) when the
     /// run ended — nonzero when the cycle budget expired before the drain
     /// completed. Stamped by [`crate::Simulator::run`] and
@@ -157,6 +173,32 @@ impl SimStats {
         self.latencies.iter().copied().max().unwrap_or(0)
     }
 
+    /// Mean cycles from fault onset to recovery. Episodes that never
+    /// recovered (onsets without a matching recovery) are charged
+    /// `unrecovered_penalty` cycles each — callers typically pass their
+    /// measurement window so an unrecovered fault scores as badly as one
+    /// that healed only at the horizon. Returns 0 for fault-free runs.
+    pub fn avg_recovery_cycles(&self, unrecovered_penalty: u64) -> f64 {
+        if self.fault_onsets == 0 {
+            0.0
+        } else {
+            let unrecovered = self.fault_onsets.saturating_sub(self.recoveries);
+            (self.recovery_cycles_total + unrecovered * unrecovered_penalty) as f64
+                / self.fault_onsets as f64
+        }
+    }
+
+    /// Mean end-to-end latency of messages delivered at or after the first
+    /// fault onset, or 0 when no fault ever fired (or nothing was delivered
+    /// after one did).
+    pub fn post_fault_avg_latency(&self) -> f64 {
+        if self.post_fault_delivered == 0 {
+            0.0
+        } else {
+            self.post_fault_latency_total as f64 / self.post_fault_delivered as f64
+        }
+    }
+
     /// Jain's fairness index over per-node delivered counts: 1.0 means every
     /// node received equal service, `1/n` means one node got everything.
     pub fn jain_fairness(&self) -> f64 {
@@ -213,6 +255,21 @@ mod tests {
         assert_eq!(s.latency_percentile(100.0), 100);
         assert_eq!(s.latency_percentile(1.0), 10);
         assert_eq!(s.max_latency(), 100);
+    }
+
+    #[test]
+    fn recovery_metrics_charge_unrecovered_episodes() {
+        let mut s = SimStats::new(1, 4, 24);
+        assert_eq!(s.avg_recovery_cycles(5_000), 0.0);
+        assert_eq!(s.post_fault_avg_latency(), 0.0);
+        s.fault_onsets = 3;
+        s.recoveries = 2;
+        s.recovery_cycles_total = 400;
+        // (400 + 1 unrecovered × 5000) / 3 onsets
+        assert!((s.avg_recovery_cycles(5_000) - 1_800.0).abs() < 1e-12);
+        s.post_fault_delivered = 8;
+        s.post_fault_latency_total = 96;
+        assert_eq!(s.post_fault_avg_latency(), 12.0);
     }
 
     #[test]

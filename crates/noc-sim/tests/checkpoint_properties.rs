@@ -11,8 +11,48 @@ use proptest::prelude::*;
 
 use noc_sim::arbiters::{FifoArbiter, RoundRobinArbiter};
 use noc_sim::{
-    Arbiter, FaultPlan, Pattern, SimCheckpoint, SimConfig, Simulator, SyntheticTraffic, Topology,
+    Arbiter, BufferController, FaultPlan, Pattern, SimCheckpoint, SimConfig, Simulator,
+    SyntheticTraffic, Topology, VcUsage, ViolationKind,
 };
+
+/// A deterministic stateful test controller: each epoch it advances a
+/// counter and withholds `(counter + bi) % 3` flits from buffer `bi`.
+/// The counter is the mutable state that must survive a checkpoint for a
+/// split run to keep proposing the same squeeze pattern.
+struct PulseController {
+    epoch: u64,
+    counter: u64,
+}
+
+impl PulseController {
+    fn new(epoch: u64) -> Self {
+        Self { epoch, counter: 0 }
+    }
+}
+
+impl BufferController for PulseController {
+    fn name(&self) -> String {
+        "pulse-test".into()
+    }
+    fn control_epoch(&self) -> u64 {
+        self.epoch
+    }
+    fn reallocate(&mut self, _cycle: u64, usage: &[VcUsage], withhold: &mut [u32]) {
+        self.counter += 1;
+        for (bi, w) in withhold.iter_mut().enumerate().take(usage.len()) {
+            *w = ((self.counter + bi as u64) % 3) as u32;
+        }
+    }
+    fn checkpoint_state(&self) -> Option<String> {
+        Some(self.counter.to_string())
+    }
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        self.counter = state
+            .parse()
+            .map_err(|e| format!("pulse-test state {state:?}: {e}"))?;
+        Ok(())
+    }
+}
 
 fn mesh_sim(seed: u64, rate: f64, arbiter: Box<dyn Arbiter>) -> Simulator<SyntheticTraffic> {
     let topo = Topology::uniform_mesh(4, 4).unwrap();
@@ -147,6 +187,113 @@ proptest! {
         let straight = unsplit_run(seed, horizon, &*rr, None, false);
         prop_assert_eq!(twice, straight);
     }
+
+    /// The split identity holds with a *stateful buffer controller*
+    /// installed alongside an active fault runtime and the checker: the
+    /// controller's counter, actuated withholds, and epoch tally all
+    /// round-trip through the checkpoint, so the squeeze schedule after
+    /// the split matches the unsplit run exactly. Restores go through
+    /// `set_buffer_controller` + `restore_checkpoint`, mirroring how the
+    /// experiment service resumes controller-bearing jobs.
+    #[test]
+    fn split_with_buffer_controller_is_bit_identical(
+        seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        split in 0u64..1_501,
+        epoch in 1u64..100,
+    ) {
+        let horizon = 1_500u64;
+        let topo = Topology::uniform_mesh(4, 4).unwrap();
+        let plan = FaultPlan::generate(plan_seed, 1.0, &topo, horizon);
+
+        let mut sim = mesh_sim(seed, 0.15, Box::new(RoundRobinArbiter::new()));
+        sim.set_buffer_controller(Box::new(PulseController::new(epoch)));
+        sim.set_fault_plan(&plan);
+        sim.enable_invariant_checker();
+        sim.run(split);
+        let text = sim.checkpoint().unwrap().to_json().to_string();
+        drop(sim);
+
+        let ck = SimCheckpoint::from_json(&text).unwrap();
+        let mut sim = mesh_sim(seed, 0.15, Box::new(RoundRobinArbiter::new()));
+        sim.set_buffer_controller(Box::new(PulseController::new(epoch)));
+        sim.restore_checkpoint(&ck).unwrap();
+        prop_assert_eq!(sim.cycle(), split);
+        sim.run(horizon - split);
+        prop_assert!(sim.check_invariants().is_ok());
+        let split_out = (format!("{:?}", sim.stats()), sim.checkpoint().unwrap().content_hash());
+
+        let mut sim = mesh_sim(seed, 0.15, Box::new(RoundRobinArbiter::new()));
+        sim.set_buffer_controller(Box::new(PulseController::new(epoch)));
+        sim.set_fault_plan(&plan);
+        sim.enable_invariant_checker();
+        sim.run(horizon);
+        prop_assert!(sim.check_invariants().is_ok());
+        let straight = (format!("{:?}", sim.stats()), sim.checkpoint().unwrap().content_hash());
+
+        prop_assert_eq!(split_out, straight);
+    }
+}
+
+/// A controller that corrupts the credit books directly (modelled by the
+/// test-only `debug_misbehaving_controller` hook) is flagged by the
+/// occupancy-integrity sweep the same cycle — while a well-behaved
+/// controller driving the exact same run stays violation-free. This pins
+/// the safety-by-construction claim: the withhold interface cannot
+/// corrupt accounting, only book-tampering can.
+#[test]
+fn occupancy_invariant_catches_misbehaving_controller() {
+    let run = |misbehave: Option<u64>| {
+        let mut sim = mesh_sim(17, 0.15, Box::new(FifoArbiter::new()));
+        sim.set_buffer_controller(Box::new(PulseController::new(8)));
+        sim.enable_invariant_checker();
+        if let Some(at) = misbehave {
+            sim.debug_misbehaving_controller(at);
+        }
+        sim.run(600);
+        sim
+    };
+
+    let clean = run(None);
+    assert_eq!(
+        clean.total_invariant_violations(),
+        0,
+        "a withhold-interface controller must stay violation-free"
+    );
+
+    let corrupt = run(Some(250));
+    assert!(corrupt.total_invariant_violations() > 0, "corruption went undetected");
+    let first = &corrupt.invariant_violations()[0];
+    assert_eq!(first.cycle, 250, "must be caught the same cycle it lands");
+    assert!(
+        matches!(first.kind, ViolationKind::OccupancyMismatch { .. }),
+        "wrong violation class: {first}"
+    );
+}
+
+/// A checkpoint from a controller-bearing run refuses to restore onto a
+/// simulator without the controller installed (and vice versa) — the
+/// controller is construction-time input, like the arbiter.
+#[test]
+fn restore_rejects_controller_mismatch() {
+    let mut sim = mesh_sim(9, 0.15, Box::new(FifoArbiter::new()));
+    sim.set_buffer_controller(Box::new(PulseController::new(16)));
+    sim.run(200);
+    let ck = sim.checkpoint().unwrap();
+
+    // Controller-bearing checkpoint, plain restore target.
+    let mut plain = mesh_sim(9, 0.15, Box::new(FifoArbiter::new()));
+    let err = plain.restore_checkpoint(&ck).unwrap_err();
+    assert!(err.contains("controller"), "{err}");
+
+    // Plain checkpoint, controller-bearing restore target.
+    let mut sim = mesh_sim(9, 0.15, Box::new(FifoArbiter::new()));
+    sim.run(200);
+    let plain_ck = sim.checkpoint().unwrap();
+    let mut with_ctl = mesh_sim(9, 0.15, Box::new(FifoArbiter::new()));
+    with_ctl.set_buffer_controller(Box::new(PulseController::new(16)));
+    let err = with_ctl.restore_checkpoint(&plain_ck).unwrap_err();
+    assert!(err.contains("controller"), "{err}");
 }
 
 #[test]

@@ -109,6 +109,25 @@ impl AgentConfig {
         AgentConfig::tuned(42, seed)
     }
 
+    /// Hyperparameters for *in-deployment* online learning
+    /// ([`OnlinePolicy`](crate::OnlinePolicy) warm-started from a trained
+    /// artifact). Relative to [`tuned_synthetic`](AgentConfig::tuned_synthetic),
+    /// exploration drops to the frozen arbiter's deployment rate
+    /// (ε 0.05 → 0.01) — the network is already competent, so extra random
+    /// arbitration mostly adds latency during the very drain phase that
+    /// recovery time is measured on, and matching the frozen baseline's ε
+    /// isolates the effect of the weight updates — and the horizon grows
+    /// slightly (γ 0.2 → 0.3): fault-induced congestion persists across
+    /// decisions, so the bootstrapped future term carries real signal
+    /// during exactly the windows this policy exists for.
+    pub fn tuned_online(seed: u64) -> Self {
+        AgentConfig {
+            epsilon: 0.01,
+            gamma: 0.3,
+            ..AgentConfig::tuned(15, seed)
+        }
+    }
+
     /// Serializes the hyperparameters as ordered `agent.*` key/value
     /// strings for the checkpoint `config` section. Floats use Rust's
     /// shortest round-trip form, so
@@ -535,7 +554,7 @@ impl Arbiter for RlAgentArbiter {
 /// tie-break a hardware select-max with a round-robin pointer would use.
 /// Without this, deterministic lowest-slot ties persistently starve
 /// high-index buffers whenever states alias.
-fn greedy_choice(net: &Mlp, encoder: &StateEncoder, ctx: &OutputCtx<'_>) -> usize {
+pub(crate) fn greedy_choice(net: &Mlp, encoder: &StateEncoder, ctx: &OutputCtx<'_>) -> usize {
     let mut scratch = InferenceScratch::default();
     greedy_choice_with(net, encoder, ctx, &mut scratch)
 }
@@ -544,14 +563,14 @@ fn greedy_choice(net: &Mlp, encoder: &StateEncoder, ctx: &OutputCtx<'_>) -> usiz
 /// the network's activation ping-pong. After warm-up, a greedy decision
 /// through [`greedy_choice_with`] performs zero heap allocations.
 #[derive(Debug, Clone, Default)]
-struct InferenceScratch {
+pub(crate) struct InferenceScratch {
     state: Vec<f64>,
     nn: nn_mlp::Scratch,
 }
 
 /// [`greedy_choice`] on caller-owned scratch buffers (the per-decision hot
 /// path of the frozen NN arbiter).
-fn greedy_choice_with(
+pub(crate) fn greedy_choice_with(
     net: &Mlp,
     encoder: &StateEncoder,
     ctx: &OutputCtx<'_>,
@@ -566,7 +585,7 @@ fn greedy_choice_with(
 /// with the rotating tie-break described on [`greedy_choice`]. Factored out
 /// so the scalar, batched and INT8 paths share one decision rule — given
 /// the same Q-values they pick the same candidate.
-fn argmax_rotating(q: &[f64], slots: usize, ctx: &OutputCtx<'_>) -> usize {
+pub(crate) fn argmax_rotating(q: &[f64], slots: usize, ctx: &OutputCtx<'_>) -> usize {
     let ptr = (ctx.cycle as usize).wrapping_mul(7) % slots;
     ctx.candidates
         .iter()

@@ -14,6 +14,9 @@
 //! * [`weight_heatmap`] — the Figs. 4/7 interpretability readout.
 //! * [`train_synthetic`] / [`hill_climb`] — training drivers used by the
 //!   figure regenerators (Figs. 12, 13) and §6.5's alternative analysis.
+//! * [`OnlinePolicy`] / [`RlVcController`] — the self-healing extensions:
+//!   in-situ DQN learning during the measured run, and a learned per-VC
+//!   credit-budget controller (deterministic, checkpointable).
 //!
 //! ## Training an agent end to end
 //!
@@ -38,11 +41,13 @@ mod features;
 mod hillclimb;
 mod interpret;
 mod multi;
+mod online;
 pub mod progress;
 mod replay;
 mod reward;
 mod train;
 mod trainer;
+mod vc_ctl;
 
 pub use agent::{AgentConfig, DqnAgent, InferenceMode, NnPolicyArbiter, RlAgentArbiter, SharedAgent};
 pub use ckpt::{
@@ -56,8 +61,10 @@ pub use hillclimb::{
 };
 pub use interpret::{weight_heatmap, Heatmap};
 pub use multi::{MultiAgentArbiter, PartitionedAgents};
+pub use online::OnlinePolicy;
 pub use progress::{is_quiet, set_quiet};
 pub use replay::{Experience, PrioritizedReplay, ReplayMemory};
 pub use reward::RewardKind;
 pub use train::{fnv1a64, train_synthetic, TrainOutcome, TrainSpec};
 pub use trainer::{training_epochs, Trainer};
+pub use vc_ctl::RlVcController;
